@@ -1,0 +1,282 @@
+//! Holistic data cleaning (Chu, Ilyas, Papotti — ICDE 2013).
+//!
+//! The algorithm the paper compares against as its logical-constraint
+//! representative:
+//!
+//! 1. Detect all denial-constraint violations and build the conflict
+//!    hypergraph.
+//! 2. Take a (greedy) minimum vertex cover of the hypergraph — the cells
+//!    to change.
+//! 3. For each covered cell, build its *repair context*: the expressions
+//!    it must satisfy to resolve its violations; pick the value satisfying
+//!    the most expressions with minimal change (majority of the partner
+//!    values for FD-style constraints).
+//! 4. Apply the repairs and iterate until no violations remain or the
+//!    round budget is exhausted.
+//!
+//! Minimality is the operational principle throughout — which is exactly
+//! why it inherits minimality's failure modes (Figure 1(E)): on data where
+//! the majority of partner values is wrong (Flights) it repairs in the
+//! wrong direction, and errors that do not reduce to a majority vote
+//! (Food's non-systematic errors) defeat it.
+
+use crate::{RepairSystem, SystemRepair};
+use holo_constraints::ast::{Op, Operand, TupleVar};
+use holo_constraints::{find_violations, ConflictHypergraph, ConstraintSet, Violation};
+use holo_dataset::{CellRef, Dataset, FxHashMap, Sym};
+
+/// Configuration for [`Holistic`].
+#[derive(Debug, Clone, Copy)]
+pub struct HolisticConfig {
+    /// Maximum repair rounds (each round: detect → cover → repair).
+    pub max_rounds: usize,
+}
+
+impl Default for HolisticConfig {
+    fn default() -> Self {
+        HolisticConfig { max_rounds: 20 }
+    }
+}
+
+/// The Holistic repair system.
+pub struct Holistic {
+    constraints: ConstraintSet,
+    config: HolisticConfig,
+}
+
+impl Holistic {
+    /// Builds the system over a constraint set.
+    pub fn new(constraints: ConstraintSet) -> Self {
+        Holistic {
+            constraints,
+            config: HolisticConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: HolisticConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Cells of the hypergraph ordered by descending violation degree
+    /// (the greedy vertex-cover visit order), ties toward the smaller cell.
+    fn cells_by_degree(hypergraph: &ConflictHypergraph) -> Vec<CellRef> {
+        let mut cells: Vec<(CellRef, usize)> = hypergraph
+            .noisy_cells()
+            .map(|c| (c, hypergraph.degree(c)))
+            .collect();
+        cells.sort_by(|(c1, d1), (c2, d2)| d2.cmp(d1).then(c1.cmp(c2)));
+        cells.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Repair-context value selection for one covered cell: collect, from
+    /// every violation the cell participates in, the values that would
+    /// falsify one of the constraint's predicates involving this cell, and
+    /// take the majority suggestion.
+    fn pick_repair(
+        &self,
+        ds: &Dataset,
+        cell: CellRef,
+        violations: &[Violation],
+        indices: &[usize],
+    ) -> Option<Sym> {
+        let current = ds.cell_ref(cell);
+        let mut votes: FxHashMap<Sym, usize> = FxHashMap::default();
+        for &i in indices {
+            let v = &violations[i];
+            let c = self.constraints.get(v.constraint);
+            for p in &c.predicates {
+                // Which side of the predicate is our cell on, if any?
+                let lhs_cell = match p.lhs_tuple {
+                    TupleVar::T1 => CellRef {
+                        tuple: v.t1,
+                        attr: p.lhs_attr,
+                    },
+                    TupleVar::T2 => CellRef {
+                        tuple: v.t2,
+                        attr: p.lhs_attr,
+                    },
+                };
+                let rhs_cell = match p.rhs {
+                    Operand::Cell(tv, a) => Some(match tv {
+                        TupleVar::T1 => CellRef { tuple: v.t1, attr: a },
+                        TupleVar::T2 => CellRef { tuple: v.t2, attr: a },
+                    }),
+                    Operand::Const(_) => None,
+                };
+                let other: Option<Sym> = if lhs_cell == cell {
+                    match p.rhs {
+                        Operand::Cell(..) => rhs_cell.map(|c2| ds.cell_ref(c2)),
+                        Operand::Const(sym) => Some(sym),
+                    }
+                } else if rhs_cell == Some(cell) {
+                    Some(ds.cell_ref(lhs_cell))
+                } else {
+                    continue;
+                };
+                let Some(other) = other else { continue };
+                // To falsify a ≠-predicate, adopt the partner's value (the
+                // minimal repair). Falsifying an =-predicate would require
+                // inventing a fresh value — never minimal when another
+                // predicate of the same violation can be falsified instead,
+                // so Holistic's context only votes on ≠ (and < / >, where
+                // adopting the partner value falsifies a strict order).
+                match p.op {
+                    Op::Neq | Op::Lt | Op::Gt => {
+                        if other != current {
+                            *votes.entry(other).or_insert(0) += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|(s1, c1), (s2, c2)| c1.cmp(c2).then(s2.cmp(s1)))
+            .map(|(sym, _)| sym)
+    }
+}
+
+impl RepairSystem for Holistic {
+    fn name(&self) -> &str {
+        "Holistic"
+    }
+
+    fn repair(&mut self, ds: &Dataset) -> Vec<SystemRepair> {
+        let mut work = ds.snapshot();
+        let mut changed: FxHashMap<CellRef, Sym> = FxHashMap::default();
+        for _round in 0..self.config.max_rounds {
+            let violations = find_violations(&work, &self.constraints);
+            if violations.is_empty() {
+                break;
+            }
+            let hypergraph = ConflictHypergraph::build(violations.clone());
+            // Greedy cover restricted to repairable cells: visit by degree,
+            // repair if the cell's context yields a candidate, and mark the
+            // cell's violations covered so lower-degree partners are left
+            // alone (minimality).
+            let mut covered = vec![false; violations.len()];
+            let mut any = false;
+            for cell in Self::cells_by_degree(&hypergraph) {
+                let indices: Vec<usize> = hypergraph
+                    .violations_of(cell)
+                    .iter()
+                    .copied()
+                    .filter(|&i| !covered[i])
+                    .collect();
+                if indices.is_empty() {
+                    continue;
+                }
+                if let Some(new) = self.pick_repair(&work, cell, &violations, &indices) {
+                    if new != work.cell_ref(cell) {
+                        work.set_cell(cell.tuple, cell.attr, new);
+                        changed.insert(cell, new);
+                        any = true;
+                        for &i in &indices {
+                            covered[i] = true;
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        let mut out: Vec<SystemRepair> = changed
+            .into_iter()
+            .filter(|&(cell, new)| ds.cell_ref(cell) != new)
+            .map(|(cell, new)| SystemRepair {
+                cell,
+                old_value: ds.cell_str(cell.tuple, cell.attr).to_string(),
+                new_value: work.value_str(new).to_string(),
+            })
+            .collect();
+        out.sort_by_key(|r| r.cell);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_constraints::parse_constraints;
+    use holo_dataset::Schema;
+
+    #[test]
+    fn repairs_minority_typo_via_majority() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        for _ in 0..4 {
+            ds.push_row(&["60608", "Chicago"]);
+        }
+        ds.push_row(&["60608", "Cicago"]);
+        let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        let repairs = Holistic::new(cons).repair(&ds);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].old_value, "Cicago");
+        assert_eq!(repairs[0].new_value, "Chicago");
+    }
+
+    #[test]
+    fn repairs_converge_to_consistency() {
+        let mut ds = Dataset::new(Schema::new(vec!["A", "B", "C"]));
+        ds.push_row(&["x", "1", "p"]);
+        ds.push_row(&["x", "2", "p"]);
+        ds.push_row(&["x", "1", "q"]);
+        let cons = parse_constraints("FD: A -> B\nFD: A -> C", &mut ds).unwrap();
+        let mut sys = Holistic::new(cons.clone());
+        let repairs = sys.repair(&ds);
+        // Apply and verify no violations remain.
+        let mut fixed = ds.snapshot();
+        for r in &repairs {
+            let sym = fixed.intern(&r.new_value);
+            fixed.set_cell(r.cell.tuple, r.cell.attr, sym);
+        }
+        assert!(find_violations(&fixed, &cons).is_empty());
+    }
+
+    #[test]
+    fn follows_majority_even_when_wrong() {
+        // The "minimal repairs are not correct repairs" failure (Fig 1(E)):
+        // three sources report the wrong departure time, one the right one.
+        let mut ds = Dataset::new(Schema::new(vec!["Flight", "Dep"]));
+        ds.push_row(&["UA1", "09:30"]); // truth
+        ds.push_row(&["UA1", "09:00"]);
+        ds.push_row(&["UA1", "09:00"]);
+        ds.push_row(&["UA1", "09:00"]);
+        let cons = parse_constraints("FD: Flight -> Dep", &mut ds).unwrap();
+        let repairs = Holistic::new(cons).repair(&ds);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].old_value, "09:30", "majority overrides the truth");
+        assert_eq!(repairs[0].new_value, "09:00");
+    }
+
+    #[test]
+    fn clean_data_untouched() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["60608", "Chicago"]);
+        ds.push_row(&["60609", "Evanston"]);
+        let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        assert!(Holistic::new(cons).repair(&ds).is_empty());
+    }
+
+    #[test]
+    fn degree_order_prefers_high_degree_cells() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        for _ in 0..3 {
+            ds.push_row(&["60608", "Chicago"]);
+        }
+        ds.push_row(&["60608", "Cicago"]);
+        let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        let violations = find_violations(&ds, &cons);
+        let h = ConflictHypergraph::build(violations);
+        let order = Holistic::cells_by_degree(&h);
+        // The typo tuple's cells participate in all 3 violations and lead
+        // the visit order (Zip before City on the tie).
+        let zip = ds.schema().attr_id("Zip").unwrap();
+        let city = ds.schema().attr_id("City").unwrap();
+        assert_eq!(order[0], CellRef { tuple: 3usize.into(), attr: zip });
+        assert_eq!(order[1], CellRef { tuple: 3usize.into(), attr: city });
+    }
+}

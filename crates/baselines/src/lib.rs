@@ -1,0 +1,73 @@
+//! Re-implementations of the three data-repair systems HoloClean is
+//! compared against in §6 of the paper:
+//!
+//! * [`Holistic`] — *Holistic data cleaning: putting violations into
+//!   context* (Chu, Ilyas, Papotti — ICDE 2013). Logical-constraint
+//!   repairing under minimality: greedy vertex cover over the conflict
+//!   hypergraph plus repair-context value selection.
+//! * [`Katara`] — *KATARA: a data cleaning system powered by knowledge
+//!   bases and crowdsourcing* (Chu et al. — SIGMOD 2015), dictionary path
+//!   only: align table columns to a dictionary, trust fully-matching rows,
+//!   repair disagreeing cells.
+//! * [`Scare`] — *Don't be SCAREd: use scalable automatic repairing with
+//!   maximal likelihood and bounded changes* (Yakout, Berti-Équille,
+//!   Elmagarmid — SIGMOD 2013): machine-learning repairs that maximise
+//!   data likelihood under a bounded number of changes per tuple, with no
+//!   constraint knowledge.
+//!
+//! All three implement [`RepairSystem`], and their outputs convert into
+//! `holoclean::RepairReport` so the same metrics code scores every system.
+
+pub mod holistic;
+pub mod katara;
+pub mod scare;
+
+use holo_dataset::{CellRef, Dataset};
+use holoclean::repair::{Repair, RepairReport};
+
+/// A repair proposed by a baseline system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemRepair {
+    /// The repaired cell.
+    pub cell: CellRef,
+    /// Original value.
+    pub old_value: String,
+    /// Proposed value.
+    pub new_value: String,
+}
+
+/// Common interface of the baseline systems.
+pub trait RepairSystem {
+    /// System name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+    /// Proposes repairs for `ds`. Implementations must not mutate their
+    /// published configuration between calls; `&mut self` allows internal
+    /// scratch reuse.
+    fn repair(&mut self, ds: &Dataset) -> Vec<SystemRepair>;
+}
+
+/// Converts baseline repairs into a [`RepairReport`] (probability 1.0 —
+/// baselines produce hard repairs) so `holoclean::metrics` scores them.
+pub fn to_report(ds: &mut Dataset, repairs: &[SystemRepair]) -> RepairReport {
+    let mut out = Vec::with_capacity(repairs.len());
+    for r in repairs {
+        let old = ds.cell_ref(r.cell);
+        let new = ds.intern(&r.new_value);
+        out.push(Repair {
+            cell: r.cell,
+            old,
+            new,
+            old_value: r.old_value.clone(),
+            new_value: r.new_value.clone(),
+            probability: 1.0,
+        });
+    }
+    RepairReport {
+        repairs: out,
+        posteriors: Vec::new(),
+    }
+}
+
+pub use holistic::Holistic;
+pub use katara::Katara;
+pub use scare::Scare;

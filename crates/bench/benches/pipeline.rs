@@ -1,0 +1,211 @@
+//! Criterion micro-benchmarks for the pipeline stages whose costs the
+//! paper's optimisations target: violation detection (blocking vs the
+//! naive quadratic scan), statistics construction, Algorithm 2 pruning,
+//! model compilation under each variant, SGD learning, Gibbs sweeps, and
+//! the end-to-end Hospital pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holo_bench::{build, Scale};
+use holo_constraints::{find_violations, find_violations_naive, parse_constraints};
+use holo_datagen::DatasetKind;
+use holo_dataset::{CooccurStats, FxHashSet};
+use holoclean::compile::{compile, CompileInput};
+use holoclean::domain::prune_domains;
+use holoclean::{HoloClean, HoloConfig, ModelVariant};
+use std::hint::black_box;
+
+fn small_scale() -> Scale {
+    Scale {
+        factor: 0.25,
+        seed: 7,
+        full: false,
+    }
+}
+
+fn bench_violation_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violation_detection");
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    group.bench_function("blocked", |b| {
+        b.iter(|| black_box(find_violations(&gen.dirty, &cons)))
+    });
+    group.bench_function("naive_quadratic", |b| {
+        b.iter(|| black_box(find_violations_naive(&gen.dirty, &cons)))
+    });
+    group.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let gen = build(DatasetKind::Food, small_scale());
+    c.bench_function("cooccur_stats_build", |b| {
+        b.iter(|| black_box(CooccurStats::build(&gen.dirty)))
+    });
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domain_pruning");
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    for tau in [0.3, 0.5, 0.7, 0.9] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| {
+                black_box(prune_domains(
+                    &gen.dirty,
+                    noisy.iter().copied(),
+                    &stats,
+                    tau,
+                    50,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    let matches = Default::default();
+    for variant in [
+        ModelVariant::DcFeats,
+        ModelVariant::DcFactors,
+        ModelVariant::DcFactorsPartitioned,
+    ] {
+        let config = HoloConfig::default().with_variant(variant);
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| {
+                black_box(
+                    compile(&CompileInput {
+                        ds: &gen.dirty,
+                        constraints: &cons,
+                        noisy: &noisy,
+                        violations: &violations,
+                        stats: &stats,
+                        matches: &matches,
+                        config: &config,
+                    })
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_learning_and_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_infer");
+    group.sample_size(10);
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    let matches = Default::default();
+    let config = HoloConfig::default();
+    let model = compile(&CompileInput {
+        ds: &gen.dirty,
+        constraints: &cons,
+        noisy: &noisy,
+        violations: &violations,
+        stats: &stats,
+        matches: &matches,
+        config: &config,
+    })
+    .unwrap();
+    group.bench_function("sgd_training", |b| {
+        b.iter(|| {
+            let mut w = model.weights.clone();
+            black_box(holo_factor::learn::train(&model.graph, &mut w, &config.learn))
+        })
+    });
+    let mut weights = model.weights.clone();
+    holo_factor::learn::train(&model.graph, &mut weights, &config.learn);
+    group.bench_function("exact_unary_marginals", |b| {
+        b.iter(|| black_box(holo_factor::Marginals::exact_unary(&model.graph, &weights)))
+    });
+    group.finish();
+}
+
+fn bench_gibbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs");
+    group.sample_size(10);
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    let matches = Default::default();
+    let config = HoloConfig::default().with_variant(ModelVariant::DcFactorsPartitioned);
+    let model = compile(&CompileInput {
+        ds: &gen.dirty,
+        constraints: &cons,
+        noisy: &noisy,
+        violations: &violations,
+        stats: &stats,
+        matches: &matches,
+        config: &config,
+    })
+    .unwrap();
+    let weights = model.weights.clone();
+    let ctx = holoclean::context::DatasetContext::new(&gen.dirty);
+    group.bench_function("ten_sweeps_with_cliques", |b| {
+        b.iter(|| {
+            let mut sampler =
+                holo_factor::GibbsSampler::new(&model.graph, &weights, &ctx, 11);
+            for _ in 0..10 {
+                sampler.sweep();
+            }
+            black_box(sampler.state().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let gen = build(DatasetKind::Hospital, small_scale());
+    group.bench_function("hospital_pipeline", |b| {
+        b.iter(|| {
+            let outcome = HoloClean::new(gen.dirty.clone())
+                .with_constraint_text(&gen.constraints_text)
+                .unwrap()
+                .run()
+                .unwrap();
+            black_box(outcome.report.repairs.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_violation_detection,
+    bench_statistics,
+    bench_pruning,
+    bench_compile_variants,
+    bench_learning_and_inference,
+    bench_gibbs,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation study for the implementation decisions documented in
+//! DESIGN.md §5b — the mechanisms this reproduction had to pin down
+//! beyond the paper's text. Each row disables or varies one choice and
+//! reports repair quality on Hospital and Food.
+//!
+//! ```text
+//! cargo run --release -p holo-bench --bin ablations
+//! ```
+
+use holo_bench::runner::run_holoclean;
+use holo_bench::table::{fmt3, TableWriter};
+use holo_bench::{build, Args, Scale};
+use holo_datagen::DatasetKind;
+use holoclean::HoloConfig;
+
+fn main() {
+    let args = Args::parse(std::env::args());
+    let scale = Scale {
+        factor: args.scale,
+        seed: args.seed,
+        full: args.full,
+    };
+    println!("Ablations over the DESIGN.md §5b implementation decisions");
+    println!("(scale ×{}, seed {})\n", args.scale, args.seed);
+
+    let configs: Vec<(&str, Box<dyn Fn(HoloConfig) -> HoloConfig>)> = vec![
+        ("baseline (all mechanisms on)", Box::new(|c| c)),
+        (
+            "no DC-violation prior (w(σ) starts at 0)",
+            Box::new(|mut c| {
+                c.dc_violation_prior = 0.0;
+                c
+            }),
+        ),
+        (
+            "no distribution feature",
+            Box::new(|mut c| {
+                c.distribution_prior = 0.0;
+                c
+            }),
+        ),
+        (
+            "no evidence-tau cap (evidence uses full tau)",
+            Box::new(|mut c| {
+                c.evidence_tau_cap = 1.0;
+                c
+            }),
+        ),
+        (
+            "no min conditioning support",
+            Box::new(|mut c| {
+                c.min_cond_support = 1;
+                c
+            }),
+        ),
+        (
+            "strong minimality (w = 2.0)",
+            Box::new(|mut c| {
+                c.minimality_weight = 2.0;
+                c
+            }),
+        ),
+        (
+            "no minimality prior",
+            Box::new(|mut c| {
+                c.minimality_weight = 0.0;
+                c
+            }),
+        ),
+        (
+            "no learning (priors only)",
+            Box::new(|mut c| {
+                c.learn.epochs = 0;
+                c
+            }),
+        ),
+    ];
+
+    let datasets = [DatasetKind::Hospital, DatasetKind::Food];
+    let gens: Vec<_> = datasets.iter().map(|&k| build(k, scale)).collect();
+
+    let mut table = TableWriter::new(vec![
+        "Configuration",
+        "Hospital P",
+        "Hospital R",
+        "Hospital F1",
+        "Food P",
+        "Food R",
+        "Food F1",
+    ]);
+    for (label, make) in &configs {
+        let mut row = vec![label.to_string()];
+        for gen in &gens {
+            let config = make(HoloConfig::default());
+            let out = run_holoclean(gen, config, None, false);
+            row.push(fmt3(out.quality.precision));
+            row.push(fmt3(out.quality.recall));
+            row.push(fmt3(out.quality.f1));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!("\nReading guide: the DC prior carries saturated constraint groups;");
+    println!("the distribution feature protects frequent values in fully-noisy");
+    println!("blocks (precision); the evidence-tau cap keeps SGD supplied with");
+    println!("training examples; support filtering removes spurious candidates.");
+}

@@ -1,0 +1,54 @@
+//! Reproduces **Figure 5**: runtime, precision and recall of all five
+//! model variants on the Food dataset, across the pruning threshold
+//! τ ∈ {0.3, 0.5, 0.7, 0.9}.
+//!
+//! Variants (paper §6.3.1): DC Factors, DC Factors + partitioning,
+//! DC Feats (the relaxation of §5.2), DC Feats + DC Factors, and
+//! DC Feats + DC Factors + partitioning.
+
+use holo_bench::runner::run_holoclean;
+use holo_bench::table::{fmt3, TableWriter};
+use holo_bench::{build, Args, Scale};
+use holo_datagen::DatasetKind;
+use holoclean::{HoloConfig, ModelVariant};
+
+fn main() {
+    let args = Args::parse(std::env::args());
+    let scale = Scale {
+        factor: args.scale,
+        seed: args.seed,
+        full: args.full,
+    };
+    println!("Figure 5: Runtime, precision, and recall of all HoloClean variants on Food");
+    println!("(synthetic reproduction; scale ×{}, seed {})\n", args.scale, args.seed);
+
+    let gen = build(DatasetKind::Food, scale);
+    let mut table = TableWriter::new(vec![
+        "Variant",
+        "tau",
+        "Compile (ms)",
+        "Repair (ms)",
+        "Cliques",
+        "Precision",
+        "Recall",
+    ]);
+    for variant in ModelVariant::all() {
+        for tau in [0.3, 0.5, 0.7, 0.9] {
+            let config = HoloConfig::default().with_variant(variant);
+            let out = run_holoclean(&gen, config, Some(tau), false);
+            table.row(vec![
+                variant.label().to_string(),
+                format!("{tau}"),
+                format!("{:.0}", out.timings.compile.as_secs_f64() * 1e3),
+                format!("{:.0}", out.timings.repair().as_secs_f64() * 1e3),
+                out.model.cliques.to_string(),
+                fmt3(out.quality.precision),
+                fmt3(out.quality.recall),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nExpected shape (paper §6.3.1): partitioning and the feature");
+    println!("relaxation cut runtime most at small tau; the relaxed DC Feats");
+    println!("variant matches or beats the factor variants on repair quality.");
+}

@@ -1,0 +1,61 @@
+//! Reproduces **Figure 6**: the error rate of HoloClean's repairs per
+//! marginal-probability bucket, for every dataset. The error rate must
+//! fall as the marginal rises — the calibration that lets users verify
+//! only low-confidence repairs (§6.3.3).
+
+use holo_bench::runner::run_holoclean;
+use holo_bench::table::TableWriter;
+use holo_bench::{build, Args, Scale};
+use holo_datagen::DatasetKind;
+use holoclean::report::{confidence_buckets, FIG6_EDGES};
+use holoclean::HoloConfig;
+
+fn main() {
+    let args = Args::parse(std::env::args());
+    let scale = Scale {
+        factor: args.scale,
+        seed: args.seed,
+        full: args.full,
+    };
+    println!("Figure 6: Error rate of repairs per marginal-probability bucket");
+    println!("(synthetic reproductions; scale ×{}, seed {})\n", args.scale, args.seed);
+
+    let labels = ["[0.5-0.6)", "[0.6-0.7)", "[0.7-0.8)", "[0.8-0.9)", "[0.9-1.0]"];
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(labels.iter().map(|s| s.to_string()));
+    let mut table = TableWriter::new(header);
+
+    // Per-bucket aggregate across datasets (the figure's dotted averages).
+    let mut agg_wrong = [0usize; 5];
+    let mut agg_total = [0usize; 5];
+
+    for kind in DatasetKind::all() {
+        let gen = build(kind, scale);
+        let out = run_holoclean(&gen, HoloConfig::default(), None, false);
+        let buckets = confidence_buckets(&out.report, &gen.clean, &FIG6_EDGES);
+        let mut row = vec![kind.name().to_string()];
+        for (i, b) in buckets.iter().enumerate() {
+            agg_wrong[i] += b.wrong;
+            agg_total[i] += b.repairs;
+            row.push(match b.error_rate() {
+                Some(r) => format!("{r:.2} ({})", b.repairs),
+                None => "- (0)".to_string(),
+            });
+        }
+        table.row(row);
+    }
+    let mut avg_row = vec!["Average".to_string()];
+    for i in 0..5 {
+        avg_row.push(if agg_total[i] == 0 {
+            "- (0)".to_string()
+        } else {
+            format!("{:.2} ({})", agg_wrong[i] as f64 / agg_total[i] as f64, agg_total[i])
+        });
+    }
+    table.row(avg_row);
+    table.print();
+    println!("\nCell format: error-rate (repairs in bucket).");
+    println!("Expected shape (paper Fig. 6): the average error rate decreases");
+    println!("monotonically with the marginal probability (0.58 in [0.5,0.6)");
+    println!("down to 0.04 in [0.9,1.0] on the paper's datasets).");
+}

@@ -1,0 +1,91 @@
+//! Dataset construction for the experiments: maps `(kind, scale, seed)` to
+//! generator configurations.
+
+use holo_datagen::{
+    flights, food, hospital, physicians, DatasetKind, FlightsConfig, FoodConfig, GeneratedDataset,
+    HospitalConfig, PhysiciansConfig,
+};
+
+/// Scaling knobs for a harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Row-count multiplier relative to the defaults.
+    pub factor: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Approximate the paper's row counts for Food and Physicians.
+    pub full: bool,
+}
+
+/// The default scale (laptop-size, a few seconds per dataset).
+pub fn default_scale(seed: u64) -> Scale {
+    Scale {
+        factor: 1.0,
+        seed,
+        full: false,
+    }
+}
+
+fn scaled(base: usize, factor: f64) -> usize {
+    ((base as f64 * factor) as usize).max(1)
+}
+
+/// Builds one evaluation dataset at the requested scale.
+pub fn build(kind: DatasetKind, scale: Scale) -> GeneratedDataset {
+    match kind {
+        DatasetKind::Hospital => hospital(HospitalConfig {
+            rows: scaled(1_000, scale.factor),
+            seed: scale.seed,
+            ..HospitalConfig::default()
+        }),
+        DatasetKind::Flights => flights(FlightsConfig {
+            flights: scaled(72, scale.factor),
+            seed: scale.seed,
+            ..FlightsConfig::default()
+        }),
+        DatasetKind::Food => {
+            let base = if scale.full { 34_000 } else { 2_000 };
+            food(FoodConfig {
+                establishments: scaled(base, scale.factor),
+                seed: scale.seed,
+                ..FoodConfig::default()
+            })
+        }
+        DatasetKind::Physicians => {
+            let base = if scale.full { 100_000 } else { 10_000 };
+            physicians(PhysiciansConfig {
+                providers: scaled(base, scale.factor),
+                seed: scale.seed,
+                ..PhysiciansConfig::default()
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_kinds_at_tiny_scale() {
+        for kind in DatasetKind::all() {
+            let g = build(
+                kind,
+                Scale {
+                    factor: 0.1,
+                    seed: 1,
+                    full: false,
+                },
+            );
+            assert!(g.dirty.tuple_count() > 0, "{kind:?}");
+            assert!(!g.errors.is_empty(), "{kind:?} must contain errors");
+        }
+    }
+
+    #[test]
+    fn scale_factor_scales_rows() {
+        let small = build(DatasetKind::Hospital, Scale { factor: 0.5, seed: 1, full: false });
+        let big = build(DatasetKind::Hospital, Scale { factor: 2.0, seed: 1, full: false });
+        assert!(big.dirty.tuple_count() > 3 * small.dirty.tuple_count());
+    }
+}

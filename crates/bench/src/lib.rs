@@ -1,0 +1,130 @@
+//! Experiment harness reproducing every table and figure of the HoloClean
+//! paper's evaluation (§6).
+//!
+//! One binary per artifact (see `src/bin/`):
+//!
+//! | binary    | paper artifact | content |
+//! |-----------|----------------|---------|
+//! | `table2`  | Table 2        | dataset parameters |
+//! | `table3`  | Table 3        | P/R/F1 of all four systems |
+//! | `table4`  | Table 4        | wall-clock runtimes |
+//! | `fig3`    | Figure 3       | precision/recall vs τ |
+//! | `fig4`    | Figure 4       | compile/repair runtime vs τ |
+//! | `fig5`    | Figure 5       | the five model variants on Food |
+//! | `fig6`    | Figure 6       | error rate per marginal bucket |
+//! | `ext_dict`| §6.3.2         | external-dictionary lift |
+//!
+//! Every binary accepts `--scale <f64>` (default 1.0; row counts scale
+//! linearly) and `--seed <u64>`; `--full` approximates paper-scale rows
+//! for Food and Physicians.
+
+pub mod datasets;
+pub mod runner;
+pub mod table;
+
+pub use datasets::{build, default_scale, Scale};
+pub use runner::{run_baseline, run_holoclean, BaselineOutcome, HoloOutcome};
+pub use table::TableWriter;
+
+/// Minimal CLI-flag parsing shared by the experiment binaries (no external
+/// argument-parsing crate in the allowed dependency set).
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Row-count multiplier.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Paper-scale rows for the two big datasets.
+    pub full: bool,
+    /// SCARE wall-clock budget in seconds (it DNFs past this).
+    pub scare_budget_secs: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 1.0,
+            seed: 42,
+            full: false,
+            scare_budget_secs: 120,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`-style flags; unknown flags abort with a
+    /// usage message.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Args {
+        let mut args = Args::default();
+        let mut argv = argv.skip(1);
+        while let Some(flag) = argv.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = argv
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number"));
+                }
+                "--seed" => {
+                    args.seed = argv
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--scare-budget" => {
+                    args.scare_budget_secs = argv
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scare-budget needs seconds"));
+                }
+                "--full" => args.full = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other:?}")),
+            }
+        }
+        args
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--scale F] [--seed N] [--full] [--scare-budget SECS]\n\
+         \n\
+         --scale F          row-count multiplier (default 1.0)\n\
+         --seed N           generator seed (default 42)\n\
+         --full             paper-scale rows for Food and Physicians\n\
+         --scare-budget S   SCARE wall-clock budget in seconds (default 120)"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> impl Iterator<Item = String> {
+        std::iter::once("bin".to_string())
+            .chain(items.iter().map(|s| s.to_string()))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let a = Args::parse(argv(&[]));
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.seed, 42);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = Args::parse(argv(&["--scale", "0.5", "--seed", "7", "--full"]));
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 7);
+        assert!(a.full);
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Accumulates rows and prints an aligned ASCII table.
+#[derive(Debug, Default)]
+pub struct TableWriter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TableWriter {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let separator = format!(
+            "+{}+",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        out.push_str(&separator);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&separator);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out.push_str(&separator);
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a ratio as a 3-decimal number, or a placeholder for NaN.
+pub fn fmt3(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a duration compactly (ms under 10 s, else seconds).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 10.0 {
+        format!("{:.0} ms", secs * 1e3)
+    } else if secs < 600.0 {
+        format!("{secs:.1} s")
+    } else {
+        format!("{:.1} min", secs / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TableWriter::new(vec!["Dataset", "F1"]);
+        t.row(vec!["Hospital", "0.832"]);
+        t.row(vec!["Flights-long-name", "0.763"]);
+        let r = t.render();
+        assert!(r.contains("| Hospital          | 0.832 |"));
+        assert!(r.contains("| Flights-long-name | 0.763 |"));
+        assert!(r.starts_with('+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = TableWriter::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn duration_formats() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_millis(150)), "150 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(42)), "42.0 s");
+        assert_eq!(fmt_duration(Duration::from_secs(1200)), "20.0 min");
+    }
+}

@@ -1,0 +1,48 @@
+//! Denial constraints for the HoloClean reproduction.
+//!
+//! Denial constraints (§3.1 of the paper) are first-order formulas
+//! `σ: ∀t1,t2 ∈ D: ¬(P1 ∧ … ∧ PK)` over the cells of one or two tuples,
+//! with predicates built from `{=, ≠, <, >, ≤, ≥, ≈}`. They subsume
+//! functional dependencies, conditional FDs and metric FDs.
+//!
+//! This crate provides:
+//!
+//! * [`ast`] — the constraint AST ([`DenialConstraint`], [`Predicate`],
+//!   [`Op`]) in *raw* (attribute names, constant strings) and *bound*
+//!   (attribute ids, interned symbols) form.
+//! * [`parser`] — a text format compatible with the research-repo
+//!   convention (`t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)`) plus an
+//!   `FD: Zip -> City, State` sugar that expands into one DC per right-hand
+//!   attribute exactly as in Example 2 of the paper.
+//! * [`similarity`] — normalised Levenshtein similarity backing the `≈`
+//!   operator.
+//! * [`violations`] — violation detection with hash-join blocking on the
+//!   equality predicates, so FD-style constraints never pay the O(|D|²)
+//!   pair enumeration.
+//! * [`hypergraph`] — the conflict hypergraph of \[26\] and the Algorithm 3
+//!   per-constraint connected-component tuple partitioning.
+//!
+//! # Example
+//!
+//! ```
+//! use holo_dataset::{Dataset, Schema};
+//! use holo_constraints::{parse_constraints, violations::find_violations};
+//!
+//! let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+//! ds.push_row(&["60608", "Chicago"]);
+//! ds.push_row(&["60608", "Cicago"]);
+//! let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+//! let v = find_violations(&ds, &cons);
+//! assert_eq!(v.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod hypergraph;
+pub mod parser;
+pub mod similarity;
+pub mod violations;
+
+pub use ast::{ConstraintId, ConstraintSet, DenialConstraint, Op, Operand, Predicate, TupleVar};
+pub use hypergraph::{ConflictHypergraph, TupleGroups};
+pub use parser::{parse_constraint, parse_constraints, ParseError};
+pub use violations::{find_violations, find_violations_naive, Violation};

@@ -1,0 +1,115 @@
+//! String similarity backing the `≈` operator of denial constraints and the
+//! fuzzy matching used by matching dependencies.
+
+/// Levenshtein edit distance with the classic two-row dynamic program.
+/// Operates on `char`s, so multi-byte UTF-8 input is handled correctly.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Normalised similarity in `[0, 1]`:
+/// `1 - levenshtein(a, b) / max(|a|, |b|)`. Two empty strings are fully
+/// similar.
+pub fn normalized_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn typo_similarity_is_high() {
+        assert!(normalized_similarity("Chicago", "Cicago") > 0.8);
+        assert!(normalized_similarity("Sacramento", "Scaramento") > 0.7);
+        assert!(normalized_similarity("Chicago", "Boston") < 0.35);
+    }
+
+    #[test]
+    fn unicode_chars_count_once() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn empty_strings_fully_similar() {
+        assert_eq!(normalized_similarity("", ""), 1.0);
+        assert_eq!(normalized_similarity("a", ""), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(normalized_similarity(&a, &a), 1.0);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in "[a-z]{0,8}",
+            b in "[a-z]{0,8}",
+            c in "[a-z]{0,8}"
+        ) {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn similarity_in_unit_interval(a in "[ -~]{0,10}", b in "[ -~]{0,10}") {
+            let s = normalized_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn single_edit_distance_one(s in "[a-z]{2,10}", idx in 0usize..10) {
+            let chars: Vec<char> = s.chars().collect();
+            let i = idx % chars.len();
+            let mut edited = chars.clone();
+            edited[i] = if chars[i] == 'z' { 'a' } else { 'z' };
+            let edited: String = edited.into_iter().collect();
+            if edited != s {
+                prop_assert_eq!(levenshtein(&s, &edited), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Violation detection.
+//!
+//! Finding all tuple pairs that jointly satisfy a denial constraint is the
+//! quadratic bottleneck the paper works around. We use the standard
+//! *blocking* trick: every two-tuple constraint in the evaluated workloads
+//! carries at least one cross-tuple equality predicate `t1.A = t2.B`, so
+//! tuples are hashed into blocks keyed by those attribute values and only
+//! pairs within a block are verified against the remaining predicates.
+//! Constraints with no equality predicate fall back to the naive pairwise
+//! scan (exposed separately as [`find_violations_naive`], which is also the
+//! test oracle for the blocked path).
+
+use crate::ast::{ConstraintId, ConstraintSet, DenialConstraint, Operand, TupleVar};
+use holo_dataset::{CellRef, Dataset, FxHashMap, Sym, TupleId};
+use serde::{Deserialize, Serialize};
+
+/// One detected violation: a constraint plus the witnessing tuple binding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which constraint was violated.
+    pub constraint: ConstraintId,
+    /// Binding for `t1`.
+    pub t1: TupleId,
+    /// Binding for `t2` (equal to `t1` for single-tuple constraints).
+    pub t2: TupleId,
+    /// The cells that participate in the violated predicates. These become
+    /// nodes of the conflict hypergraph.
+    pub cells: Vec<CellRef>,
+}
+
+impl Violation {
+    fn new(ds: &Dataset, c: &DenialConstraint, id: ConstraintId, t1: TupleId, t2: TupleId) -> Self {
+        let _ = ds;
+        let mut cells = Vec::new();
+        let (a1, a2) = c.attrs_by_tuple();
+        for a in a1 {
+            let cell = CellRef { tuple: t1, attr: a };
+            if !cells.contains(&cell) {
+                cells.push(cell);
+            }
+        }
+        if c.two_tuple {
+            for a in a2 {
+                let cell = CellRef { tuple: t2, attr: a };
+                if !cells.contains(&cell) {
+                    cells.push(cell);
+                }
+            }
+        }
+        Violation {
+            constraint: id,
+            t1,
+            t2,
+            cells,
+        }
+    }
+}
+
+/// Finds all violations of every constraint, using equality-predicate
+/// blocking for two-tuple constraints.
+///
+/// For symmetric constraints each unordered pair is reported once (with
+/// `t1 < t2`); asymmetric constraints report the orientation(s) that
+/// actually violate.
+pub fn find_violations(ds: &Dataset, constraints: &ConstraintSet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (id, c) in constraints.iter() {
+        find_constraint_violations(ds, c, id, &mut out);
+    }
+    out
+}
+
+/// Finds violations of a single constraint, appending to `out`.
+pub fn find_constraint_violations(
+    ds: &Dataset,
+    c: &DenialConstraint,
+    id: ConstraintId,
+    out: &mut Vec<Violation>,
+) {
+    if !c.two_tuple {
+        for t in ds.tuples() {
+            if c.violated_by(ds, t, t) {
+                out.push(Violation::new(ds, c, id, t, t));
+            }
+        }
+        return;
+    }
+
+    // Collect the blocking key: for each cross-tuple equality predicate,
+    // the attribute read on the t1 side and on the t2 side.
+    let eq_keys: Vec<(holo_dataset::AttrId, holo_dataset::AttrId)> = c
+        .predicates
+        .iter()
+        .filter(|p| p.is_cross_tuple_eq())
+        .map(|p| {
+            let rhs_attr = match p.rhs {
+                Operand::Cell(_, a) => a,
+                Operand::Const(_) => unreachable!("is_cross_tuple_eq guarantees a cell rhs"),
+            };
+            match p.lhs_tuple {
+                TupleVar::T1 => (p.lhs_attr, rhs_attr),
+                TupleVar::T2 => (rhs_attr, p.lhs_attr),
+            }
+        })
+        .collect();
+
+    if eq_keys.is_empty() {
+        naive_constraint_violations(ds, c, id, out);
+        return;
+    }
+
+    let symmetric = c.is_symmetric();
+
+    // Block tuples by their t2-side key.
+    let mut blocks: FxHashMap<Vec<Sym>, Vec<TupleId>> = FxHashMap::default();
+    'outer_block: for t in ds.tuples() {
+        let mut key = Vec::with_capacity(eq_keys.len());
+        for &(_, a2) in &eq_keys {
+            let v = ds.cell(t, a2);
+            if v.is_null() {
+                // A null key cell can never satisfy the equality predicate.
+                continue 'outer_block;
+            }
+            key.push(v);
+        }
+        blocks.entry(key).or_default().push(t);
+    }
+
+    let mut probe_key = Vec::with_capacity(eq_keys.len());
+    'outer: for t1 in ds.tuples() {
+        probe_key.clear();
+        for &(a1, _) in &eq_keys {
+            let v = ds.cell(t1, a1);
+            if v.is_null() {
+                continue 'outer;
+            }
+            probe_key.push(v);
+        }
+        let Some(bucket) = blocks.get(probe_key.as_slice()) else {
+            continue;
+        };
+        for &t2 in bucket {
+            if t1 == t2 {
+                continue;
+            }
+            if symmetric && t1 > t2 {
+                // Each unordered pair once for swap-invariant constraints.
+                continue;
+            }
+            if c.violated_by(ds, t1, t2) {
+                out.push(Violation::new(ds, c, id, t1, t2));
+            }
+        }
+    }
+}
+
+fn naive_constraint_violations(
+    ds: &Dataset,
+    c: &DenialConstraint,
+    id: ConstraintId,
+    out: &mut Vec<Violation>,
+) {
+    let symmetric = c.is_symmetric();
+    for t1 in ds.tuples() {
+        for t2 in ds.tuples() {
+            if t1 == t2 || (symmetric && t1 > t2) {
+                continue;
+            }
+            if c.violated_by(ds, t1, t2) {
+                out.push(Violation::new(ds, c, id, t1, t2));
+            }
+        }
+    }
+}
+
+/// Reference implementation: enumerate all ordered tuple pairs. Quadratic;
+/// used as a correctness oracle in tests and small benchmarks.
+pub fn find_violations_naive(ds: &Dataset, constraints: &ConstraintSet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (id, c) in constraints.iter() {
+        if !c.two_tuple {
+            for t in ds.tuples() {
+                if c.violated_by(ds, t, t) {
+                    out.push(Violation::new(ds, c, id, t, t));
+                }
+            }
+        } else {
+            naive_constraint_violations(ds, c, id, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_constraints;
+    use holo_dataset::Schema;
+    use proptest::prelude::*;
+
+    fn food_like() -> (Dataset, ConstraintSet) {
+        let mut ds = Dataset::new(Schema::new(vec!["DBAName", "Zip", "City", "State"]));
+        ds.push_row(&["John Veliotis Sr.", "60609", "Chicago", "IL"]); // t0
+        ds.push_row(&["John Veliotis Sr.", "60608", "Chicago", "IL"]); // t1
+        ds.push_row(&["John Veliotis Sr.", "60608", "Chicago", "IL"]); // t2
+        ds.push_row(&["Johnnyo's", "60609", "Cicago", "IL"]); // t3
+        let cons = parse_constraints(
+            "FD: DBAName -> Zip\nFD: Zip -> City, State",
+            &mut ds,
+        )
+        .unwrap();
+        (ds, cons)
+    }
+
+    #[test]
+    fn detects_fd_violations() {
+        let (ds, cons) = food_like();
+        let v = find_violations(&ds, &cons);
+        // DBAName→Zip: the three "John Veliotis Sr." rows disagree (60609 vs
+        // 60608 twice) → pairs (0,1), (0,2).
+        let c0: Vec<_> = v.iter().filter(|x| x.constraint == 0).collect();
+        assert_eq!(c0.len(), 2);
+        // Zip→City: 60609 maps to Chicago (t0) and Cicago (t3) → pair (0,3).
+        let c1: Vec<_> = v.iter().filter(|x| x.constraint == 1).collect();
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1[0].t1, TupleId(0));
+        assert_eq!(c1[0].t2, TupleId(3));
+        // Zip→State: no violations, all IL.
+        assert!(v.iter().all(|x| x.constraint != 2));
+    }
+
+    #[test]
+    fn violation_cells_cover_predicate_attrs() {
+        let (ds, cons) = food_like();
+        let v = find_violations(&ds, &cons);
+        let zip = ds.schema().attr_id("Zip").unwrap();
+        let city = ds.schema().attr_id("City").unwrap();
+        let zip_city = v.iter().find(|x| x.constraint == 1).unwrap();
+        assert!(zip_city.cells.contains(&CellRef { tuple: TupleId(0), attr: zip }));
+        assert!(zip_city.cells.contains(&CellRef { tuple: TupleId(3), attr: city }));
+        assert_eq!(zip_city.cells.len(), 4);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let (ds, cons) = food_like();
+        let mut blocked = find_violations(&ds, &cons);
+        let mut naive = find_violations_naive(&ds, &cons);
+        blocked.sort_by_key(|v| (v.constraint, v.t1, v.t2));
+        naive.sort_by_key(|v| (v.constraint, v.t1, v.t2));
+        assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn single_tuple_constraint() {
+        let mut ds = Dataset::new(Schema::new(vec!["State"]));
+        ds.push_row(&["IL"]);
+        ds.push_row(&["XX"]);
+        ds.push_row(&["XX"]);
+        let cons = parse_constraints("t1&EQ(t1.State,\"XX\")", &mut ds).unwrap();
+        let v = find_violations(&ds, &cons);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.t1 == x.t2));
+    }
+
+    #[test]
+    fn null_key_cells_never_block_or_violate() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["", "Chicago"]);
+        ds.push_row(&["", "Boston"]);
+        ds.push_row(&["60608", "Chicago"]);
+        let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        assert!(find_violations(&ds, &cons).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_constraint_reports_correct_orientation() {
+        let mut ds = Dataset::new(Schema::new(vec!["k", "v"]));
+        ds.push_row(&["a", "2"]);
+        ds.push_row(&["a", "1"]);
+        // ¬(t1.k = t2.k ∧ t1.v < t2.v): violated by binding t1=row1, t2=row0.
+        let cons = parse_constraints("t1&t2&EQ(t1.k,t2.k)&LT(t1.v,t2.v)", &mut ds).unwrap();
+        let v = find_violations(&ds, &cons);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].t1, v[0].t2), (TupleId(1), TupleId(0)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ds = Dataset::new(Schema::new(vec!["a"]));
+        let cons = ConstraintSet::new();
+        assert!(find_violations(&ds, &cons).is_empty());
+    }
+
+    proptest! {
+        /// The blocked detector agrees with the quadratic oracle on random
+        /// datasets and FD constraints.
+        #[test]
+        fn prop_blocked_equals_naive(
+            rows in proptest::collection::vec((0u8..5, 0u8..5, 0u8..3), 0..40)
+        ) {
+            let mut ds = Dataset::new(Schema::new(vec!["Zip", "City", "State"]));
+            for (z, c, s) in &rows {
+                ds.push_row(&[format!("z{z}"), format!("c{c}"), format!("s{s}")]);
+            }
+            let cons = parse_constraints(
+                "FD: Zip -> City\nFD: City, State -> Zip",
+                &mut ds,
+            ).unwrap();
+            let mut blocked = find_violations(&ds, &cons);
+            let mut naive = find_violations_naive(&ds, &cons);
+            blocked.sort_by_key(|v| (v.constraint, v.t1, v.t2));
+            naive.sort_by_key(|v| (v.constraint, v.t1, v.t2));
+            prop_assert_eq!(blocked, naive);
+        }
+
+        /// Violations come in with t1 < t2 for symmetric constraints.
+        #[test]
+        fn prop_symmetric_canonical_order(
+            rows in proptest::collection::vec((0u8..4, 0u8..4), 0..30)
+        ) {
+            let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+            for (z, c) in &rows {
+                ds.push_row(&[format!("z{z}"), format!("c{c}")]);
+            }
+            let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+            for v in find_violations(&ds, &cons) {
+                prop_assert!(v.t1 < v.t2);
+            }
+        }
+    }
+}

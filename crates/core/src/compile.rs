@@ -1,0 +1,737 @@
+//! Compilation: from signals to a grounded factor graph.
+//!
+//! Mirrors §4 of the paper. The compiler:
+//!
+//! 1. assigns a `Value?` random variable to every noisy cell, with the
+//!    Algorithm 2 pruned candidate domain (plus any values asserted by
+//!    external-dictionary matches);
+//! 2. samples evidence variables from the clean cells (§2.2 — evidence is
+//!    what the weights are learned from; sampling caps the training-set
+//!    size the way DeepDive batches do);
+//! 3. featurizes every variable: co-occurrence statistics, minimality
+//!    prior, external matches, relaxed DC features (§5.2), and optional
+//!    source-reliability features;
+//! 4. in the factor variants, grounds denial constraints into clique
+//!    factors (Algorithm 1), optionally restricted to the Algorithm 3
+//!    tuple groups.
+
+use crate::config::HoloConfig;
+use crate::domain::{prune_cell_with_support, CellDomains};
+use crate::error::HoloError;
+use crate::features::{
+    add_cooccur_features, add_distribution_feature, add_external_features,
+    add_minimality_feature, DcFeaturizer, FeatureKey, MatchLookup, SourceFeaturizer,
+};
+use holo_constraints::ast::{Op, Operand, TupleVar};
+use holo_constraints::{ConflictHypergraph, ConstraintSet, Violation};
+use holo_dataset::{AttrId, CellRef, CooccurStats, Dataset, FxHashMap, FxHashSet, Sym, TupleId};
+use holo_factor::{
+    CliqueFactor, CmpOp, FactorGraph, FactorOperand, FactorPredicate, FeatureRegistry, VarId,
+    Variable, Weights,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Size/shape diagnostics of a compiled model (reported by the harness —
+/// this is the "factor graph size" the paper's optimisations shrink).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Query variables (noisy cells with ≥ 2 candidates).
+    pub query_vars: usize,
+    /// Noisy cells whose pruned domain was a singleton (unrepairable at
+    /// this τ; they keep their value).
+    pub singleton_noisy_cells: usize,
+    /// Evidence variables sampled for learning.
+    pub evidence_vars: usize,
+    /// Total candidates across query variables.
+    pub total_candidates: usize,
+    /// Grounded unary feature entries + clique factors.
+    pub factors: usize,
+    /// Grounded DC clique factors.
+    pub cliques: usize,
+    /// Tuple pairs considered during DC-factor grounding.
+    pub dc_pairs_considered: usize,
+    /// Constraints whose clique cap was hit.
+    pub clique_cap_hits: usize,
+}
+
+/// A compiled, grounded model ready for learning and inference.
+pub struct CompiledModel {
+    /// The factor graph.
+    pub graph: FactorGraph,
+    /// Initial weights (fixed priors set, learnables at 0).
+    pub weights: Weights,
+    /// The feature registry (kept for introspection).
+    pub registry: FeatureRegistry<FeatureKey>,
+    /// Query cells, parallel to the query variable ids in `query_vars`.
+    pub query_cells: Vec<CellRef>,
+    /// Query variable ids, parallel to `query_cells`.
+    pub query_vars: Vec<VarId>,
+    /// Shape diagnostics.
+    pub stats: CompileStats,
+}
+
+/// Everything `compile` reads.
+pub struct CompileInput<'a> {
+    /// The (dirty) dataset.
+    pub ds: &'a Dataset,
+    /// The denial constraints Σ.
+    pub constraints: &'a ConstraintSet,
+    /// The noisy-cell set `D_n` from error detection.
+    pub noisy: &'a FxHashSet<CellRef>,
+    /// Detected violations (reused for Algorithm 3 partitioning).
+    pub violations: &'a [Violation],
+    /// Co-occurrence statistics of the dataset.
+    pub stats: &'a CooccurStats,
+    /// External-match lookup (may be empty).
+    pub matches: &'a MatchLookup,
+    /// Pipeline configuration.
+    pub config: &'a HoloConfig,
+}
+
+/// Compiles the full model.
+pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
+    let CompileInput {
+        ds,
+        constraints,
+        noisy,
+        violations,
+        stats,
+        matches,
+        config,
+    } = *input;
+
+    let mut graph = FactorGraph::new();
+    let mut registry: FeatureRegistry<FeatureKey> = FeatureRegistry::new();
+    let mut cstats = CompileStats::default();
+
+    // ---- 1. domains for noisy cells (Alg. 2 + dictionary assertions) ----
+    let mut asserted_by_cell: FxHashMap<CellRef, Vec<Sym>> = FxHashMap::default();
+    for &(cell, sym) in matches.keys() {
+        asserted_by_cell.entry(cell).or_default().push(sym);
+    }
+    let mut noisy_cells: Vec<CellRef> = noisy.iter().copied().collect();
+    noisy_cells.sort_unstable();
+    let mut domains = CellDomains::default();
+    for &cell in &noisy_cells {
+        let mut dom = prune_cell_with_support(
+            ds,
+            cell,
+            stats,
+            config.tau,
+            config.max_domain,
+            config.min_cond_support,
+        );
+        if let Some(asserted) = asserted_by_cell.get(&cell) {
+            for &v in asserted {
+                if !dom.contains(&v) {
+                    dom.push(v);
+                }
+            }
+        }
+        domains.insert(cell, dom);
+    }
+
+    // ---- 2. variables ----
+    let mut cell_vars: FxHashMap<CellRef, VarId> = FxHashMap::default();
+    let mut query_cells = Vec::new();
+    let mut query_vars = Vec::new();
+    for &cell in &noisy_cells {
+        let dom = domains.get(cell).to_vec();
+        if dom.len() < 2 {
+            cstats.singleton_noisy_cells += 1;
+            continue;
+        }
+        let init = ds.cell_ref(cell);
+        let init_idx = dom.iter().position(|&v| v == init);
+        let var = graph.add_variable(Variable::query(dom, init_idx));
+        cell_vars.insert(cell, var);
+        query_cells.push(cell);
+        query_vars.push(var);
+    }
+    cstats.query_vars = query_vars.len();
+    cstats.total_candidates = query_vars
+        .iter()
+        .map(|&v| graph.var(v).arity())
+        .sum();
+
+    // Evidence: sample clean cells per attribute.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut evidence: Vec<(CellRef, Vec<Sym>, usize)> = Vec::new();
+    for attr in ds.schema().attrs() {
+        let mut clean: Vec<CellRef> = ds
+            .tuples()
+            .map(|t| CellRef { tuple: t, attr })
+            .filter(|c| !noisy.contains(c) && !ds.cell_ref(*c).is_null())
+            .collect();
+        if clean.len() > config.max_evidence_per_attr {
+            clean.shuffle(&mut rng);
+            clean.truncate(config.max_evidence_per_attr);
+            clean.sort_unstable();
+        }
+        let evidence_tau = config.tau.min(config.evidence_tau_cap);
+        for cell in clean {
+            let dom = prune_cell_with_support(
+                ds,
+                cell,
+                stats,
+                evidence_tau,
+                config.max_domain,
+                config.min_cond_support,
+            );
+            let mut dom = dom;
+            // Dictionary assertions join the evidence domains too: an
+            // evidence cell whose observed value beats the asserted one is
+            // exactly the negative example that trains the dictionary's
+            // reliability weight w(k) down when coverage is poor.
+            if let Some(asserted) = asserted_by_cell.get(&cell) {
+                for &v in asserted {
+                    if !dom.contains(&v) {
+                        dom.push(v);
+                    }
+                }
+            }
+            if dom.len() < 2 {
+                continue;
+            }
+            let observed = dom
+                .iter()
+                .position(|&v| v == ds.cell_ref(cell))
+                .expect("initial value always survives pruning");
+            evidence.push((cell, dom, observed));
+        }
+    }
+    cstats.evidence_vars = evidence.len();
+    let mut evidence_vars: Vec<(CellRef, VarId)> = Vec::with_capacity(evidence.len());
+    for (cell, dom, observed) in evidence {
+        let var = graph.add_variable(Variable::evidence(dom, observed));
+        evidence_vars.push((cell, var));
+    }
+
+    // ---- 3. featurization ----
+    let components = if config.variant.uses_partitioning() {
+        Some(build_components(constraints, violations, ds.tuple_count()))
+    } else {
+        None
+    };
+    let dc_featurizer = if config.variant.uses_dc_features() {
+        Some(DcFeaturizer::new(ds, constraints, config))
+    } else {
+        None
+    };
+    let source_featurizer = match &config.source {
+        Some(sc) => Some(SourceFeaturizer::new(ds, &sc.entity_attr, &sc.source_attr)?),
+        None => None,
+    };
+
+    let all_vars: Vec<(CellRef, VarId)> = query_cells
+        .iter()
+        .copied()
+        .zip(query_vars.iter().copied())
+        .chain(evidence_vars.iter().copied())
+        .collect();
+    for &(cell, var) in &all_vars {
+        let candidates = graph.var(var).domain.clone();
+        let init = ds.cell_ref(cell);
+        add_cooccur_features(&mut graph, &mut registry, ds, var, cell, &candidates);
+        add_distribution_feature(
+            &mut graph,
+            &mut registry,
+            ds,
+            stats,
+            var,
+            cell,
+            &candidates,
+            config.min_cond_support,
+            config.distribution_prior,
+        );
+        add_minimality_feature(&mut graph, &mut registry, config, var, init, &candidates);
+        add_external_features(
+            &mut graph,
+            &mut registry,
+            matches,
+            var,
+            cell,
+            &candidates,
+            config.ext_dict_prior,
+        );
+        if let Some(dcf) = &dc_featurizer {
+            // Partitioning (Alg. 3) restricts the *factor grounding* of
+            // Algorithm 1 only; the relaxed features of §5.2 always count
+            // against all partners — dropping out-of-component partners
+            // would silence the violations a bad repair would create with
+            // clean tuples.
+            dcf.add_features(&mut graph, &mut registry, var, cell, &candidates, None);
+        }
+        if let Some(sf) = &source_featurizer {
+            sf.add_features(&mut graph, &mut registry, ds, var, cell, &candidates);
+        }
+    }
+
+    // ---- 4. DC factor grounding (Algorithm 1) ----
+    if config.variant.uses_dc_factors() {
+        ground_dc_factors(
+            &mut graph,
+            &mut registry,
+            ds,
+            constraints,
+            &domains,
+            &cell_vars,
+            config,
+            components.as_deref(),
+            &mut cstats,
+        );
+    }
+
+    cstats.factors = graph.factor_count();
+    let weights = registry.build_weights();
+    Ok(CompiledModel {
+        graph,
+        weights,
+        registry,
+        query_cells,
+        query_vars,
+        stats: cstats,
+    })
+}
+
+/// Per-constraint tuple→component maps from the Algorithm 3 groups.
+pub fn build_components(
+    constraints: &ConstraintSet,
+    violations: &[Violation],
+    tuple_count: usize,
+) -> Vec<FxHashMap<TupleId, u32>> {
+    let hypergraph = ConflictHypergraph::build(violations.to_vec());
+    let groups = hypergraph.tuple_groups(tuple_count);
+    let mut maps: Vec<FxHashMap<TupleId, u32>> = vec![FxHashMap::default(); constraints.len()];
+    let mut next_id: Vec<u32> = vec![0; constraints.len()];
+    for (sigma, tuples) in &groups.groups {
+        let id = next_id[*sigma];
+        next_id[*sigma] += 1;
+        for &t in tuples {
+            maps[*sigma].insert(t, id);
+        }
+    }
+    maps
+}
+
+fn op_to_cmp(op: Op) -> CmpOp {
+    match op {
+        Op::Eq => CmpOp::Eq,
+        Op::Neq => CmpOp::Neq,
+        Op::Lt => CmpOp::Lt,
+        Op::Gt => CmpOp::Gt,
+        Op::Leq => CmpOp::Leq,
+        Op::Geq => CmpOp::Geq,
+        Op::Sim(t) => CmpOp::Sim(t),
+    }
+}
+
+/// Candidate domain of a cell: the pruned domain for noisy cells, the
+/// observed singleton otherwise.
+fn dom_of<'a>(
+    ds: &Dataset,
+    domains: &'a CellDomains,
+    cell: CellRef,
+    singleton: &'a mut [Sym; 1],
+) -> &'a [Sym] {
+    let d = domains.get(cell);
+    if !d.is_empty() {
+        return d;
+    }
+    singleton[0] = ds.cell_ref(cell);
+    singleton
+}
+
+/// Grounds denial constraints into clique factors over the query variables
+/// (Algorithm 1). Pairs are discovered by blocking on the first cross-tuple
+/// equality predicate *over candidate domains* — a pair is grounded iff some
+/// candidate assignment can satisfy the equality join at all.
+#[allow(clippy::too_many_arguments)]
+fn ground_dc_factors(
+    graph: &mut FactorGraph,
+    registry: &mut FeatureRegistry<FeatureKey>,
+    ds: &Dataset,
+    constraints: &ConstraintSet,
+    domains: &CellDomains,
+    cell_vars: &FxHashMap<CellRef, VarId>,
+    config: &HoloConfig,
+    components: Option<&[FxHashMap<TupleId, u32>]>,
+    cstats: &mut CompileStats,
+) {
+    let weight = registry.fixed(FeatureKey::DcFactor, config.dc_factor_weight);
+    for (sigma, c) in constraints.iter() {
+        if !c.two_tuple {
+            ground_single_tuple(graph, ds, c, domains, cell_vars, weight);
+            continue;
+        }
+        // Cross-tuple equality predicates, oriented (t1 attr, t2 attr).
+        let eq_pairs: Vec<(AttrId, AttrId)> = c
+            .predicates
+            .iter()
+            .filter(|p| p.is_cross_tuple_eq())
+            .map(|p| {
+                let rhs_attr = match p.rhs {
+                    Operand::Cell(_, a) => a,
+                    Operand::Const(_) => unreachable!(),
+                };
+                match p.lhs_tuple {
+                    TupleVar::T1 => (p.lhs_attr, rhs_attr),
+                    TupleVar::T2 => (rhs_attr, p.lhs_attr),
+                }
+            })
+            .collect();
+        if eq_pairs.is_empty() {
+            // No join key: grounding would be O(|D|²) with no pruning.
+            // Such constraints are not present in any evaluated workload;
+            // skip with a note in the stats.
+            cstats.clique_cap_hits += 1;
+            continue;
+        }
+        let symmetric = c.is_symmetric();
+        let (block_a1, block_a2) = eq_pairs[0];
+
+        // value → tuples whose (t, block_a2) domain contains it.
+        let mut buckets: FxHashMap<Sym, Vec<TupleId>> = FxHashMap::default();
+        let mut singleton = [Sym::NULL];
+        for t in ds.tuples() {
+            let cell = CellRef {
+                tuple: t,
+                attr: block_a2,
+            };
+            for &v in dom_of(ds, domains, cell, &mut singleton) {
+                if !v.is_null() {
+                    buckets.entry(v).or_default().push(t);
+                }
+            }
+        }
+
+        let component = components.map(|m| &m[sigma]);
+        let mut grounded_pairs: FxHashSet<(TupleId, TupleId)> = FxHashSet::default();
+        let mut cliques_here = 0usize;
+        'outer: for t1 in ds.tuples() {
+            let t1_comp = component.and_then(|m| m.get(&t1).copied());
+            if component.is_some() && t1_comp.is_none() {
+                continue;
+            }
+            let cell1 = CellRef {
+                tuple: t1,
+                attr: block_a1,
+            };
+            let mut singleton1 = [Sym::NULL];
+            let cands1 = dom_of(ds, domains, cell1, &mut singleton1).to_vec();
+            for v in cands1 {
+                if v.is_null() {
+                    continue;
+                }
+                let Some(bucket) = buckets.get(&v) else {
+                    continue;
+                };
+                for &t2 in bucket {
+                    if t1 == t2 || (symmetric && t1 >= t2) {
+                        continue;
+                    }
+                    if let (Some(tc), Some(m)) = (t1_comp, component) {
+                        if m.get(&t2) != Some(&tc) {
+                            continue;
+                        }
+                    }
+                    if !grounded_pairs.insert((t1, t2)) {
+                        continue;
+                    }
+                    cstats.dc_pairs_considered += 1;
+                    if let Some(clique) =
+                        build_clique(ds, c, t1, t2, domains, cell_vars, weight, &eq_pairs)
+                    {
+                        graph.add_clique(clique);
+                        cliques_here += 1;
+                        cstats.cliques += 1;
+                        if cliques_here >= config.max_cliques_per_constraint {
+                            cstats.clique_cap_hits += 1;
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Grounds single-tuple constraints: one clique per tuple whose involved
+/// cells include at least one query variable.
+fn ground_single_tuple(
+    graph: &mut FactorGraph,
+    ds: &Dataset,
+    c: &holo_constraints::DenialConstraint,
+    domains: &CellDomains,
+    cell_vars: &FxHashMap<CellRef, VarId>,
+    weight: holo_factor::WeightId,
+) {
+    let _ = domains;
+    for t in ds.tuples() {
+        let mut vars: Vec<VarId> = Vec::new();
+        let slot_of = |cell: CellRef, vars: &mut Vec<VarId>| -> Option<u8> {
+            let var = cell_vars.get(&cell)?;
+            if let Some(pos) = vars.iter().position(|v| v == var) {
+                return Some(pos as u8);
+            }
+            vars.push(*var);
+            Some((vars.len() - 1) as u8)
+        };
+        let mut predicates = Vec::with_capacity(c.predicates.len());
+        for p in &c.predicates {
+            let lhs_cell = CellRef {
+                tuple: t,
+                attr: p.lhs_attr,
+            };
+            let lhs = match slot_of(lhs_cell, &mut vars) {
+                Some(slot) => FactorOperand::Var(slot),
+                None => FactorOperand::Const(ds.cell_ref(lhs_cell)),
+            };
+            let rhs = match p.rhs {
+                Operand::Cell(_, a) => {
+                    let cell = CellRef { tuple: t, attr: a };
+                    match slot_of(cell, &mut vars) {
+                        Some(slot) => FactorOperand::Var(slot),
+                        None => FactorOperand::Const(ds.cell_ref(cell)),
+                    }
+                }
+                Operand::Const(sym) => FactorOperand::Const(sym),
+            };
+            predicates.push(FactorPredicate {
+                lhs,
+                op: op_to_cmp(p.op),
+                rhs,
+            });
+        }
+        if vars.is_empty() {
+            continue;
+        }
+        graph.add_clique(CliqueFactor {
+            vars,
+            weight,
+            predicates,
+        });
+    }
+}
+
+/// Materialises the clique for one tuple pair, or `None` when no query
+/// variable participates (the factor would be constant) or the equality
+/// join is domain-infeasible.
+#[allow(clippy::too_many_arguments)]
+fn build_clique(
+    ds: &Dataset,
+    c: &holo_constraints::DenialConstraint,
+    t1: TupleId,
+    t2: TupleId,
+    domains: &CellDomains,
+    cell_vars: &FxHashMap<CellRef, VarId>,
+    weight: holo_factor::WeightId,
+    eq_pairs: &[(AttrId, AttrId)],
+) -> Option<CliqueFactor> {
+    // Remaining equality joins must be domain-feasible.
+    for &(a1, a2) in eq_pairs.iter().skip(1) {
+        let c1 = CellRef { tuple: t1, attr: a1 };
+        let c2 = CellRef { tuple: t2, attr: a2 };
+        let mut s1 = [Sym::NULL];
+        let mut s2 = [Sym::NULL];
+        let d1 = dom_of(ds, domains, c1, &mut s1);
+        let d2 = dom_of(ds, domains, c2, &mut s2);
+        if !d1.iter().any(|v| d2.contains(v)) {
+            return None;
+        }
+    }
+
+    let mut vars: Vec<VarId> = Vec::new();
+    let operand_of = |tv: TupleVar, attr: AttrId, vars: &mut Vec<VarId>| -> FactorOperand {
+        let tuple = match tv {
+            TupleVar::T1 => t1,
+            TupleVar::T2 => t2,
+        };
+        let cell = CellRef { tuple, attr };
+        match cell_vars.get(&cell) {
+            Some(&var) => {
+                let slot = match vars.iter().position(|&v| v == var) {
+                    Some(pos) => pos as u8,
+                    None => {
+                        vars.push(var);
+                        (vars.len() - 1) as u8
+                    }
+                };
+                FactorOperand::Var(slot)
+            }
+            None => FactorOperand::Const(ds.cell_ref(cell)),
+        }
+    };
+    let mut predicates = Vec::with_capacity(c.predicates.len());
+    for p in &c.predicates {
+        let lhs = operand_of(p.lhs_tuple, p.lhs_attr, &mut vars);
+        let rhs = match p.rhs {
+            Operand::Cell(tv, a) => operand_of(tv, a, &mut vars),
+            Operand::Const(sym) => FactorOperand::Const(sym),
+        };
+        predicates.push(FactorPredicate {
+            lhs,
+            op: op_to_cmp(p.op),
+            rhs,
+        });
+    }
+    if vars.is_empty() {
+        return None;
+    }
+    Some(CliqueFactor {
+        vars,
+        weight,
+        predicates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelVariant;
+    use holo_constraints::{find_violations, parse_constraints};
+
+    fn setup(variant: ModelVariant) -> (Dataset, ConstraintSet, HoloConfig) {
+        let mut ds = Dataset::new(holo_dataset::Schema::new(vec!["Zip", "City"]));
+        for _ in 0..6 {
+            ds.push_row(&["60608", "Chicago"]);
+        }
+        ds.push_row(&["60608", "Cicago"]);
+        ds.push_row(&["60609", "Evanston"]);
+        // Clean ambiguity: Oak Park legitimately spans two zips, so its
+        // clean Zip cells have multi-candidate domains → evidence for SGD.
+        ds.push_row(&["60610", "Oak Park"]);
+        ds.push_row(&["60611", "Oak Park"]);
+        let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        let config = HoloConfig::default().with_variant(variant).with_tau(0.3);
+        (ds, cons, config)
+    }
+
+    fn run_compile(
+        ds: &Dataset,
+        cons: &ConstraintSet,
+        config: &HoloConfig,
+    ) -> CompiledModel {
+        let violations = find_violations(ds, cons);
+        let mut noisy: FxHashSet<CellRef> = FxHashSet::default();
+        for v in &violations {
+            noisy.extend(v.cells.iter().copied());
+        }
+        let stats = CooccurStats::build(ds);
+        let matches = MatchLookup::default();
+        compile(&CompileInput {
+            ds,
+            constraints: cons,
+            noisy: &noisy,
+            violations: &violations,
+            stats: &stats,
+            matches: &matches,
+            config,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dcfeats_compiles_independent_model() {
+        let (ds, cons, config) = setup(ModelVariant::DcFeats);
+        let model = run_compile(&ds, &cons, &config);
+        assert!(!model.graph.has_cliques(), "relaxed model has no cliques");
+        assert!(model.stats.query_vars > 0);
+        assert!(model.stats.evidence_vars > 0);
+        assert!(model.stats.factors > 0);
+        // Query cells all carry ≥ 2 candidates.
+        for &v in &model.query_vars {
+            assert!(model.graph.var(v).arity() >= 2);
+        }
+    }
+
+    #[test]
+    fn dcfactors_grounds_cliques() {
+        let (ds, cons, config) = setup(ModelVariant::DcFactors);
+        let model = run_compile(&ds, &cons, &config);
+        assert!(model.graph.has_cliques());
+        assert!(model.stats.cliques > 0);
+        assert!(model.stats.dc_pairs_considered >= model.stats.cliques);
+    }
+
+    #[test]
+    fn partitioning_grounds_no_more_than_unpartitioned() {
+        let (ds, cons, config) = setup(ModelVariant::DcFactors);
+        let unpart = run_compile(&ds, &cons, &config);
+        let config_p = config.with_variant(ModelVariant::DcFactorsPartitioned);
+        let part = run_compile(&ds, &cons, &config_p);
+        assert!(part.stats.cliques <= unpart.stats.cliques);
+        assert!(part.stats.dc_pairs_considered <= unpart.stats.dc_pairs_considered);
+    }
+
+    #[test]
+    fn singleton_domains_are_skipped() {
+        // τ = 0.99 prunes everything except the initial value.
+        let (ds, cons, config) = setup(ModelVariant::DcFeats);
+        let config = config.with_tau(0.99);
+        let model = run_compile(&ds, &cons, &config);
+        assert!(model.stats.singleton_noisy_cells > 0);
+        // Remaining query vars (if any) still have proper domains.
+        for &v in &model.query_vars {
+            assert!(model.graph.var(v).arity() >= 2);
+        }
+    }
+
+    #[test]
+    fn dictionary_assertions_extend_domains() {
+        let (ds, cons, config) = setup(ModelVariant::DcFeats);
+        let violations = find_violations(&ds, &cons);
+        let mut noisy: FxHashSet<CellRef> = FxHashSet::default();
+        for v in &violations {
+            noisy.extend(v.cells.iter().copied());
+        }
+        let stats = CooccurStats::build(&ds);
+        // Assert an out-of-domain value for a noisy cell.
+        let mut ds2 = ds.clone();
+        let exotic = ds2.intern("Berwyn");
+        let city = ds2.schema().attr_id("City").unwrap();
+        let cell = *noisy.iter().find(|c| c.attr == city).unwrap();
+        let mut matches = MatchLookup::default();
+        matches.insert((cell, exotic), vec![0]);
+        let model = compile(&CompileInput {
+            ds: &ds2,
+            constraints: &cons,
+            noisy: &noisy,
+            violations: &violations,
+            stats: &stats,
+            matches: &matches,
+            config: &config,
+        })
+        .unwrap();
+        let var = model
+            .query_cells
+            .iter()
+            .position(|&c| c == cell)
+            .map(|i| model.query_vars[i])
+            .unwrap();
+        assert!(model.graph.var(var).domain.contains(&exotic));
+    }
+
+    #[test]
+    fn evidence_sampling_respects_cap() {
+        let (ds, cons, mut config) = setup(ModelVariant::DcFeats);
+        config.max_evidence_per_attr = 2;
+        let model = run_compile(&ds, &cons, &config);
+        // ≤ 2 evidence vars per attribute (2 attrs → ≤ 4), minus singletons.
+        assert!(model.stats.evidence_vars <= 4);
+    }
+
+    #[test]
+    fn compile_deterministic_under_seed() {
+        let (ds, cons, config) = setup(ModelVariant::DcFeats);
+        let m1 = run_compile(&ds, &cons, &config);
+        let m2 = run_compile(&ds, &cons, &config);
+        assert_eq!(m1.stats.query_vars, m2.stats.query_vars);
+        assert_eq!(m1.stats.evidence_vars, m2.stats.evidence_vars);
+        assert_eq!(m1.stats.factors, m2.stats.factors);
+        assert_eq!(m1.query_cells, m2.query_cells);
+    }
+}

@@ -1,0 +1,244 @@
+//! Configuration of the HoloClean pipeline.
+
+use holo_factor::{GibbsConfig, LearnConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which probabilistic model to compile — the ablation axis of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelVariant {
+    /// Denial constraints ground as multi-variable factors with the fixed
+    /// weight [`HoloConfig::dc_factor_weight`] (Algorithm 1). No
+    /// partitioning.
+    DcFactors,
+    /// [`ModelVariant::DcFactors`] plus Algorithm 3 tuple partitioning.
+    DcFactorsPartitioned,
+    /// Denial constraints relaxed to single-variable features with learned
+    /// weights (§5.2). The default; used for Tables 3 and 4.
+    DcFeats,
+    /// Both relaxed features and constant-weight factors.
+    DcFeatsDcFactors,
+    /// [`ModelVariant::DcFeatsDcFactors`] plus partitioning.
+    DcFeatsDcFactorsPartitioned,
+}
+
+impl ModelVariant {
+    /// Whether the variant compiles relaxed DC features.
+    pub fn uses_dc_features(self) -> bool {
+        matches!(
+            self,
+            ModelVariant::DcFeats
+                | ModelVariant::DcFeatsDcFactors
+                | ModelVariant::DcFeatsDcFactorsPartitioned
+        )
+    }
+
+    /// Whether the variant grounds DC clique factors.
+    pub fn uses_dc_factors(self) -> bool {
+        matches!(
+            self,
+            ModelVariant::DcFactors
+                | ModelVariant::DcFactorsPartitioned
+                | ModelVariant::DcFeatsDcFactors
+                | ModelVariant::DcFeatsDcFactorsPartitioned
+        )
+    }
+
+    /// Whether DC factor grounding is restricted to Algorithm 3 groups.
+    pub fn uses_partitioning(self) -> bool {
+        matches!(
+            self,
+            ModelVariant::DcFactorsPartitioned | ModelVariant::DcFeatsDcFactorsPartitioned
+        )
+    }
+
+    /// All five variants, in the order Figure 5 reports them.
+    pub fn all() -> [ModelVariant; 5] {
+        [
+            ModelVariant::DcFactors,
+            ModelVariant::DcFactorsPartitioned,
+            ModelVariant::DcFeats,
+            ModelVariant::DcFeatsDcFactors,
+            ModelVariant::DcFeatsDcFactorsPartitioned,
+        ]
+    }
+
+    /// Short label used by the experiment harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelVariant::DcFactors => "DC Factors",
+            ModelVariant::DcFactorsPartitioned => "DC Factors + partitioning",
+            ModelVariant::DcFeats => "DC Feats",
+            ModelVariant::DcFeatsDcFactors => "DC Feats + DC Factors",
+            ModelVariant::DcFeatsDcFactorsPartitioned => "DC Feats + DC Factors + partitioning",
+        }
+    }
+}
+
+/// Optional source-reliability featurization (§4.1: lineage features; used
+/// for the Flights dataset, following SLiMFast \[35\]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceConfig {
+    /// Attribute identifying the real-world entity rows describe (e.g.
+    /// `"Flight"`); assertions are collected across rows sharing it.
+    pub entity_attr: String,
+    /// Attribute naming the source that contributed the row.
+    pub source_attr: String,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoloConfig {
+    /// The Algorithm 2 co-occurrence threshold τ.
+    pub tau: f64,
+    /// Hard cap on a noisy cell's candidate count (keeps grounding bounded
+    /// when τ is small); candidates are kept in descending co-occurrence
+    /// probability. The initial value always survives.
+    pub max_domain: usize,
+    /// Which model to compile.
+    pub variant: ModelVariant,
+    /// Fixed weight `w` of DC clique factors (Algorithm 1 "soft
+    /// constraint" relaxation; `f64::INFINITY` would make them hard).
+    pub dc_factor_weight: f64,
+    /// Fixed weight of the minimality prior.
+    pub minimality_weight: f64,
+    /// Initial (learnable) value of each dictionary's reliability weight
+    /// `w(k)`. Dictionaries are trusted a priori; evidence cells covered by
+    /// matches adjust the weight during learning.
+    pub ext_dict_prior: f64,
+    /// Normalizer for relaxed-DC feature values: the emitted feature is
+    /// `violation_count / dc_feature_cap`, keeping SGD inputs O(1) while
+    /// preserving the linear-in-count semantics of Example 6 (one grounded
+    /// factor per violating partner tuple).
+    pub dc_feature_cap: u32,
+    /// Initial (learnable) value of each constraint's relaxed-DC feature
+    /// weight `w(σ)`. Negative: a candidate that would violate a denial
+    /// constraint is a priori implausible — that is what the constraint
+    /// asserts. Evidence refines the weight per constraint; the prior
+    /// carries constraints whose attributes have no clean cells at all
+    /// (fully-saturated violation groups).
+    pub dc_violation_prior: f64,
+    /// Cap on grounded cliques per constraint (safety valve for the
+    /// unpartitioned factor variants at small τ; the paper reports exactly
+    /// this blow-up in §1 challenge (2)).
+    pub max_cliques_per_constraint: usize,
+    /// Evidence cells sampled per attribute for weight learning.
+    pub max_evidence_per_attr: usize,
+    /// Evidence variables build their candidate domains with
+    /// `min(tau, evidence_tau_cap)`: at large τ most clean cells would
+    /// have singleton domains and carry no gradient, starving SGD.
+    pub evidence_tau_cap: f64,
+    /// Minimum occurrences a conditioning value needs before Algorithm 2
+    /// trusts `Pr[v | v']` — rare conditioning values (count 1-2) produce
+    /// spurious probability-1 candidates.
+    pub min_cond_support: u32,
+    /// Initial (learnable) weight of the per-attribute empirical
+    /// distribution feature, whose value is the mean conditional
+    /// probability `Pr[d | v']` of a candidate across the tuple's other
+    /// cells. This is the "empirical distribution characterizing
+    /// attributes" signal of §1; unlike the per-(d, f) co-occurrence
+    /// weights it needs no per-value evidence, so it keeps defending
+    /// frequent values inside fully-noisy violation groups.
+    pub distribution_prior: f64,
+    /// Optional source-reliability features.
+    pub source: Option<SourceConfig>,
+    /// SGD hyper-parameters.
+    pub learn: LearnConfig,
+    /// Gibbs hyper-parameters (clique variants only).
+    pub gibbs: GibbsConfig,
+    /// Master seed (evidence sampling).
+    pub seed: u64,
+}
+
+impl Default for HoloConfig {
+    fn default() -> Self {
+        HoloConfig {
+            tau: 0.5,
+            max_domain: 50,
+            variant: ModelVariant::DcFeats,
+            dc_factor_weight: 4.0,
+            minimality_weight: 0.5,
+            ext_dict_prior: 2.0,
+            dc_feature_cap: 4,
+            dc_violation_prior: -1.0,
+            max_cliques_per_constraint: 500_000,
+            max_evidence_per_attr: 800,
+            evidence_tau_cap: 0.3,
+            min_cond_support: 2,
+            distribution_prior: 2.0,
+            source: None,
+            learn: LearnConfig::default(),
+            gibbs: GibbsConfig::default(),
+            seed: 0x401c,
+        }
+    }
+}
+
+impl HoloConfig {
+    /// Sets τ (builder style).
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the model variant (builder style).
+    pub fn with_variant(mut self, variant: ModelVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Enables source features (builder style).
+    pub fn with_source(mut self, entity_attr: &str, source_attr: &str) -> Self {
+        self.source = Some(SourceConfig {
+            entity_attr: entity_attr.to_string(),
+            source_attr: source_attr.to_string(),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_capabilities() {
+        assert!(!ModelVariant::DcFeats.uses_dc_factors());
+        assert!(ModelVariant::DcFeats.uses_dc_features());
+        assert!(!ModelVariant::DcFeats.uses_partitioning());
+
+        assert!(ModelVariant::DcFactors.uses_dc_factors());
+        assert!(!ModelVariant::DcFactors.uses_dc_features());
+
+        assert!(ModelVariant::DcFactorsPartitioned.uses_partitioning());
+        assert!(ModelVariant::DcFeatsDcFactorsPartitioned.uses_dc_features());
+        assert!(ModelVariant::DcFeatsDcFactorsPartitioned.uses_dc_factors());
+        assert!(ModelVariant::DcFeatsDcFactorsPartitioned.uses_partitioning());
+    }
+
+    #[test]
+    fn all_variants_distinct_labels() {
+        let labels: Vec<_> = ModelVariant::all().iter().map(|v| v.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn default_is_the_paper_table3_setup() {
+        let c = HoloConfig::default();
+        assert_eq!(c.variant, ModelVariant::DcFeats);
+        assert!(c.tau > 0.0 && c.tau < 1.0);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = HoloConfig::default()
+            .with_tau(0.3)
+            .with_variant(ModelVariant::DcFactors)
+            .with_source("Flight", "Source");
+        assert_eq!(c.tau, 0.3);
+        assert_eq!(c.variant, ModelVariant::DcFactors);
+        assert_eq!(c.source.as_ref().unwrap().entity_attr, "Flight");
+    }
+}

@@ -1,0 +1,282 @@
+//! Algorithm 2 — pruning the domain of the noisy-cell random variables.
+//!
+//! For a noisy cell `c` in tuple `t` with attribute `A_c`, the candidate
+//! repairs are the values `v` of `A_c`'s active domain that co-occur with
+//! some other cell value `v_c'` of `t` with conditional probability
+//! `Pr[v | v_c'] = #(v, v_c') / #v_c' ≥ τ`. The cell's initial value is
+//! always kept (the model must be able to keep the observation), and the
+//! candidate list is capped at [`HoloConfig::max_domain`] by descending
+//! best conditional probability.
+//!
+//! Varying τ trades recall (small τ, large domains) against precision and
+//! runtime (large τ) — the axis swept in Figures 3 and 4.
+//!
+//! [`HoloConfig::max_domain`]: crate::config::HoloConfig::max_domain
+
+use holo_dataset::{CellRef, CooccurStats, Dataset, FxHashMap, Sym};
+
+/// Pruned candidate domains per noisy cell. Candidates are deduplicated,
+/// always contain the cell's initial value (even if null), and are sorted
+/// by descending score (initial value first when tied).
+#[derive(Debug, Clone, Default)]
+pub struct CellDomains {
+    domains: FxHashMap<CellRef, Vec<Sym>>,
+}
+
+impl CellDomains {
+    /// The candidate list of `cell`; empty slice if the cell is unknown.
+    pub fn get(&self, cell: CellRef) -> &[Sym] {
+        self.domains.get(&cell).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the cell has a pruned domain.
+    pub fn contains(&self, cell: CellRef) -> bool {
+        self.domains.contains_key(&cell)
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether no cells are covered.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Iterates `(cell, candidates)`.
+    pub fn iter(&self) -> impl Iterator<Item = (CellRef, &[Sym])> {
+        self.domains.iter().map(|(c, d)| (*c, d.as_slice()))
+    }
+
+    /// Total candidate count over all cells (a size proxy for the factor
+    /// graph, reported by the harness).
+    pub fn total_candidates(&self) -> usize {
+        self.domains.values().map(Vec::len).sum()
+    }
+
+    /// Inserts a domain (used by compile for evidence variables).
+    pub(crate) fn insert(&mut self, cell: CellRef, domain: Vec<Sym>) {
+        self.domains.insert(cell, domain);
+    }
+}
+
+/// Runs Algorithm 2 over the noisy cells.
+pub fn prune_domains<I>(
+    ds: &Dataset,
+    noisy: I,
+    stats: &CooccurStats,
+    tau: f64,
+    max_domain: usize,
+) -> CellDomains
+where
+    I: IntoIterator<Item = CellRef>,
+{
+    let mut out = CellDomains::default();
+    for cell in noisy {
+        let domain = prune_cell_with_support(ds, cell, stats, tau, max_domain, 1);
+        out.insert(cell, domain);
+    }
+    out
+}
+
+/// [`prune_cell_with_support`] with no minimum-support requirement.
+pub fn prune_cell(
+    ds: &Dataset,
+    cell: CellRef,
+    stats: &CooccurStats,
+    tau: f64,
+    max_domain: usize,
+) -> Vec<Sym> {
+    prune_cell_with_support(ds, cell, stats, tau, max_domain, 1)
+}
+
+/// Candidate repairs for one cell (always ≥ 1 entry: the initial value).
+/// Conditioning values occurring fewer than `min_support` times are
+/// ignored — a value seen twice yields meaningless `Pr[v | v'] = 1`
+/// estimates.
+pub fn prune_cell_with_support(
+    ds: &Dataset,
+    cell: CellRef,
+    stats: &CooccurStats,
+    tau: f64,
+    max_domain: usize,
+    min_support: u32,
+) -> Vec<Sym> {
+    let init = ds.cell_ref(cell);
+    // Best conditional probability per candidate across conditioning cells.
+    let mut scores: FxHashMap<Sym, f64> = FxHashMap::default();
+    for cond_attr in ds.schema().attrs() {
+        if cond_attr == cell.attr {
+            continue;
+        }
+        let v_cond = ds.cell(cell.tuple, cond_attr);
+        if v_cond.is_null() {
+            continue;
+        }
+        let denom = stats.freq().count(cond_attr, v_cond);
+        if denom == 0 || denom < min_support {
+            continue;
+        }
+        if let Some(co) = stats.cooccurring(cond_attr, v_cond, cell.attr) {
+            for (&v, &count) in co {
+                let p = f64::from(count) / f64::from(denom);
+                if p >= tau {
+                    let entry = scores.entry(v).or_insert(0.0);
+                    if p > *entry {
+                        *entry = p;
+                    }
+                }
+            }
+        }
+    }
+    // The initial value always survives pruning with top priority.
+    scores.insert(init, f64::INFINITY);
+    let mut candidates: Vec<(Sym, f64)> = scores.into_iter().collect();
+    candidates.sort_by(|(s1, p1), (s2, p2)| {
+        p2.partial_cmp(p1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(s1.cmp(s2))
+    });
+    candidates.truncate(max_domain.max(1));
+    candidates.into_iter().map(|(s, _)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_dataset::Schema;
+    use proptest::prelude::*;
+
+    /// Zip 60608 maps to Chicago in 3/4 tuples, Cicago in 1/4.
+    fn city_ds() -> Dataset {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["60608", "Chicago"]);
+        ds.push_row(&["60608", "Chicago"]);
+        ds.push_row(&["60608", "Chicago"]);
+        ds.push_row(&["60608", "Cicago"]);
+        ds.push_row(&["60609", "Evanston"]);
+        ds
+    }
+
+    fn cell(ds: &Dataset, t: usize, attr: &str) -> CellRef {
+        CellRef {
+            tuple: t.into(),
+            attr: ds.schema().attr_id(attr).unwrap(),
+        }
+    }
+
+    #[test]
+    fn threshold_filters_candidates() {
+        let ds = city_ds();
+        let stats = CooccurStats::build(&ds);
+        let c = cell(&ds, 3, "City"); // the "Cicago" cell
+        // τ=0.5: only Chicago (p=0.75) passes; initial value kept.
+        let dom = prune_cell(&ds, c, &stats, 0.5, 50);
+        let names: Vec<_> = dom.iter().map(|&s| ds.value_str(s)).collect();
+        assert_eq!(names, vec!["Cicago", "Chicago"]);
+        // τ=0.2: Cicago (p=0.25) also passes on merit.
+        let dom = prune_cell(&ds, c, &stats, 0.2, 50);
+        assert_eq!(dom.len(), 2);
+        // τ=0.9: nothing passes; only the initial value remains.
+        let dom = prune_cell(&ds, c, &stats, 0.9, 50);
+        let names: Vec<_> = dom.iter().map(|&s| ds.value_str(s)).collect();
+        assert_eq!(names, vec!["Cicago"]);
+    }
+
+    #[test]
+    fn initial_value_always_first() {
+        let ds = city_ds();
+        let stats = CooccurStats::build(&ds);
+        for t in 0..ds.tuple_count() {
+            let c = cell(&ds, t, "City");
+            let dom = prune_cell(&ds, c, &stats, 0.1, 50);
+            assert_eq!(dom[0], ds.cell_ref(c), "initial value leads the domain");
+        }
+    }
+
+    #[test]
+    fn max_domain_cap() {
+        let mut ds = Dataset::new(Schema::new(vec!["K", "V"]));
+        for i in 0..20 {
+            ds.push_row(&["k".to_string(), format!("v{i}")]);
+        }
+        let stats = CooccurStats::build(&ds);
+        let c = cell(&ds, 0, "V");
+        let dom = prune_cell(&ds, c, &stats, 0.0, 5);
+        assert_eq!(dom.len(), 5);
+        assert_eq!(dom[0], ds.cell_ref(c));
+    }
+
+    #[test]
+    fn null_conditioning_cells_ignored() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["", "Chicago"]);
+        ds.push_row(&["", "Boston"]);
+        let stats = CooccurStats::build(&ds);
+        let c = cell(&ds, 0, "City");
+        // No non-null conditioning cell: only the initial value.
+        let dom = prune_cell(&ds, c, &stats, 0.0, 50);
+        assert_eq!(dom.len(), 1);
+    }
+
+    #[test]
+    fn prune_domains_covers_all_noisy_cells() {
+        let ds = city_ds();
+        let stats = CooccurStats::build(&ds);
+        let noisy = vec![cell(&ds, 3, "City"), cell(&ds, 3, "Zip")];
+        let domains = prune_domains(&ds, noisy.iter().copied(), &stats, 0.5, 50);
+        assert_eq!(domains.len(), 2);
+        assert!(domains.contains(noisy[0]));
+        assert!(!domains.get(noisy[1]).is_empty());
+        assert!(domains.total_candidates() >= 2);
+    }
+
+    proptest! {
+        /// Monotonicity: raising τ never grows a domain, and every domain
+        /// contains the initial value.
+        #[test]
+        fn prop_monotone_in_tau(
+            rows in proptest::collection::vec((0u8..4, 0u8..6), 1..40),
+            t1 in 0.0f64..0.5,
+            delta in 0.0f64..0.5
+        ) {
+            let mut ds = Dataset::new(Schema::new(vec!["K", "V"]));
+            for (k, v) in &rows {
+                ds.push_row(&[format!("k{k}"), format!("v{v}")]);
+            }
+            let stats = CooccurStats::build(&ds);
+            let t2 = t1 + delta;
+            for t in 0..rows.len() {
+                let c = CellRef { tuple: t.into(), attr: holo_dataset::AttrId(1) };
+                let d1 = prune_cell(&ds, c, &stats, t1, 100);
+                let d2 = prune_cell(&ds, c, &stats, t2, 100);
+                prop_assert!(d2.len() <= d1.len());
+                prop_assert!(d1.contains(&ds.cell_ref(c)));
+                prop_assert!(d2.contains(&ds.cell_ref(c)));
+                // Subset: every τ₂ candidate also passes τ₁.
+                for v in &d2 {
+                    prop_assert!(d1.contains(v));
+                }
+            }
+        }
+
+        /// Domains are duplicate-free.
+        #[test]
+        fn prop_no_duplicates(
+            rows in proptest::collection::vec((0u8..3, 0u8..3), 1..30)
+        ) {
+            let mut ds = Dataset::new(Schema::new(vec!["K", "V"]));
+            for (k, v) in &rows {
+                ds.push_row(&[format!("k{k}"), format!("v{v}")]);
+            }
+            let stats = CooccurStats::build(&ds);
+            let c = CellRef { tuple: 0usize.into(), attr: holo_dataset::AttrId(1) };
+            let dom = prune_cell(&ds, c, &stats, 0.0, 100);
+            let mut dedup = dom.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), dom.len());
+        }
+    }
+}

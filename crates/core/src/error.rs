@@ -1,0 +1,51 @@
+//! Error type of the HoloClean pipeline.
+
+use std::fmt;
+
+/// Pipeline errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HoloError {
+    /// Dataset-layer failure (schema lookup, CSV, …).
+    Dataset(holo_dataset::DatasetError),
+    /// Constraint parse/bind failure.
+    Constraint(String),
+    /// Configuration problem (e.g. source attribute missing).
+    Config(String),
+}
+
+impl fmt::Display for HoloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HoloError::Dataset(e) => write!(f, "dataset error: {e}"),
+            HoloError::Constraint(msg) => write!(f, "constraint error: {msg}"),
+            HoloError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HoloError {}
+
+impl From<holo_dataset::DatasetError> for HoloError {
+    fn from(e: holo_dataset::DatasetError) -> Self {
+        HoloError::Dataset(e)
+    }
+}
+
+impl From<holo_constraints::ParseError> for HoloError {
+    fn from(e: holo_constraints::ParseError) -> Self {
+        HoloError::Constraint(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = HoloError::Config("bad".into());
+        assert!(e.to_string().contains("configuration"));
+        let e: HoloError = holo_dataset::DatasetError::EmptyInput.into();
+        assert!(matches!(e, HoloError::Dataset(_)));
+    }
+}

@@ -1,0 +1,295 @@
+//! User feedback and incremental retraining (§2.2, §7).
+//!
+//! "We can use these marginal probabilities to solicit user feedback. For
+//! example, we can ask users to verify repairs with low marginal
+//! probabilities and use those as labeled examples to retrain the
+//! parameters of HoloClean's model using standard incremental learning
+//! and inference techniques."
+//!
+//! [`FeedbackSession`] implements that loop over a compiled model:
+//!
+//! 1. [`FeedbackSession::requests`] ranks the query cells by how unsure
+//!    the model is (lowest MAP marginal first) — the cells a human should
+//!    look at next.
+//! 2. [`FeedbackSession::apply_labels`] pins user-verified cells as
+//!    evidence variables.
+//! 3. [`FeedbackSession::retrain`] re-runs SGD — warm-started from the
+//!    current weights (the "incremental" part) — and re-infers marginals
+//!    for the still-unlabelled cells.
+
+use crate::compile::CompiledModel;
+use crate::config::HoloConfig;
+use crate::context::DatasetContext;
+use crate::repair::RepairReport;
+use holo_dataset::{CellRef, Dataset, FxHashMap, Sym};
+use holo_factor::{learn, GibbsSampler, Marginals, Weights};
+use serde::{Deserialize, Serialize};
+
+/// A cell the model wants verified, with its current best guess.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackRequest {
+    /// The cell to verify.
+    pub cell: CellRef,
+    /// The model's current MAP value.
+    pub proposed: String,
+    /// The marginal probability of the proposal (low = unsure).
+    pub confidence: f64,
+}
+
+/// One verified label: the true value of a cell, from the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Label {
+    /// The verified cell.
+    pub cell: CellRef,
+    /// Its true value.
+    pub value: String,
+}
+
+/// Interactive repair refinement over a compiled model.
+pub struct FeedbackSession {
+    model: CompiledModel,
+    weights: Weights,
+    config: HoloConfig,
+    /// Cells already pinned by the user.
+    labelled: FxHashMap<CellRef, Sym>,
+    marginals: Marginals,
+}
+
+impl FeedbackSession {
+    /// Starts a session from a finished run (see
+    /// [`HoloClean::run_full`](crate::HoloClean::run_full)) — the model,
+    /// its learned weights, and the configuration used.
+    pub fn new(model: CompiledModel, weights: Weights, config: HoloConfig, ds: &Dataset) -> Self {
+        let marginals = infer(&model, &weights, &config, ds);
+        FeedbackSession {
+            model,
+            weights,
+            config,
+            labelled: FxHashMap::default(),
+            marginals,
+        }
+    }
+
+    /// The cells most worth human review: unlabelled query cells ordered
+    /// by ascending MAP confidence, truncated to `limit`.
+    pub fn requests(&self, ds: &Dataset, limit: usize) -> Vec<FeedbackRequest> {
+        let mut out: Vec<FeedbackRequest> = self
+            .model
+            .query_cells
+            .iter()
+            .zip(&self.model.query_vars)
+            .filter(|(cell, _)| !self.labelled.contains_key(cell))
+            .map(|(&cell, &var)| {
+                let (k, p) = self.marginals.map_candidate(var);
+                FeedbackRequest {
+                    cell,
+                    proposed: ds.value_str(self.model.graph.var(var).domain[k]).to_string(),
+                    confidence: p,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.confidence
+                .partial_cmp(&b.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cell.cmp(&b.cell))
+        });
+        out.truncate(limit);
+        out
+    }
+
+    /// Pins user-verified values. Labels whose value is not among the
+    /// cell's candidates are added to the variable's domain on the fly
+    /// (the user knows values the statistics never proposed). Unknown
+    /// cells are ignored.
+    pub fn apply_labels(&mut self, ds: &mut Dataset, labels: &[Label]) {
+        for label in labels {
+            let Some(idx) = self
+                .model
+                .query_cells
+                .iter()
+                .position(|&c| c == label.cell)
+            else {
+                continue;
+            };
+            let var = self.model.query_vars[idx];
+            let sym = ds.intern(&label.value);
+            self.model.graph.pin_evidence(var, sym);
+            self.labelled.insert(label.cell, sym);
+        }
+    }
+
+    /// Incremental retraining: SGD warm-started from the current weights
+    /// (labelled cells now contribute gradients as evidence), then fresh
+    /// inference for the remaining query cells.
+    pub fn retrain(&mut self, ds: &Dataset) -> learn::LearnStats {
+        let stats = learn::train(&self.model.graph, &mut self.weights, &self.config.learn);
+        self.marginals = infer(&self.model, &self.weights, &self.config, ds);
+        stats
+    }
+
+    /// The current repair report (labelled cells report their pinned value
+    /// with probability 1).
+    pub fn report(&self, ds: &Dataset) -> RepairReport {
+        RepairReport::from_marginals(
+            ds,
+            &self.model.query_cells,
+            &self.model.query_vars,
+            &self.model.graph,
+            &self.marginals,
+        )
+    }
+
+    /// Number of labels applied so far.
+    pub fn labelled_count(&self) -> usize {
+        self.labelled.len()
+    }
+}
+
+fn infer(model: &CompiledModel, weights: &Weights, config: &HoloConfig, ds: &Dataset) -> Marginals {
+    if model.graph.has_cliques() {
+        let ctx = DatasetContext::new(ds);
+        GibbsSampler::new(&model.graph, weights, &ctx, config.gibbs.seed).run(&config.gibbs)
+    } else {
+        Marginals::exact_unary(&model.graph, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+    use crate::session::HoloClean;
+    use holo_dataset::Schema;
+
+    /// A dataset where half the conflicts are 1-vs-1 ties the model cannot
+    /// resolve alone — exactly the cells feedback should surface.
+    fn ambiguous_dataset() -> (Dataset, Dataset) {
+        let mut dirty = Dataset::new(Schema::new(vec!["Key", "Value"]));
+        let mut clean = Dataset::new(Schema::new(vec!["Key", "Value"]));
+        // Ten 2-row groups with conflicting values: unknowable ties.
+        for i in 0..10 {
+            let k = format!("k{i}");
+            dirty.push_row(&[k.as_str(), "alpha"]);
+            dirty.push_row(&[k.as_str(), "beta"]);
+            clean.push_row(&[k.as_str(), "alpha"]);
+            clean.push_row(&[k.as_str(), "alpha"]);
+        }
+        // Plus clean mass so evidence exists.
+        for i in 10..40 {
+            let k = format!("k{i}");
+            for _ in 0..2 {
+                dirty.push_row(&[k.as_str(), "gamma"]);
+                clean.push_row(&[k.as_str(), "gamma"]);
+            }
+        }
+        (dirty, clean)
+    }
+
+    fn session_for(dirty: &Dataset) -> (FeedbackSession, Dataset) {
+        let (outcome, model, weights) = HoloClean::new(dirty.clone())
+            .with_constraint_text("FD: Key -> Value")
+            .unwrap()
+            .run_full()
+            .unwrap();
+        let config = HoloConfig::default();
+        let ds = outcome.dataset;
+        let session = FeedbackSession::new(model, weights, config, &ds);
+        (session, ds)
+    }
+
+    #[test]
+    fn requests_surface_low_confidence_cells_first() {
+        let (dirty, _) = ambiguous_dataset();
+        let (session, ds) = session_for(&dirty);
+        let requests = session.requests(&ds, 100);
+        assert!(!requests.is_empty());
+        for pair in requests.windows(2) {
+            assert!(pair[0].confidence <= pair[1].confidence + 1e-12);
+        }
+        // The tied cells sit near 0.5 confidence.
+        assert!(requests[0].confidence < 0.75, "{:?}", requests[0]);
+    }
+
+    #[test]
+    fn labels_pin_cells_and_retraining_propagates() {
+        let (dirty, clean) = ambiguous_dataset();
+        let (mut session, mut ds) = session_for(&dirty);
+        let before = evaluate(&session.report(&ds), &dirty, &clean);
+
+        // Label the five least-confident cells with their true values.
+        let requests = session.requests(&ds, 5);
+        let labels: Vec<Label> = requests
+            .iter()
+            .map(|r| Label {
+                cell: r.cell,
+                value: clean.cell_str(r.cell.tuple, r.cell.attr).to_string(),
+            })
+            .collect();
+        session.apply_labels(&mut ds, &labels);
+        assert_eq!(session.labelled_count(), 5);
+        session.retrain(&ds);
+
+        let after = evaluate(&session.report(&ds), &dirty, &clean);
+        assert!(
+            after.correct_repairs >= before.correct_repairs,
+            "feedback must not lose correct repairs: {before:?} -> {after:?}"
+        );
+        // The labelled cells themselves now repair correctly.
+        let report = session.report(&ds);
+        for label in &labels {
+            let truth = clean.cell_str(label.cell.tuple, label.cell.attr);
+            let observed = dirty.cell_str(label.cell.tuple, label.cell.attr);
+            if truth != observed {
+                assert!(
+                    report
+                        .repairs
+                        .iter()
+                        .any(|r| r.cell == label.cell && r.new_value == truth),
+                    "labelled cell {label:?} must be repaired"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labelling_everything_yields_perfect_labelled_cells() {
+        let (dirty, clean) = ambiguous_dataset();
+        let (mut session, mut ds) = session_for(&dirty);
+        let requests = session.requests(&ds, usize::MAX);
+        let labels: Vec<Label> = requests
+            .iter()
+            .map(|r| Label {
+                cell: r.cell,
+                value: clean.cell_str(r.cell.tuple, r.cell.attr).to_string(),
+            })
+            .collect();
+        session.apply_labels(&mut ds, &labels);
+        session.retrain(&ds);
+        let q = evaluate(&session.report(&ds), &dirty, &clean);
+        assert_eq!(q.precision, 1.0, "{q:?}");
+        assert_eq!(q.recall, 1.0, "{q:?}");
+        // Nothing left to ask.
+        assert!(session.requests(&ds, 10).is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_labels_are_accepted() {
+        let (dirty, _) = ambiguous_dataset();
+        let (mut session, mut ds) = session_for(&dirty);
+        let cell = session.requests(&ds, 1)[0].cell;
+        session.apply_labels(
+            &mut ds,
+            &[Label {
+                cell,
+                value: "omega".to_string(), // never seen anywhere
+            }],
+        );
+        session.retrain(&ds);
+        let report = session.report(&ds);
+        assert!(report
+            .repairs
+            .iter()
+            .any(|r| r.cell == cell && r.new_value == "omega"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Repair-quality metrics (§6.1 "Evaluation Methodology").
+//!
+//! * **Precision** — correct repairs / performed repairs.
+//! * **Recall** — correct repairs / total errors.
+//! * **F1** — `2PR / (P + R)`.
+//!
+//! A repair is *correct* when the proposed value equals the ground truth
+//! for a cell whose observed value differed from the truth. Changing an
+//! already-correct cell counts against precision.
+
+use crate::repair::RepairReport;
+use holo_dataset::{CellRef, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall/F1 plus the raw tallies behind them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairQuality {
+    /// Correct repairs / performed repairs (1.0 when nothing was repaired).
+    pub precision: f64,
+    /// Correct repairs / total errors (1.0 when the data had no errors).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Repairs matching the ground truth.
+    pub correct_repairs: usize,
+    /// Repairs performed.
+    pub total_repairs: usize,
+    /// Erroneous cells in the dirty dataset.
+    pub total_errors: usize,
+}
+
+impl RepairQuality {
+    fn from_counts(correct: usize, repairs: usize, errors: usize) -> Self {
+        let precision = if repairs == 0 {
+            1.0
+        } else {
+            correct as f64 / repairs as f64
+        };
+        let recall = if errors == 0 {
+            1.0
+        } else {
+            correct as f64 / errors as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        RepairQuality {
+            precision,
+            recall,
+            f1,
+            correct_repairs: correct,
+            total_repairs: repairs,
+            total_errors: errors,
+        }
+    }
+}
+
+/// Evaluates a repair report against ground truth over all cells.
+///
+/// `dirty` is the original dataset, `truth` the clean version (same schema
+/// and tuple order; value comparison is by string so the two datasets may
+/// use different pools).
+pub fn evaluate(report: &RepairReport, dirty: &Dataset, truth: &Dataset) -> RepairQuality {
+    evaluate_subset(report, dirty, truth, None)
+}
+
+/// Evaluates on a labelled subset of cells (the paper labels 2 000 cells
+/// for Food and 2 500 for Physicians); `None` evaluates on all cells.
+pub fn evaluate_subset(
+    report: &RepairReport,
+    dirty: &Dataset,
+    truth: &Dataset,
+    subset: Option<&[CellRef]>,
+) -> RepairQuality {
+    assert_eq!(dirty.tuple_count(), truth.tuple_count(), "tuple count mismatch");
+    assert_eq!(
+        dirty.schema().len(),
+        truth.schema().len(),
+        "schema arity mismatch"
+    );
+    let in_subset = |cell: &CellRef| -> bool {
+        match subset {
+            Some(cells) => cells.contains(cell),
+            None => true,
+        }
+    };
+    // Total errors.
+    let mut errors = 0usize;
+    match subset {
+        Some(cells) => {
+            for cell in cells {
+                if dirty.cell_str(cell.tuple, cell.attr) != truth.cell_str(cell.tuple, cell.attr) {
+                    errors += 1;
+                }
+            }
+        }
+        None => {
+            for cell in dirty.cells() {
+                if dirty.cell_str(cell.tuple, cell.attr) != truth.cell_str(cell.tuple, cell.attr) {
+                    errors += 1;
+                }
+            }
+        }
+    }
+    // Repairs.
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for r in &report.repairs {
+        if !in_subset(&r.cell) {
+            continue;
+        }
+        total += 1;
+        let truth_value = truth.cell_str(r.cell.tuple, r.cell.attr);
+        let was_wrong = dirty.cell_str(r.cell.tuple, r.cell.attr) != truth_value;
+        if was_wrong && r.new_value == truth_value {
+            correct += 1;
+        }
+    }
+    RepairQuality::from_counts(correct, total, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::Repair;
+    use holo_dataset::Schema;
+
+    fn pair() -> (Dataset, Dataset) {
+        let mut dirty = Dataset::new(Schema::new(vec!["City", "State"]));
+        dirty.push_row(&["Cicago", "IL"]); // error in City
+        dirty.push_row(&["Boston", "MA"]); // clean
+        dirty.push_row(&["Denver", "XX"]); // error in State
+        let mut truth = Dataset::new(Schema::new(vec!["City", "State"]));
+        truth.push_row(&["Chicago", "IL"]);
+        truth.push_row(&["Boston", "MA"]);
+        truth.push_row(&["Denver", "CO"]);
+        (dirty, truth)
+    }
+
+    fn repair(dirty: &mut Dataset, t: usize, a: usize, new: &str, p: f64) -> Repair {
+        let cell = CellRef::new(t, a);
+        let old = dirty.cell_ref(cell);
+        let new_sym = dirty.intern(new);
+        Repair {
+            cell,
+            old,
+            new: new_sym,
+            old_value: dirty.value_str(old).to_string(),
+            new_value: new.to_string(),
+            probability: p,
+        }
+    }
+
+    #[test]
+    fn perfect_repairs() {
+        let (mut dirty, truth) = pair();
+        let report = RepairReport {
+            repairs: vec![
+                repair(&mut dirty, 0, 0, "Chicago", 0.9),
+                repair(&mut dirty, 2, 1, "CO", 0.8),
+            ],
+            posteriors: vec![],
+        };
+        let q = evaluate(&report, &dirty, &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+        assert_eq!(q.total_errors, 2);
+    }
+
+    #[test]
+    fn wrong_repair_hurts_precision() {
+        let (mut dirty, truth) = pair();
+        let report = RepairReport {
+            repairs: vec![
+                repair(&mut dirty, 0, 0, "Chicago", 0.9), // correct
+                repair(&mut dirty, 1, 0, "Austin", 0.6),  // damages a clean cell
+            ],
+            posteriors: vec![],
+        };
+        let q = evaluate(&report, &dirty, &truth);
+        assert!((q.precision - 0.5).abs() < 1e-12);
+        assert!((q.recall - 0.5).abs() < 1e-12);
+        assert_eq!(q.correct_repairs, 1);
+    }
+
+    #[test]
+    fn no_repairs_on_dirty_data() {
+        let (dirty, truth) = pair();
+        let report = RepairReport::default();
+        let q = evaluate(&report, &dirty, &truth);
+        assert_eq!(q.precision, 1.0, "vacuous precision");
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn clean_data_no_repairs_is_perfect() {
+        let (_, truth) = pair();
+        let report = RepairReport::default();
+        let q = evaluate(&report, &truth, &truth);
+        assert_eq!(q.f1, 1.0);
+        assert_eq!(q.total_errors, 0);
+    }
+
+    #[test]
+    fn subset_evaluation() {
+        let (mut dirty, truth) = pair();
+        let report = RepairReport {
+            repairs: vec![
+                repair(&mut dirty, 0, 0, "Chicago", 0.9),
+                repair(&mut dirty, 2, 1, "CO", 0.8),
+            ],
+            posteriors: vec![],
+        };
+        // Subset covering only tuple 0 cells: the State repair is invisible.
+        let subset = vec![CellRef::new(0usize, 0usize), CellRef::new(0usize, 1usize)];
+        let q = evaluate_subset(&report, &dirty, &truth, Some(&subset));
+        assert_eq!(q.total_repairs, 1);
+        assert_eq!(q.total_errors, 1);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn repair_to_wrong_value_on_erroneous_cell() {
+        let (mut dirty, truth) = pair();
+        let report = RepairReport {
+            repairs: vec![repair(&mut dirty, 0, 0, "Springfield", 0.7)],
+            posteriors: vec![],
+        };
+        let q = evaluate(&report, &dirty, &truth);
+        assert_eq!(q.correct_repairs, 0);
+        assert_eq!(q.precision, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error injection primitives.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Replaces one character with `x` — the classic Hospital-benchmark typo.
+pub fn typo_x(rng: &mut StdRng, value: &str) -> String {
+    let chars: Vec<char> = value.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    let i = rng.gen_range(0..chars.len());
+    let mut out = chars;
+    out[i] = 'x';
+    out.into_iter().collect()
+}
+
+/// A realistic misspelling: transpose two adjacent characters, drop one,
+/// or duplicate one ("Chicago" → "Cihcago" / "Cicago" / "Chiccago").
+pub fn misspell(rng: &mut StdRng, value: &str) -> String {
+    let chars: Vec<char> = value.chars().collect();
+    if chars.len() < 2 {
+        return typo_x(rng, value);
+    }
+    let mut out = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        1 => {
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        _ => {
+            let i = rng.gen_range(0..out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+    }
+    let result: String = out.into_iter().collect();
+    if result == value {
+        // Transposing equal adjacent characters can be a no-op; fall back.
+        typo_x(rng, value)
+    } else {
+        result
+    }
+}
+
+/// Perturbs a `HH:MM` time by ±5/±10/±30 minutes, wrapping within the day.
+pub fn perturb_time(rng: &mut StdRng, value: &str) -> String {
+    let parse = |s: &str| -> Option<i32> {
+        let (h, m) = s.split_once(':')?;
+        Some(h.parse::<i32>().ok()? * 60 + m.parse::<i32>().ok()?)
+    };
+    match parse(value) {
+        Some(minutes) => {
+            let deltas = [-30, -10, -5, 5, 10, 30];
+            let delta = deltas[rng.gen_range(0..deltas.len())];
+            let new = (minutes + delta).rem_euclid(24 * 60);
+            format!("{:02}:{:02}", new / 60, new % 60)
+        }
+        None => typo_x(rng, value),
+    }
+}
+
+/// Swaps the value for a different item of `pool` (returns `None` when the
+/// pool offers no alternative).
+pub fn swap_from_pool(rng: &mut StdRng, value: &str, pool: &[String]) -> Option<String> {
+    let alternatives: Vec<&String> = pool.iter().filter(|v| v.as_str() != value).collect();
+    if alternatives.is_empty() {
+        return None;
+    }
+    Some(alternatives[rng.gen_range(0..alternatives.len())].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typo_x_changes_or_sets_x() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = typo_x(&mut rng, "Chicago");
+        assert_eq!(t.len(), "Chicago".len());
+        assert!(t.contains('x'));
+        assert_eq!(typo_x(&mut rng, ""), "x");
+    }
+
+    #[test]
+    fn misspell_always_differs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for word in ["Chicago", "IL", "aa", "Sacramento"] {
+            for _ in 0..20 {
+                assert_ne!(misspell(&mut rng, word), word);
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_time_stays_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let t = perturb_time(&mut rng, "09:00");
+            assert_ne!(t, "09:00");
+            let (h, m) = t.split_once(':').unwrap();
+            let h: u32 = h.parse().unwrap();
+            let m: u32 = m.parse().unwrap();
+            assert!(h < 24 && m < 60);
+        }
+        // Wrap-around.
+        let t = perturb_time(&mut rng, "00:00");
+        assert_ne!(t, "00:00");
+    }
+
+    #[test]
+    fn swap_from_pool_avoids_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pool = vec!["a".to_string(), "b".to_string()];
+        for _ in 0..10 {
+            assert_eq!(swap_from_pool(&mut rng, "a", &pool), Some("b".to_string()));
+        }
+        assert_eq!(swap_from_pool(&mut rng, "a", &["a".to_string()]), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic generators for the four datasets of the HoloClean evaluation
+//! (§6.1): **Hospital**, **Flights**, **Food** and **Physicians**.
+//!
+//! The real corpora (the Hospital benchmark, the web-sourced Flights data
+//! of Li et al., Chicago's food-inspection catalog and Medicare's
+//! Physician Compare) are not shipped with this repository; these
+//! generators produce datasets with the same schemas, the same functional
+//! structure (so the paper's denial constraints transfer verbatim), the
+//! same *error character*, and exact ground truth:
+//!
+//! * [`mod@hospital`] — heavy duplication (each provider appears in ~10
+//!   measure rows), sparse random typos (~5% of cells). The easy
+//!   benchmark where constraint-based repair does well.
+//! * [`mod@flights`] — multi-source conflicts: one row per (flight, source),
+//!   with per-source reliabilities and copied errors, the *majority* of
+//!   cells dirty. The dataset where minimality-based repair collapses and
+//!   source-reliability reasoning wins.
+//! * [`mod@food`] — duplicates across inspections plus *non-systematic*
+//!   random errors (typos, value swaps) in a handful of attributes.
+//! * [`mod@physicians`] — *systematic* errors: organisations replicate a
+//!   misspelled city or a wrong zip across every row they contribute;
+//!   zips are 9-digit so 5-digit dictionaries never match (the KATARA
+//!   format-mismatch footnote of Table 3).
+//!
+//! Every generator is deterministic given its seed, returns a
+//! [`GeneratedDataset`] (dirty + clean + constraint text + injected error
+//! list), and scales with a row-count knob so the harness can run
+//! laptop-size (default) or paper-size (`--full`) experiments.
+
+pub mod flights;
+pub mod food;
+pub mod hospital;
+pub mod inject;
+pub mod physicians;
+pub mod spec;
+pub mod vocab;
+
+pub use flights::{flights, FlightsConfig};
+pub use food::{food, FoodConfig};
+pub use hospital::{hospital, HospitalConfig};
+pub use physicians::{physicians, PhysiciansConfig};
+pub use spec::{DatasetKind, GeneratedDataset};

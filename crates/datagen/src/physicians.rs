@@ -1,0 +1,380 @@
+//! The Physicians generator — Medicare "Physician Compare" (§6.1).
+//!
+//! Providers belong to organisations; organisations determine the
+//! practice-location attributes (the `GroupID → …` FDs). The dominant
+//! error mode is *systematic*: an organisation replicates a misspelled
+//! city ("Sacramento" → "Scaramento" in 321 entries) or a wrong zip across
+//! every row it contributes. Zips are 9-digit (zip+4), shared by the
+//! organisations in the same building block — so the intra-data
+//! `Zip → City/State` FDs still bite, while KATARA's 5-digit national
+//! dictionary never matches a single zip (the "format mismatch" footnote
+//! of Table 3).
+
+use crate::inject::misspell;
+use crate::spec::{DatasetKind, GeneratedDataset};
+use crate::vocab;
+use holo_dataset::{CellRef, Dataset, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`physicians`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhysiciansConfig {
+    /// Number of providers (rows ≈ providers × 2).
+    pub providers: usize,
+    /// Providers per organisation.
+    pub providers_per_org: usize,
+    /// Organisations per building block (shared 9-digit zip).
+    pub orgs_per_block: usize,
+    /// Fraction of organisations with a systematic error.
+    pub bad_org_rate: f64,
+    /// Fraction of provider rows with a random name typo.
+    pub typo_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PhysiciansConfig {
+    fn default() -> Self {
+        PhysiciansConfig {
+            providers: 10_000,
+            providers_per_org: 40,
+            orgs_per_block: 5,
+            bad_org_rate: 0.08,
+            typo_rate: 0.002,
+            seed: 0xd0ca,
+        }
+    }
+}
+
+/// The 18 attributes (Table 2).
+pub const PHYSICIANS_ATTRS: [&str; 18] = [
+    "NPI",
+    "LastName",
+    "FirstName",
+    "MiddleInitial",
+    "Gender",
+    "MedicalSchool",
+    "GraduationYear",
+    "PrimarySpecialty",
+    "OrgName",
+    "GroupID",
+    "Address",
+    "City",
+    "State",
+    "Zip",
+    "Phone",
+    "CCN",
+    "HospitalAffiliation",
+    "MedicareAssignment",
+];
+
+/// The nine denial constraints (Table 2).
+pub const PHYSICIANS_CONSTRAINTS: &str = "\
+FD: NPI -> LastName, FirstName, Gender, GraduationYear\n\
+FD: GroupID -> OrgName, Address, Zip\n\
+FD: Zip -> City, State\n";
+
+const SCHOOLS: &[&str] = &[
+    "University of Illinois College of Medicine",
+    "Rush Medical College",
+    "Northwestern University Feinberg School of Medicine",
+    "University of Wisconsin School of Medicine",
+    "UC Davis School of Medicine",
+    "Baylor College of Medicine",
+    "Harvard Medical School",
+    "Johns Hopkins School of Medicine",
+    "Stanford School of Medicine",
+    "University of Washington School of Medicine",
+];
+
+const SPECIALTIES: &[&str] = &[
+    "INTERNAL MEDICINE",
+    "FAMILY PRACTICE",
+    "CARDIOLOGY",
+    "DERMATOLOGY",
+    "ORTHOPEDIC SURGERY",
+    "PEDIATRICS",
+    "PSYCHIATRY",
+    "RADIOLOGY",
+    "ANESTHESIOLOGY",
+    "NEUROLOGY",
+    "UROLOGY",
+    "OPHTHALMOLOGY",
+];
+
+/// Generates the Physicians dataset.
+pub fn physicians(config: PhysiciansConfig) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::new(PHYSICIANS_ATTRS.to_vec());
+    let mut clean = Dataset::new(schema);
+
+    let n_orgs = (config.providers / config.providers_per_org).max(1);
+
+    struct Org {
+        name: String,
+        group_id: String,
+        address: String,
+        city: &'static str,
+        state: &'static str,
+        zip9: String,
+        phone: String,
+        ccn: String,
+        affiliation: String,
+        /// Systematic error: 0 = none, 1 = misspelled city, 2 = wrong zip.
+        error_kind: u8,
+        misspelled_city: String,
+        wrong_zip: String,
+    }
+
+    // Building blocks: orgs_per_block organisations share one 9-digit zip.
+    let n_blocks = n_orgs.div_ceil(config.orgs_per_block);
+    let blocks: Vec<(&'static vocab::CityRecord, String)> = (0..n_blocks)
+        .map(|b| {
+            let c = &vocab::CITIES[b % vocab::CITIES.len()];
+            let zip5 = c.zip_base + (b as u32 / vocab::CITIES.len() as u32) % c.zip_count;
+            let plus4 = 1000 + (b * 37) % 9000;
+            (c, format!("{zip5:05}{plus4:04}"))
+        })
+        .collect();
+
+    let orgs: Vec<Org> = (0..n_orgs)
+        .map(|i| {
+            let (city_rec, zip9) = &blocks[i / config.orgs_per_block];
+            let (_, last) = vocab::person_name(&mut rng);
+            let error_kind = if rng.gen_bool(config.bad_org_rate) {
+                if rng.gen_bool(0.6) {
+                    1
+                } else {
+                    2
+                }
+            } else {
+                0
+            };
+            let misspelled_city = misspell(&mut rng, city_rec.city);
+            // Wrong zip: two digits of the org's own zip+4 corrupted — a
+            // nonexistent zip replicated identically across the org's
+            // affected rows (systematic, as in the real catalog).
+            let wrong_zip = {
+                let mut digits: Vec<u8> = zip9.bytes().collect();
+                let last = digits.len() - 1;
+                digits[last] = b'0' + ((digits[last] - b'0' + 3) % 10);
+                digits[2] = b'0' + ((digits[2] - b'0' + 7) % 10);
+                String::from_utf8(digits).unwrap()
+            };
+            Org {
+                name: format!("{} {} Medical Group", city_rec.city, last),
+                group_id: format!("{:06}", 400_000 + i * 3),
+                address: vocab::address_unique(&mut rng, i),
+                city: city_rec.city,
+                state: city_rec.state,
+                zip9: zip9.clone(),
+                phone: vocab::phone(&mut rng, i),
+                ccn: format!("{:06}", 140_000 + i),
+                affiliation: format!("{} General Hospital", city_rec.city),
+                error_kind,
+                misspelled_city,
+                wrong_zip,
+            }
+        })
+        .collect();
+
+    // Clean rows: two per provider (e.g. two Medicare enrollment records).
+    struct ProviderRow {
+        org: usize,
+    }
+    let mut provider_rows: Vec<ProviderRow> = Vec::with_capacity(config.providers);
+    for p in 0..config.providers {
+        provider_rows.push(ProviderRow {
+            org: p % n_orgs,
+        });
+    }
+
+    let mut rows_meta: Vec<usize> = Vec::new(); // org of each row
+    for (p, pr) in provider_rows.iter().enumerate() {
+        let org = &orgs[pr.org];
+        let npi = format!("{:010}", 1_000_000_000u64 + p as u64 * 17);
+        let (first, last) = vocab::person_name(&mut rng);
+        let middle = ((b'A' + (p % 26) as u8) as char).to_string();
+        let gender = if p % 2 == 0 { "M" } else { "F" };
+        let school = vocab::pick(SCHOOLS, p / 3);
+        let grad_year = format!("{}", 1975 + (p * 7) % 40);
+        let specialty = vocab::pick(SPECIALTIES, p);
+        for _ in 0..2 {
+            clean.push_row(&[
+                npi.as_str(),
+                last.as_str(),
+                first.as_str(),
+                middle.as_str(),
+                gender,
+                school,
+                grad_year.as_str(),
+                specialty,
+                org.name.as_str(),
+                org.group_id.as_str(),
+                org.address.as_str(),
+                org.city,
+                org.state,
+                org.zip9.as_str(),
+                org.phone.as_str(),
+                org.ccn.as_str(),
+                org.affiliation.as_str(),
+                "Y",
+            ]);
+            rows_meta.push(pr.org);
+        }
+    }
+
+    // ---- systematic + light random error injection ----
+    let mut dirty = clean.clone();
+    let city_attr = dirty.schema().attr_id("City").unwrap();
+    let zip_attr = dirty.schema().attr_id("Zip").unwrap();
+    let last_attr = dirty.schema().attr_id("LastName").unwrap();
+    let mut errors = Vec::new();
+    for t in 0..dirty.tuple_count() {
+        let org = &orgs[rows_meta[t]];
+        match org.error_kind {
+            1 => {
+                let sym = dirty.intern(&org.misspelled_city);
+                dirty.set_cell(t.into(), city_attr, sym);
+                errors.push(CellRef {
+                    tuple: t.into(),
+                    attr: city_attr,
+                });
+            }
+            // The wrong zip hits 30% of the org's providers: enough
+            // replication to be systematic, while the org's remaining rows
+            // keep the repair evidence alive. Selection uses the provider's
+            // within-org index (t/2 enumerates providers, org assignment is
+            // provider % n_orgs, so within-org index is provider / n_orgs).
+            2 if (t / 2 / n_orgs) % 10 < 3 => {
+                let sym = dirty.intern(&org.wrong_zip);
+                dirty.set_cell(t.into(), zip_attr, sym);
+                errors.push(CellRef {
+                    tuple: t.into(),
+                    attr: zip_attr,
+                });
+            }
+            _ => {}
+        }
+        if rng.gen_bool(config.typo_rate) {
+            let original = dirty.cell_str(t.into(), last_attr).to_string();
+            let corrupted = misspell(&mut rng, &original);
+            if corrupted != original {
+                let sym = dirty.intern(&corrupted);
+                dirty.set_cell(t.into(), last_attr, sym);
+                errors.push(CellRef {
+                    tuple: t.into(),
+                    attr: last_attr,
+                });
+            }
+        }
+    }
+    errors.sort_unstable();
+    errors.dedup();
+
+    GeneratedDataset {
+        kind: DatasetKind::Physicians,
+        dirty,
+        clean,
+        constraints_text: PHYSICIANS_CONSTRAINTS.to_string(),
+        errors,
+        dictionary: Some(vocab::zip_dictionary()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_constraints::{find_violations, parse_constraints};
+
+    fn small() -> PhysiciansConfig {
+        PhysiciansConfig {
+            providers: 600,
+            // A higher bad-org rate so the 15-org test instance reliably
+            // contains both systematic error kinds.
+            bad_org_rate: 0.3,
+            ..PhysiciansConfig::default()
+        }
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let g = physicians(small());
+        assert_eq!(g.dirty.schema().len(), 18);
+        assert_eq!(g.dirty.tuple_count(), 1200, "two rows per provider");
+    }
+
+    #[test]
+    fn nine_constraints_and_clean_consistency() {
+        let mut g = physicians(small());
+        let cons = parse_constraints(&g.constraints_text, &mut g.clean).unwrap();
+        assert_eq!(cons.len(), 9, "nine DCs as in Table 2");
+        assert!(find_violations(&g.clean, &cons).is_empty());
+    }
+
+    #[test]
+    fn errors_are_systematic() {
+        let g = physicians(small());
+        // Count distinct corrupted city values vs corrupted city cells: a
+        // systematic error re-uses one misspelling across many rows.
+        let city = g.dirty.schema().attr_id("City").unwrap();
+        let mut values = std::collections::HashSet::new();
+        let mut cells = 0;
+        for e in &g.errors {
+            if e.attr == city {
+                values.insert(g.dirty.cell_str(e.tuple, e.attr));
+                cells += 1;
+            }
+        }
+        assert!(cells > 0);
+        assert!(
+            values.len() * 10 <= cells,
+            "{cells} corrupted city cells share {} distinct misspellings",
+            values.len()
+        );
+    }
+
+    #[test]
+    fn zips_are_nine_digit() {
+        let g = physicians(small());
+        let zip = g.clean.schema().attr_id("Zip").unwrap();
+        for t in 0..20 {
+            let z = g.clean.cell_str(t.into(), zip);
+            assert_eq!(z.len(), 9, "zip {z}");
+        }
+    }
+
+    #[test]
+    fn blocks_share_zips_across_orgs() {
+        // The Zip → City FD must have cross-org bite: at least one 9-digit
+        // zip appears under two different GroupIDs.
+        let g = physicians(small());
+        let zip = g.clean.schema().attr_id("Zip").unwrap();
+        let gid = g.clean.schema().attr_id("GroupID").unwrap();
+        let mut by_zip: std::collections::HashMap<&str, std::collections::HashSet<&str>> =
+            Default::default();
+        for t in g.clean.tuples() {
+            by_zip
+                .entry(g.clean.cell_str(t, zip))
+                .or_default()
+                .insert(g.clean.cell_str(t, gid));
+        }
+        assert!(by_zip.values().any(|orgs| orgs.len() >= 2));
+    }
+
+    #[test]
+    fn errors_list_is_exact() {
+        let mut g = physicians(small());
+        let recorded = g.errors.clone();
+        g.recompute_errors();
+        assert_eq!(recorded, g.errors);
+    }
+
+    #[test]
+    fn dirty_violates() {
+        let mut g = physicians(small());
+        let cons = parse_constraints(&g.constraints_text, &mut g.dirty).unwrap();
+        assert!(!find_violations(&g.dirty, &cons).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The common output shape of all generators.
+
+use holo_dataset::{CellRef, Dataset};
+use holo_external::ExtDict;
+
+/// Which of the four evaluation datasets a generator produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// The Hospital benchmark.
+    Hospital,
+    /// The multi-source Flights data.
+    Flights,
+    /// Chicago food inspections.
+    Food,
+    /// Medicare Physician Compare.
+    Physicians,
+}
+
+impl DatasetKind {
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Hospital => "Hospital",
+            DatasetKind::Flights => "Flights",
+            DatasetKind::Food => "Food",
+            DatasetKind::Physicians => "Physicians",
+        }
+    }
+
+    /// The pruning threshold τ the paper reports per dataset (Table 3).
+    pub fn paper_tau(self) -> f64 {
+        match self {
+            DatasetKind::Hospital => 0.5,
+            DatasetKind::Flights => 0.3,
+            DatasetKind::Food => 0.5,
+            DatasetKind::Physicians => 0.7,
+        }
+    }
+
+    /// All four kinds in the paper's table order.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::Hospital,
+            DatasetKind::Flights,
+            DatasetKind::Food,
+            DatasetKind::Physicians,
+        ]
+    }
+}
+
+/// A generated evaluation dataset with ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// Which dataset this is.
+    pub kind: DatasetKind,
+    /// The dirty instance handed to the repair systems.
+    pub dirty: Dataset,
+    /// The clean ground truth (same schema, same tuple order).
+    pub clean: Dataset,
+    /// Denial constraints in the text format of `holo_constraints::parser`.
+    pub constraints_text: String,
+    /// Cells where `dirty` differs from `clean`.
+    pub errors: Vec<CellRef>,
+    /// The external dictionary appropriate for this dataset (used by
+    /// KATARA and the §6.3.2 experiment), if one exists for the domain.
+    pub dictionary: Option<ExtDict>,
+}
+
+impl GeneratedDataset {
+    /// Consistency check + error-list recomputation; used by generator
+    /// tests and as a guard in the harness.
+    pub fn recompute_errors(&mut self) {
+        assert_eq!(self.dirty.tuple_count(), self.clean.tuple_count());
+        assert_eq!(self.dirty.schema().len(), self.clean.schema().len());
+        self.errors = self
+            .dirty
+            .cells()
+            .filter(|c| {
+                self.dirty.cell_str(c.tuple, c.attr) != self.clean.cell_str(c.tuple, c.attr)
+            })
+            .collect();
+    }
+
+    /// Fraction of erroneous cells.
+    pub fn error_rate(&self) -> f64 {
+        if self.dirty.cell_count() == 0 {
+            return 0.0;
+        }
+        self.errors.len() as f64 / self.dirty.cell_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_taus_match_table3() {
+        assert_eq!(DatasetKind::Hospital.paper_tau(), 0.5);
+        assert_eq!(DatasetKind::Flights.paper_tau(), 0.3);
+        assert_eq!(DatasetKind::Food.paper_tau(), 0.5);
+        assert_eq!(DatasetKind::Physicians.paper_tau(), 0.7);
+    }
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let names: Vec<_> = DatasetKind::all().iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

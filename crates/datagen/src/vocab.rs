@@ -1,0 +1,187 @@
+//! Seeded vocabularies shared by the dataset generators: city/state/zip
+//! geography, person and business names, streets and phone numbers.
+
+use holo_external::ExtDict;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A city with its state and a block of zip codes.
+#[derive(Debug, Clone)]
+pub struct CityRecord {
+    /// City name.
+    pub city: &'static str,
+    /// Two-letter state.
+    pub state: &'static str,
+    /// First zip of the city's block.
+    pub zip_base: u32,
+    /// Number of zips in the block.
+    pub zip_count: u32,
+}
+
+/// A fixed, realistic city/state/zip geography. Zips are disjoint across
+/// cities so `Zip → City` and `Zip → State` hold in clean data.
+pub const CITIES: &[CityRecord] = &[
+    CityRecord { city: "Chicago", state: "IL", zip_base: 60601, zip_count: 40 },
+    CityRecord { city: "Evanston", state: "IL", zip_base: 60201, zip_count: 4 },
+    CityRecord { city: "Springfield", state: "IL", zip_base: 62701, zip_count: 6 },
+    CityRecord { city: "Madison", state: "WI", zip_base: 53703, zip_count: 6 },
+    CityRecord { city: "Milwaukee", state: "WI", zip_base: 53202, zip_count: 10 },
+    CityRecord { city: "Sacramento", state: "CA", zip_base: 95811, zip_count: 12 },
+    CityRecord { city: "Fresno", state: "CA", zip_base: 93701, zip_count: 8 },
+    CityRecord { city: "Austin", state: "TX", zip_base: 78701, zip_count: 12 },
+    CityRecord { city: "Houston", state: "TX", zip_base: 77002, zip_count: 16 },
+    CityRecord { city: "Boston", state: "MA", zip_base: 2108, zip_count: 10 },
+    CityRecord { city: "Worcester", state: "MA", zip_base: 1601, zip_count: 6 },
+    CityRecord { city: "Denver", state: "CO", zip_base: 80202, zip_count: 10 },
+    CityRecord { city: "Phoenix", state: "AZ", zip_base: 85003, zip_count: 12 },
+    CityRecord { city: "Seattle", state: "WA", zip_base: 98101, zip_count: 10 },
+    CityRecord { city: "Portland", state: "OR", zip_base: 97201, zip_count: 8 },
+    CityRecord { city: "Nashville", state: "TN", zip_base: 37201, zip_count: 8 },
+];
+
+const STREET_NAMES: &[&str] = &[
+    "Morgan", "Wells", "Erie", "Cermak", "State", "Lake", "Madison", "Clark", "Halsted",
+    "Damen", "Ashland", "Western", "Pulaski", "Cicero", "Archer", "Kedzie", "Main", "Oak",
+    "Maple", "Washington",
+];
+
+const STREET_SUFFIXES: &[&str] = &["ST", "AVE", "RD", "BLVD", "DR", "PL"];
+
+const FIRST_NAMES: &[&str] = &[
+    "John", "Mary", "Robert", "Linda", "Michael", "Susan", "David", "Karen", "James",
+    "Patricia", "Daniel", "Nancy", "Thomas", "Laura", "Carlos", "Elena", "Wei", "Amara",
+    "Noah", "Sofia",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Veliotis", "Nakamura", "Okafor", "Kowalski", "Petrov",
+];
+
+const BUSINESS_HEADS: &[&str] = &[
+    "Johnny", "Lakeview", "Morgan", "Golden", "Blue Door", "Prairie", "Windy City",
+    "North Side", "Halsted", "Union", "Harbor", "Cedar", "Granite", "Sunset", "Twin Oaks",
+];
+
+const BUSINESS_TAILS: &[&str] = &[
+    "Grill", "Diner", "Cafe", "Bakery", "Tavern", "Market", "Kitchen", "Bistro",
+    "Pizzeria", "Deli", "Brewhouse", "Cantina",
+];
+
+/// Picks a deterministic element of `items` for index `i` (wrapping).
+pub fn pick<T: Copy>(items: &[T], i: usize) -> T {
+    items[i % items.len()]
+}
+
+/// Random element via RNG.
+pub fn choose<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// A random street address. May collide across entities; generators that
+/// need per-entity uniqueness should use [`address_unique`].
+pub fn address(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} {} {}",
+        rng.gen_range(1..5000),
+        ["N", "S", "E", "W"][rng.gen_range(0..4)],
+        choose(rng, STREET_NAMES),
+        choose(rng, STREET_SUFFIXES),
+    )
+}
+
+/// A street address whose house number encodes `entity` — unique per
+/// entity, so accidental cross-entity address collisions cannot create
+/// spurious co-occurrence evidence.
+pub fn address_unique(rng: &mut StdRng, entity: usize) -> String {
+    format!(
+        "{} {} {} {}",
+        100 + entity,
+        ["N", "S", "E", "W"][rng.gen_range(0..4)],
+        choose(rng, STREET_NAMES),
+        choose(rng, STREET_SUFFIXES),
+    )
+}
+
+/// A person name `(first, last)`.
+pub fn person_name(rng: &mut StdRng) -> (String, String) {
+    (
+        (*choose(rng, FIRST_NAMES)).to_string(),
+        (*choose(rng, LAST_NAMES)).to_string(),
+    )
+}
+
+/// A business name like "Johnny's Grill".
+pub fn business_name(rng: &mut StdRng) -> String {
+    format!("{}'s {}", choose(rng, BUSINESS_HEADS), choose(rng, BUSINESS_TAILS))
+}
+
+/// A 10-digit phone number with a region-stable area code.
+pub fn phone(rng: &mut StdRng, area_seed: usize) -> String {
+    let area = 200 + (area_seed * 37) % 700;
+    format!("{area}-{:03}-{:04}", rng.gen_range(200..999), rng.gen_range(0..9999))
+}
+
+/// Picks a city and one of its zips.
+pub fn city_zip(rng: &mut StdRng) -> (&'static CityRecord, String) {
+    let c = &CITIES[rng.gen_range(0..CITIES.len())];
+    let zip = c.zip_base + rng.gen_range(0..c.zip_count);
+    (c, format!("{zip:05}"))
+}
+
+/// The national address dictionary used by KATARA and the external-data
+/// experiments: every (city, state, zip) triple of the geography. Matches
+/// the dictionary the paper downloaded from federalgovernmentzipcodes.us.
+pub fn zip_dictionary() -> ExtDict {
+    let mut csv = String::from("Ext_City,Ext_State,Ext_Zip\n");
+    for c in CITIES {
+        for i in 0..c.zip_count {
+            csv.push_str(&format!("{},{},{:05}\n", c.city, c.state, c.zip_base + i));
+        }
+    }
+    ExtDict::from_csv("us_zip_codes", &csv).expect("static dictionary is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zips_are_disjoint_across_cities() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CITIES {
+            for i in 0..c.zip_count {
+                assert!(seen.insert(c.zip_base + i), "zip overlap at {}", c.zip_base + i);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(address(&mut a), address(&mut b));
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(business_name(&mut a), business_name(&mut b));
+    }
+
+    #[test]
+    fn dictionary_covers_all_zips() {
+        let dict = zip_dictionary();
+        let total: u32 = CITIES.iter().map(|c| c.zip_count).sum();
+        assert_eq!(dict.data.tuple_count(), total as usize);
+        assert!(dict.attr("Ext_City").is_ok());
+        assert!(dict.attr("Ext_Zip").is_ok());
+    }
+
+    #[test]
+    fn zip_format_is_five_digits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let (_, zip) = city_zip(&mut rng);
+            assert_eq!(zip.len(), 5, "zip {zip}");
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Minimal CSV reader/writer (RFC-4180 subset: quoted fields, `""` escapes,
+//! CRLF tolerance). Implemented locally so realistic inputs can be loaded
+//! without crates outside the allowed dependency set.
+
+use crate::error::DatasetError;
+use crate::schema::Schema;
+use crate::table::Dataset;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Parses CSV text into records. The first record is the header.
+pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, DatasetError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut line = 1usize;
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_start_line = line;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Swallow the \r of a CRLF pair; stray \r is treated as \n.
+                if chars.peek() == Some(&'\n') {
+                    continue;
+                }
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(DatasetError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !saw_any || records.is_empty() {
+        return Err(DatasetError::EmptyInput);
+    }
+    Ok(records)
+}
+
+/// Parses CSV text (header + data rows) into a [`Dataset`].
+pub fn parse_dataset(input: &str) -> Result<Dataset, DatasetError> {
+    let records = parse_records(input)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(DatasetError::EmptyInput)?;
+    let arity = header.len();
+    let mut ds = Dataset::new(Schema::new(header));
+    for (i, rec) in iter.enumerate() {
+        if rec.len() != arity {
+            return Err(DatasetError::ArityMismatch {
+                line: i + 2,
+                expected: arity,
+                found: rec.len(),
+            });
+        }
+        ds.push_row(&rec);
+    }
+    Ok(ds)
+}
+
+/// Loads a dataset from a CSV file.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Dataset, DatasetError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_dataset(&text)
+}
+
+/// Escapes one field per RFC 4180 (quote iff it contains `,`, `"` or a
+/// newline).
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialises a dataset to CSV text (header + rows).
+pub fn to_csv_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = ds.schema().names().iter().map(|n| escape(n)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for t in ds.tuples() {
+        let row: Vec<String> = ds
+            .schema()
+            .attrs()
+            .map(|a| escape(ds.cell_str(t, a)))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a dataset to a CSV file (buffered).
+pub fn write_file(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), DatasetError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(to_csv_string(ds).as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_parse() {
+        let ds = parse_dataset("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(ds.tuple_count(), 2);
+        assert_eq!(ds.schema().names(), &["a", "b"]);
+        assert_eq!(ds.cell_str(0.into(), 1.into()), "2");
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let ds = parse_dataset("name,addr\n\"Doe, John\",\"12 Main St\nApt 4\"\n").unwrap();
+        assert_eq!(ds.cell_str(0.into(), 0.into()), "Doe, John");
+        assert_eq!(ds.cell_str(0.into(), 1.into()), "12 Main St\nApt 4");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let ds = parse_dataset("a\n\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(ds.cell_str(0.into(), 0.into()), "say \"hi\"");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let ds = parse_dataset("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(ds.tuple_count(), 1);
+        assert_eq!(ds.cell_str(0.into(), 1.into()), "2");
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let ds = parse_dataset("a,b\n1,2").unwrap();
+        assert_eq!(ds.tuple_count(), 1);
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let ds = parse_dataset("a,b\n,x\n").unwrap();
+        assert!(ds.cell(0.into(), 0.into()).is_null());
+        assert_eq!(ds.cell_str(0.into(), 1.into()), "x");
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let err = parse_dataset("a,b\n1,2\n1,2,3\n").unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::ArityMismatch {
+                line: 3,
+                expected: 2,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let err = parse_dataset("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, DatasetError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse_dataset("").unwrap_err(), DatasetError::EmptyInput);
+    }
+
+    #[test]
+    fn header_only_dataset() {
+        let ds = parse_dataset("a,b\n").unwrap();
+        assert_eq!(ds.tuple_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_with_special_chars() {
+        let mut ds = Dataset::new(Schema::new(vec!["x", "y"]));
+        ds.push_row(&["plain", "has,comma"]);
+        ds.push_row(&["has\"quote", "has\nnewline"]);
+        let text = to_csv_string(&ds);
+        let back = parse_dataset(&text).unwrap();
+        assert_eq!(back.tuple_count(), 2);
+        assert_eq!(back.cell_str(0.into(), 1.into()), "has,comma");
+        assert_eq!(back.cell_str(1.into(), 0.into()), "has\"quote");
+        assert_eq!(back.cell_str(1.into(), 1.into()), "has\nnewline");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut ds = Dataset::new(Schema::new(vec!["a"]));
+        ds.push_row(&["v1"]);
+        let dir = std::env::temp_dir().join("holo_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_file(&ds, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.cell_str(0.into(), 0.into()), "v1");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            rows in proptest::collection::vec(
+                proptest::collection::vec("[ -~]{0,10}", 3..4usize), 1..20)
+        ) {
+            let mut ds = Dataset::new(Schema::new(vec!["c0", "c1", "c2"]));
+            for r in &rows {
+                ds.push_row(r);
+            }
+            let text = to_csv_string(&ds);
+            let back = parse_dataset(&text).unwrap();
+            prop_assert_eq!(back.tuple_count(), rows.len());
+            for (i, r) in rows.iter().enumerate() {
+                for (j, v) in r.iter().enumerate() {
+                    prop_assert_eq!(back.cell_str(i.into(), j.into()), v.as_str());
+                }
+            }
+        }
+    }
+}

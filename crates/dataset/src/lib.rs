@@ -1,0 +1,50 @@
+//! Relational substrate for the HoloClean reproduction.
+//!
+//! HoloClean (Rekatsinas et al., VLDB 2017) treats an input database as a set
+//! of tuples, each tuple a set of *cells*, one per attribute. This crate
+//! provides that representation plus everything the upper layers need from
+//! the storage engine the paper delegated to Postgres:
+//!
+//! * [`ValuePool`] — an append-only string interner mapping cell values to
+//!   compact [`Sym`] handles so that the rest of the system works on `u32`s.
+//! * [`Schema`] / [`AttrId`] — attribute metadata.
+//! * [`Dataset`] — a columnar table of interned cells addressed by
+//!   [`CellRef`] `(tuple, attribute)` pairs.
+//! * [`csv`] — a small CSV reader/writer (quoted fields, RFC-4180 escapes)
+//!   so realistic inputs can be loaded without external crates.
+//! * [`stats`] — per-attribute frequency tables and pairwise co-occurrence
+//!   statistics; these power both HoloClean's quantitative-statistics
+//!   features (§4.2) and the Algorithm 2 domain-pruning rule
+//!   `Pr[v | v_c'] ≥ τ`.
+//! * [`fxhash`] — the Fx multiply-xor hasher, implemented locally because
+//!   hashing interned symbols is on the hot path of statistics collection
+//!   and violation blocking.
+//!
+//! # Example
+//!
+//! ```
+//! use holo_dataset::{Dataset, Schema};
+//!
+//! let schema = Schema::new(vec!["City", "State", "Zip"]);
+//! let mut ds = Dataset::new(schema);
+//! ds.push_row(&["Chicago", "IL", "60608"]);
+//! ds.push_row(&["Chicago", "IL", "60609"]);
+//! assert_eq!(ds.tuple_count(), 2);
+//! let city = ds.schema().attr_id("City").unwrap();
+//! assert_eq!(ds.value_str(ds.cell(0.into(), city)), "Chicago");
+//! ```
+
+pub mod csv;
+pub mod error;
+pub mod fxhash;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use error::DatasetError;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use schema::{AttrId, Schema};
+pub use stats::{CooccurStats, FrequencyStats};
+pub use table::{CellRef, Dataset, TupleId};
+pub use value::{Sym, ValuePool};

@@ -1,0 +1,121 @@
+//! Attribute metadata for a dataset.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an attribute within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The raw index, usable to address per-attribute tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for AttrId {
+    fn from(i: usize) -> Self {
+        debug_assert!(i <= u16::MAX as usize, "attribute index overflow");
+        AttrId(i as u16)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The ordered attribute list `A = {A1, …, AN}` of a dataset (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    ///
+    /// # Panics
+    /// Panics on duplicate attribute names — constraints address attributes
+    /// by name and a duplicate would make that ambiguous.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate attribute name: {n:?}"
+            );
+        }
+        Schema { names }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of attribute `a`.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.names[a.index()]
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// Iterates over all attribute ids.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.names.len() as u16).map(AttrId)
+    }
+
+    /// All attribute names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_roundtrip() {
+        let s = Schema::new(vec!["DBAName", "City", "State", "Zip"]);
+        assert_eq!(s.len(), 4);
+        let city = s.attr_id("City").unwrap();
+        assert_eq!(s.attr_name(city), "City");
+        assert_eq!(city, AttrId(1));
+        assert_eq!(s.attr_id("Nope"), None);
+    }
+
+    #[test]
+    fn attrs_iterates_in_order() {
+        let s = Schema::new(vec!["a", "b", "c"]);
+        let ids: Vec<_> = s.attrs().collect();
+        assert_eq!(ids, vec![AttrId(0), AttrId(1), AttrId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(Vec::<String>::new());
+        assert!(s.is_empty());
+        assert_eq!(s.attrs().count(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Quantitative statistics of a dataset.
+//!
+//! HoloClean uses two statistical views of the input (§4.1, §5.1.1):
+//!
+//! * [`FrequencyStats`] — per-attribute value counts (the empirical
+//!   distribution of each attribute); used by outlier detection and by the
+//!   SCARE baseline.
+//! * [`CooccurStats`] — pairwise co-occurrence counts
+//!   `#(v@A, v'@A')` for every ordered attribute pair, which give the
+//!   conditional probability `Pr[v | v'] = #(v, v') / #v'` at the heart of
+//!   the Algorithm 2 domain-pruning rule and of the co-occurrence features
+//!   (`HasFeature(t, a, f)` with `f = "A'=v'"`).
+//!
+//! Null cells never contribute to co-occurrence statistics: a missing value
+//! is evidence of nothing.
+
+use crate::fxhash::FxHashMap;
+use crate::schema::AttrId;
+use crate::table::Dataset;
+use crate::value::Sym;
+
+/// Per-attribute value frequency tables.
+#[derive(Debug, Clone)]
+pub struct FrequencyStats {
+    counts: Vec<FxHashMap<Sym, u32>>,
+    tuples: usize,
+}
+
+impl FrequencyStats {
+    /// Scans the dataset once and tabulates per-attribute counts.
+    pub fn build(ds: &Dataset) -> Self {
+        let mut counts: Vec<FxHashMap<Sym, u32>> = vec![FxHashMap::default(); ds.schema().len()];
+        for a in ds.schema().attrs() {
+            let table = &mut counts[a.index()];
+            for &sym in ds.column(a) {
+                *table.entry(sym).or_insert(0) += 1;
+            }
+        }
+        FrequencyStats {
+            counts,
+            tuples: ds.tuple_count(),
+        }
+    }
+
+    /// Number of tuples the statistics were computed over.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples
+    }
+
+    /// How often `v` occurs in attribute `a`.
+    #[inline]
+    pub fn count(&self, a: AttrId, v: Sym) -> u32 {
+        self.counts[a.index()].get(&v).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of `v` within attribute `a`.
+    pub fn prob(&self, a: AttrId, v: Sym) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            f64::from(self.count(a, v)) / self.tuples as f64
+        }
+    }
+
+    /// The most frequent non-null value of attribute `a`, if any. Ties break
+    /// toward the smaller symbol id for determinism.
+    pub fn most_common(&self, a: AttrId) -> Option<(Sym, u32)> {
+        self.counts[a.index()]
+            .iter()
+            .filter(|(s, _)| !s.is_null())
+            .map(|(&s, &c)| (s, c))
+            .max_by(|(s1, c1), (s2, c2)| c1.cmp(c2).then(s2.cmp(s1)))
+    }
+
+    /// Number of distinct values (null included if present) in attribute `a`.
+    pub fn distinct(&self, a: AttrId) -> usize {
+        self.counts[a.index()].len()
+    }
+
+    /// Iterates over `(value, count)` for attribute `a`.
+    pub fn iter_attr(&self, a: AttrId) -> impl Iterator<Item = (Sym, u32)> + '_ {
+        self.counts[a.index()].iter().map(|(&s, &c)| (s, c))
+    }
+}
+
+/// Packs a `(cond_attr, target_attr, cond_sym)` triple into a `u64` map key.
+#[inline]
+fn key(cond_attr: AttrId, target_attr: AttrId, cond_sym: Sym) -> u64 {
+    ((cond_attr.0 as u64) << 48) | ((target_attr.0 as u64) << 32) | cond_sym.0 as u64
+}
+
+/// Pairwise co-occurrence statistics.
+///
+/// For every ordered attribute pair `(A', A)` and every non-null value `v'`
+/// of `A'`, stores the multiset of values of `A` that co-occur with `v'` in
+/// the same tuple. Construction is a single `O(|D| · |A|²)` pass.
+#[derive(Debug, Clone)]
+pub struct CooccurStats {
+    /// `(A', A, v') → {v: count}`.
+    table: FxHashMap<u64, FxHashMap<Sym, u32>>,
+    freq: FrequencyStats,
+}
+
+impl CooccurStats {
+    /// Builds co-occurrence statistics with one pass over the dataset.
+    pub fn build(ds: &Dataset) -> Self {
+        let freq = FrequencyStats::build(ds);
+        let attrs: Vec<AttrId> = ds.schema().attrs().collect();
+        let mut table: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
+        for t in ds.tuples() {
+            for &cond in &attrs {
+                let v_cond = ds.cell(t, cond);
+                if v_cond.is_null() {
+                    continue;
+                }
+                for &target in &attrs {
+                    if target == cond {
+                        continue;
+                    }
+                    let v_target = ds.cell(t, target);
+                    if v_target.is_null() {
+                        continue;
+                    }
+                    *table
+                        .entry(key(cond, target, v_cond))
+                        .or_default()
+                        .entry(v_target)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        CooccurStats { table, freq }
+    }
+
+    /// The frequency statistics computed alongside.
+    pub fn freq(&self) -> &FrequencyStats {
+        &self.freq
+    }
+
+    /// `#(v@target, v'@cond)` — tuples where both values appear together.
+    pub fn cooccur_count(&self, cond: AttrId, v_cond: Sym, target: AttrId, v: Sym) -> u32 {
+        self.table
+            .get(&key(cond, target, v_cond))
+            .and_then(|m| m.get(&v))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The Algorithm 2 conditional probability
+    /// `Pr[v@target | v'@cond] = #(v, v') / #v'`.
+    pub fn conditional_prob(&self, cond: AttrId, v_cond: Sym, target: AttrId, v: Sym) -> f64 {
+        let denom = self.freq.count(cond, v_cond);
+        if denom == 0 {
+            return 0.0;
+        }
+        f64::from(self.cooccur_count(cond, v_cond, target, v)) / f64::from(denom)
+    }
+
+    /// All values of `target` co-occurring with `v_cond@cond`, with counts.
+    /// Returns `None` when `v_cond` never co-occurs with a non-null `target`
+    /// value.
+    pub fn cooccurring(
+        &self,
+        cond: AttrId,
+        v_cond: Sym,
+        target: AttrId,
+    ) -> Option<&FxHashMap<Sym, u32>> {
+        self.table.get(&key(cond, target, v_cond))
+    }
+
+    /// Number of distinct `(cond, target, v_cond)` groups stored.
+    pub fn group_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use proptest::prelude::*;
+
+    fn chicago() -> Dataset {
+        let mut ds = Dataset::new(Schema::new(vec!["City", "State", "Zip"]));
+        ds.push_row(&["Chicago", "IL", "60608"]);
+        ds.push_row(&["Chicago", "IL", "60608"]);
+        ds.push_row(&["Chicago", "IL", "60609"]);
+        ds.push_row(&["Cicago", "IL", "60608"]);
+        ds.push_row(&["", "IL", "60608"]);
+        ds
+    }
+
+    #[test]
+    fn frequency_counts() {
+        let ds = chicago();
+        let f = FrequencyStats::build(&ds);
+        let city = ds.schema().attr_id("City").unwrap();
+        let chicago = ds.pool().get("Chicago").unwrap();
+        let cicago = ds.pool().get("Cicago").unwrap();
+        assert_eq!(f.count(city, chicago), 3);
+        assert_eq!(f.count(city, cicago), 1);
+        assert_eq!(f.count(city, Sym::NULL), 1);
+        assert_eq!(f.tuple_count(), 5);
+        assert!((f.prob(city, chicago) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_common_ignores_null() {
+        let ds = chicago();
+        let f = FrequencyStats::build(&ds);
+        let city = ds.schema().attr_id("City").unwrap();
+        let (sym, count) = f.most_common(city).unwrap();
+        assert_eq!(ds.value_str(sym), "Chicago");
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn cooccurrence_counts() {
+        let ds = chicago();
+        let s = CooccurStats::build(&ds);
+        let city = ds.schema().attr_id("City").unwrap();
+        let zip = ds.schema().attr_id("Zip").unwrap();
+        let chicago = ds.pool().get("Chicago").unwrap();
+        let z08 = ds.pool().get("60608").unwrap();
+        let z09 = ds.pool().get("60609").unwrap();
+        // "Chicago" co-occurs with 60608 twice and 60609 once.
+        assert_eq!(s.cooccur_count(city, chicago, zip, z08), 2);
+        assert_eq!(s.cooccur_count(city, chicago, zip, z09), 1);
+        // Conditioning the other way: of 4 tuples with zip 60608, 2 say Chicago.
+        assert_eq!(s.cooccur_count(zip, z08, city, chicago), 2);
+        assert!((s.conditional_prob(zip, z08, city, chicago) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_do_not_cooccur() {
+        let ds = chicago();
+        let s = CooccurStats::build(&ds);
+        let city = ds.schema().attr_id("City").unwrap();
+        let zip = ds.schema().attr_id("Zip").unwrap();
+        let z08 = ds.pool().get("60608").unwrap();
+        // The null city of t4 must not appear among zip→city co-occurrences.
+        let m = s.cooccurring(zip, z08, city).unwrap();
+        assert!(!m.contains_key(&Sym::NULL));
+        // Sum over city values for 60608 = 3 non-null cities (2 Chicago + 1 Cicago).
+        let total: u32 = m.values().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn conditional_prob_of_unseen_is_zero() {
+        let ds = chicago();
+        let s = CooccurStats::build(&ds);
+        let city = ds.schema().attr_id("City").unwrap();
+        let state = ds.schema().attr_id("State").unwrap();
+        let cicago = ds.pool().get("Cicago").unwrap();
+        let z09 = ds.pool().get("60609").unwrap();
+        // Cicago never co-occurs with 60609.
+        let zip = ds.schema().attr_id("Zip").unwrap();
+        assert_eq!(s.conditional_prob(city, cicago, zip, z09), 0.0);
+        // And an unseen conditioning value yields 0, not a panic.
+        let ghost = Sym(9999);
+        assert_eq!(s.conditional_prob(state, ghost, city, cicago), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new(Schema::new(vec!["a", "b"]));
+        let f = FrequencyStats::build(&ds);
+        assert_eq!(f.tuple_count(), 0);
+        assert_eq!(f.prob(AttrId(0), Sym(1)), 0.0);
+        let s = CooccurStats::build(&ds);
+        assert_eq!(s.group_count(), 0);
+    }
+
+    proptest! {
+        /// Conditional probabilities over a fixed conditioning value sum to
+        /// ≤ 1 for each target attribute (== 1 when no nulls involved).
+        #[test]
+        fn conditional_probs_normalised(
+            rows in proptest::collection::vec(
+                (0u8..4, 0u8..4), 1..40)
+        ) {
+            let mut ds = Dataset::new(Schema::new(vec!["x", "y"]));
+            for (x, y) in &rows {
+                ds.push_row(&[format!("x{x}"), format!("y{y}")]);
+            }
+            let s = CooccurStats::build(&ds);
+            let x_attr = AttrId(0);
+            let y_attr = AttrId(1);
+            for v in ds.active_domain(x_attr) {
+                let total: f64 = ds
+                    .active_domain(y_attr)
+                    .iter()
+                    .map(|&y| s.conditional_prob(x_attr, v, y_attr, y))
+                    .sum();
+                prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+            }
+        }
+
+        /// Co-occurrence is symmetric in count: #(v,v') == #(v',v).
+        #[test]
+        fn cooccurrence_symmetric(
+            rows in proptest::collection::vec((0u8..3, 0u8..3), 1..30)
+        ) {
+            let mut ds = Dataset::new(Schema::new(vec!["x", "y"]));
+            for (x, y) in &rows {
+                ds.push_row(&[format!("x{x}"), format!("y{y}")]);
+            }
+            let s = CooccurStats::build(&ds);
+            for vx in ds.active_domain(AttrId(0)) {
+                for vy in ds.active_domain(AttrId(1)) {
+                    prop_assert_eq!(
+                        s.cooccur_count(AttrId(0), vx, AttrId(1), vy),
+                        s.cooccur_count(AttrId(1), vy, AttrId(0), vx)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Columnar dataset storage.
+//!
+//! A [`Dataset`] stores one [`Sym`] column per attribute. Columnar layout is
+//! deliberate: statistics collection, violation blocking and feature
+//! extraction all scan single attributes across all tuples, and a dense
+//! `Vec<Sym>` per attribute keeps those scans sequential.
+
+use crate::error::DatasetError;
+use crate::schema::{AttrId, Schema};
+use crate::value::{Sym, ValuePool};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a tuple (row) in a [`Dataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for TupleId {
+    fn from(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "tuple index overflow");
+        TupleId(i as u32)
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Address of a single cell `t[a]` (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellRef {
+    /// The tuple the cell belongs to.
+    pub tuple: TupleId,
+    /// The attribute of the cell.
+    pub attr: AttrId,
+}
+
+impl CellRef {
+    /// Convenience constructor.
+    pub fn new(tuple: impl Into<TupleId>, attr: impl Into<AttrId>) -> Self {
+        CellRef {
+            tuple: tuple.into(),
+            attr: attr.into(),
+        }
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.tuple, self.attr)
+    }
+}
+
+/// A structured dataset `D`: a schema, an interner, and one column per
+/// attribute.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Schema,
+    pool: ValuePool,
+    columns: Vec<Vec<Sym>>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.len()];
+        Dataset {
+            schema,
+            pool: ValuePool::new(),
+            columns,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The value pool.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Interns a value into this dataset's pool (e.g. a candidate repair
+    /// coming from an external dictionary).
+    pub fn intern(&mut self, value: &str) -> Sym {
+        self.pool.intern(value)
+    }
+
+    /// Number of tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Number of cells (`tuples × attributes`).
+    pub fn cell_count(&self) -> usize {
+        self.tuple_count() * self.schema.len()
+    }
+
+    /// Appends a row of raw string values.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the schema arity.
+    pub fn push_row<S: AsRef<str>>(&mut self, row: &[S]) -> TupleId {
+        assert_eq!(
+            row.len(),
+            self.schema.len(),
+            "row arity {} does not match schema arity {}",
+            row.len(),
+            self.schema.len()
+        );
+        let id = TupleId(self.tuple_count() as u32);
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            // Inline `self.pool.intern` borrow: split borrows manually.
+            let sym = {
+                let pool = &mut self.pool;
+                pool.intern(value.as_ref())
+            };
+            col.push(sym);
+        }
+        id
+    }
+
+    /// Appends a row of already-interned symbols.
+    pub fn push_row_syms(&mut self, row: &[Sym]) -> TupleId {
+        assert_eq!(row.len(), self.schema.len());
+        let id = TupleId(self.tuple_count() as u32);
+        for (col, &sym) in self.columns.iter_mut().zip(row) {
+            debug_assert!(sym.index() < self.pool.len(), "foreign symbol");
+            col.push(sym);
+        }
+        id
+    }
+
+    /// The symbol stored at cell `t[a]`.
+    #[inline]
+    pub fn cell(&self, t: TupleId, a: AttrId) -> Sym {
+        self.columns[a.index()][t.index()]
+    }
+
+    /// The symbol stored at `cell`.
+    #[inline]
+    pub fn cell_ref(&self, cell: CellRef) -> Sym {
+        self.cell(cell.tuple, cell.attr)
+    }
+
+    /// Overwrites cell `t[a]` — this is how repairs are materialised.
+    pub fn set_cell(&mut self, t: TupleId, a: AttrId, value: Sym) {
+        debug_assert!(value.index() < self.pool.len(), "foreign symbol");
+        self.columns[a.index()][t.index()] = value;
+    }
+
+    /// The string value of `sym` in this dataset's pool.
+    #[inline]
+    pub fn value_str(&self, sym: Sym) -> &str {
+        self.pool.resolve(sym)
+    }
+
+    /// The string at cell `t[a]`.
+    pub fn cell_str(&self, t: TupleId, a: AttrId) -> &str {
+        self.value_str(self.cell(t, a))
+    }
+
+    /// The full column for attribute `a`.
+    #[inline]
+    pub fn column(&self, a: AttrId) -> &[Sym] {
+        &self.columns[a.index()]
+    }
+
+    /// All cells of tuple `t` in schema order.
+    pub fn row(&self, t: TupleId) -> Vec<Sym> {
+        self.columns.iter().map(|c| c[t.index()]).collect()
+    }
+
+    /// Iterates over all tuple ids.
+    pub fn tuples(&self) -> impl Iterator<Item = TupleId> {
+        (0..self.tuple_count() as u32).map(TupleId)
+    }
+
+    /// Iterates over every cell reference.
+    pub fn cells(&self) -> impl Iterator<Item = CellRef> + '_ {
+        let attrs = self.schema.len() as u16;
+        self.tuples().flat_map(move |t| {
+            (0..attrs).map(move |a| CellRef {
+                tuple: t,
+                attr: AttrId(a),
+            })
+        })
+    }
+
+    /// The *active domain* of attribute `a`: every distinct symbol that
+    /// occurs in its column, null excluded, in first-occurrence order.
+    pub fn active_domain(&self, a: AttrId) -> Vec<Sym> {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        let mut out = Vec::new();
+        for &sym in self.column(a) {
+            if !sym.is_null() && seen.insert(sym) {
+                out.push(sym);
+            }
+        }
+        out
+    }
+
+    /// Looks up an attribute id by name, as a `Result` for fallible callers.
+    pub fn require_attr(&self, name: &str) -> Result<AttrId, DatasetError> {
+        self.schema
+            .attr_id(name)
+            .ok_or_else(|| DatasetError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Returns a deep copy sharing no state, useful before applying repairs.
+    pub fn snapshot(&self) -> Dataset {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        let mut ds = Dataset::new(Schema::new(vec!["City", "State", "Zip"]));
+        ds.push_row(&["Chicago", "IL", "60608"]);
+        ds.push_row(&["Cicago", "IL", "60608"]);
+        ds.push_row(&["Chicago", "IL", "60609"]);
+        ds
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let ds = small();
+        assert_eq!(ds.tuple_count(), 3);
+        assert_eq!(ds.cell_count(), 9);
+        assert_eq!(ds.cell_str(TupleId(0), AttrId(0)), "Chicago");
+        assert_eq!(ds.cell_str(TupleId(1), AttrId(0)), "Cicago");
+        assert_eq!(ds.cell_str(TupleId(2), AttrId(2)), "60609");
+    }
+
+    #[test]
+    fn interning_shares_symbols() {
+        let ds = small();
+        assert_eq!(ds.cell(TupleId(0), AttrId(0)), ds.cell(TupleId(2), AttrId(0)));
+        assert_ne!(ds.cell(TupleId(0), AttrId(0)), ds.cell(TupleId(1), AttrId(0)));
+    }
+
+    #[test]
+    fn set_cell_repairs() {
+        let mut ds = small();
+        let chicago = ds.pool().get("Chicago").unwrap();
+        ds.set_cell(TupleId(1), AttrId(0), chicago);
+        assert_eq!(ds.cell_str(TupleId(1), AttrId(0)), "Chicago");
+    }
+
+    #[test]
+    fn active_domain_dedups_and_skips_null() {
+        let mut ds = small();
+        ds.push_row(&["", "IL", "60608"]);
+        let dom = ds.active_domain(AttrId(0));
+        let strs: Vec<_> = dom.iter().map(|&s| ds.value_str(s)).collect();
+        assert_eq!(strs, vec!["Chicago", "Cicago"]);
+    }
+
+    #[test]
+    fn row_and_cells_iteration() {
+        let ds = small();
+        assert_eq!(ds.row(TupleId(0)).len(), 3);
+        assert_eq!(ds.cells().count(), 9);
+        let first: Vec<CellRef> = ds.cells().take(3).collect();
+        assert_eq!(first[0], CellRef::new(0usize, 0usize));
+        assert_eq!(first[2], CellRef::new(0usize, 2usize));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut ds = small();
+        ds.push_row(&["only-one"]);
+    }
+
+    #[test]
+    fn push_row_syms_roundtrip() {
+        let mut ds = Dataset::new(Schema::new(vec!["a", "b"]));
+        let x = ds.intern("x");
+        let y = ds.intern("y");
+        let t = ds.push_row_syms(&[x, y]);
+        assert_eq!(ds.cell(t, AttrId(0)), x);
+        assert_eq!(ds.cell(t, AttrId(1)), y);
+    }
+
+    #[test]
+    fn require_attr_errors_on_unknown() {
+        let ds = small();
+        assert!(ds.require_attr("City").is_ok());
+        assert!(ds.require_attr("Nope").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Detector ensembles and the noisy/clean split.
+
+use crate::{Detector, NoisyCells};
+use holo_dataset::{CellRef, Dataset};
+
+/// Union of several detectors: a cell is noisy if *any* member flags it.
+/// The paper's implementation "included a series of error detection
+/// methods" (§2.2); ensembles of detectors are the configuration shown to
+/// reach usable recall in \[2\].
+#[derive(Default)]
+pub struct DetectorEnsemble {
+    detectors: Vec<Box<dyn Detector + Send + Sync>>,
+}
+
+impl DetectorEnsemble {
+    /// An empty ensemble.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a detector (builder style).
+    pub fn with(mut self, d: impl Detector + Send + Sync + 'static) -> Self {
+        self.detectors.push(Box::new(d));
+        self
+    }
+
+    /// Adds a boxed detector.
+    pub fn push(&mut self, d: Box<dyn Detector + Send + Sync>) {
+        self.detectors.push(d);
+    }
+
+    /// Number of member detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Runs every member and unions the results into `D_n`.
+    pub fn detect(&self, ds: &Dataset) -> NoisyCells {
+        let mut noisy = NoisyCells::default();
+        for d in &self.detectors {
+            noisy.extend(d.detect(ds));
+        }
+        noisy
+    }
+
+    /// Splits the dataset's cells into `(D_n, D_c)` — noisy and clean.
+    pub fn partition(&self, ds: &Dataset) -> (NoisyCells, Vec<CellRef>) {
+        let noisy = self.detect(ds);
+        let clean = ds.cells().filter(|c| !noisy.contains(c)).collect();
+        (noisy, clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::null_detector::NullDetector;
+    use crate::violation_detector::ViolationDetector;
+    use holo_constraints::parse_constraints;
+    use holo_dataset::Schema;
+
+    #[test]
+    fn union_of_members() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["60608", "Chicago"]);
+        ds.push_row(&["60608", "Cicago"]);
+        ds.push_row(&["", "Evanston"]);
+        let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        let ensemble = DetectorEnsemble::new()
+            .with(ViolationDetector::new(cons))
+            .with(NullDetector::all());
+        let noisy = ensemble.detect(&ds);
+        // 4 violation cells + 1 null cell.
+        assert_eq!(noisy.len(), 5);
+    }
+
+    #[test]
+    fn partition_covers_all_cells() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["60608", "Chicago"]);
+        ds.push_row(&["60608", "Cicago"]);
+        let cons = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        let ensemble = DetectorEnsemble::new().with(ViolationDetector::new(cons));
+        let (noisy, clean) = ensemble.partition(&ds);
+        assert_eq!(noisy.len() + clean.len(), ds.cell_count());
+        for c in &clean {
+            assert!(!noisy.contains(c));
+        }
+    }
+
+    #[test]
+    fn empty_ensemble_flags_nothing() {
+        let mut ds = Dataset::new(Schema::new(vec!["a"]));
+        ds.push_row(&["x"]);
+        let ensemble = DetectorEnsemble::new();
+        assert!(ensemble.is_empty());
+        let (noisy, clean) = ensemble.partition(&ds);
+        assert!(noisy.is_empty());
+        assert_eq!(clean.len(), 1);
+    }
+}

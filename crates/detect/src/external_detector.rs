@@ -1,0 +1,89 @@
+//! External-data error detection [5, 13, 19]: a cell contradicted by every
+//! matched dictionary row is suspicious.
+
+use crate::{Detector, NoisyCells};
+use holo_dataset::Dataset;
+use holo_external::{DictId, ExtDict, Matcher, MatchingDependency};
+
+/// Flags cells whose observed value disagrees with *all* values asserted by
+/// matched external-dictionary rows (agreement with any assertion clears
+/// the cell — dictionaries may legitimately contain several variants).
+pub struct ExternalDetector {
+    dict: ExtDict,
+    dependencies: Vec<MatchingDependency>,
+}
+
+impl ExternalDetector {
+    /// Builds the detector from a dictionary and its matching dependencies.
+    pub fn new(dict: ExtDict, dependencies: Vec<MatchingDependency>) -> Self {
+        ExternalDetector { dict, dependencies }
+    }
+}
+
+impl Detector for ExternalDetector {
+    fn name(&self) -> &str {
+        "external-dict"
+    }
+
+    fn detect(&self, ds: &Dataset) -> NoisyCells {
+        let mut noisy = NoisyCells::default();
+        let matcher = Matcher::new(&self.dict, DictId(0));
+        for md in &self.dependencies {
+            let Ok(matches) = matcher.find_matches(ds, md) else {
+                continue;
+            };
+            // Group assertions per cell; flag cells that agree with none.
+            let mut i = 0;
+            while i < matches.len() {
+                let cell = matches[i].cell;
+                let mut agrees = false;
+                let mut j = i;
+                while j < matches.len() && matches[j].cell == cell {
+                    if ds.cell_str(cell.tuple, cell.attr) == matches[j].value {
+                        agrees = true;
+                    }
+                    j += 1;
+                }
+                if !agrees {
+                    noisy.insert(cell);
+                }
+                i = j;
+            }
+        }
+        noisy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_dataset::{CellRef, Schema};
+
+    fn dict() -> ExtDict {
+        ExtDict::from_csv("addr", "Ext_Zip,Ext_City\n60608,Chicago\n60610,Chicago\n").unwrap()
+    }
+
+    #[test]
+    fn flags_contradicted_cells() {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["60608", "Cicago"]); // contradicts dictionary
+        ds.push_row(&["60610", "Chicago"]); // agrees
+        ds.push_row(&["99999", "Nowhere"]); // no dictionary coverage
+        let md = MatchingDependency::equalities("m", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
+        let det = ExternalDetector::new(dict(), vec![md]);
+        let noisy = det.detect(&ds);
+        assert_eq!(noisy.len(), 1);
+        assert!(noisy.contains(&CellRef::new(0usize, 1usize)));
+    }
+
+    #[test]
+    fn agreement_with_any_assertion_clears() {
+        let dict =
+            ExtDict::from_csv("d", "Ext_Zip,Ext_City\n60608,Chicago\n60608,Cicero\n").unwrap();
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["60608", "Cicero"]);
+        let md = MatchingDependency::equalities("m", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
+        let det = ExternalDetector::new(dict, vec![md]);
+        assert!(det.detect(&ds).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! External dictionaries (`ExtDict` of §4.1).
+
+use holo_dataset::{AttrId, Dataset, DatasetError, FxHashMap, TupleId};
+
+/// Identifier of a dictionary (the `k` of `ExtDict(t_k, a_k, v, k)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DictId(pub u32);
+
+/// A named external dictionary: an independent relation with its own
+/// schema, e.g. the Chicago address listing of Figure 1(D).
+#[derive(Debug, Clone)]
+pub struct ExtDict {
+    /// Human-readable name, e.g. `"us_addresses"`.
+    pub name: String,
+    /// The dictionary contents.
+    pub data: Dataset,
+}
+
+impl ExtDict {
+    /// Wraps a dataset as a dictionary.
+    pub fn new(name: impl Into<String>, data: Dataset) -> Self {
+        ExtDict {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Loads a dictionary from CSV text.
+    pub fn from_csv(name: impl Into<String>, csv_text: &str) -> Result<Self, DatasetError> {
+        Ok(ExtDict::new(name, holo_dataset::csv::parse_dataset(csv_text)?))
+    }
+
+    /// Attribute lookup on the dictionary schema.
+    pub fn attr(&self, name: &str) -> Result<AttrId, DatasetError> {
+        self.data.require_attr(name)
+    }
+
+    /// Builds an index `value-string → rows` over a set of key attributes;
+    /// rows with a null key cell are excluded. The key is the concatenation
+    /// of the attribute values separated by `\x1f` (unit separator), which
+    /// cannot collide with realistic values.
+    pub fn index(&self, key_attrs: &[AttrId]) -> FxHashMap<String, Vec<TupleId>> {
+        let mut index: FxHashMap<String, Vec<TupleId>> = FxHashMap::default();
+        'rows: for t in self.data.tuples() {
+            let mut key = String::new();
+            for (i, &a) in key_attrs.iter().enumerate() {
+                let sym = self.data.cell(t, a);
+                if sym.is_null() {
+                    continue 'rows;
+                }
+                if i > 0 {
+                    key.push('\x1f');
+                }
+                key.push_str(self.data.value_str(sym));
+            }
+            index.entry(key).or_default().push(t);
+        }
+        index
+    }
+
+    /// Composes a probe key in the same format as [`ExtDict::index`].
+    pub fn compose_key(parts: &[&str]) -> String {
+        parts.join("\x1f")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses() -> ExtDict {
+        ExtDict::from_csv(
+            "addr",
+            "Ext_Address,Ext_City,Ext_State,Ext_Zip\n\
+             3465 S Morgan ST,Chicago,IL,60608\n\
+             1208 N Wells ST,Chicago,IL,60610\n\
+             259 E Erie ST,Chicago,IL,60611\n\
+             2806 W Cermak Rd,Chicago,IL,60623\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_csv_loads_rows() {
+        let d = addresses();
+        assert_eq!(d.data.tuple_count(), 4);
+        assert_eq!(d.name, "addr");
+        assert!(d.attr("Ext_Zip").is_ok());
+        assert!(d.attr("Nope").is_err());
+    }
+
+    #[test]
+    fn single_attr_index() {
+        let d = addresses();
+        let zip = d.attr("Ext_Zip").unwrap();
+        let idx = d.index(&[zip]);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.get("60608").map(Vec::len), Some(1));
+        assert!(!idx.contains_key("99999"));
+    }
+
+    #[test]
+    fn composite_index_and_probe() {
+        let d = addresses();
+        let city = d.attr("Ext_City").unwrap();
+        let state = d.attr("Ext_State").unwrap();
+        let idx = d.index(&[city, state]);
+        // All four rows share (Chicago, IL).
+        let key = ExtDict::compose_key(&["Chicago", "IL"]);
+        assert_eq!(idx.get(&key).map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn null_key_rows_excluded() {
+        let d = ExtDict::from_csv("d", "A,B\n,1\nx,2\n").unwrap();
+        let a = d.attr("A").unwrap();
+        let idx = d.index(&[a]);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.contains_key("x"));
+    }
+}

@@ -1,0 +1,20 @@
+//! External information for HoloClean: dictionaries and matching
+//! dependencies.
+//!
+//! §4.1 of the paper introduces the relation `ExtDict(t_k, a_k, v, k)`
+//! holding the contents of external dictionaries, and §4.2 shows how
+//! matching dependencies — implications such as
+//! `m1: Zip = Ext_Zip → City = Ext_City` — populate a `Matched(t, a, d, k)`
+//! relation whose groundings become inference-rule features with one
+//! learned reliability weight `w(k)` per dictionary.
+//!
+//! * [`dict`] — [`ExtDict`]: a named dictionary (its own schema + rows,
+//!   e.g. the address listings of Figure 1(D)).
+//! * [`matching`] — [`MatchingDependency`] and the matcher that produces
+//!   [`MatchTuple`]s, supporting exact and similarity (`≈`) antecedents.
+
+pub mod dict;
+pub mod matching;
+
+pub use dict::{DictId, ExtDict};
+pub use matching::{MatchOp, MatchTuple, MatchingDependency, Matcher};

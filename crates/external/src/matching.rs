@@ -1,0 +1,338 @@
+//! Matching dependencies and match generation.
+//!
+//! A matching dependency (Figure 1(C), Example 3) has the shape
+//! `A₁ = Ext_B₁ ∧ … ∧ Aₙ ≈ Ext_Bₙ → A_c = Ext_B_c`: when the antecedent
+//! attributes of a dataset tuple match a dictionary row, the dictionary's
+//! consequent value is evidence for the tuple's consequent cell. Each
+//! produced [`MatchTuple`] is a row of the paper's `Matched(t, a, d, k)`
+//! relation; HoloClean turns them into features with a per-dictionary
+//! reliability weight, and the KATARA baseline uses them directly as
+//! repairs.
+
+use crate::dict::{DictId, ExtDict};
+use holo_constraints::similarity::normalized_similarity;
+use holo_dataset::{AttrId, CellRef, Dataset, DatasetError, TupleId};
+use serde::{Deserialize, Serialize};
+
+/// Antecedent comparison: exact equality or normalised-similarity ≥ t.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MatchOp {
+    /// Exact string equality.
+    Eq,
+    /// `≈` with threshold.
+    Sim(f64),
+}
+
+/// One antecedent or consequent attribute pairing `(dataset, dictionary)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrPair {
+    /// Attribute name in the dataset schema.
+    pub ds_attr: String,
+    /// Attribute name in the dictionary schema.
+    pub dict_attr: String,
+}
+
+/// A matching dependency in raw (attribute-name) form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchingDependency {
+    /// Human-readable name, e.g. `"zip=>city"`.
+    pub name: String,
+    /// Antecedent pairings with their comparison operators.
+    pub antecedent: Vec<(AttrPair, MatchOp)>,
+    /// The consequent pairing: the dataset cell being evidenced and the
+    /// dictionary attribute providing the value.
+    pub consequent: AttrPair,
+}
+
+impl MatchingDependency {
+    /// Convenience constructor with all-equality antecedents.
+    pub fn equalities(
+        name: impl Into<String>,
+        antecedent: &[(&str, &str)],
+        consequent: (&str, &str),
+    ) -> Self {
+        MatchingDependency {
+            name: name.into(),
+            antecedent: antecedent
+                .iter()
+                .map(|&(d, e)| {
+                    (
+                        AttrPair {
+                            ds_attr: d.to_string(),
+                            dict_attr: e.to_string(),
+                        },
+                        MatchOp::Eq,
+                    )
+                })
+                .collect(),
+            consequent: AttrPair {
+                ds_attr: consequent.0.to_string(),
+                dict_attr: consequent.1.to_string(),
+            },
+        }
+    }
+}
+
+/// One row of the `Matched(t, a, d, k)` relation: dictionary `dict` asserts
+/// value `value` for the dataset cell `cell`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchTuple {
+    /// The evidenced dataset cell.
+    pub cell: CellRef,
+    /// The asserted value (a string from the dictionary's pool).
+    pub value: String,
+    /// Which dictionary asserted it.
+    pub dict: u32,
+    /// How many dictionary rows agreed on this assertion.
+    pub support: u32,
+}
+
+/// Bound matching machinery for one dictionary.
+pub struct Matcher<'a> {
+    dict: &'a ExtDict,
+    dict_id: DictId,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher over `dict` with identifier `dict_id`.
+    pub fn new(dict: &'a ExtDict, dict_id: DictId) -> Self {
+        Matcher { dict, dict_id }
+    }
+
+    /// Evaluates a matching dependency over the dataset, producing all
+    /// `Matched` tuples.
+    ///
+    /// Strategy: equality antecedents are used as a hash-join key against a
+    /// dictionary index; similarity antecedents are verified within the
+    /// equality block (or against all rows when the antecedent has no
+    /// equality — acceptable because dictionaries are small relative to
+    /// datasets).
+    pub fn find_matches(
+        &self,
+        ds: &Dataset,
+        md: &MatchingDependency,
+    ) -> Result<Vec<MatchTuple>, DatasetError> {
+        // Resolve attribute ids up front.
+        let mut eq_pairs: Vec<(AttrId, AttrId)> = Vec::new();
+        let mut sim_pairs: Vec<(AttrId, AttrId, f64)> = Vec::new();
+        for (pair, op) in &md.antecedent {
+            let ds_a = ds.require_attr(&pair.ds_attr)?;
+            let dict_a = self.dict.attr(&pair.dict_attr)?;
+            match op {
+                MatchOp::Eq => eq_pairs.push((ds_a, dict_a)),
+                MatchOp::Sim(t) => sim_pairs.push((ds_a, dict_a, *t)),
+            }
+        }
+        let cons_ds = ds.require_attr(&md.consequent.ds_attr)?;
+        let cons_dict = self.dict.attr(&md.consequent.dict_attr)?;
+
+        let dict_rows: Vec<TupleId> = self.dict.data.tuples().collect();
+        let index = if eq_pairs.is_empty() {
+            None
+        } else {
+            let key_attrs: Vec<AttrId> = eq_pairs.iter().map(|&(_, d)| d).collect();
+            Some(self.dict.index(&key_attrs))
+        };
+
+        let mut out = Vec::new();
+        let mut probe = String::new();
+        'tuples: for t in ds.tuples() {
+            // Compose the probe key from the dataset side.
+            let candidates: &[TupleId] = if let Some(index) = &index {
+                probe.clear();
+                for (i, &(ds_a, _)) in eq_pairs.iter().enumerate() {
+                    let sym = ds.cell(t, ds_a);
+                    if sym.is_null() {
+                        continue 'tuples;
+                    }
+                    if i > 0 {
+                        probe.push('\x1f');
+                    }
+                    probe.push_str(ds.value_str(sym));
+                }
+                match index.get(&probe) {
+                    Some(rows) => rows,
+                    None => continue,
+                }
+            } else {
+                &dict_rows
+            };
+
+            // Verify similarity antecedents and collect consequent values.
+            let mut asserted: Vec<(String, u32)> = Vec::new();
+            'rows: for &row in candidates {
+                for &(ds_a, dict_a, threshold) in &sim_pairs {
+                    let ds_sym = ds.cell(t, ds_a);
+                    let dict_sym = self.dict.data.cell(row, dict_a);
+                    if ds_sym.is_null() || dict_sym.is_null() {
+                        continue 'rows;
+                    }
+                    let a = ds.value_str(ds_sym);
+                    let b = self.dict.data.value_str(dict_sym);
+                    if a != b && normalized_similarity(a, b) < threshold {
+                        continue 'rows;
+                    }
+                }
+                let value_sym = self.dict.data.cell(row, cons_dict);
+                if value_sym.is_null() {
+                    continue;
+                }
+                let value = self.dict.data.value_str(value_sym);
+                match asserted.iter_mut().find(|(v, _)| v == value) {
+                    Some((_, support)) => *support += 1,
+                    None => asserted.push((value.to_string(), 1)),
+                }
+            }
+            for (value, support) in asserted {
+                out.push(MatchTuple {
+                    cell: CellRef {
+                        tuple: t,
+                        attr: cons_ds,
+                    },
+                    value,
+                    dict: self.dict_id.0,
+                    support,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_dataset::Schema;
+
+    fn addresses() -> ExtDict {
+        ExtDict::from_csv(
+            "addr",
+            "Ext_Address,Ext_City,Ext_State,Ext_Zip\n\
+             3465 S Morgan ST,Chicago,IL,60608\n\
+             1208 N Wells ST,Chicago,IL,60610\n\
+             259 E Erie ST,Chicago,IL,60611\n\
+             2806 W Cermak Rd,Chicago,IL,60623\n",
+        )
+        .unwrap()
+    }
+
+    fn food() -> Dataset {
+        let mut ds = Dataset::new(Schema::new(vec!["Address", "City", "State", "Zip"]));
+        ds.push_row(&["3465 S Morgan ST", "Cicago", "IL", "60608"]); // typo city
+        ds.push_row(&["3465 S Morgan ST", "Chicago", "IL", "60609"]); // wrong zip
+        ds.push_row(&["1 Unknown Rd", "Chicago", "IL", "60699"]); // not in dict
+        ds
+    }
+
+    #[test]
+    fn zip_implies_city_matching() {
+        // m1: Zip = Ext_Zip → City = Ext_City.
+        let dict = addresses();
+        let ds = food();
+        let md = MatchingDependency::equalities("m1", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
+        let matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        // t0 zip 60608 matches the dictionary; asserts City=Chicago.
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].cell, CellRef::new(0usize, 1usize));
+        assert_eq!(matches[0].value, "Chicago");
+        assert_eq!(matches[0].support, 1);
+    }
+
+    #[test]
+    fn composite_antecedent_with_similarity() {
+        // m3: City ≈ Ext_City ∧ State = Ext_State ∧ Address = Ext_Address
+        //     → Zip = Ext_Zip. The typo "Cicago" still matches via ≈.
+        let dict = addresses();
+        let ds = food();
+        let md = MatchingDependency {
+            name: "m3".into(),
+            antecedent: vec![
+                (
+                    AttrPair {
+                        ds_attr: "Address".into(),
+                        dict_attr: "Ext_Address".into(),
+                    },
+                    MatchOp::Eq,
+                ),
+                (
+                    AttrPair {
+                        ds_attr: "State".into(),
+                        dict_attr: "Ext_State".into(),
+                    },
+                    MatchOp::Eq,
+                ),
+                (
+                    AttrPair {
+                        ds_attr: "City".into(),
+                        dict_attr: "Ext_City".into(),
+                    },
+                    MatchOp::Sim(0.8),
+                ),
+            ],
+            consequent: AttrPair {
+                ds_attr: "Zip".into(),
+                dict_attr: "Ext_Zip".into(),
+            },
+        };
+        let matches = Matcher::new(&dict, DictId(2)).find_matches(&ds, &md).unwrap();
+        // Both t0 (Cicago ≈ Chicago) and t1 (exact) match → Zip=60608.
+        assert_eq!(matches.len(), 2);
+        for m in &matches {
+            assert_eq!(m.value, "60608");
+            assert_eq!(m.dict, 2);
+            assert_eq!(m.cell.attr, ds.require_attr("Zip").unwrap());
+        }
+    }
+
+    #[test]
+    fn no_match_outside_dictionary_coverage() {
+        let dict = addresses();
+        let ds = food();
+        let md = MatchingDependency::equalities(
+            "m",
+            &[("Address", "Ext_Address"), ("Zip", "Ext_Zip")],
+            ("City", "Ext_City"),
+        );
+        let matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        // Only t0 matches both address and zip.
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].cell.tuple, TupleId(0));
+    }
+
+    #[test]
+    fn conflicting_dictionary_rows_produce_multiple_assertions() {
+        let dict = ExtDict::from_csv(
+            "d",
+            "Ext_Zip,Ext_City\n60608,Chicago\n60608,Chicago\n60608,Cicero\n",
+        )
+        .unwrap();
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["60608", "X"]);
+        let md = MatchingDependency::equalities("m", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
+        let mut matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        matches.sort_by(|a, b| a.value.cmp(&b.value));
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].value, "Chicago");
+        assert_eq!(matches[0].support, 2);
+        assert_eq!(matches[1].value, "Cicero");
+        assert_eq!(matches[1].support, 1);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let dict = addresses();
+        let ds = food();
+        let md = MatchingDependency::equalities("m", &[("Zap", "Ext_Zip")], ("City", "Ext_City"));
+        assert!(Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).is_err());
+    }
+
+    #[test]
+    fn null_antecedent_cells_skip_tuple() {
+        let dict = addresses();
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        ds.push_row(&["", "Chicago"]);
+        let md = MatchingDependency::equalities("m", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
+        let matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        assert!(matches.is_empty());
+    }
+}

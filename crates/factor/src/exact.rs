@@ -1,0 +1,235 @@
+//! Brute-force inference for tiny graphs — the correctness oracle for the
+//! Gibbs sampler and for variant-equivalence tests.
+
+use crate::graph::{FactorGraph, ValueContext};
+use crate::marginals::Marginals;
+use crate::weights::Weights;
+use holo_dataset::Sym;
+
+/// Exact marginals by enumerating every joint assignment of the query
+/// variables (evidence pinned). Exponential — intended for graphs with a
+/// handful of variables in tests.
+///
+/// # Panics
+/// Panics if the joint space exceeds 2^22 assignments.
+pub fn exact_marginals(graph: &FactorGraph, weights: &Weights, ctx: &impl ValueContext) -> Marginals {
+    let query = graph.query_vars();
+    let space: usize = query
+        .iter()
+        .map(|&v| graph.var(v).arity())
+        .try_fold(1usize, |acc, a| acc.checked_mul(a))
+        .expect("joint space overflow");
+    assert!(space <= 1 << 22, "joint space too large for enumeration");
+
+    // Current assignment: evidence fixed, query enumerated odometer-style.
+    let mut state: Vec<usize> = graph
+        .vars()
+        .iter()
+        .map(|v| v.evidence.unwrap_or(0))
+        .collect();
+    let mut accum: Vec<Vec<f64>> = graph.vars().iter().map(|v| vec![0.0; v.arity()]).collect();
+    let mut total = 0.0f64;
+
+    let mut odometer = vec![0usize; query.len()];
+    loop {
+        for (i, &v) in query.iter().enumerate() {
+            state[v.index()] = odometer[i];
+        }
+        let score = joint_score(graph, weights, ctx, &state);
+        let p = score.exp();
+        total += p;
+        for &v in &query {
+            accum[v.index()][state[v.index()]] += p;
+        }
+        // Advance odometer.
+        let mut i = 0;
+        loop {
+            if i == odometer.len() {
+                // Finished the full enumeration.
+                let per_var = finalize(graph, accum, total);
+                return Marginals::from_raw(per_var);
+            }
+            odometer[i] += 1;
+            if odometer[i] < graph.var(query[i]).arity() {
+                break;
+            }
+            odometer[i] = 0;
+            i += 1;
+        }
+        if odometer.iter().all(|&k| k == 0) {
+            // Wrapped around — also complete (handles the empty-query case
+            // conservatively; the `i == len` branch above is the main exit).
+            let per_var = finalize(graph, accum, total);
+            return Marginals::from_raw(per_var);
+        }
+    }
+}
+
+fn finalize(graph: &FactorGraph, mut accum: Vec<Vec<f64>>, total: f64) -> Vec<Vec<f64>> {
+    for (i, var) in graph.vars().iter().enumerate() {
+        match var.evidence {
+            Some(k) => {
+                accum[i].iter_mut().for_each(|c| *c = 0.0);
+                accum[i][k] = 1.0;
+            }
+            None => {
+                if total > 0.0 {
+                    accum[i].iter_mut().for_each(|c| *c /= total);
+                }
+            }
+        }
+    }
+    accum
+}
+
+/// Unnormalised joint log-score of a full assignment: unary scores of the
+/// query variables plus clique scores. (Evidence unary scores are constant
+/// across the enumeration, so they cancel in the normalisation.)
+fn joint_score(
+    graph: &FactorGraph,
+    weights: &Weights,
+    ctx: &impl ValueContext,
+    state: &[usize],
+) -> f64 {
+    let mut score = 0.0;
+    for v in graph.var_ids() {
+        if graph.var(v).is_query() {
+            score += graph.unary_score(v, state[v.index()], weights);
+        }
+    }
+    let mut syms: Vec<Sym> = Vec::new();
+    for clique in graph.cliques() {
+        syms.clear();
+        for &u in &clique.vars {
+            syms.push(graph.var(u).domain[state[u.index()]]);
+        }
+        score += clique.score(&syms, weights, ctx);
+    }
+    score
+}
+
+/// MAP assignment by enumeration (for tests): returns per-variable candidate
+/// indices maximising the joint score.
+pub fn exact_map(graph: &FactorGraph, weights: &Weights, ctx: &impl ValueContext) -> Vec<usize> {
+    let query = graph.query_vars();
+    let mut state: Vec<usize> = graph
+        .vars()
+        .iter()
+        .map(|v| v.evidence.unwrap_or(0))
+        .collect();
+    let mut best_state = state.clone();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut odometer = vec![0usize; query.len()];
+    loop {
+        for (i, &v) in query.iter().enumerate() {
+            state[v.index()] = odometer[i];
+        }
+        let score = joint_score(graph, weights, ctx, &state);
+        if score > best_score {
+            best_score = score;
+            best_state = state.clone();
+        }
+        let mut i = 0;
+        loop {
+            if i == odometer.len() {
+                return best_state;
+            }
+            odometer[i] += 1;
+            if odometer[i] < graph.var(query[i]).arity() {
+                break;
+            }
+            odometer[i] = 0;
+            i += 1;
+        }
+        if odometer.iter().all(|&k| k == 0) {
+            return best_state;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{
+        CliqueFactor, CmpOp, EqOnlyContext, FactorOperand, FactorPredicate, Variable,
+    };
+    use crate::marginals::Marginals;
+    use crate::weights::WeightId;
+
+    fn sym(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    #[test]
+    fn matches_closed_form_for_independent_vars() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2), sym(3)], None));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 1.0);
+        w.set(WeightId(1), -0.5);
+        g.add_feature(v, 0, WeightId(0), 1.0);
+        g.add_feature(v, 2, WeightId(1), 2.0);
+        let exact = exact_marginals(&g, &w, &EqOnlyContext);
+        let closed = Marginals::exact_unary(&g, &w);
+        for k in 0..3 {
+            assert!((exact.prob(v, k) - closed.prob(v, k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hard_constraint_limits_support() {
+        // Two binary vars, near-hard "must differ" constraint.
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        let mut w = Weights::zeros(1);
+        w.set(WeightId(0), 50.0);
+        g.add_clique(CliqueFactor {
+            vars: vec![a, b],
+            weight: WeightId(0),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        });
+        let m = exact_marginals(&g, &w, &EqOnlyContext);
+        // By symmetry each var is uniform, but the joint excludes equality:
+        // marginals stay 0.5/0.5.
+        assert!((m.prob(a, 0) - 0.5).abs() < 1e-9);
+        assert!((m.prob(b, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_respects_cliques() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 1.0); // both vars mildly prefer candidate 0
+        w.set(WeightId(1), 10.0); // strong must-differ
+        g.add_feature(a, 0, WeightId(0), 1.0);
+        g.add_feature(b, 0, WeightId(0), 0.5);
+        g.add_clique(CliqueFactor {
+            vars: vec![a, b],
+            weight: WeightId(1),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        });
+        let map = exact_map(&g, &w, &EqOnlyContext);
+        // a takes its preferred candidate 0; b must differ → candidate 1.
+        assert_eq!(map[a.index()], 0);
+        assert_eq!(map[b.index()], 1);
+    }
+
+    #[test]
+    fn evidence_point_mass() {
+        let mut g = FactorGraph::new();
+        let e = g.add_variable(Variable::evidence(vec![sym(1), sym(2)], 1));
+        let m = exact_marginals(&g, &Weights::zeros(0), &EqOnlyContext);
+        assert_eq!(m.probs(e), &[0.0, 1.0]);
+    }
+}

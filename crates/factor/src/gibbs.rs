@@ -1,0 +1,303 @@
+//! Gibbs sampling over the factor graph.
+//!
+//! Single-site Gibbs: sweep over the query variables, resampling each from
+//! its conditional given the rest. With clique factors present this is the
+//! approximate-inference path of the paper; the §5.2 relaxation removes all
+//! cliques, making variables independent, in which case every conditional
+//! *is* the marginal and the sampler trivially mixes in `O(n log n)` sweeps
+//! — matching the theory the paper cites [21, 36].
+
+use crate::graph::{FactorGraph, ValueContext, VarId};
+use crate::marginals::Marginals;
+use crate::math::{sample_categorical, softmax_in_place};
+use crate::weights::Weights;
+use holo_dataset::Sym;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GibbsConfig {
+    /// Sweeps discarded before collecting statistics.
+    pub burn_in: usize,
+    /// Sweeps whose states are counted into the marginals.
+    pub samples: usize,
+    /// RNG seed — the sampler is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        GibbsConfig {
+            burn_in: 20,
+            samples: 100,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The sampler. Owns its state vector; borrowed graph/weights/context.
+pub struct GibbsSampler<'a, C: ValueContext> {
+    graph: &'a FactorGraph,
+    weights: &'a Weights,
+    ctx: &'a C,
+    /// Current candidate index of every variable (evidence pinned).
+    state: Vec<usize>,
+    query: Vec<VarId>,
+    rng: StdRng,
+    /// Scratch buffer for conditional scores.
+    scores: Vec<f64>,
+    /// Scratch buffer for clique assignments.
+    clique_syms: Vec<Sym>,
+}
+
+impl<'a, C: ValueContext> GibbsSampler<'a, C> {
+    /// Initialises state: evidence at its observed candidate, query
+    /// variables at their initial value (or candidate 0).
+    pub fn new(graph: &'a FactorGraph, weights: &'a Weights, ctx: &'a C, seed: u64) -> Self {
+        let state = graph
+            .vars()
+            .iter()
+            .map(|v| v.evidence.or(v.init).unwrap_or(0))
+            .collect();
+        GibbsSampler {
+            graph,
+            weights,
+            ctx,
+            state,
+            query: graph.query_vars(),
+            rng: StdRng::seed_from_u64(seed),
+            scores: Vec::new(),
+            clique_syms: Vec::new(),
+        }
+    }
+
+    /// Current symbol of variable `v` under the sampler state.
+    #[inline]
+    fn current_sym(&self, v: VarId) -> Sym {
+        self.graph.var(v).domain[self.state[v.index()]]
+    }
+
+    /// Conditional log-scores of every candidate of `v` given the rest.
+    fn conditional_scores(&mut self, v: VarId) {
+        let arity = self.graph.var(v).arity();
+        self.scores.clear();
+        for k in 0..arity {
+            self.scores.push(self.graph.unary_score(v, k, self.weights));
+        }
+        // Clique contributions: evaluate each adjacent clique once per
+        // candidate of v, with all other clique members at their state.
+        for &ci in self.graph.cliques_of(v) {
+            let clique = &self.graph.cliques()[ci as usize];
+            let slot = clique
+                .vars
+                .iter()
+                .position(|&u| u == v)
+                .expect("adjacency list inconsistent");
+            self.clique_syms.clear();
+            for &u in &clique.vars {
+                self.clique_syms.push(self.graph.var(u).domain[self.state[u.index()]]);
+            }
+            for k in 0..arity {
+                self.clique_syms[slot] = self.graph.var(v).domain[k];
+                self.scores[k] += clique.score(&self.clique_syms, self.weights, self.ctx);
+            }
+        }
+    }
+
+    /// One full sweep over the query variables.
+    pub fn sweep(&mut self) {
+        let query = std::mem::take(&mut self.query);
+        for &v in &query {
+            self.conditional_scores(v);
+            softmax_in_place(&mut self.scores);
+            let u: f64 = self.rng.gen();
+            self.state[v.index()] = sample_categorical(&self.scores, u);
+        }
+        self.query = query;
+    }
+
+    /// Runs burn-in + sampling sweeps and returns empirical marginals.
+    /// Evidence variables get a point mass on their observed candidate.
+    pub fn run(mut self, config: &GibbsConfig) -> Marginals {
+        for _ in 0..config.burn_in {
+            self.sweep();
+        }
+        let mut counts: Vec<Vec<f64>> = self
+            .graph
+            .vars()
+            .iter()
+            .map(|v| vec![0.0; v.arity()])
+            .collect();
+        let samples = config.samples.max(1);
+        for _ in 0..samples {
+            self.sweep();
+            for &v in &self.query {
+                counts[v.index()][self.state[v.index()]] += 1.0;
+            }
+        }
+        for (i, var) in self.graph.vars().iter().enumerate() {
+            match var.evidence {
+                Some(k) => {
+                    counts[i].iter_mut().for_each(|c| *c = 0.0);
+                    counts[i][k] = 1.0;
+                }
+                None => {
+                    let total: f64 = counts[i].iter().sum();
+                    if total > 0.0 {
+                        counts[i].iter_mut().for_each(|c| *c /= total);
+                    } else {
+                        // Unreached query var (no sampling sweeps): uniform.
+                        let n = counts[i].len().max(1);
+                        counts[i].iter_mut().for_each(|c| *c = 1.0 / n as f64);
+                    }
+                }
+            }
+        }
+        Marginals::from_raw(counts)
+    }
+
+    /// Read-only view of the current assignment (for tests/debugging).
+    pub fn state(&self) -> &[usize] {
+        &self.state
+    }
+
+    /// Current symbols of all variables.
+    pub fn assignment_syms(&self) -> Vec<Sym> {
+        self.graph.var_ids().map(|v| self.current_sym(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_marginals;
+    use crate::graph::{
+        CliqueFactor, CmpOp, EqOnlyContext, FactorOperand, FactorPredicate, Variable,
+    };
+    use crate::weights::{WeightId, Weights};
+
+    fn sym(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    /// Independent two-candidate variable with a unary preference: Gibbs
+    /// marginals must approach the softmax.
+    #[test]
+    fn independent_variable_matches_softmax() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let mut w = Weights::zeros(1);
+        w.set(WeightId(0), 1.5);
+        g.add_feature(v, 0, WeightId(0), 1.0);
+        let ctx = EqOnlyContext;
+        let m = GibbsSampler::new(&g, &w, &ctx, 7).run(&GibbsConfig {
+            burn_in: 50,
+            samples: 4000,
+            seed: 7,
+        });
+        let sigmoid = 1.0 / (1.0 + (-1.5f64).exp());
+        assert!(
+            (m.prob(v, 0) - sigmoid).abs() < 0.03,
+            "got {}, want ≈{sigmoid}",
+            m.prob(v, 0)
+        );
+    }
+
+    /// Two variables coupled by a soft "must differ" constraint: compare
+    /// against brute-force enumeration.
+    #[test]
+    fn coupled_pair_matches_exact_enumeration() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 0.8); // unary pull of candidate 0 on var a
+        w.set(WeightId(1), 2.0); // penalty for equality
+        g.add_feature(a, 0, WeightId(0), 1.0);
+        g.add_clique(CliqueFactor {
+            vars: vec![a, b],
+            weight: WeightId(1),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        });
+        let ctx = EqOnlyContext;
+        let exact = exact_marginals(&g, &w, &ctx);
+        let approx = GibbsSampler::new(&g, &w, &ctx, 13).run(&GibbsConfig {
+            burn_in: 200,
+            samples: 20_000,
+            seed: 13,
+        });
+        for v in [a, b] {
+            for k in 0..2 {
+                assert!(
+                    (exact.prob(v, k) - approx.prob(v, k)).abs() < 0.02,
+                    "var {v:?} cand {k}: exact {} vs gibbs {}",
+                    exact.prob(v, k),
+                    approx.prob(v, k)
+                );
+            }
+        }
+    }
+
+    /// Evidence variables never move and exert their influence on
+    /// neighbours through cliques.
+    #[test]
+    fn evidence_pins_and_influences() {
+        let mut g = FactorGraph::new();
+        let e = g.add_variable(Variable::evidence(vec![sym(1), sym(2)], 0));
+        let q = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let mut w = Weights::zeros(1);
+        w.set(WeightId(0), 3.0);
+        // ¬(e = q): q should avoid candidate sym(1).
+        g.add_clique(CliqueFactor {
+            vars: vec![e, q],
+            weight: WeightId(0),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        });
+        let ctx = EqOnlyContext;
+        let m = GibbsSampler::new(&g, &w, &ctx, 3).run(&GibbsConfig {
+            burn_in: 50,
+            samples: 3000,
+            seed: 3,
+        });
+        assert_eq!(m.probs(e), &[1.0, 0.0]);
+        assert!(m.prob(q, 1) > 0.9, "q flees the evidence value: {:?}", m.probs(q));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2), sym(3)], None));
+        let mut w = Weights::zeros(1);
+        w.set(WeightId(0), 0.5);
+        g.add_feature(v, 1, WeightId(0), 1.0);
+        let ctx = EqOnlyContext;
+        let cfg = GibbsConfig {
+            burn_in: 10,
+            samples: 500,
+            seed: 42,
+        };
+        let m1 = GibbsSampler::new(&g, &w, &ctx, cfg.seed).run(&cfg);
+        let m2 = GibbsSampler::new(&g, &w, &ctx, cfg.seed).run(&cfg);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn zero_query_vars_is_fine() {
+        let mut g = FactorGraph::new();
+        g.add_variable(Variable::evidence(vec![sym(1)], 0));
+        let w = Weights::zeros(0);
+        let ctx = EqOnlyContext;
+        let m = GibbsSampler::new(&g, &w, &ctx, 1).run(&GibbsConfig::default());
+        assert_eq!(m.probs(VarId(0)), &[1.0]);
+    }
+}

@@ -1,0 +1,477 @@
+//! The factor graph.
+//!
+//! Variables are categorical with per-variable candidate domains (the
+//! output of HoloClean's Algorithm 2 pruning). Unary factors carry sparse
+//! feature vectors per candidate and reference tied weights; clique factors
+//! encode grounded denial constraints from Algorithm 1 — a conjunction of
+//! predicates over the candidate values of up to a handful of variables
+//! plus constants frozen from clean cells.
+
+use crate::weights::{WeightId, Weights};
+use holo_dataset::Sym;
+use serde::{Deserialize, Serialize};
+
+/// Index of a variable in a [`FactorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A categorical random variable `T_c`.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Candidate values (the pruned domain `dom(c)`), at least one entry.
+    pub domain: Vec<Sym>,
+    /// Index into `domain` of the cell's initial (observed) value, if the
+    /// initial value survived pruning.
+    pub init: Option<usize>,
+    /// For evidence variables: the fixed candidate index. Query variables
+    /// carry `None`.
+    pub evidence: Option<usize>,
+}
+
+impl Variable {
+    /// A query variable over `domain` with initial value at `init`.
+    pub fn query(domain: Vec<Sym>, init: Option<usize>) -> Self {
+        assert!(!domain.is_empty(), "variable with empty domain");
+        Variable {
+            domain,
+            init,
+            evidence: None,
+        }
+    }
+
+    /// An evidence variable fixed to `observed`.
+    pub fn evidence(domain: Vec<Sym>, observed: usize) -> Self {
+        assert!(observed < domain.len());
+        Variable {
+            domain,
+            init: Some(observed),
+            evidence: Some(observed),
+        }
+    }
+
+    /// Number of candidates.
+    pub fn arity(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Whether this is a query (inferred) variable.
+    pub fn is_query(&self) -> bool {
+        self.evidence.is_none()
+    }
+}
+
+/// Comparison operators clique predicates can use. Mirrors the denial
+/// constraint operator set; kept separate so this crate stays independent
+/// of the constraints crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `≤`
+    Leq,
+    /// `≥`
+    Geq,
+    /// `≈` with threshold
+    Sim(f64),
+}
+
+/// One side of a clique predicate: a variable slot or a frozen constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FactorOperand {
+    /// The value of the i-th variable of the clique (index into
+    /// [`CliqueFactor::vars`]).
+    Var(u8),
+    /// A constant symbol (a clean cell's value or a constraint constant).
+    Const(Sym),
+}
+
+/// A single predicate inside a clique factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FactorPredicate {
+    /// Left operand.
+    pub lhs: FactorOperand,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: FactorOperand,
+}
+
+/// Value-ordering/similarity oracle. Equality is plain symbol identity and
+/// needs no context; ordering and similarity need the value pool, which the
+/// caller owns. Null symbols never satisfy any predicate.
+pub trait ValueContext {
+    /// Total order over symbol values (numeric when possible).
+    fn compare(&self, a: Sym, b: Sym) -> std::cmp::Ordering;
+    /// Whether `a ≈ b` at the given similarity threshold.
+    fn similar(&self, a: Sym, b: Sym, threshold: f64) -> bool;
+}
+
+/// A context for graphs whose predicates only use `=`/`≠` — ordering and
+/// similarity panic if reached. Useful in tests and FD-only workloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqOnlyContext;
+
+impl ValueContext for EqOnlyContext {
+    fn compare(&self, _a: Sym, _b: Sym) -> std::cmp::Ordering {
+        panic!("ordering predicate evaluated under EqOnlyContext")
+    }
+    fn similar(&self, _a: Sym, _b: Sym, _threshold: f64) -> bool {
+        panic!("similarity predicate evaluated under EqOnlyContext")
+    }
+}
+
+impl FactorPredicate {
+    /// Evaluates the predicate under an assignment of clique variables to
+    /// symbols.
+    pub fn eval(&self, assignment: &[Sym], ctx: &impl ValueContext) -> bool {
+        let resolve = |o: FactorOperand| match o {
+            FactorOperand::Var(slot) => assignment[slot as usize],
+            FactorOperand::Const(sym) => sym,
+        };
+        let a = resolve(self.lhs);
+        let b = resolve(self.rhs);
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        match self.op {
+            CmpOp::Eq => a == b,
+            CmpOp::Neq => a != b,
+            CmpOp::Lt => ctx.compare(a, b).is_lt(),
+            CmpOp::Gt => ctx.compare(a, b).is_gt(),
+            CmpOp::Leq => ctx.compare(a, b).is_le(),
+            CmpOp::Geq => ctx.compare(a, b).is_ge(),
+            CmpOp::Sim(t) => a == b || ctx.similar(a, b, t),
+        }
+    }
+}
+
+/// A grounded denial-constraint factor (Algorithm 1): the head
+/// `!(Value?(…) ∧ …)` fires (contributes `-θ`) whenever *all* predicates
+/// hold under the current assignment.
+#[derive(Debug, Clone)]
+pub struct CliqueFactor {
+    /// The query variables this factor connects (≥ 1).
+    pub vars: Vec<VarId>,
+    /// The tied weight `θ_φ` (fixed for hard-ish constraints, learnable in
+    /// hybrid variants).
+    pub weight: WeightId,
+    /// Conjunction of predicates over slots/constants.
+    pub predicates: Vec<FactorPredicate>,
+}
+
+impl CliqueFactor {
+    /// Whether the denial constraint is violated by the given candidate
+    /// symbols (one per clique var, in `vars` order).
+    pub fn violated(&self, assignment: &[Sym], ctx: &impl ValueContext) -> bool {
+        self.predicates.iter().all(|p| p.eval(assignment, ctx))
+    }
+
+    /// Log-linear contribution: `-θ` when violated, `0` otherwise (the
+    /// factor function `h` returns −1 on violation; we fold the resting
+    /// +θ into the partition constant).
+    pub fn score(&self, assignment: &[Sym], weights: &Weights, ctx: &impl ValueContext) -> f64 {
+        if self.violated(assignment, ctx) {
+            -weights.get(self.weight)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sparse unary features of one `(variable, candidate)` pair.
+pub type FeatureVec = Vec<(WeightId, f64)>;
+
+/// The grounded factor graph.
+#[derive(Debug, Clone, Default)]
+pub struct FactorGraph {
+    vars: Vec<Variable>,
+    /// `unary[v][k]` = sparse features of candidate `k` of variable `v`.
+    unary: Vec<Vec<FeatureVec>>,
+    cliques: Vec<CliqueFactor>,
+    /// `var_cliques[v]` = clique indices touching `v`.
+    var_cliques: Vec<Vec<u32>>,
+}
+
+impl FactorGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable, returning its id.
+    pub fn add_variable(&mut self, var: Variable) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.unary.push(vec![Vec::new(); var.arity()]);
+        self.var_cliques.push(Vec::new());
+        self.vars.push(var);
+        id
+    }
+
+    /// Appends a unary feature `(weight, value)` to candidate `k` of `v`.
+    pub fn add_feature(&mut self, v: VarId, k: usize, weight: WeightId, value: f64) {
+        self.unary[v.index()][k].push((weight, value));
+    }
+
+    /// Adds a clique factor, wiring the adjacency lists.
+    pub fn add_clique(&mut self, clique: CliqueFactor) {
+        assert!(!clique.vars.is_empty());
+        assert!(clique.vars.len() <= u8::MAX as usize);
+        let idx = self.cliques.len() as u32;
+        for &v in &clique.vars {
+            self.var_cliques[v.index()].push(idx);
+        }
+        self.cliques.push(clique);
+    }
+
+    /// The variable `v`.
+    pub fn var(&self, v: VarId) -> &Variable {
+        &self.vars[v.index()]
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Iterates variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// Ids of query variables.
+    pub fn query_vars(&self) -> Vec<VarId> {
+        self.var_ids()
+            .filter(|v| self.var(*v).is_query())
+            .collect()
+    }
+
+    /// Ids of evidence variables.
+    pub fn evidence_vars(&self) -> Vec<VarId> {
+        self.var_ids()
+            .filter(|v| !self.var(*v).is_query())
+            .collect()
+    }
+
+    /// Sparse features of candidate `k` of variable `v`.
+    pub fn features(&self, v: VarId, k: usize) -> &[(WeightId, f64)] {
+        &self.unary[v.index()][k]
+    }
+
+    /// Unary log-score of candidate `k` of `v` under `weights`.
+    pub fn unary_score(&self, v: VarId, k: usize, weights: &Weights) -> f64 {
+        self.features(v, k)
+            .iter()
+            .map(|&(w, x)| weights.get(w) * x)
+            .sum()
+    }
+
+    /// Unary log-scores of all candidates of `v`.
+    pub fn unary_scores(&self, v: VarId, weights: &Weights) -> Vec<f64> {
+        (0..self.var(v).arity())
+            .map(|k| self.unary_score(v, k, weights))
+            .collect()
+    }
+
+    /// All clique factors.
+    pub fn cliques(&self) -> &[CliqueFactor] {
+        &self.cliques
+    }
+
+    /// Clique indices adjacent to `v`.
+    pub fn cliques_of(&self, v: VarId) -> &[u32] {
+        &self.var_cliques[v.index()]
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Total number of grounded factors (unary feature entries + cliques) —
+    /// the "factor graph size" the paper's optimisations shrink.
+    pub fn factor_count(&self) -> usize {
+        let unary: usize = self
+            .unary
+            .iter()
+            .map(|per_var| per_var.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        unary + self.cliques.len()
+    }
+
+    /// Whether the graph has clique factors (needs Gibbs) or is fully
+    /// independent (closed-form marginals, §5.2).
+    pub fn has_cliques(&self) -> bool {
+        !self.cliques.is_empty()
+    }
+
+    /// Converts a query variable into evidence pinned to `value` — the
+    /// incremental-feedback path (§2.2): user-verified cells become
+    /// labelled examples for retraining. If `value` is not in the
+    /// variable's domain it is appended (with no unary features; the pin
+    /// itself carries the information).
+    pub fn pin_evidence(&mut self, v: VarId, value: Sym) {
+        let var = &mut self.vars[v.index()];
+        let k = match var.domain.iter().position(|&d| d == value) {
+            Some(k) => k,
+            None => {
+                var.domain.push(value);
+                self.unary[v.index()].push(Vec::new());
+                var.domain.len() - 1
+            }
+        };
+        var.evidence = Some(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    #[test]
+    fn variable_constructors() {
+        let q = Variable::query(vec![sym(1), sym(2)], Some(0));
+        assert!(q.is_query());
+        assert_eq!(q.arity(), 2);
+        let e = Variable::evidence(vec![sym(1), sym(2)], 1);
+        assert!(!e.is_query());
+        assert_eq!(e.init, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_rejected() {
+        Variable::query(vec![], None);
+    }
+
+    #[test]
+    fn unary_scores_accumulate() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 2.0);
+        w.set(WeightId(1), -1.0);
+        g.add_feature(v, 0, WeightId(0), 1.0);
+        g.add_feature(v, 0, WeightId(1), 3.0);
+        g.add_feature(v, 1, WeightId(0), 0.5);
+        assert!((g.unary_score(v, 0, &w) - (2.0 - 3.0)).abs() < 1e-12);
+        assert!((g.unary_score(v, 1, &w) - 1.0).abs() < 1e-12);
+        assert_eq!(g.unary_scores(v, &w).len(), 2);
+    }
+
+    #[test]
+    fn clique_violation_semantics() {
+        // DC: ¬(x = y). Two variables, predicate Var(0) = Var(1).
+        let clique = CliqueFactor {
+            vars: vec![VarId(0), VarId(1)],
+            weight: WeightId(0),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        };
+        let ctx = EqOnlyContext;
+        assert!(clique.violated(&[sym(5), sym(5)], &ctx));
+        assert!(!clique.violated(&[sym(5), sym(6)], &ctx));
+        let mut w = Weights::zeros(1);
+        w.set(WeightId(0), 4.0);
+        assert_eq!(clique.score(&[sym(5), sym(5)], &w, &ctx), -4.0);
+        assert_eq!(clique.score(&[sym(5), sym(6)], &w, &ctx), 0.0);
+    }
+
+    #[test]
+    fn clique_with_constant_operand() {
+        // ¬(x = c ∧ x ≠ d): violated iff x == c (and c != d).
+        let c = sym(7);
+        let d = sym(8);
+        let clique = CliqueFactor {
+            vars: vec![VarId(0)],
+            weight: WeightId(0),
+            predicates: vec![
+                FactorPredicate {
+                    lhs: FactorOperand::Var(0),
+                    op: CmpOp::Eq,
+                    rhs: FactorOperand::Const(c),
+                },
+                FactorPredicate {
+                    lhs: FactorOperand::Var(0),
+                    op: CmpOp::Neq,
+                    rhs: FactorOperand::Const(d),
+                },
+            ],
+        };
+        let ctx = EqOnlyContext;
+        assert!(clique.violated(&[c], &ctx));
+        assert!(!clique.violated(&[d], &ctx));
+    }
+
+    #[test]
+    fn null_operand_never_satisfies() {
+        let p = FactorPredicate {
+            lhs: FactorOperand::Var(0),
+            op: CmpOp::Eq,
+            rhs: FactorOperand::Const(Sym::NULL),
+        };
+        assert!(!p.eval(&[Sym::NULL], &EqOnlyContext));
+    }
+
+    #[test]
+    fn adjacency_wiring() {
+        let mut g = FactorGraph::new();
+        let v0 = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        let v1 = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        let v2 = g.add_variable(Variable::evidence(vec![sym(1)], 0));
+        g.add_clique(CliqueFactor {
+            vars: vec![v0, v1],
+            weight: WeightId(0),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        });
+        assert_eq!(g.cliques_of(v0), &[0]);
+        assert_eq!(g.cliques_of(v1), &[0]);
+        assert!(g.cliques_of(v2).is_empty());
+        assert_eq!(g.query_vars(), vec![v0, v1]);
+        assert_eq!(g.evidence_vars(), vec![v2]);
+        assert!(g.has_cliques());
+    }
+
+    #[test]
+    fn factor_count_tallies_unary_and_cliques() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        g.add_feature(v, 0, WeightId(0), 1.0);
+        g.add_feature(v, 1, WeightId(0), 1.0);
+        assert_eq!(g.factor_count(), 2);
+        g.add_clique(CliqueFactor {
+            vars: vec![v],
+            weight: WeightId(0),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Const(sym(1)),
+            }],
+        });
+        assert_eq!(g.factor_count(), 3);
+    }
+}

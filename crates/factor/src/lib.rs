@@ -1,0 +1,49 @@
+//! Factor-graph engine for the HoloClean reproduction.
+//!
+//! This crate replaces DeepDive v0.9 — the declarative inference engine the
+//! paper builds on (§3.2) — with an in-process implementation of exactly the
+//! pieces HoloClean exercises:
+//!
+//! * [`graph`] — a factor graph `(T, F, θ)` over categorical random
+//!   variables with per-variable candidate domains. Variables are either
+//!   *evidence* (clean cells, fixed during learning) or *query* (noisy
+//!   cells, inferred). Factors are *unary* (sparse feature vectors per
+//!   candidate, tied weights — the grounding of `Value?(t,a,d) :- …
+//!   weight = w(…)` rules) or *cliques* (multi-variable denial-constraint
+//!   factors produced by Algorithm 1).
+//! * [`weights`] — tied weights `θ`, learnable or fixed, plus a generic
+//!   feature registry for interning structured feature keys.
+//! * [`learn`] — empirical-risk minimisation over evidence variables with
+//!   SGD (§2.2), i.e. multinomial logistic regression over the unary
+//!   features; L2 regularised, deterministic under a seed.
+//! * [`gibbs`] — the Gibbs sampler used for approximate inference over
+//!   models with clique factors; single-site sweeps over the query
+//!   variables.
+//! * [`marginals`] — marginal estimates, either exact (closed-form softmax
+//!   for the relaxed model of §5.2, whose variables are independent) or
+//!   empirical from Gibbs samples; MAP extraction.
+//! * [`exact`] — brute-force enumeration for tiny graphs; the test oracle
+//!   for the sampler.
+//!
+//! The probability model is Eq. 1 of the paper:
+//! `P(T) = Z⁻¹ exp(Σ_φ θ_φ · h_φ(φ))`.
+
+pub mod exact;
+pub mod gibbs;
+pub mod graph;
+pub mod learn;
+pub mod marginals;
+pub mod math;
+pub mod weights;
+
+#[cfg(test)]
+mod proptests;
+
+pub use gibbs::{GibbsConfig, GibbsSampler};
+pub use graph::{
+    CliqueFactor, CmpOp, FactorGraph, FactorOperand, FactorPredicate, ValueContext, VarId,
+    Variable,
+};
+pub use learn::{LearnConfig, LearnStats};
+pub use marginals::Marginals;
+pub use weights::{FeatureRegistry, WeightId, Weights};

@@ -1,0 +1,113 @@
+//! Marginal distributions over variable candidates, and MAP extraction.
+
+use crate::graph::{FactorGraph, VarId};
+use crate::math::{argmax, softmax};
+use crate::weights::Weights;
+use serde::{Deserialize, Serialize};
+
+/// Per-variable categorical marginals `P(T_c = d; Ω, Σ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Marginals {
+    per_var: Vec<Vec<f64>>,
+}
+
+impl Marginals {
+    /// Wraps raw per-variable probability vectors.
+    pub fn from_raw(per_var: Vec<Vec<f64>>) -> Self {
+        Marginals { per_var }
+    }
+
+    /// Exact marginals for a graph *without clique factors*: each variable
+    /// is independent, so its marginal is the softmax of its unary scores
+    /// (the closed form the §5.2 relaxation buys). Evidence variables get a
+    /// point mass on their observed candidate.
+    pub fn exact_unary(graph: &FactorGraph, weights: &Weights) -> Self {
+        debug_assert!(
+            !graph.has_cliques(),
+            "exact_unary called on a graph with clique factors"
+        );
+        let per_var = graph
+            .var_ids()
+            .map(|v| {
+                let var = graph.var(v);
+                match var.evidence {
+                    Some(k) => {
+                        let mut p = vec![0.0; var.arity()];
+                        p[k] = 1.0;
+                        p
+                    }
+                    None => softmax(&graph.unary_scores(v, weights)),
+                }
+            })
+            .collect();
+        Marginals { per_var }
+    }
+
+    /// The marginal vector of variable `v`.
+    pub fn probs(&self, v: VarId) -> &[f64] {
+        &self.per_var[v.index()]
+    }
+
+    /// Probability of candidate `k` of variable `v`.
+    pub fn prob(&self, v: VarId, k: usize) -> f64 {
+        self.per_var[v.index()][k]
+    }
+
+    /// The MAP candidate of `v` and its marginal probability.
+    pub fn map_candidate(&self, v: VarId) -> (usize, f64) {
+        let probs = self.probs(v);
+        let k = argmax(probs).expect("variable with empty marginal");
+        (k, probs[k])
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.per_var.len()
+    }
+
+    /// Whether no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.per_var.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Variable;
+    use crate::weights::WeightId;
+    use holo_dataset::Sym;
+
+    #[test]
+    fn exact_unary_softmax() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![Sym(1), Sym(2)], Some(0)));
+        let mut w = Weights::zeros(1);
+        w.set(WeightId(0), 1.0);
+        g.add_feature(v, 0, WeightId(0), 1.0); // score 1 vs 0
+        let m = Marginals::exact_unary(&g, &w);
+        let p = m.probs(v);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1]);
+        let expected = 1.0 / (1.0 + (-1.0f64).exp().recip()).recip();
+        // p0 = e^1 / (e^1 + e^0) = sigmoid(1)
+        let sigmoid = 1.0 / (1.0 + (-1.0f64).exp());
+        assert!((p[0] - sigmoid).abs() < 1e-12, "expected {expected}");
+    }
+
+    #[test]
+    fn evidence_gets_point_mass() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::evidence(vec![Sym(1), Sym(2), Sym(3)], 2));
+        let w = Weights::zeros(0);
+        let m = Marginals::exact_unary(&g, &w);
+        assert_eq!(m.probs(v), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.map_candidate(v), (2, 1.0));
+    }
+
+    #[test]
+    fn map_candidate_breaks_ties_low() {
+        let m = Marginals::from_raw(vec![vec![0.4, 0.4, 0.2]]);
+        assert_eq!(m.map_candidate(VarId(0)).0, 0);
+    }
+}

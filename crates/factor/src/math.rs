@@ -1,0 +1,156 @@
+//! Numerically stable primitives shared by learning and inference.
+
+/// `log(Σ exp(x_i))`, stable under large magnitudes. Returns `-inf` for an
+/// empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// In-place softmax over unnormalised log-scores.
+pub fn softmax_in_place(scores: &mut [f64]) {
+    let lse = log_sum_exp(scores);
+    if !lse.is_finite() {
+        // All -inf (or empty): fall back to uniform to stay a distribution.
+        let n = scores.len().max(1);
+        scores.iter_mut().for_each(|s| *s = 1.0 / n as f64);
+        return;
+    }
+    for s in scores.iter_mut() {
+        *s = (*s - lse).exp();
+    }
+}
+
+/// Softmax into a fresh vector.
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    let mut out = scores.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Samples an index from a categorical distribution given by `probs`
+/// (assumed to sum to ~1) using a uniform draw `u ∈ [0, 1)`.
+pub fn sample_categorical(probs: &[f64], u: f64) -> usize {
+    debug_assert!(!probs.is_empty());
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Index of the maximum value; ties break toward the smaller index so the
+/// result is deterministic.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive_on_small_values() {
+        let xs = [0.1f64, 0.5, -0.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_stable_for_large_values() {
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        let xs = [-1000.0, -1000.0];
+        assert!((log_sum_exp(&xs) - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_normalises() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_of_all_neg_inf_is_uniform() {
+        let p = softmax(&[f64::NEG_INFINITY, f64::NEG_INFINITY]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_sampling_boundaries() {
+        let probs = [0.25, 0.25, 0.5];
+        assert_eq!(sample_categorical(&probs, 0.0), 0);
+        assert_eq!(sample_categorical(&probs, 0.24), 0);
+        assert_eq!(sample_categorical(&probs, 0.26), 1);
+        assert_eq!(sample_categorical(&probs, 0.51), 2);
+        assert_eq!(sample_categorical(&probs, 0.999), 2);
+        // Even a degenerate u ≥ 1 clamps to the last index.
+        assert_eq!(sample_categorical(&probs, 1.5), 2);
+    }
+
+    #[test]
+    fn argmax_deterministic_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[2.0]), Some(0));
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_always_a_distribution(
+            xs in proptest::collection::vec(-50.0f64..50.0, 1..10)
+        ) {
+            let p = softmax(&xs);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn softmax_invariant_to_shift(
+            xs in proptest::collection::vec(-10.0f64..10.0, 1..8),
+            shift in -100.0f64..100.0
+        ) {
+            let p1 = softmax(&xs);
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            let p2 = softmax(&shifted);
+            for (a, b) in p1.iter().zip(&p2) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn sampling_respects_support(
+            probs_raw in proptest::collection::vec(0.01f64..1.0, 1..6),
+            u in 0.0f64..1.0
+        ) {
+            let total: f64 = probs_raw.iter().sum();
+            let probs: Vec<f64> = probs_raw.iter().map(|p| p / total).collect();
+            let idx = sample_categorical(&probs, u);
+            prop_assert!(idx < probs.len());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-module property tests: the Gibbs sampler against the brute-force
+//! enumeration oracle on randomly generated small factor graphs, and
+//! structural invariants of marginals.
+
+#![cfg(test)]
+
+use crate::exact::exact_marginals;
+use crate::gibbs::{GibbsConfig, GibbsSampler};
+use crate::graph::{
+    CliqueFactor, CmpOp, EqOnlyContext, FactorGraph, FactorOperand, FactorPredicate, Variable,
+};
+use crate::marginals::Marginals;
+use crate::weights::{WeightId, Weights};
+use holo_dataset::Sym;
+use proptest::prelude::*;
+
+/// A compact description of a random small model.
+#[derive(Debug, Clone)]
+struct RandomModel {
+    /// Candidate-count per variable (2..=3), max 4 variables.
+    arities: Vec<usize>,
+    /// Unary feature weights per (var, candidate), in [-1.5, 1.5].
+    unary: Vec<Vec<f64>>,
+    /// Pairwise "must differ" cliques: (a, b, weight in [0, 2]).
+    cliques: Vec<(usize, usize, f64)>,
+}
+
+fn random_model() -> impl Strategy<Value = RandomModel> {
+    (2usize..=4)
+        .prop_flat_map(|n_vars| {
+            let arities = proptest::collection::vec(2usize..=3, n_vars);
+            arities.prop_flat_map(move |arities| {
+                let unary = arities
+                    .iter()
+                    .map(|&a| proptest::collection::vec(-1.5f64..1.5, a))
+                    .collect::<Vec<_>>();
+                let cliques = proptest::collection::vec(
+                    (0..arities.len(), 0..arities.len(), 0.0f64..2.0),
+                    0..3,
+                );
+                (Just(arities.clone()), unary, cliques).prop_map(
+                    |(arities, unary, cliques)| RandomModel {
+                        arities,
+                        unary,
+                        cliques: cliques
+                            .into_iter()
+                            .filter(|(a, b, _)| a != b)
+                            .collect(),
+                    },
+                )
+            })
+        })
+        .prop_filter("at least one variable", |m| !m.arities.is_empty())
+}
+
+fn build(model: &RandomModel) -> (FactorGraph, Weights) {
+    let mut graph = FactorGraph::new();
+    let mut weight_values = Vec::new();
+    let mut vars = Vec::new();
+    for (v, &arity) in model.arities.iter().enumerate() {
+        // Shared symbol space so "must differ" cliques are meaningful.
+        let domain: Vec<Sym> = (1..=arity as u32).map(Sym).collect();
+        let var = graph.add_variable(Variable::query(domain, Some(0)));
+        vars.push(var);
+        for k in 0..arity {
+            let w = WeightId(weight_values.len() as u32);
+            weight_values.push(model.unary[v][k]);
+            graph.add_feature(var, k, w, 1.0);
+        }
+    }
+    for &(a, b, w) in &model.cliques {
+        let wid = WeightId(weight_values.len() as u32);
+        weight_values.push(w);
+        graph.add_clique(CliqueFactor {
+            vars: vec![vars[a], vars[b]],
+            weight: wid,
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        });
+    }
+    let mut weights = Weights::zeros(weight_values.len());
+    for (i, v) in weight_values.into_iter().enumerate() {
+        weights.set(WeightId(i as u32), v);
+    }
+    (graph, weights)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Gibbs marginals converge to the exact enumeration on random small
+    /// graphs (loose tolerance — finite sampling).
+    #[test]
+    fn gibbs_matches_exact_on_random_graphs(model in random_model()) {
+        let (graph, weights) = build(&model);
+        let ctx = EqOnlyContext;
+        let exact = exact_marginals(&graph, &weights, &ctx);
+        let approx = GibbsSampler::new(&graph, &weights, &ctx, 99).run(&GibbsConfig {
+            burn_in: 300,
+            samples: 12_000,
+            seed: 99,
+        });
+        for v in graph.var_ids() {
+            for k in 0..graph.var(v).arity() {
+                let diff = (exact.prob(v, k) - approx.prob(v, k)).abs();
+                prop_assert!(diff < 0.06, "var {v:?} cand {k}: |{} - {}| = {diff}",
+                    exact.prob(v, k), approx.prob(v, k));
+            }
+        }
+    }
+
+    /// Every marginal vector is a probability distribution.
+    #[test]
+    fn marginals_are_distributions(model in random_model()) {
+        let (graph, weights) = build(&model);
+        let ctx = EqOnlyContext;
+        for marginals in [
+            exact_marginals(&graph, &weights, &ctx),
+            GibbsSampler::new(&graph, &weights, &ctx, 5).run(&GibbsConfig {
+                burn_in: 10,
+                samples: 200,
+                seed: 5,
+            }),
+        ] {
+            for v in graph.var_ids() {
+                let total: f64 = marginals.probs(v).iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                prop_assert!(marginals.probs(v).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    /// Without cliques, Gibbs and the closed-form softmax agree — the §5.2
+    /// independence property.
+    #[test]
+    fn independent_graphs_need_no_sampling(model in random_model()) {
+        let model = RandomModel { cliques: Vec::new(), ..model };
+        let (graph, weights) = build(&model);
+        let closed = Marginals::exact_unary(&graph, &weights);
+        let sampled = GibbsSampler::new(&graph, &weights, &EqOnlyContext, 17).run(&GibbsConfig {
+            burn_in: 200,
+            samples: 12_000,
+            seed: 17,
+        });
+        for v in graph.var_ids() {
+            for k in 0..graph.var(v).arity() {
+                prop_assert!((closed.prob(v, k) - sampled.prob(v, k)).abs() < 0.06);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Tied weights and feature interning.
+//!
+//! HoloClean's inference rules are *weight-parameterised*: e.g. the
+//! quantitative-statistics rule `Value?(t,a,d) :- HasFeature(t,a,f)
+//! weight = w(d,f)` shares one weight across every grounding with the same
+//! `(d, f)` (§4.2). The [`FeatureRegistry`] interns arbitrary structured
+//! keys to dense [`WeightId`]s; [`Weights`] stores the values, separating
+//! *learnable* weights (updated by SGD) from *fixed* weights (the
+//! minimality prior and the constant denial-constraint weight `w` of
+//! Algorithm 1).
+
+use holo_dataset::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// Dense index of a tied weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WeightId(pub u32);
+
+impl WeightId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns structured feature keys (e.g. `(attr, candidate, co-attr, value)`
+/// tuples) into dense weight ids.
+#[derive(Debug, Clone)]
+pub struct FeatureRegistry<K> {
+    map: FxHashMap<K, WeightId>,
+    fixed: Vec<bool>,
+    initial: Vec<f64>,
+}
+
+impl<K: Hash + Eq + Clone> Default for FeatureRegistry<K> {
+    fn default() -> Self {
+        FeatureRegistry {
+            map: FxHashMap::default(),
+            fixed: Vec::new(),
+            initial: Vec::new(),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> FeatureRegistry<K> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `key` as a learnable weight initialised to 0.
+    pub fn learnable(&mut self, key: K) -> WeightId {
+        self.intern(key, false, 0.0)
+    }
+
+    /// Interns `key` as a learnable weight with a non-zero prior value —
+    /// SGD starts from (and can move away from) `init`.
+    pub fn learnable_init(&mut self, key: K, init: f64) -> WeightId {
+        self.intern(key, false, init)
+    }
+
+    /// Interns `key` as a fixed-value weight (not touched by learning).
+    pub fn fixed(&mut self, key: K, value: f64) -> WeightId {
+        self.intern(key, true, value)
+    }
+
+    fn intern(&mut self, key: K, fixed: bool, value: f64) -> WeightId {
+        if let Some(&id) = self.map.get(&key) {
+            return id;
+        }
+        let id = WeightId(self.fixed.len() as u32);
+        self.map.insert(key, id);
+        self.fixed.push(fixed);
+        self.initial.push(value);
+        id
+    }
+
+    /// Looks up a key without interning.
+    pub fn get(&self, key: &K) -> Option<WeightId> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of interned weights.
+    pub fn len(&self) -> usize {
+        self.fixed.len()
+    }
+
+    /// Whether no weights have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.fixed.is_empty()
+    }
+
+    /// Materialises the weight store (initial values + fixedness mask).
+    pub fn build_weights(&self) -> Weights {
+        Weights {
+            values: self.initial.clone(),
+            fixed: self.fixed.clone(),
+        }
+    }
+}
+
+/// The weight vector `θ` of Eq. 1.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    values: Vec<f64>,
+    fixed: Vec<bool>,
+}
+
+impl Weights {
+    /// A store of `n` learnable weights initialised to zero.
+    pub fn zeros(n: usize) -> Self {
+        Weights {
+            values: vec![0.0; n],
+            fixed: vec![false; n],
+        }
+    }
+
+    /// The current value of weight `id`.
+    #[inline]
+    pub fn get(&self, id: WeightId) -> f64 {
+        self.values[id.index()]
+    }
+
+    /// Sets weight `id` unconditionally (used by tests and serialisation).
+    pub fn set(&mut self, id: WeightId, value: f64) {
+        self.values[id.index()] = value;
+    }
+
+    /// Whether the weight is fixed (excluded from SGD updates).
+    #[inline]
+    pub fn is_fixed(&self, id: WeightId) -> bool {
+        self.fixed[id.index()]
+    }
+
+    /// Applies a gradient step `w += delta` unless the weight is fixed.
+    #[inline]
+    pub fn update(&mut self, id: WeightId, delta: f64) {
+        let i = id.index();
+        if !self.fixed[i] {
+            self.values[i] += delta;
+        }
+    }
+
+    /// Number of weights.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// L2 norm of the learnable weights (for convergence diagnostics).
+    pub fn learnable_norm(&self) -> f64 {
+        self.values
+            .iter()
+            .zip(&self.fixed)
+            .filter(|(_, &f)| !f)
+            .map(|(v, _)| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Key {
+        Cooccur(u16, u32, u16, u32),
+        Minimality,
+        Dict(u8),
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut reg: FeatureRegistry<Key> = FeatureRegistry::new();
+        let a = reg.learnable(Key::Cooccur(0, 1, 2, 3));
+        let b = reg.learnable(Key::Cooccur(0, 1, 2, 3));
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        let c = reg.learnable(Key::Cooccur(0, 1, 2, 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fixed_weights_keep_value_and_resist_updates() {
+        let mut reg: FeatureRegistry<Key> = FeatureRegistry::new();
+        let prior = reg.fixed(Key::Minimality, 1.5);
+        let feat = reg.learnable(Key::Dict(0));
+        let mut w = reg.build_weights();
+        assert_eq!(w.get(prior), 1.5);
+        assert_eq!(w.get(feat), 0.0);
+        w.update(prior, 10.0);
+        w.update(feat, 10.0);
+        assert_eq!(w.get(prior), 1.5, "fixed weight unchanged");
+        assert_eq!(w.get(feat), 10.0);
+    }
+
+    #[test]
+    fn re_interning_fixed_key_preserves_first_value() {
+        let mut reg: FeatureRegistry<Key> = FeatureRegistry::new();
+        let a = reg.fixed(Key::Minimality, 2.0);
+        let b = reg.fixed(Key::Minimality, 99.0);
+        assert_eq!(a, b);
+        assert_eq!(reg.build_weights().get(a), 2.0);
+    }
+
+    #[test]
+    fn learnable_norm_excludes_fixed() {
+        let mut reg: FeatureRegistry<Key> = FeatureRegistry::new();
+        let prior = reg.fixed(Key::Minimality, 100.0);
+        let feat = reg.learnable(Key::Dict(1));
+        let mut w = reg.build_weights();
+        w.update(feat, 3.0);
+        let _ = prior;
+        assert!((w.learnable_norm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut reg: FeatureRegistry<Key> = FeatureRegistry::new();
+        assert_eq!(reg.get(&Key::Minimality), None);
+        let id = reg.learnable(Key::Minimality);
+        assert_eq!(reg.get(&Key::Minimality), Some(id));
+    }
+}

@@ -1,0 +1,55 @@
+//! End-to-end repair of the Food-inspections dataset with model-variant
+//! ablation (the Figure 5 axis).
+//!
+//! ```text
+//! cargo run --release --example food_inspections
+//! ```
+//!
+//! Generates a scaled-down Chicago food-inspection catalog (duplicates
+//! across years + non-systematic errors), then runs three model variants:
+//! the relaxed `DcFeats` default, grounded `DcFactors` cliques with Gibbs
+//! sampling, and the partitioned factor variant.
+
+use holoclean_repro::holo_datagen::{food, FoodConfig};
+use holoclean_repro::holoclean::{evaluate, HoloClean, HoloConfig, ModelVariant};
+
+fn main() {
+    let gen = food(FoodConfig {
+        establishments: 400,
+        ..FoodConfig::default()
+    });
+    println!(
+        "Food inspections: {} rows x {} attrs, {} injected errors\n",
+        gen.dirty.tuple_count(),
+        gen.dirty.schema().len(),
+        gen.errors.len()
+    );
+
+    for variant in [
+        ModelVariant::DcFeats,
+        ModelVariant::DcFactors,
+        ModelVariant::DcFactorsPartitioned,
+    ] {
+        let outcome = HoloClean::new(gen.dirty.clone())
+            .with_constraint_text(&gen.constraints_text)
+            .expect("constraints parse")
+            .with_config(HoloConfig::default().with_tau(0.5).with_variant(variant))
+            .run()
+            .expect("pipeline runs");
+        let q = evaluate(&outcome.report, &outcome.dataset, &gen.clean);
+        println!(
+            "{:<40} P {:.3}  R {:.3}  F1 {:.3}  | {:>8} factors ({:>6} cliques) | compile {:>6.0} ms, repair {:>6.0} ms",
+            variant.label(),
+            q.precision,
+            q.recall,
+            q.f1,
+            outcome.model.factors,
+            outcome.model.cliques,
+            outcome.timings.compile.as_secs_f64() * 1e3,
+            outcome.timings.repair().as_secs_f64() * 1e3,
+        );
+    }
+    println!("\nThe relaxed DC Feats model runs closed-form inference (independent");
+    println!("variables, §5.2); the factor variants pay for Gibbs sampling and, without");
+    println!("partitioning, for quadratic clique grounding (Algorithm 1 vs Algorithm 3).");
+}

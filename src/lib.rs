@@ -1,0 +1,23 @@
+//! Umbrella crate for the HoloClean reproduction workspace.
+//!
+//! This root package exists to host the runnable examples in `examples/`
+//! and the cross-crate integration tests in `tests/`. It re-exports the
+//! public crates so examples can use a single dependency:
+//!
+//! * [`holo_dataset`] — relational substrate (tables, interning, statistics)
+//! * [`holo_constraints`] — denial constraints and violation detection
+//! * [`holo_factor`] — factor-graph grounding, learning and Gibbs sampling
+//! * [`holo_external`] — external dictionaries and matching dependencies
+//! * [`holo_detect`] — error-detection module
+//! * [`holoclean`] — the HoloClean compiler and repair pipeline
+//! * [`holo_baselines`] — Holistic, KATARA and SCARE baselines
+//! * [`holo_datagen`] — evaluation dataset generators
+
+pub use holo_baselines;
+pub use holo_constraints;
+pub use holo_datagen;
+pub use holo_dataset;
+pub use holo_detect;
+pub use holo_external;
+pub use holo_factor;
+pub use holoclean;
