@@ -100,8 +100,14 @@ impl Holistic {
                 };
                 let rhs_cell = match p.rhs {
                     Operand::Cell(tv, a) => Some(match tv {
-                        TupleVar::T1 => CellRef { tuple: v.t1, attr: a },
-                        TupleVar::T2 => CellRef { tuple: v.t2, attr: a },
+                        TupleVar::T1 => CellRef {
+                            tuple: v.t1,
+                            attr: a,
+                        },
+                        TupleVar::T2 => CellRef {
+                            tuple: v.t2,
+                            attr: a,
+                        },
                     }),
                     Operand::Const(_) => None,
                 };
@@ -123,10 +129,8 @@ impl Holistic {
                 // so Holistic's context only votes on ≠ (and < / >, where
                 // adopting the partner value falsifies a strict order).
                 match p.op {
-                    Op::Neq | Op::Lt | Op::Gt => {
-                        if other != current {
-                            *votes.entry(other).or_insert(0) += 1;
-                        }
+                    Op::Neq | Op::Lt | Op::Gt if other != current => {
+                        *votes.entry(other).or_insert(0) += 1;
                     }
                     _ => {}
                 }
@@ -248,7 +252,10 @@ mod tests {
         let cons = parse_constraints("FD: Flight -> Dep", &mut ds).unwrap();
         let repairs = Holistic::new(cons).repair(&ds);
         assert_eq!(repairs.len(), 1);
-        assert_eq!(repairs[0].old_value, "09:30", "majority overrides the truth");
+        assert_eq!(
+            repairs[0].old_value, "09:30",
+            "majority overrides the truth"
+        );
         assert_eq!(repairs[0].new_value, "09:00");
     }
 
@@ -276,7 +283,19 @@ mod tests {
         // the visit order (Zip before City on the tie).
         let zip = ds.schema().attr_id("Zip").unwrap();
         let city = ds.schema().attr_id("City").unwrap();
-        assert_eq!(order[0], CellRef { tuple: 3usize.into(), attr: zip });
-        assert_eq!(order[1], CellRef { tuple: 3usize.into(), attr: city });
+        assert_eq!(
+            order[0],
+            CellRef {
+                tuple: 3usize.into(),
+                attr: zip
+            }
+        );
+        assert_eq!(
+            order[1],
+            CellRef {
+                tuple: 3usize.into(),
+                attr: city
+            }
+        );
     }
 }

@@ -99,8 +99,7 @@ impl Katara {
                     .filter(|v| dict_dom.contains(*v))
                     .count() as f64
                     / table_values.len() as f64;
-                if overlap >= self.config.alignment_overlap
-                    && best.is_none_or(|(_, b)| overlap > b)
+                if overlap >= self.config.alignment_overlap && best.is_none_or(|(_, b)| overlap > b)
                 {
                     best = Some((da, overlap));
                 }
@@ -144,7 +143,10 @@ impl RepairSystem for Katara {
             for row in self.dict.data.tuples() {
                 let sym = self.dict.data.cell(row, da);
                 if !sym.is_null() {
-                    index.entry(self.dict.data.value_str(sym)).or_default().push(row);
+                    index
+                        .entry(self.dict.data.value_str(sym))
+                        .or_default()
+                        .push(row);
                 }
             }
             indexes.push(index);

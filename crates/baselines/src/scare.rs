@@ -113,13 +113,7 @@ impl Scare {
     }
 
     /// Top-k candidate values for a cell by conditional likelihood.
-    fn candidates(
-        &self,
-        ds: &Dataset,
-        stats: &CooccurStats,
-        t: TupleId,
-        a: AttrId,
-    ) -> Vec<Sym> {
+    fn candidates(&self, ds: &Dataset, stats: &CooccurStats, t: TupleId, a: AttrId) -> Vec<Sym> {
         let mut scored: Vec<(Sym, f64)> = Vec::new();
         for other in ds.schema().attrs() {
             if other == a {

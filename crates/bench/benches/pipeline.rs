@@ -6,11 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use holo_bench::{build, Scale};
-use holo_constraints::{find_violations, find_violations_naive, parse_constraints};
+use holo_constraints::{
+    find_violations, find_violations_naive, find_violations_with_threads, parse_constraints,
+};
 use holo_datagen::DatasetKind;
 use holo_dataset::{CooccurStats, FxHashSet};
 use holoclean::compile::{compile, CompileInput};
-use holoclean::domain::prune_domains;
+use holoclean::domain::{prune_domains, prune_domains_with_threads};
 use holoclean::{HoloClean, HoloConfig, ModelVariant};
 use std::hint::black_box;
 
@@ -28,6 +30,9 @@ fn bench_violation_detection(c: &mut Criterion) {
     let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
     group.bench_function("blocked", |b| {
         b.iter(|| black_box(find_violations(&gen.dirty, &cons)))
+    });
+    group.bench_function("blocked_threads_all", |b| {
+        b.iter(|| black_box(find_violations_with_threads(&gen.dirty, &cons, 0)))
     });
     group.bench_function("naive_quadratic", |b| {
         b.iter(|| black_box(find_violations_naive(&gen.dirty, &cons)))
@@ -65,6 +70,23 @@ fn bench_pruning(c: &mut Criterion) {
             })
         });
     }
+    let noisy_cells: Vec<_> = {
+        let mut cells: Vec<_> = noisy.iter().copied().collect();
+        cells.sort_unstable();
+        cells
+    };
+    group.bench_function("tau_0.5_threads_all", |b| {
+        b.iter(|| {
+            black_box(prune_domains_with_threads(
+                &gen.dirty,
+                &noisy_cells,
+                &stats,
+                0.5,
+                50,
+                0,
+            ))
+        })
+    });
     group.finish();
 }
 
@@ -132,7 +154,11 @@ fn bench_learning_and_inference(c: &mut Criterion) {
     group.bench_function("sgd_training", |b| {
         b.iter(|| {
             let mut w = model.weights.clone();
-            black_box(holo_factor::learn::train(&model.graph, &mut w, &config.learn))
+            black_box(holo_factor::learn::train(
+                &model.graph,
+                &mut w,
+                &config.learn,
+            ))
         })
     });
     let mut weights = model.weights.clone();
@@ -170,14 +196,34 @@ fn bench_gibbs(c: &mut Criterion) {
     let ctx = holoclean::context::DatasetContext::new(&gen.dirty);
     group.bench_function("ten_sweeps_with_cliques", |b| {
         b.iter(|| {
-            let mut sampler =
-                holo_factor::GibbsSampler::new(&model.graph, &weights, &ctx, 11);
+            let mut sampler = holo_factor::GibbsSampler::new(&model.graph, &weights, &ctx, 11);
             for _ in 0..10 {
                 sampler.sweep();
             }
             black_box(sampler.state().len())
         })
     });
+    // Same total sample budget, split 1-way vs 4-way: on a multi-core
+    // machine the 4-chain run should approach a 4x wall-clock win.
+    for (label, chains, threads) in [("chains_1", 1usize, 1usize), ("chains_4", 4, 0)] {
+        let gibbs = holo_factor::GibbsConfig {
+            burn_in: 5,
+            samples: 40,
+            chains,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(holo_factor::run_chains(
+                    &model.graph,
+                    &weights,
+                    &ctx,
+                    &gibbs,
+                    threads,
+                ))
+            })
+        });
+    }
     group.finish();
 }
 
@@ -198,6 +244,31 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline parallelism measurement: the same hospital pipeline with
+/// `threads = 1` (the sequential engine) vs `threads = 0` (all cores).
+/// Both produce bit-for-bit identical repairs; only the wall-clock should
+/// differ. Run on a multi-core machine, `threads_all / threads_1` is the
+/// engine's end-to-end speedup.
+fn bench_end_to_end_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_threads");
+    group.sample_size(10);
+    let gen = build(DatasetKind::Hospital, small_scale());
+    for (label, threads) in [("threads_1", 1usize), ("threads_all", 0usize)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let outcome = HoloClean::new(gen.dirty.clone())
+                    .with_constraint_text(&gen.constraints_text)
+                    .unwrap()
+                    .with_config(HoloConfig::default().with_threads(threads))
+                    .run()
+                    .unwrap();
+                black_box(outcome.report.repairs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_violation_detection,
@@ -206,6 +277,7 @@ criterion_group!(
     bench_compile_variants,
     bench_learning_and_inference,
     bench_gibbs,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_end_to_end_parallelism
 );
 criterion_main!(benches);

@@ -23,7 +23,8 @@ fn main() {
     println!("Ablations over the DESIGN.md §5b implementation decisions");
     println!("(scale ×{}, seed {})\n", args.scale, args.seed);
 
-    let configs: Vec<(&str, Box<dyn Fn(HoloConfig) -> HoloConfig>)> = vec![
+    type ConfigEdit = Box<dyn Fn(HoloConfig) -> HoloConfig>;
+    let configs: Vec<(&str, ConfigEdit)> = vec![
         ("baseline (all mechanisms on)", Box::new(|c| c)),
         (
             "no DC-violation prior (w(σ) starts at 0)",

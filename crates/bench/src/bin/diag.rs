@@ -43,9 +43,9 @@ fn main() {
         out.model.evidence_vars, out.model.factors, out.model.singleton_noisy_cells
     );
     println!("\nlearned DC-violation weights:");
-    let mut constraints_text = gen.constraints_text.lines();
+    let constraints_text = gen.constraints_text.lines();
     let mut sigma = 0usize;
-    while let Some(line) = constraints_text.next() {
+    for line in constraints_text {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -54,7 +54,10 @@ fn main() {
         // mapping by probing consecutive ids until the registry runs out.
         let _ = line;
         loop {
-            match model.registry.get(&FeatureKey::DcViolation { constraint: sigma }) {
+            match model
+                .registry
+                .get(&FeatureKey::DcViolation { constraint: sigma })
+            {
                 Some(id) => {
                     println!("  sigma {} -> w = {:+.4}", sigma, weights.get(id));
                 }
@@ -110,7 +113,9 @@ fn main() {
     }
     let mut attrs: Vec<_> = per_attr.into_iter().collect();
     attrs.sort_by_key(|(a, _)| *a);
-    println!("\nattr                      errors  fixed  wrong  missed(flagged)  missed(undetected)");
+    println!(
+        "\nattr                      errors  fixed  wrong  missed(flagged)  missed(undetected)"
+    );
     for (a, t) in attrs {
         println!(
             "{:<24} {:>7} {:>6} {:>6} {:>16} {:>19}",
@@ -139,7 +144,7 @@ fn main() {
         let cands: Vec<String> = p
             .candidates
             .iter()
-            .map(|(s, pr)| format!("{}={:.3}", out.report.posteriors.len().min(1).eq(&1).then(|| gen.dirty.value_str(*s)).unwrap_or(""), pr))
+            .map(|(s, pr)| format!("{}={pr:.3}", gen.dirty.value_str(*s)))
             .collect();
         println!(
             "  {} [{}]: dirty={dirty:?} truth={truth:?} posterior: {}",

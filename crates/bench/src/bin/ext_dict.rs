@@ -17,18 +17,21 @@ fn main() {
         full: args.full,
     };
     println!("§6.3.2: External dictionaries in HoloClean");
-    println!("(synthetic reproductions; scale ×{}, seed {})\n", args.scale, args.seed);
+    println!(
+        "(synthetic reproductions; scale ×{}, seed {})\n",
+        args.scale, args.seed
+    );
 
-    let mut table = TableWriter::new(vec![
-        "Dataset",
-        "F1 (no dict)",
-        "F1 (with dict)",
-        "Delta",
-    ]);
+    let mut table = TableWriter::new(vec!["Dataset", "F1 (no dict)", "F1 (with dict)", "Delta"]);
     for kind in DatasetKind::all() {
         let gen = build(kind, scale);
         if gen.dictionary.is_none() {
-            table.row(vec![kind.name().to_string(), "-".into(), "n/a".into(), "-".into()]);
+            table.row(vec![
+                kind.name().to_string(),
+                "-".into(),
+                "n/a".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let without = run_holoclean(&gen, HoloConfig::default(), None, false);

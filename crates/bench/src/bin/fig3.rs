@@ -16,7 +16,10 @@ fn main() {
         full: args.full,
     };
     println!("Figure 3: Effect of pruning on Precision and Recall");
-    println!("(synthetic reproductions; scale ×{}, seed {})\n", args.scale, args.seed);
+    println!(
+        "(synthetic reproductions; scale ×{}, seed {})\n",
+        args.scale, args.seed
+    );
 
     let mut table = TableWriter::new(vec![
         "Dataset",

@@ -20,7 +20,10 @@ fn main() {
         full: args.full,
     };
     println!("Figure 5: Runtime, precision, and recall of all HoloClean variants on Food");
-    println!("(synthetic reproduction; scale ×{}, seed {})\n", args.scale, args.seed);
+    println!(
+        "(synthetic reproduction; scale ×{}, seed {})\n",
+        args.scale, args.seed
+    );
 
     let gen = build(DatasetKind::Food, scale);
     let mut table = TableWriter::new(vec![

@@ -18,9 +18,18 @@ fn main() {
         full: args.full,
     };
     println!("Figure 6: Error rate of repairs per marginal-probability bucket");
-    println!("(synthetic reproductions; scale ×{}, seed {})\n", args.scale, args.seed);
+    println!(
+        "(synthetic reproductions; scale ×{}, seed {})\n",
+        args.scale, args.seed
+    );
 
-    let labels = ["[0.5-0.6)", "[0.6-0.7)", "[0.7-0.8)", "[0.8-0.9)", "[0.9-1.0]"];
+    let labels = [
+        "[0.5-0.6)",
+        "[0.6-0.7)",
+        "[0.7-0.8)",
+        "[0.8-0.9)",
+        "[0.9-1.0]",
+    ];
     let mut header = vec!["Dataset".to_string()];
     header.extend(labels.iter().map(|s| s.to_string()));
     let mut table = TableWriter::new(header);
@@ -49,7 +58,11 @@ fn main() {
         avg_row.push(if agg_total[i] == 0 {
             "- (0)".to_string()
         } else {
-            format!("{:.2} ({})", agg_wrong[i] as f64 / agg_total[i] as f64, agg_total[i])
+            format!(
+                "{:.2} ({})",
+                agg_wrong[i] as f64 / agg_total[i] as f64,
+                agg_total[i]
+            )
         });
     }
     table.row(avg_row);

@@ -16,7 +16,10 @@ fn main() {
         full: args.full,
     };
     println!("Table 2: Parameters of the data used for evaluation");
-    println!("(synthetic reproductions; scale ×{}, seed {})\n", args.scale, args.seed);
+    println!(
+        "(synthetic reproductions; scale ×{}, seed {})\n",
+        args.scale, args.seed
+    );
 
     let mut table = TableWriter::new(vec![
         "Parameter",

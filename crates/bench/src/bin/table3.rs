@@ -19,7 +19,10 @@ fn main() {
     };
     let budget = Duration::from_secs(args.scare_budget_secs);
     println!("Table 3: Precision, Recall and F1-score for different datasets");
-    println!("(synthetic reproductions; scale ×{}, seed {})\n", args.scale, args.seed);
+    println!(
+        "(synthetic reproductions; scale ×{}, seed {})\n",
+        args.scale, args.seed
+    );
 
     let mut table = TableWriter::new(vec![
         "Dataset (tau)",
@@ -75,7 +78,11 @@ fn main() {
                 _ => holo.quality.f1,
             };
             table.row(vec![
-                if mi == 0 { label.clone() } else { String::new() },
+                if mi == 0 {
+                    label.clone()
+                } else {
+                    String::new()
+                },
                 (*mname).to_string(),
                 fmt3(hv),
                 cell(0, mi),
@@ -85,7 +92,10 @@ fn main() {
         }
     }
     table.print();
-    println!("\n+ DNF: did not finish within the {}s budget (cf. the paper's", args.scare_budget_secs);
+    println!(
+        "\n+ DNF: did not finish within the {}s budget (cf. the paper's",
+        args.scare_budget_secs
+    );
     println!("  three-day timeout for SCARE on Food and Physicians).");
     println!("  n/a: no external dictionary exists for the Flights domain.\n");
 
@@ -98,7 +108,11 @@ fn main() {
     println!("  HoloClean avg F1        = {}", fmt3(avg(&holo_f1)));
     for (i, b) in Baseline::all().into_iter().enumerate() {
         let bavg = avg(&base_f1[i]);
-        let lift = if bavg > 0.0 { avg(&holo_f1) / bavg } else { f64::INFINITY };
+        let lift = if bavg > 0.0 {
+            avg(&holo_f1) / bavg
+        } else {
+            f64::INFINITY
+        };
         println!(
             "  vs {:<9} avg F1 = {} (HoloClean lift {:.2}x over finished runs)",
             b.name(),

@@ -18,7 +18,10 @@ fn main() {
     };
     let budget = Duration::from_secs(args.scare_budget_secs);
     println!("Table 4: Runtime analysis of different data cleaning methods");
-    println!("(synthetic reproductions; scale ×{}, seed {})\n", args.scale, args.seed);
+    println!(
+        "(synthetic reproductions; scale ×{}, seed {})\n",
+        args.scale, args.seed
+    );
 
     let mut table = TableWriter::new(vec!["Dataset", "HoloClean", "Holistic", "KATARA", "SCARE"]);
     for kind in DatasetKind::all() {
@@ -40,5 +43,8 @@ fn main() {
     }
     table.print();
     println!("\nA dash indicates the system failed to terminate within the");
-    println!("{}s budget (the paper used a three-day threshold).", args.scare_budget_secs);
+    println!(
+        "{}s budget (the paper used a three-day threshold).",
+        args.scare_budget_secs
+    );
 }

@@ -84,8 +84,22 @@ mod tests {
 
     #[test]
     fn scale_factor_scales_rows() {
-        let small = build(DatasetKind::Hospital, Scale { factor: 0.5, seed: 1, full: false });
-        let big = build(DatasetKind::Hospital, Scale { factor: 2.0, seed: 1, full: false });
+        let small = build(
+            DatasetKind::Hospital,
+            Scale {
+                factor: 0.5,
+                seed: 1,
+                full: false,
+            },
+        );
+        let big = build(
+            DatasetKind::Hospital,
+            Scale {
+                factor: 2.0,
+                seed: 1,
+                full: false,
+            },
+        );
         assert!(big.dirty.tuple_count() > 3 * small.dirty.tuple_count());
     }
 }

@@ -1,7 +1,7 @@
 //! Runs one repair system over one generated dataset and scores it.
 
-use holo_baselines::{to_report, Holistic, Katara, RepairSystem, Scare};
 use holo_baselines::scare::ScareConfig;
+use holo_baselines::{to_report, Holistic, Katara, RepairSystem, Scare};
 use holo_constraints::parse_constraints;
 use holo_datagen::{DatasetKind, GeneratedDataset};
 use holo_external::MatchingDependency;

@@ -393,7 +393,10 @@ mod tests {
         assert!(dc.violated_by(&ds, TupleId(0), TupleId(1)));
         assert!(dc.violated_by(&ds, TupleId(1), TupleId(0)));
         assert!(!dc.violated_by(&ds, TupleId(0), TupleId(2)));
-        assert!(!dc.violated_by(&ds, TupleId(0), TupleId(0)), "t1 == t2 never violates");
+        assert!(
+            !dc.violated_by(&ds, TupleId(0), TupleId(0)),
+            "t1 == t2 never violates"
+        );
     }
 
     #[test]
@@ -457,7 +460,15 @@ mod tests {
         ds.push_row(&[""]);
         ds.push_row(&["v"]);
         let v = ds.pool().get("v").unwrap();
-        for op in [Op::Eq, Op::Neq, Op::Lt, Op::Gt, Op::Leq, Op::Geq, Op::Sim(0.5)] {
+        for op in [
+            Op::Eq,
+            Op::Neq,
+            Op::Lt,
+            Op::Gt,
+            Op::Leq,
+            Op::Geq,
+            Op::Sim(0.5),
+        ] {
             assert!(!eval_op(&ds, Sym::NULL, op, v), "{op} over null");
             assert!(!eval_op(&ds, v, op, Sym::NULL), "{op} over null rhs");
             assert!(!eval_op(&ds, Sym::NULL, op, Sym::NULL), "{op} over nulls");
@@ -475,7 +486,10 @@ mod tests {
         let boston = ds.pool().get("Boston").unwrap();
         assert!(eval_op(&ds, chicago, Op::Sim(0.8), cicago));
         assert!(!eval_op(&ds, chicago, Op::Sim(0.8), boston));
-        assert!(eval_op(&ds, chicago, Op::Sim(0.99), chicago), "identity always similar");
+        assert!(
+            eval_op(&ds, chicago, Op::Sim(0.99), chicago),
+            "identity always similar"
+        );
     }
 
     #[test]

@@ -216,9 +216,21 @@ mod tests {
         let h = ConflictHypergraph::build(v);
         let city = ds.schema().attr_id("City").unwrap();
         // t1.City participates in two violations: (0,1) and (1,2).
-        assert_eq!(h.degree(CellRef { tuple: TupleId(1), attr: city }), 2);
+        assert_eq!(
+            h.degree(CellRef {
+                tuple: TupleId(1),
+                attr: city
+            }),
+            2
+        );
         // t3 is clean.
-        assert_eq!(h.degree(CellRef { tuple: TupleId(3), attr: city }), 0);
+        assert_eq!(
+            h.degree(CellRef {
+                tuple: TupleId(3),
+                attr: city
+            }),
+            0
+        );
         assert_eq!(h.violations().len(), 3);
     }
 
@@ -233,10 +245,7 @@ mod tests {
         assert_eq!(sizes, vec![3, 2]);
         assert_eq!(groups.grounding_bound(), 9 + 4);
         // t3 appears in no group.
-        assert!(groups
-            .groups
-            .iter()
-            .all(|(_, g)| !g.contains(&TupleId(3))));
+        assert!(groups.groups.iter().all(|(_, g)| !g.contains(&TupleId(3))));
     }
 
     #[test]

@@ -45,4 +45,6 @@ pub mod violations;
 pub use ast::{ConstraintId, ConstraintSet, DenialConstraint, Op, Operand, Predicate, TupleVar};
 pub use hypergraph::{ConflictHypergraph, TupleGroups};
 pub use parser::{parse_constraint, parse_constraints, ParseError};
-pub use violations::{find_violations, find_violations_naive, Violation};
+pub use violations::{
+    find_violations, find_violations_naive, find_violations_with_threads, Violation,
+};

@@ -74,8 +74,16 @@ fn parse_fd(body: &str, ds: &mut Dataset) -> Result<Vec<DenialConstraint>, Parse
     let (lhs, rhs) = body
         .split_once("->")
         .ok_or_else(|| ParseError::Syntax(format!("FD missing '->': {body:?}")))?;
-    let lhs_attrs: Vec<&str> = lhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
-    let rhs_attrs: Vec<&str> = rhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let lhs_attrs: Vec<&str> = lhs
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let rhs_attrs: Vec<&str> = rhs
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     if lhs_attrs.is_empty() || rhs_attrs.is_empty() {
         return Err(ParseError::Syntax(format!("FD with empty side: {body:?}")));
     }
@@ -142,7 +150,9 @@ fn parse_dc(line: &str, ds: &mut Dataset) -> Result<DenialConstraint, ParseError
         predicates.push(parse_predicate(part.trim(), two_tuple, ds)?);
     }
     if predicates.is_empty() {
-        return Err(ParseError::Syntax(format!("constraint has no predicates: {line:?}")));
+        return Err(ParseError::Syntax(format!(
+            "constraint has no predicates: {line:?}"
+        )));
     }
     Ok(DenialConstraint {
         name: line.to_string(),
@@ -183,16 +193,14 @@ fn split_top_level(line: &str) -> Vec<String> {
     parts
 }
 
-fn parse_predicate(
-    text: &str,
-    two_tuple: bool,
-    ds: &mut Dataset,
-) -> Result<Predicate, ParseError> {
+fn parse_predicate(text: &str, two_tuple: bool, ds: &mut Dataset) -> Result<Predicate, ParseError> {
     let open = text
         .find('(')
         .ok_or_else(|| ParseError::Syntax(format!("predicate missing '(': {text:?}")))?;
     if !text.ends_with(')') {
-        return Err(ParseError::Syntax(format!("predicate missing ')': {text:?}")));
+        return Err(ParseError::Syntax(format!(
+            "predicate missing ')': {text:?}"
+        )));
     }
     let op_token = text[..open].trim();
     let op = parse_op(op_token)?;
@@ -268,14 +276,18 @@ fn parse_operand(text: &str, two_tuple: bool, ds: &mut Dataset) -> Result<Operan
     let text = text.trim();
     if text.starts_with('"') {
         if !text.ends_with('"') || text.len() < 2 {
-            return Err(ParseError::Syntax(format!("unterminated constant: {text:?}")));
+            return Err(ParseError::Syntax(format!(
+                "unterminated constant: {text:?}"
+            )));
         }
         let value = &text[1..text.len() - 1];
         return Ok(Operand::Const(ds.intern(value)));
     }
-    let (tv_name, attr_name) = text
-        .split_once('.')
-        .ok_or_else(|| ParseError::Syntax(format!("operand must be t1.Attr/t2.Attr/\"const\": {text:?}")))?;
+    let (tv_name, attr_name) = text.split_once('.').ok_or_else(|| {
+        ParseError::Syntax(format!(
+            "operand must be t1.Attr/t2.Attr/\"const\": {text:?}"
+        ))
+    })?;
     let tv = match tv_name.trim() {
         "t1" => TupleVar::T1,
         "t2" => {
@@ -348,7 +360,8 @@ mod tests {
     #[test]
     fn parse_sim_with_threshold() {
         let mut ds = ds();
-        let cs = parse_constraint("t1&t2&SIM0.9(t1.City,t2.City)&IQ(t1.Zip,t2.Zip)", &mut ds).unwrap();
+        let cs =
+            parse_constraint("t1&t2&SIM0.9(t1.City,t2.City)&IQ(t1.Zip,t2.Zip)", &mut ds).unwrap();
         match cs[0].predicates[0].op {
             Op::Sim(t) => assert!((t - 0.9).abs() < 1e-12),
             other => panic!("expected SIM, got {other:?}"),

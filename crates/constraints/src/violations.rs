@@ -9,6 +9,12 @@
 //! Constraints with no equality predicate fall back to the naive pairwise
 //! scan (exposed separately as [`find_violations_naive`], which is also the
 //! test oracle for the blocked path).
+//!
+//! Detection is data-parallel over tuples: the blocking index is built
+//! once, then the probe side shards across worker threads
+//! ([`find_violations_with_threads`]), each probe tuple's matches collected
+//! independently and concatenated in tuple order — so the output is
+//! byte-identical to the sequential scan at every thread count.
 
 use crate::ast::{ConstraintId, ConstraintSet, DenialConstraint, Operand, TupleVar};
 use holo_dataset::{CellRef, Dataset, FxHashMap, Sym, TupleId};
@@ -63,9 +69,20 @@ impl Violation {
 /// `t1 < t2`); asymmetric constraints report the orientation(s) that
 /// actually violate.
 pub fn find_violations(ds: &Dataset, constraints: &ConstraintSet) -> Vec<Violation> {
+    find_violations_with_threads(ds, constraints, 1)
+}
+
+/// [`find_violations`] with the probe scan sharded over up to `threads`
+/// worker threads (`0` = all cores). The result is identical to the
+/// sequential scan for every thread count.
+pub fn find_violations_with_threads(
+    ds: &Dataset,
+    constraints: &ConstraintSet,
+    threads: usize,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     for (id, c) in constraints.iter() {
-        find_constraint_violations(ds, c, id, &mut out);
+        find_constraint_violations_with_threads(ds, c, id, threads, &mut out);
     }
     out
 }
@@ -77,12 +94,31 @@ pub fn find_constraint_violations(
     id: ConstraintId,
     out: &mut Vec<Violation>,
 ) {
+    find_constraint_violations_with_threads(ds, c, id, 1, out);
+}
+
+/// Finds violations of a single constraint with a thread budget, appending
+/// to `out` in canonical (probe-tuple-major) order.
+pub fn find_constraint_violations_with_threads(
+    ds: &Dataset,
+    c: &DenialConstraint,
+    id: ConstraintId,
+    threads: usize,
+    out: &mut Vec<Violation>,
+) {
     if !c.two_tuple {
-        for t in ds.tuples() {
-            if c.violated_by(ds, t, t) {
-                out.push(Violation::new(ds, c, id, t, t));
-            }
-        }
+        let tuples: Vec<TupleId> = ds.tuples().collect();
+        out.extend(holo_parallel::parallel_chunks(
+            threads,
+            &tuples,
+            |_, chunk| {
+                chunk
+                    .iter()
+                    .filter(|&&t| c.violated_by(ds, t, t))
+                    .map(|&t| Violation::new(ds, c, id, t, t))
+                    .collect()
+            },
+        ));
         return;
     }
 
@@ -105,7 +141,7 @@ pub fn find_constraint_violations(
         .collect();
 
     if eq_keys.is_empty() {
-        naive_constraint_violations(ds, c, id, out);
+        naive_constraint_violations(ds, c, id, threads, out);
         return;
     }
 
@@ -126,51 +162,73 @@ pub fn find_constraint_violations(
         blocks.entry(key).or_default().push(t);
     }
 
-    let mut probe_key = Vec::with_capacity(eq_keys.len());
-    'outer: for t1 in ds.tuples() {
-        probe_key.clear();
-        for &(a1, _) in &eq_keys {
-            let v = ds.cell(t1, a1);
-            if v.is_null() {
-                continue 'outer;
+    // Probe phase: each probe tuple's bucket scan is independent, so the
+    // probe side shards cleanly; chunk results concatenate in probe-tuple
+    // order. Chunk-level (not per-item) so the probe-key scratch buffer is
+    // allocated once per worker, as the sequential loop did.
+    let tuples: Vec<TupleId> = ds.tuples().collect();
+    out.extend(holo_parallel::parallel_chunks(
+        threads,
+        &tuples,
+        |_, chunk| {
+            let mut found = Vec::new();
+            let mut probe_key = Vec::with_capacity(eq_keys.len());
+            'probe: for &t1 in chunk {
+                probe_key.clear();
+                for &(a1, _) in &eq_keys {
+                    let v = ds.cell(t1, a1);
+                    if v.is_null() {
+                        continue 'probe;
+                    }
+                    probe_key.push(v);
+                }
+                let Some(bucket) = blocks.get(probe_key.as_slice()) else {
+                    continue;
+                };
+                for &t2 in bucket {
+                    if t1 == t2 {
+                        continue;
+                    }
+                    if symmetric && t1 > t2 {
+                        // Each unordered pair once for swap-invariant
+                        // constraints.
+                        continue;
+                    }
+                    if c.violated_by(ds, t1, t2) {
+                        found.push(Violation::new(ds, c, id, t1, t2));
+                    }
+                }
             }
-            probe_key.push(v);
-        }
-        let Some(bucket) = blocks.get(probe_key.as_slice()) else {
-            continue;
-        };
-        for &t2 in bucket {
-            if t1 == t2 {
-                continue;
-            }
-            if symmetric && t1 > t2 {
-                // Each unordered pair once for swap-invariant constraints.
-                continue;
-            }
-            if c.violated_by(ds, t1, t2) {
-                out.push(Violation::new(ds, c, id, t1, t2));
-            }
-        }
-    }
+            found
+        },
+    ));
 }
 
 fn naive_constraint_violations(
     ds: &Dataset,
     c: &DenialConstraint,
     id: ConstraintId,
+    threads: usize,
     out: &mut Vec<Violation>,
 ) {
     let symmetric = c.is_symmetric();
-    for t1 in ds.tuples() {
-        for t2 in ds.tuples() {
-            if t1 == t2 || (symmetric && t1 > t2) {
-                continue;
+    let tuples: Vec<TupleId> = ds.tuples().collect();
+    out.extend(holo_parallel::parallel_flat_map(
+        threads,
+        &tuples,
+        |_, &t1| {
+            let mut found = Vec::new();
+            for &t2 in &tuples {
+                if t1 == t2 || (symmetric && t1 > t2) {
+                    continue;
+                }
+                if c.violated_by(ds, t1, t2) {
+                    found.push(Violation::new(ds, c, id, t1, t2));
+                }
             }
-            if c.violated_by(ds, t1, t2) {
-                out.push(Violation::new(ds, c, id, t1, t2));
-            }
-        }
-    }
+            found
+        },
+    ));
 }
 
 /// Reference implementation: enumerate all ordered tuple pairs. Quadratic;
@@ -185,7 +243,7 @@ pub fn find_violations_naive(ds: &Dataset, constraints: &ConstraintSet) -> Vec<V
                 }
             }
         } else {
-            naive_constraint_violations(ds, c, id, &mut out);
+            naive_constraint_violations(ds, c, id, 1, &mut out);
         }
     }
     out
@@ -204,11 +262,8 @@ mod tests {
         ds.push_row(&["John Veliotis Sr.", "60608", "Chicago", "IL"]); // t1
         ds.push_row(&["John Veliotis Sr.", "60608", "Chicago", "IL"]); // t2
         ds.push_row(&["Johnnyo's", "60609", "Cicago", "IL"]); // t3
-        let cons = parse_constraints(
-            "FD: DBAName -> Zip\nFD: Zip -> City, State",
-            &mut ds,
-        )
-        .unwrap();
+        let cons =
+            parse_constraints("FD: DBAName -> Zip\nFD: Zip -> City, State", &mut ds).unwrap();
         (ds, cons)
     }
 
@@ -236,8 +291,14 @@ mod tests {
         let zip = ds.schema().attr_id("Zip").unwrap();
         let city = ds.schema().attr_id("City").unwrap();
         let zip_city = v.iter().find(|x| x.constraint == 1).unwrap();
-        assert!(zip_city.cells.contains(&CellRef { tuple: TupleId(0), attr: zip }));
-        assert!(zip_city.cells.contains(&CellRef { tuple: TupleId(3), attr: city }));
+        assert!(zip_city.cells.contains(&CellRef {
+            tuple: TupleId(0),
+            attr: zip
+        }));
+        assert!(zip_city.cells.contains(&CellRef {
+            tuple: TupleId(3),
+            attr: city
+        }));
         assert_eq!(zip_city.cells.len(), 4);
     }
 
@@ -290,6 +351,36 @@ mod tests {
         let ds = Dataset::new(Schema::new(vec!["a"]));
         let cons = ConstraintSet::new();
         assert!(find_violations(&ds, &cons).is_empty());
+    }
+
+    /// The sharded probe scan is byte-identical to the sequential one at
+    /// every thread count — including output order, not just content.
+    #[test]
+    fn threaded_detection_identical_to_sequential() {
+        let mut ds = Dataset::new(Schema::new(vec!["DBAName", "Zip", "City", "State"]));
+        // Enough rows that the parallel cutoff actually engages.
+        for i in 0..200 {
+            ds.push_row(&[
+                format!("biz{}", i % 17),
+                format!("606{:02}", i % 13),
+                format!("city{}", i % 7),
+                "IL".to_string(),
+            ]);
+        }
+        let cons = parse_constraints(
+            "FD: DBAName -> Zip\nFD: Zip -> City, State\nt1&EQ(t1.State,\"XX\")",
+            &mut ds,
+        )
+        .unwrap();
+        let sequential = find_violations_with_threads(&ds, &cons, 1);
+        assert!(!sequential.is_empty(), "test data must violate something");
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                find_violations_with_threads(&ds, &cons, threads),
+                sequential,
+                "threads = {threads}"
+            );
+        }
     }
 
     proptest! {

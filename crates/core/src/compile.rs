@@ -19,8 +19,9 @@ use crate::config::HoloConfig;
 use crate::domain::{prune_cell_with_support, CellDomains};
 use crate::error::HoloError;
 use crate::features::{
-    add_cooccur_features, add_distribution_feature, add_external_features,
-    add_minimality_feature, DcFeaturizer, FeatureKey, MatchLookup, SourceFeaturizer,
+    collect_cooccur_features, collect_distribution_feature, collect_external_features,
+    collect_minimality_feature, DcFeaturizer, FeatureBuffer, FeatureKey, MatchLookup,
+    SourceFeaturizer,
 };
 use holo_constraints::ast::{Op, Operand, TupleVar};
 use holo_constraints::{ConflictHypergraph, ConstraintSet, Violation};
@@ -103,6 +104,7 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
         config,
     } = *input;
 
+    let threads = config.effective_threads();
     let mut graph = FactorGraph::new();
     let mut registry: FeatureRegistry<FeatureKey> = FeatureRegistry::new();
     let mut cstats = CompileStats::default();
@@ -114,16 +116,21 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
     }
     let mut noisy_cells: Vec<CellRef> = noisy.iter().copied().collect();
     noisy_cells.sort_unstable();
-    let mut domains = CellDomains::default();
-    for &cell in &noisy_cells {
-        let mut dom = prune_cell_with_support(
+    // Per-cell pruning reads only the dataset and the statistics, so the
+    // noisy cells shard across worker threads; merging in sorted-cell
+    // order keeps the result independent of the thread count.
+    let pruned = holo_parallel::parallel_map(threads, &noisy_cells, |_, &cell| {
+        prune_cell_with_support(
             ds,
             cell,
             stats,
             config.tau,
             config.max_domain,
             config.min_cond_support,
-        );
+        )
+    });
+    let mut domains = CellDomains::default();
+    for (&cell, mut dom) in noisy_cells.iter().zip(pruned) {
         if let Some(asserted) = asserted_by_cell.get(&cell) {
             for &v in asserted {
                 if !dom.contains(&v) {
@@ -152,14 +159,13 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
         query_vars.push(var);
     }
     cstats.query_vars = query_vars.len();
-    cstats.total_candidates = query_vars
-        .iter()
-        .map(|&v| graph.var(v).arity())
-        .sum();
+    cstats.total_candidates = query_vars.iter().map(|&v| graph.var(v).arity()).sum();
 
-    // Evidence: sample clean cells per attribute.
+    // Evidence: sample clean cells per attribute. Selection stays
+    // sequential (it consumes the seeded RNG); the Algorithm 2 pruning of
+    // the selected cells — the expensive part — shards across threads.
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut evidence: Vec<(CellRef, Vec<Sym>, usize)> = Vec::new();
+    let mut selected: Vec<CellRef> = Vec::new();
     for attr in ds.schema().attrs() {
         let mut clean: Vec<CellRef> = ds
             .tuples()
@@ -171,37 +177,40 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
             clean.truncate(config.max_evidence_per_attr);
             clean.sort_unstable();
         }
-        let evidence_tau = config.tau.min(config.evidence_tau_cap);
-        for cell in clean {
-            let dom = prune_cell_with_support(
-                ds,
-                cell,
-                stats,
-                evidence_tau,
-                config.max_domain,
-                config.min_cond_support,
-            );
-            let mut dom = dom;
-            // Dictionary assertions join the evidence domains too: an
-            // evidence cell whose observed value beats the asserted one is
-            // exactly the negative example that trains the dictionary's
-            // reliability weight w(k) down when coverage is poor.
-            if let Some(asserted) = asserted_by_cell.get(&cell) {
-                for &v in asserted {
-                    if !dom.contains(&v) {
-                        dom.push(v);
-                    }
+        selected.extend(clean);
+    }
+    let evidence_tau = config.tau.min(config.evidence_tau_cap);
+    let evidence_domains = holo_parallel::parallel_map(threads, &selected, |_, &cell| {
+        prune_cell_with_support(
+            ds,
+            cell,
+            stats,
+            evidence_tau,
+            config.max_domain,
+            config.min_cond_support,
+        )
+    });
+    let mut evidence: Vec<(CellRef, Vec<Sym>, usize)> = Vec::new();
+    for (&cell, mut dom) in selected.iter().zip(evidence_domains) {
+        // Dictionary assertions join the evidence domains too: an
+        // evidence cell whose observed value beats the asserted one is
+        // exactly the negative example that trains the dictionary's
+        // reliability weight w(k) down when coverage is poor.
+        if let Some(asserted) = asserted_by_cell.get(&cell) {
+            for &v in asserted {
+                if !dom.contains(&v) {
+                    dom.push(v);
                 }
             }
-            if dom.len() < 2 {
-                continue;
-            }
-            let observed = dom
-                .iter()
-                .position(|&v| v == ds.cell_ref(cell))
-                .expect("initial value always survives pruning");
-            evidence.push((cell, dom, observed));
         }
+        if dom.len() < 2 {
+            continue;
+        }
+        let observed = dom
+            .iter()
+            .position(|&v| v == ds.cell_ref(cell))
+            .expect("initial value always survives pruning");
+        evidence.push((cell, dom, observed));
     }
     cstats.evidence_vars = evidence.len();
     let mut evidence_vars: Vec<(CellRef, VarId)> = Vec::with_capacity(evidence.len());
@@ -232,42 +241,44 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
         .zip(query_vars.iter().copied())
         .chain(evidence_vars.iter().copied())
         .collect();
-    for &(cell, var) in &all_vars {
-        let candidates = graph.var(var).domain.clone();
+    // Featurization is the compile hot path: every signal of every
+    // variable scans conditioning cells, match lookups and DC partner
+    // blocks. Each variable's features depend only on read-only inputs, so
+    // the collection phase runs data-parallel into per-variable
+    // [`FeatureBuffer`]s; the buffers then apply sequentially in variable
+    // order, which replays the exact registry interning sequence of the
+    // sequential compiler (same weight ids at every thread count).
+    let buffers = holo_parallel::parallel_map(threads, &all_vars, |_, &(cell, var)| {
+        let candidates = &graph.var(var).domain;
         let init = ds.cell_ref(cell);
-        add_cooccur_features(&mut graph, &mut registry, ds, var, cell, &candidates);
-        add_distribution_feature(
-            &mut graph,
-            &mut registry,
+        let mut buf = FeatureBuffer::default();
+        collect_cooccur_features(&mut buf, ds, cell, candidates);
+        collect_distribution_feature(
+            &mut buf,
             ds,
             stats,
-            var,
             cell,
-            &candidates,
+            candidates,
             config.min_cond_support,
             config.distribution_prior,
         );
-        add_minimality_feature(&mut graph, &mut registry, config, var, init, &candidates);
-        add_external_features(
-            &mut graph,
-            &mut registry,
-            matches,
-            var,
-            cell,
-            &candidates,
-            config.ext_dict_prior,
-        );
+        collect_minimality_feature(&mut buf, config, init, candidates);
+        collect_external_features(&mut buf, matches, cell, candidates, config.ext_dict_prior);
         if let Some(dcf) = &dc_featurizer {
             // Partitioning (Alg. 3) restricts the *factor grounding* of
             // Algorithm 1 only; the relaxed features of §5.2 always count
             // against all partners — dropping out-of-component partners
             // would silence the violations a bad repair would create with
             // clean tuples.
-            dcf.add_features(&mut graph, &mut registry, var, cell, &candidates, None);
+            dcf.collect_features(&mut buf, cell, candidates, None);
         }
         if let Some(sf) = &source_featurizer {
-            sf.add_features(&mut graph, &mut registry, ds, var, cell, &candidates);
+            sf.collect_features(&mut buf, ds, cell, candidates);
         }
+        buf
+    });
+    for (&(_, var), buf) in all_vars.iter().zip(buffers) {
+        buf.apply(&mut graph, &mut registry, var);
     }
 
     // ---- 4. DC factor grounding (Algorithm 1) ----
@@ -533,8 +544,14 @@ fn build_clique(
 ) -> Option<CliqueFactor> {
     // Remaining equality joins must be domain-feasible.
     for &(a1, a2) in eq_pairs.iter().skip(1) {
-        let c1 = CellRef { tuple: t1, attr: a1 };
-        let c2 = CellRef { tuple: t2, attr: a2 };
+        let c1 = CellRef {
+            tuple: t1,
+            attr: a1,
+        };
+        let c2 = CellRef {
+            tuple: t2,
+            attr: a2,
+        };
         let mut s1 = [Sym::NULL];
         let mut s2 = [Sym::NULL];
         let d1 = dom_of(ds, domains, c1, &mut s1);
@@ -610,11 +627,7 @@ mod tests {
         (ds, cons, config)
     }
 
-    fn run_compile(
-        ds: &Dataset,
-        cons: &ConstraintSet,
-        config: &HoloConfig,
-    ) -> CompiledModel {
+    fn run_compile(ds: &Dataset, cons: &ConstraintSet, config: &HoloConfig) -> CompiledModel {
         let violations = find_violations(ds, cons);
         let mut noisy: FxHashSet<CellRef> = FxHashSet::default();
         for v in &violations {

@@ -147,6 +147,15 @@ pub struct HoloConfig {
     pub gibbs: GibbsConfig,
     /// Master seed (evidence sampling).
     pub seed: u64,
+    /// Worker threads for the data-parallel stages (violation detection,
+    /// statistics, domain pruning, featurization, and — when
+    /// [`GibbsConfig::chains`] > 1 — the Gibbs chains). `0` = all cores.
+    /// Every thread count produces bit-for-bit the `threads = 1` result —
+    /// the knob trades wall-clock only, never output. Note the chain
+    /// *count* is a model knob ([`HoloConfig::with_gibbs_chains`]), not a
+    /// thread knob: changing it changes which seeds sample, so it is
+    /// deliberately not derived from `threads`.
+    pub threads: usize,
 }
 
 impl Default for HoloConfig {
@@ -169,6 +178,7 @@ impl Default for HoloConfig {
             learn: LearnConfig::default(),
             gibbs: GibbsConfig::default(),
             seed: 0x401c,
+            threads: 0,
         }
     }
 }
@@ -184,6 +194,30 @@ impl HoloConfig {
     pub fn with_variant(mut self, variant: ModelVariant) -> Self {
         self.variant = variant;
         self
+    }
+
+    /// Sets the worker-thread budget (builder style); `0` = all cores,
+    /// `1` = fully sequential. Output is identical either way.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the number of independent Gibbs chains (builder style). Chains
+    /// run in parallel over the thread budget and their sample counts
+    /// merge into one marginal estimate; `1` (the default) reproduces the
+    /// single-chain sampler exactly. Unlike `threads`, this knob *does*
+    /// change the output (different seeds sample), which is why it is
+    /// separate.
+    pub fn with_gibbs_chains(mut self, chains: usize) -> Self {
+        self.gibbs.chains = chains.max(1);
+        self
+    }
+
+    /// Resolved thread budget (`threads`, with `0` mapped to the core
+    /// count of the machine).
+    pub fn effective_threads(&self) -> usize {
+        holo_parallel::effective_threads(self.threads)
     }
 
     /// Enables source features (builder style).

@@ -47,7 +47,10 @@ mod tests {
         let abc = ds.intern("abc");
         let ctx = DatasetContext::new(&ds);
         assert!(ctx.compare(nine, ten).is_lt());
-        assert!(ctx.compare(ten, abc).is_lt(), "mixed falls back to lexicographic");
+        assert!(
+            ctx.compare(ten, abc).is_lt(),
+            "mixed falls back to lexicographic"
+        );
     }
 
     #[test]

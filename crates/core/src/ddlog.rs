@@ -218,7 +218,10 @@ mod tests {
         assert!(program.contains("HasFeature(t, a, f) weight = w(d, f)"));
         assert!(program.contains("InitValue(t, a, d) weight = 0.5"));
         assert!(program.contains("Matched(t, a, d, k) weight = w(k)"));
-        assert!(!program.contains("AssertedBy"), "no source rule unless configured");
+        assert!(
+            !program.contains("AssertedBy"),
+            "no source rule unless configured"
+        );
         let with_source = render_program(
             &ds,
             &cons,

@@ -72,9 +72,27 @@ pub fn prune_domains<I>(
 where
     I: IntoIterator<Item = CellRef>,
 {
+    let cells: Vec<CellRef> = noisy.into_iter().collect();
+    prune_domains_with_threads(ds, &cells, stats, tau, max_domain, 1)
+}
+
+/// [`prune_domains`] with each cell's Algorithm 2 scan dispatched across up
+/// to `threads` worker threads (`0` = all cores). Pruning one cell touches
+/// only the read-only dataset and statistics, so cells shard freely; the
+/// result is identical for every thread count.
+pub fn prune_domains_with_threads(
+    ds: &Dataset,
+    noisy: &[CellRef],
+    stats: &CooccurStats,
+    tau: f64,
+    max_domain: usize,
+    threads: usize,
+) -> CellDomains {
+    let domains = holo_parallel::parallel_map(threads, noisy, |_, &cell| {
+        prune_cell_with_support(ds, cell, stats, tau, max_domain, 1)
+    });
     let mut out = CellDomains::default();
-    for cell in noisy {
-        let domain = prune_cell_with_support(ds, cell, stats, tau, max_domain, 1);
+    for (&cell, domain) in noisy.iter().zip(domains) {
         out.insert(cell, domain);
     }
     out
@@ -171,7 +189,7 @@ mod tests {
         let ds = city_ds();
         let stats = CooccurStats::build(&ds);
         let c = cell(&ds, 3, "City"); // the "Cicago" cell
-        // τ=0.5: only Chicago (p=0.75) passes; initial value kept.
+                                      // τ=0.5: only Chicago (p=0.75) passes; initial value kept.
         let dom = prune_cell(&ds, c, &stats, 0.5, 50);
         let names: Vec<_> = dom.iter().map(|&s| ds.value_str(s)).collect();
         assert_eq!(names, vec!["Cicago", "Chicago"]);
@@ -224,7 +242,7 @@ mod tests {
     fn prune_domains_covers_all_noisy_cells() {
         let ds = city_ds();
         let stats = CooccurStats::build(&ds);
-        let noisy = vec![cell(&ds, 3, "City"), cell(&ds, 3, "Zip")];
+        let noisy = [cell(&ds, 3, "City"), cell(&ds, 3, "Zip")];
         let domains = prune_domains(&ds, noisy.iter().copied(), &stats, 0.5, 50);
         assert_eq!(domains.len(), 2);
         assert!(domains.contains(noisy[0]));

@@ -11,6 +11,9 @@ pub enum HoloError {
     Constraint(String),
     /// Configuration problem (e.g. source attribute missing).
     Config(String),
+    /// Stage-contract violation in a custom pipeline (e.g. Learn scheduled
+    /// before Compile produced a model).
+    Pipeline(String),
 }
 
 impl fmt::Display for HoloError {
@@ -19,6 +22,7 @@ impl fmt::Display for HoloError {
             HoloError::Dataset(e) => write!(f, "dataset error: {e}"),
             HoloError::Constraint(msg) => write!(f, "constraint error: {msg}"),
             HoloError::Config(msg) => write!(f, "configuration error: {msg}"),
+            HoloError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
         }
     }
 }

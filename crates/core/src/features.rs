@@ -71,12 +71,119 @@ pub enum FeatureKey {
 /// asserting it` (the `Matched` relation keyed for featurization).
 pub type MatchLookup = FxHashMap<(CellRef, Sym), Vec<u32>>;
 
+/// How a buffered feature's weight is obtained from the registry at apply
+/// time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightSpec {
+    /// `registry.learnable(key)`.
+    Learnable(FeatureKey),
+    /// `registry.learnable_init(key, prior)`.
+    LearnableInit(FeatureKey, f64),
+    /// `registry.fixed(key, value)`.
+    Fixed(FeatureKey, f64),
+}
+
+/// One queued grounding unit: either a feature with its own weight, or a
+/// group of features sharing one weight (interned once at apply time).
+#[derive(Debug)]
+enum FeatureEntry {
+    /// `(candidate slot, weight spec, feature value)`.
+    Single(usize, WeightSpec, f64),
+    /// One weight shared by several `(slot, value)` groundings — e.g. the
+    /// per-attribute distribution feature across all candidates.
+    Group(WeightSpec, Vec<(usize, f64)>),
+}
+
+/// Features of one variable, collected without touching the graph or the
+/// registry — the unit of work the parallel featurization stage computes
+/// per cell. Applying buffers **in variable order** keeps the registry
+/// interning sequence deterministic, so weight ids (and therefore every
+/// downstream number) are independent of the thread count.
+#[derive(Debug, Default)]
+pub struct FeatureBuffer {
+    entries: Vec<FeatureEntry>,
+}
+
+impl FeatureBuffer {
+    /// Queues one feature grounding.
+    pub fn push(&mut self, slot: usize, spec: WeightSpec, value: f64) {
+        self.entries.push(FeatureEntry::Single(slot, spec, value));
+    }
+
+    /// Queues a shared-weight group: `spec` is interned once and every
+    /// `(slot, value)` grounds against the resulting weight. Empty groups
+    /// are dropped — their weight is never interned. (An ungrounded weight
+    /// contributes nothing to learning or inference, so this only shifts
+    /// internal weight ids, never results.)
+    pub fn push_group(&mut self, spec: WeightSpec, slots: Vec<(usize, f64)>) {
+        if !slots.is_empty() {
+            self.entries.push(FeatureEntry::Group(spec, slots));
+        }
+    }
+
+    /// Number of queued groundings.
+    pub fn len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                FeatureEntry::Single(..) => 1,
+                FeatureEntry::Group(_, slots) => slots.len(),
+            })
+            .sum()
+    }
+
+    /// Whether nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Interns the queued weights and grounds the features onto `var`.
+    pub fn apply(
+        self,
+        graph: &mut FactorGraph,
+        registry: &mut FeatureRegistry<FeatureKey>,
+        var: VarId,
+    ) {
+        let intern = |registry: &mut FeatureRegistry<FeatureKey>, spec: WeightSpec| match spec {
+            WeightSpec::Learnable(key) => registry.learnable(key),
+            WeightSpec::LearnableInit(key, prior) => registry.learnable_init(key, prior),
+            WeightSpec::Fixed(key, fixed) => registry.fixed(key, fixed),
+        };
+        for entry in self.entries {
+            match entry {
+                FeatureEntry::Single(slot, spec, value) => {
+                    let w = intern(registry, spec);
+                    graph.add_feature(var, slot, w, value);
+                }
+                FeatureEntry::Group(spec, slots) => {
+                    let w = intern(registry, spec);
+                    for (slot, value) in slots {
+                        graph.add_feature(var, slot, w, value);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Adds the quantitative-statistics features for one variable.
 pub fn add_cooccur_features(
     graph: &mut FactorGraph,
     registry: &mut FeatureRegistry<FeatureKey>,
     ds: &Dataset,
     var: VarId,
+    cell: CellRef,
+    candidates: &[Sym],
+) {
+    let mut buf = FeatureBuffer::default();
+    collect_cooccur_features(&mut buf, ds, cell, candidates);
+    buf.apply(graph, registry, var);
+}
+
+/// Buffer-collecting form of [`add_cooccur_features`].
+pub fn collect_cooccur_features(
+    buf: &mut FeatureBuffer,
+    ds: &Dataset,
     cell: CellRef,
     candidates: &[Sym],
 ) {
@@ -89,13 +196,13 @@ pub fn add_cooccur_features(
             continue;
         }
         for (k, &d) in candidates.iter().enumerate() {
-            let w = registry.learnable(FeatureKey::Cooccur {
+            let spec = WeightSpec::Learnable(FeatureKey::Cooccur {
                 attr: cell.attr,
                 value: d,
                 cond_attr,
                 cond_value,
             });
-            graph.add_feature(var, k, w, 1.0);
+            buf.push(k, spec, 1.0);
         }
     }
 }
@@ -112,6 +219,21 @@ pub fn add_distribution_feature(
     ds: &Dataset,
     stats: &holo_dataset::CooccurStats,
     var: VarId,
+    cell: CellRef,
+    candidates: &[Sym],
+    min_support: u32,
+    prior: f64,
+) {
+    let mut buf = FeatureBuffer::default();
+    collect_distribution_feature(&mut buf, ds, stats, cell, candidates, min_support, prior);
+    buf.apply(graph, registry, var);
+}
+
+/// Buffer-collecting form of [`add_distribution_feature`].
+pub fn collect_distribution_feature(
+    buf: &mut FeatureBuffer,
+    ds: &Dataset,
+    stats: &holo_dataset::CooccurStats,
     cell: CellRef,
     candidates: &[Sym],
     min_support: u32,
@@ -139,13 +261,18 @@ pub fn add_distribution_feature(
     if cond_attrs == 0 {
         return;
     }
-    let w = registry.learnable_init(FeatureKey::Distribution { attr: cell.attr }, prior);
-    for (k, sum) in sums.iter().enumerate() {
-        let mean = sum / cond_attrs as f64;
-        if mean > 0.0 {
-            graph.add_feature(var, k, w, mean);
-        }
-    }
+    let slots: Vec<(usize, f64)> = sums
+        .iter()
+        .enumerate()
+        .filter_map(|(k, sum)| {
+            let mean = sum / cond_attrs as f64;
+            (mean > 0.0).then_some((k, mean))
+        })
+        .collect();
+    buf.push_group(
+        WeightSpec::LearnableInit(FeatureKey::Distribution { attr: cell.attr }, prior),
+        slots,
+    );
 }
 
 /// Adds the minimality prior: fires on the candidate equal to the initial
@@ -158,10 +285,22 @@ pub fn add_minimality_feature(
     init: Sym,
     candidates: &[Sym],
 ) {
-    let w = registry.fixed(FeatureKey::Minimality, config.minimality_weight);
+    let mut buf = FeatureBuffer::default();
+    collect_minimality_feature(&mut buf, config, init, candidates);
+    buf.apply(graph, registry, var);
+}
+
+/// Buffer-collecting form of [`add_minimality_feature`].
+pub fn collect_minimality_feature(
+    buf: &mut FeatureBuffer,
+    config: &HoloConfig,
+    init: Sym,
+    candidates: &[Sym],
+) {
     for (k, &d) in candidates.iter().enumerate() {
         if d == init {
-            graph.add_feature(var, k, w, 1.0);
+            let spec = WeightSpec::Fixed(FeatureKey::Minimality, config.minimality_weight);
+            buf.push(k, spec, 1.0);
         }
     }
 }
@@ -178,11 +317,24 @@ pub fn add_external_features(
     candidates: &[Sym],
     dict_prior: f64,
 ) {
+    let mut buf = FeatureBuffer::default();
+    collect_external_features(&mut buf, matches, cell, candidates, dict_prior);
+    buf.apply(graph, registry, var);
+}
+
+/// Buffer-collecting form of [`add_external_features`].
+pub fn collect_external_features(
+    buf: &mut FeatureBuffer,
+    matches: &MatchLookup,
+    cell: CellRef,
+    candidates: &[Sym],
+    dict_prior: f64,
+) {
     for (k, &d) in candidates.iter().enumerate() {
         if let Some(dicts) = matches.get(&(cell, d)) {
             for &dict in dicts {
-                let w = registry.learnable_init(FeatureKey::ExtDict { dict }, dict_prior);
-                graph.add_feature(var, k, w, 1.0);
+                let spec = WeightSpec::LearnableInit(FeatureKey::ExtDict { dict }, dict_prior);
+                buf.push(k, spec, 1.0);
             }
         }
     }
@@ -291,19 +443,35 @@ impl<'a> DcFeaturizer<'a> {
         candidates: &[Sym],
         components: Option<&[FxHashMap<TupleId, u32>]>,
     ) {
+        let mut buf = FeatureBuffer::default();
+        self.collect_features(&mut buf, cell, candidates, components);
+        buf.apply(graph, registry, var);
+    }
+
+    /// Buffer-collecting form of [`DcFeaturizer::add_features`].
+    pub fn collect_features(
+        &self,
+        buf: &mut FeatureBuffer,
+        cell: CellRef,
+        candidates: &[Sym],
+        components: Option<&[FxHashMap<TupleId, u32>]>,
+    ) {
         for (sigma, _) in self.constraints.iter() {
             let component = components.map(|c| &c[sigma]);
             let counts = self.violation_counts(sigma, cell, candidates, component);
-            if counts.iter().all(|&c| c == 0) {
-                continue;
-            }
-            let w = registry
-                .learnable_init(FeatureKey::DcViolation { constraint: sigma }, self.prior);
-            for (k, &count) in counts.iter().enumerate() {
-                if count > 0 {
-                    graph.add_feature(var, k, w, f64::from(count) / self.normalizer);
-                }
-            }
+            let slots: Vec<(usize, f64)> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(k, &count)| (k, f64::from(count) / self.normalizer))
+                .collect();
+            buf.push_group(
+                WeightSpec::LearnableInit(
+                    FeatureKey::DcViolation { constraint: sigma },
+                    self.prior,
+                ),
+                slots,
+            );
         }
     }
 }
@@ -411,12 +579,24 @@ impl RoleIndex {
                     break;
                 }
                 let violated = match self.role {
-                    TupleVar::T1 => {
-                        eval_constraint_subst(ds, c, cell.tuple, partner, cell.attr, d, TupleVar::T1)
-                    }
-                    TupleVar::T2 => {
-                        eval_constraint_subst(ds, c, partner, cell.tuple, cell.attr, d, TupleVar::T2)
-                    }
+                    TupleVar::T1 => eval_constraint_subst(
+                        ds,
+                        c,
+                        cell.tuple,
+                        partner,
+                        cell.attr,
+                        d,
+                        TupleVar::T1,
+                    ),
+                    TupleVar::T2 => eval_constraint_subst(
+                        ds,
+                        c,
+                        partner,
+                        cell.tuple,
+                        cell.attr,
+                        d,
+                        TupleVar::T2,
+                    ),
                 };
                 if violated {
                     counts[k] += 1;
@@ -532,13 +712,11 @@ impl SourceFeaturizer {
                     if distinct < 2 {
                         continue;
                     }
-                    let Some((&truth_estimate, _)) =
-                        votes.iter().max_by(|(s1, w1), (s2, w2)| {
-                            w1.partial_cmp(w2)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then(s2.cmp(s1))
-                        })
-                    else {
+                    let Some((&truth_estimate, _)) = votes.iter().max_by(|(s1, w1), (s2, w2)| {
+                        w1.partial_cmp(w2)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(s2.cmp(s1))
+                    }) else {
                         continue;
                     };
                     for &t in rows {
@@ -582,6 +760,19 @@ impl SourceFeaturizer {
         cell: CellRef,
         candidates: &[Sym],
     ) {
+        let mut buf = FeatureBuffer::default();
+        self.collect_features(&mut buf, ds, cell, candidates);
+        buf.apply(graph, registry, var);
+    }
+
+    /// Buffer-collecting form of [`SourceFeaturizer::add_features`].
+    pub fn collect_features(
+        &self,
+        buf: &mut FeatureBuffer,
+        ds: &Dataset,
+        cell: CellRef,
+        candidates: &[Sym],
+    ) {
         if cell.attr == self.entity_attr || cell.attr == self.source_attr {
             return;
         }
@@ -605,8 +796,8 @@ impl SourceFeaturizer {
                 }
                 seen.push(src);
                 let prior = self.priors.get(&src).copied().unwrap_or(0.0);
-                let w = registry.learnable_init(FeatureKey::Source { source: src }, prior);
-                graph.add_feature(var, k, w, 1.0);
+                let spec = WeightSpec::LearnableInit(FeatureKey::Source { source: src }, prior);
+                buf.push(k, spec, 1.0);
             }
         }
     }
@@ -632,7 +823,10 @@ mod tests {
         let city = ds.schema().attr_id("City").unwrap();
         let chicago = ds.pool().get("Chicago").unwrap();
         let other = ds.intern("Cicago");
-        let cell = CellRef { tuple: 0usize.into(), attr: city };
+        let cell = CellRef {
+            tuple: 0usize.into(),
+            attr: city,
+        };
         let (mut g, v) = graph_with_var(&[chicago, other]);
         let mut reg = FeatureRegistry::new();
         add_cooccur_features(&mut g, &mut reg, &ds, v, cell, &[chicago, other]);
@@ -649,7 +843,10 @@ mod tests {
         ds.push_row(&["", "Chicago"]);
         let city = ds.schema().attr_id("City").unwrap();
         let chicago = ds.pool().get("Chicago").unwrap();
-        let cell = CellRef { tuple: 0usize.into(), attr: city };
+        let cell = CellRef {
+            tuple: 0usize.into(),
+            attr: city,
+        };
         let (mut g, v) = graph_with_var(&[chicago]);
         let mut reg = FeatureRegistry::new();
         add_cooccur_features(&mut g, &mut reg, &ds, v, cell, &[chicago]);
@@ -681,7 +878,10 @@ mod tests {
         ds.push_row(&["Cicago"]);
         let init = ds.pool().get("Cicago").unwrap();
         let chicago = ds.intern("Chicago");
-        let cell = CellRef { tuple: 0usize.into(), attr: AttrId(0) };
+        let cell = CellRef {
+            tuple: 0usize.into(),
+            attr: AttrId(0),
+        };
         let mut matches: MatchLookup = MatchLookup::default();
         matches.insert((cell, chicago), vec![0, 1]);
         let (mut g, v) = graph_with_var(&[init, chicago]);
@@ -709,7 +909,10 @@ mod tests {
         let config = HoloConfig::default();
         let feat = DcFeaturizer::new(&ds, &cons, &config);
         let city = ds.schema().attr_id("City").unwrap();
-        let cell = CellRef { tuple: 3usize.into(), attr: city };
+        let cell = CellRef {
+            tuple: 3usize.into(),
+            attr: city,
+        };
         let chicago = ds.pool().get("Chicago").unwrap();
         let cicago = ds.pool().get("Cicago").unwrap();
         let counts = feat.violation_counts(0, cell, &[cicago, chicago], None);
@@ -729,7 +932,10 @@ mod tests {
         let config = HoloConfig::default();
         let feat = DcFeaturizer::new(&ds, &cons, &config);
         let zip = ds.schema().attr_id("Zip").unwrap();
-        let cell = CellRef { tuple: 2usize.into(), attr: zip };
+        let cell = CellRef {
+            tuple: 2usize.into(),
+            attr: zip,
+        };
         let z08 = ds.pool().get("60608").unwrap();
         let z09 = ds.pool().get("60609").unwrap();
         let counts = feat.violation_counts(0, cell, &[z09, z08], None);
@@ -747,7 +953,10 @@ mod tests {
         let config = HoloConfig::default();
         let feat = DcFeaturizer::new(&ds, &cons, &config);
         let city = ds.schema().attr_id("City").unwrap();
-        let cell = CellRef { tuple: 1usize.into(), attr: city };
+        let cell = CellRef {
+            tuple: 1usize.into(),
+            attr: city,
+        };
         let cicago = ds.pool().get("Cicago").unwrap();
         let chicago = ds.pool().get("Chicago").unwrap();
         let (mut g, v) = graph_with_var(&[cicago, chicago]);
@@ -756,10 +965,16 @@ mod tests {
         // Candidate "Cicago" gets the violation feature (count 1, scaled
         // by the normalizer); "Chicago" violates nothing → no entry.
         assert_eq!(g.features(v, 0).len(), 1);
-        assert_eq!(g.features(v, 0)[0].1, 1.0 / f64::from(config.dc_feature_cap));
+        assert_eq!(
+            g.features(v, 0)[0].1,
+            1.0 / f64::from(config.dc_feature_cap)
+        );
         assert!(g.features(v, 1).is_empty());
         let w = reg.build_weights();
-        assert!(!w.is_fixed(g.features(v, 0)[0].0), "DC feature weight is learned");
+        assert!(
+            !w.is_fixed(g.features(v, 0)[0].0),
+            "DC feature weight is learned"
+        );
     }
 
     #[test]
@@ -771,7 +986,10 @@ mod tests {
         let config = HoloConfig::default();
         let feat = DcFeaturizer::new(&ds, &cons, &config);
         let city = ds.schema().attr_id("City").unwrap();
-        let cell = CellRef { tuple: 1usize.into(), attr: city };
+        let cell = CellRef {
+            tuple: 1usize.into(),
+            attr: city,
+        };
         let cicago = ds.pool().get("Cicago").unwrap();
         // Component map placing the two tuples in different components:
         // the partner is filtered out.
@@ -796,7 +1014,10 @@ mod tests {
         let dep = ds.schema().attr_id("Dep").unwrap();
         let nine = ds.pool().get("09:00").unwrap();
         let nine30 = ds.pool().get("09:30").unwrap();
-        let cell = CellRef { tuple: 2usize.into(), attr: dep };
+        let cell = CellRef {
+            tuple: 2usize.into(),
+            attr: dep,
+        };
         let sf = SourceFeaturizer::new(&ds, "Flight", "Source").unwrap();
         let (mut g, v) = graph_with_var(&[nine30, nine]);
         let mut reg = FeatureRegistry::new();

@@ -83,7 +83,9 @@ impl FeedbackSession {
                 let (k, p) = self.marginals.map_candidate(var);
                 FeedbackRequest {
                     cell,
-                    proposed: ds.value_str(self.model.graph.var(var).domain[k]).to_string(),
+                    proposed: ds
+                        .value_str(self.model.graph.var(var).domain[k])
+                        .to_string(),
                     confidence: p,
                 }
             })
@@ -104,12 +106,7 @@ impl FeedbackSession {
     /// cells are ignored.
     pub fn apply_labels(&mut self, ds: &mut Dataset, labels: &[Label]) {
         for label in labels {
-            let Some(idx) = self
-                .model
-                .query_cells
-                .iter()
-                .position(|&c| c == label.cell)
-            else {
+            let Some(idx) = self.model.query_cells.iter().position(|&c| c == label.cell) else {
                 continue;
             };
             let var = self.model.query_vars[idx];

@@ -58,15 +58,17 @@ pub mod error;
 pub mod features;
 pub mod feedback;
 pub mod metrics;
+pub mod pipeline;
 pub mod repair;
 pub mod report;
 pub mod session;
 
 pub use config::{HoloConfig, ModelVariant};
-pub use domain::{prune_domains, CellDomains};
+pub use domain::{prune_domains, prune_domains_with_threads, CellDomains};
 pub use error::HoloError;
 pub use feedback::{FeedbackRequest, FeedbackSession, Label};
 pub use metrics::{evaluate, RepairQuality};
+pub use pipeline::{Pipeline, PipelineContext, Stage, StageData, StageKind, StageTimings};
 pub use repair::{Repair, RepairReport};
 pub use report::{confidence_buckets, ConfidenceBucket};
-pub use session::{HoloClean, RepairOutcome, StageTimings};
+pub use session::{HoloClean, RepairOutcome};

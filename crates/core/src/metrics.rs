@@ -74,7 +74,11 @@ pub fn evaluate_subset(
     truth: &Dataset,
     subset: Option<&[CellRef]>,
 ) -> RepairQuality {
-    assert_eq!(dirty.tuple_count(), truth.tuple_count(), "tuple count mismatch");
+    assert_eq!(
+        dirty.tuple_count(),
+        truth.tuple_count(),
+        "tuple count mismatch"
+    );
     assert_eq!(
         dirty.schema().len(),
         truth.schema().len(),

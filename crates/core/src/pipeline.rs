@@ -1,0 +1,505 @@
+//! The staged repair engine — Figure 2 of the paper as an explicit,
+//! extensible pipeline.
+//!
+//! The paper describes HoloClean as a *compiler*: error detection feeds
+//! compilation (statistics, pruning, featurization, grounding), which feeds
+//! learning, which feeds inference. The seed encoded that dataflow as one
+//! hard-wired function; this module makes it a first-class architecture:
+//!
+//! * [`PipelineContext`] — the shared **immutable** inputs every stage
+//!   reads: the frozen dataset (all dictionary values already interned),
+//!   the bound constraints, the external-match lookup, detection overrides
+//!   and the [`HoloConfig`]. Nothing mutates it after construction, which
+//!   is what lets the stages fan work out across threads freely.
+//! * [`StageData`] — the blackboard stages write their outputs to
+//!   (violations → noisy set → compiled model → weights → marginals).
+//! * [`Stage`] — one pipeline step. The four standard stages are
+//!   [`DetectStage`], [`CompileStage`], [`LearnStage`] and [`InferStage`];
+//!   each declares its [`StageKind`] so the driver can bill wall-clock to
+//!   the right [`StageTimings`] slot.
+//! * [`Pipeline`] — an ordered stage list with a driver loop. This is the
+//!   seam future work plugs into (sharded detect, incremental compile,
+//!   async stages): implement [`Stage`], pick the [`StageKind`] whose
+//!   budget the step belongs to, and insert it with [`Pipeline::push`].
+//!
+//! ## Parallelism contract
+//!
+//! Stages parallelise *internally* (violation probing, domain pruning,
+//! featurization, Gibbs chains — all sharded over
+//! [`HoloConfig::threads`]); the stage sequence itself is strictly ordered
+//! because each stage consumes its predecessor's output. Every parallel
+//! path merges per-shard results in input order, so a pipeline run yields
+//! **bit-for-bit identical output for every thread count** — `threads = 1`
+//! is the sequential engine, anything else is just faster.
+//!
+//! ## Adding a stage
+//!
+//! ```
+//! use holo_dataset::{Dataset, Schema};
+//! use holoclean::pipeline::{Pipeline, Stage, StageData, StageKind, PipelineContext};
+//! use holoclean::HoloError;
+//!
+//! /// Counts how many noisy cells detection produced.
+//! struct AuditStage;
+//!
+//! impl Stage for AuditStage {
+//!     fn kind(&self) -> StageKind { StageKind::Detect } // billed to detect
+//!     fn name(&self) -> &'static str { "audit" }
+//!     fn run(&self, _cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError> {
+//!         assert!(data.noisy.len() <= usize::MAX); // your instrumentation here
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+//! ds.push_row(&["60608", "Chicago"]);
+//! let cx = PipelineContext::new(ds, Default::default(), Default::default());
+//! let mut pipeline = Pipeline::standard();
+//! pipeline.insert_after(StageKind::Detect, Box::new(AuditStage));
+//! let (data, timings) = pipeline.run(&cx).unwrap();
+//! assert!(data.marginals.is_some());
+//! assert_eq!(timings.total(), timings.detect + timings.compile + timings.learn + timings.infer);
+//! ```
+
+use crate::compile::{compile, CompileInput, CompiledModel};
+use crate::config::HoloConfig;
+use crate::context::DatasetContext;
+use crate::error::HoloError;
+use crate::features::MatchLookup;
+use holo_constraints::{find_violations_with_threads, ConstraintSet, Violation};
+use holo_dataset::{CellRef, CooccurStats, Dataset, FxHashSet};
+use holo_detect::Detector;
+use holo_factor::{learn, run_chains, LearnStats, Marginals, Weights};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Wall-clock duration of each pipeline stage (Table 4 / Figure 4).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Violation detection + any extra detectors.
+    pub detect: Duration,
+    /// Statistics, matching, pruning, featurization and grounding.
+    pub compile: Duration,
+    /// Weight learning (SGD).
+    pub learn: Duration,
+    /// Marginal inference (closed-form or Gibbs).
+    pub infer: Duration,
+}
+
+impl StageTimings {
+    /// Learning + inference — the "Repairing" time of Figure 4.
+    pub fn repair(&self) -> Duration {
+        self.learn + self.infer
+    }
+
+    /// End-to-end time.
+    pub fn total(&self) -> Duration {
+        self.detect + self.compile + self.learn + self.infer
+    }
+
+    /// Adds `elapsed` to the slot of `kind`.
+    pub fn record(&mut self, kind: StageKind, elapsed: Duration) {
+        match kind {
+            StageKind::Detect => self.detect += elapsed,
+            StageKind::Compile => self.compile += elapsed,
+            StageKind::Learn => self.learn += elapsed,
+            StageKind::Infer => self.infer += elapsed,
+        }
+    }
+}
+
+/// The four budgets of the staged engine; every [`Stage`] bills its
+/// wall-clock to one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Error detection (noisy/clean split).
+    Detect,
+    /// Statistics, pruning, featurization, grounding.
+    Compile,
+    /// Weight learning.
+    Learn,
+    /// Marginal inference.
+    Infer,
+}
+
+impl StageKind {
+    /// Canonical lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Detect => "detect",
+            StageKind::Compile => "compile",
+            StageKind::Learn => "learn",
+            StageKind::Infer => "infer",
+        }
+    }
+}
+
+/// The immutable inputs every stage shares. Constructed once (after
+/// dictionary matching has interned all asserted values, so the dataset
+/// never needs to change again) and only ever borrowed.
+pub struct PipelineContext {
+    /// The frozen dirty dataset.
+    pub ds: Dataset,
+    /// Bound denial constraints Σ.
+    pub constraints: ConstraintSet,
+    /// External-match lookup (`Matched` relation), possibly empty.
+    pub matches: MatchLookup,
+    /// Detection override: when set, stages skip detection entirely.
+    pub noisy_override: Option<FxHashSet<CellRef>>,
+    /// Extra detectors unioned with violation detection.
+    pub extra_detectors: Vec<Box<dyn Detector + Send + Sync>>,
+    /// Pipeline configuration.
+    pub config: HoloConfig,
+}
+
+impl PipelineContext {
+    /// A context with no external matches, no overrides and no extra
+    /// detectors — enough for constraint-only repair.
+    pub fn new(ds: Dataset, constraints: ConstraintSet, config: HoloConfig) -> Self {
+        PipelineContext {
+            ds,
+            constraints,
+            matches: MatchLookup::default(),
+            noisy_override: None,
+            extra_detectors: Vec::new(),
+            config,
+        }
+    }
+
+    /// The value-semantics adapter (ordering + similarity over interned
+    /// symbols) clique factors evaluate against during inference.
+    pub fn value_context(&self) -> DatasetContext<'_> {
+        DatasetContext::new(&self.ds)
+    }
+}
+
+/// The blackboard stages write to. Each standard stage fills the fields
+/// its successors consume; introspection reads whatever it needs after the
+/// run.
+#[derive(Default)]
+pub struct StageData {
+    /// Detected violations (Detect).
+    pub violations: Vec<Violation>,
+    /// The noisy-cell set `D_n` (Detect).
+    pub noisy: FxHashSet<CellRef>,
+    /// The grounded model (Compile).
+    pub model: Option<CompiledModel>,
+    /// Learned weights (Learn; starts from the model's priors).
+    pub weights: Option<Weights>,
+    /// Learning diagnostics, when any evidence existed (Learn).
+    pub learn_stats: Option<LearnStats>,
+    /// Posterior marginals (Infer).
+    pub marginals: Option<Marginals>,
+}
+
+impl StageData {
+    fn require_model(&self, consumer: &'static str) -> Result<&CompiledModel, HoloError> {
+        self.model.as_ref().ok_or_else(|| {
+            HoloError::Pipeline(format!(
+                "{consumer} stage ran before Compile produced a model"
+            ))
+        })
+    }
+}
+
+/// One step of the staged engine.
+pub trait Stage: Send + Sync {
+    /// Which [`StageTimings`] slot this stage bills to.
+    fn kind(&self) -> StageKind;
+
+    /// Human-readable stage name (diagnostics).
+    fn name(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Executes the stage: read the shared context and predecessor outputs,
+    /// write this stage's outputs.
+    fn run(&self, cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError>;
+}
+
+/// Error detection: violations of Σ plus any extra detectors, or the
+/// override set verbatim. Violation probing shards across
+/// [`HoloConfig::threads`].
+pub struct DetectStage;
+
+impl Stage for DetectStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Detect
+    }
+
+    fn run(&self, cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError> {
+        data.violations = find_violations_with_threads(&cx.ds, &cx.constraints, cx.config.threads);
+        data.noisy = match &cx.noisy_override {
+            Some(cells) => cells.clone(),
+            None => {
+                let mut noisy: FxHashSet<CellRef> = FxHashSet::default();
+                for v in &data.violations {
+                    noisy.extend(v.cells.iter().copied());
+                }
+                for d in &cx.extra_detectors {
+                    noisy.extend(d.detect(&cx.ds));
+                }
+                noisy
+            }
+        };
+        Ok(())
+    }
+}
+
+/// Compilation: co-occurrence statistics, Algorithm 2 pruning,
+/// featurization of every variable, and (in the factor variants) Algorithm
+/// 1 grounding. Pruning and featurization shard across
+/// [`HoloConfig::threads`].
+pub struct CompileStage;
+
+impl Stage for CompileStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Compile
+    }
+
+    fn run(&self, cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError> {
+        let stats = CooccurStats::build_with_threads(&cx.ds, cx.config.threads);
+        let model = compile(&CompileInput {
+            ds: &cx.ds,
+            constraints: &cx.constraints,
+            noisy: &data.noisy,
+            violations: &data.violations,
+            stats: &stats,
+            matches: &cx.matches,
+            config: &cx.config,
+        })?;
+        data.model = Some(model);
+        Ok(())
+    }
+}
+
+/// Weight learning: SGD over the evidence variables. Skipped (weights stay
+/// at their priors) when compilation produced no evidence.
+pub struct LearnStage;
+
+impl Stage for LearnStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Learn
+    }
+
+    fn run(&self, cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError> {
+        let model = data.require_model("Learn")?;
+        let mut weights = model.weights.clone();
+        data.learn_stats = if model.stats.evidence_vars > 0 {
+            Some(learn::train(&model.graph, &mut weights, &cx.config.learn))
+        } else {
+            None
+        };
+        data.weights = Some(weights);
+        Ok(())
+    }
+}
+
+/// Marginal inference: closed-form softmax for the relaxed (clique-free)
+/// model, Gibbs sampling otherwise. With
+/// [`HoloConfig::with_gibbs_chains`] > 1 the chains run in parallel over
+/// [`HoloConfig::threads`]; the default single chain is sequential.
+pub struct InferStage;
+
+impl Stage for InferStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Infer
+    }
+
+    fn run(&self, cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError> {
+        let model = data.require_model("Infer")?;
+        let weights = data.weights.as_ref().ok_or_else(|| {
+            HoloError::Pipeline("Infer stage ran before Learn produced weights".into())
+        })?;
+        let marginals = if model.graph.has_cliques() {
+            let ctx = cx.value_context();
+            run_chains(
+                &model.graph,
+                weights,
+                &ctx,
+                &cx.config.gibbs,
+                cx.config.threads,
+            )
+        } else {
+            Marginals::exact_unary(&model.graph, weights)
+        };
+        data.marginals = Some(marginals);
+        Ok(())
+    }
+}
+
+/// An ordered list of stages plus the driver loop.
+pub struct Pipeline {
+    stages: Vec<Box<dyn Stage>>,
+}
+
+impl Pipeline {
+    /// The paper's pipeline: Detect → Compile → Learn → Infer.
+    pub fn standard() -> Self {
+        Pipeline {
+            stages: vec![
+                Box::new(DetectStage),
+                Box::new(CompileStage),
+                Box::new(LearnStage),
+                Box::new(InferStage),
+            ],
+        }
+    }
+
+    /// An empty pipeline to assemble manually.
+    pub fn empty() -> Self {
+        Pipeline { stages: Vec::new() }
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, stage: Box<dyn Stage>) -> &mut Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Inserts a stage right after the last existing stage of `kind`
+    /// (appends if none matches).
+    pub fn insert_after(&mut self, kind: StageKind, stage: Box<dyn Stage>) -> &mut Self {
+        match self.stages.iter().rposition(|s| s.kind() == kind) {
+            Some(i) => self.stages.insert(i + 1, stage),
+            None => self.stages.push(stage),
+        }
+        self
+    }
+
+    /// Stage names in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Runs every stage in order over the shared context, billing each
+    /// stage's wall-clock to its [`StageKind`] slot.
+    pub fn run(&self, cx: &PipelineContext) -> Result<(StageData, StageTimings), HoloError> {
+        let mut data = StageData::default();
+        let mut timings = StageTimings::default();
+        for stage in &self.stages {
+            let t0 = Instant::now();
+            stage.run(cx, &mut data)?;
+            timings.record(stage.kind(), t0.elapsed());
+        }
+        Ok((data, timings))
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holo_constraints::parse_constraints;
+    use holo_dataset::Schema;
+
+    fn zip_city_context(threads: usize) -> PipelineContext {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City", "State"]));
+        for _ in 0..8 {
+            ds.push_row(&["60608", "Chicago", "IL"]);
+        }
+        ds.push_row(&["60608", "Cicago", "IL"]);
+        for _ in 0..5 {
+            ds.push_row(&["60609", "Evanston", "IL"]);
+        }
+        let constraints = parse_constraints("FD: Zip -> City", &mut ds).unwrap();
+        let mut constraint_set = ConstraintSet::new();
+        for (_, c) in constraints.iter() {
+            constraint_set.push(c.clone());
+        }
+        PipelineContext::new(
+            ds,
+            constraint_set,
+            HoloConfig::default().with_threads(threads),
+        )
+    }
+
+    #[test]
+    fn standard_pipeline_fills_every_output() {
+        let cx = zip_city_context(1);
+        let (data, timings) = Pipeline::standard().run(&cx).unwrap();
+        assert!(!data.violations.is_empty());
+        assert!(!data.noisy.is_empty());
+        assert!(data.model.is_some());
+        assert!(data.weights.is_some());
+        assert!(data.learn_stats.is_some());
+        assert!(data.marginals.is_some());
+        assert!(timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_order_is_enforced() {
+        let cx = zip_city_context(1);
+        let mut p = Pipeline::empty();
+        p.push(Box::new(LearnStage));
+        let err = p.run(&cx).err().expect("learn without compile must fail");
+        assert!(matches!(err, HoloError::Pipeline(_)), "got {err:?}");
+
+        let mut p = Pipeline::empty();
+        p.push(Box::new(DetectStage))
+            .push(Box::new(CompileStage))
+            .push(Box::new(InferStage));
+        let err = p.run(&cx).err().expect("infer without learn must fail");
+        assert!(err.to_string().contains("weights"), "got {err}");
+    }
+
+    #[test]
+    fn standard_stage_names_in_order() {
+        assert_eq!(
+            Pipeline::standard().stage_names(),
+            vec!["detect", "compile", "learn", "infer"]
+        );
+    }
+
+    #[test]
+    fn custom_stage_slots_into_timings() {
+        struct NoopStage;
+        impl Stage for NoopStage {
+            fn kind(&self) -> StageKind {
+                StageKind::Compile
+            }
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+            fn run(&self, _: &PipelineContext, _: &mut StageData) -> Result<(), HoloError> {
+                Ok(())
+            }
+        }
+        let mut p = Pipeline::standard();
+        p.insert_after(StageKind::Detect, Box::new(NoopStage));
+        assert_eq!(
+            p.stage_names(),
+            vec!["detect", "noop", "compile", "learn", "infer"]
+        );
+        let cx = zip_city_context(1);
+        let (data, _) = p.run(&cx).unwrap();
+        assert!(data.marginals.is_some());
+    }
+
+    /// The determinism contract of the engine: every thread count produces
+    /// identical marginals, weights and noisy sets.
+    #[test]
+    fn thread_count_never_changes_output() {
+        let reference = {
+            let cx = zip_city_context(1);
+            let (data, _) = Pipeline::standard().run(&cx).unwrap();
+            data
+        };
+        for threads in [2, 4, 8] {
+            let cx = zip_city_context(threads);
+            let (data, _) = Pipeline::standard().run(&cx).unwrap();
+            assert_eq!(data.noisy, reference.noisy, "threads = {threads}");
+            assert_eq!(data.violations, reference.violations, "threads = {threads}");
+            assert_eq!(
+                data.marginals.as_ref().unwrap(),
+                reference.marginals.as_ref().unwrap(),
+                "threads = {threads}"
+            );
+        }
+    }
+}

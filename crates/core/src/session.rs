@@ -1,43 +1,20 @@
-//! The HoloClean session: builder + pipeline orchestration (Figure 2).
+//! The HoloClean session: a builder plus a thin driver over the staged
+//! engine in [`crate::pipeline`] (Figure 2).
 
-use crate::compile::{compile, CompileInput, CompileStats, CompiledModel};
+use crate::compile::{CompileStats, CompiledModel};
 use crate::config::HoloConfig;
-use crate::context::DatasetContext;
 use crate::error::HoloError;
 use crate::features::MatchLookup;
+use crate::pipeline::{Pipeline, PipelineContext};
 use crate::repair::RepairReport;
-use holo_constraints::{find_violations, parse_constraints, ConstraintSet, Violation};
-use holo_dataset::{CellRef, CooccurStats, Dataset, FxHashSet};
+use holo_constraints::{parse_constraints, ConstraintSet};
+use holo_dataset::{CellRef, Dataset, FxHashSet};
 use holo_detect::Detector;
 use holo_external::{DictId, ExtDict, Matcher, MatchingDependency};
-use holo_factor::{learn, GibbsSampler, LearnStats, Marginals};
-use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use holo_factor::LearnStats;
+use std::time::Instant;
 
-/// Wall-clock duration of each pipeline stage (Table 4 / Figure 4).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-pub struct StageTimings {
-    /// Violation detection + any extra detectors.
-    pub detect: Duration,
-    /// Statistics, matching, pruning, featurization and grounding.
-    pub compile: Duration,
-    /// Weight learning (SGD).
-    pub learn: Duration,
-    /// Marginal inference (closed-form or Gibbs).
-    pub infer: Duration,
-}
-
-impl StageTimings {
-    /// Learning + inference — the "Repairing" time of Figure 4.
-    pub fn repair(&self) -> Duration {
-        self.learn + self.infer
-    }
-
-    /// End-to-end time.
-    pub fn total(&self) -> Duration {
-        self.detect + self.compile + self.learn + self.infer
-    }
-}
+pub use crate::pipeline::StageTimings;
 
 /// Everything a run produces.
 #[derive(Debug)]
@@ -154,32 +131,19 @@ impl HoloClean {
     /// learned weights — introspection for debugging and for analyses that
     /// need the feature registry (e.g. inspecting learned constraint or
     /// source-reliability weights).
+    ///
+    /// This is a thin driver: it freezes the inputs into a
+    /// [`PipelineContext`] (the one step needing `&mut Dataset`, because
+    /// dictionary matches intern their asserted values) and hands control
+    /// to [`Pipeline::standard`].
     pub fn run_full(
         mut self,
     ) -> Result<(RepairOutcome, CompiledModel, holo_factor::Weights), HoloError> {
-        let mut timings = StageTimings::default();
-
-        // ---- Error detection ----
+        // ---- Freeze: external matching interns asserted values, after
+        // which the dataset is immutable for the whole engine run. Billed
+        // to the compile budget, matching the original pipeline's
+        // accounting.
         let t0 = Instant::now();
-        let violations: Vec<Violation> = find_violations(&self.ds, &self.constraints);
-        let noisy: FxHashSet<CellRef> = match &self.noisy_override {
-            Some(cells) => cells.clone(),
-            None => {
-                let mut noisy: FxHashSet<CellRef> = FxHashSet::default();
-                for v in &violations {
-                    noisy.extend(v.cells.iter().copied());
-                }
-                for d in &self.extra_detectors {
-                    noisy.extend(d.detect(&self.ds));
-                }
-                noisy
-            }
-        };
-        timings.detect = t0.elapsed();
-
-        // ---- Compilation ----
-        let t0 = Instant::now();
-        // External matches (interning asserted values into the pool).
         let mut matches: MatchLookup = MatchLookup::default();
         for (dict_idx, (dict, deps)) in self.dicts.iter().enumerate() {
             let matcher = Matcher::new(dict, DictId(dict_idx as u32));
@@ -196,58 +160,51 @@ impl HoloClean {
                 }
             }
         }
-        let stats = CooccurStats::build(&self.ds);
-        let model: CompiledModel = compile(&CompileInput {
-            ds: &self.ds,
-            constraints: &self.constraints,
-            noisy: &noisy,
-            violations: &violations,
-            stats: &stats,
-            matches: &matches,
-            config: &self.config,
-        })?;
-        timings.compile = t0.elapsed();
+        let matching_time = t0.elapsed();
 
-        // ---- Learning ----
-        let t0 = Instant::now();
-        let mut weights = model.weights.clone();
-        let learn_stats = if model.stats.evidence_vars > 0 {
-            Some(learn::train(&model.graph, &mut weights, &self.config.learn))
-        } else {
-            None
+        let cx = PipelineContext {
+            ds: self.ds,
+            constraints: self.constraints,
+            matches,
+            noisy_override: self.noisy_override,
+            extra_detectors: self.extra_detectors,
+            config: self.config,
         };
-        timings.learn = t0.elapsed();
 
-        // ---- Inference ----
-        let t0 = Instant::now();
-        let marginals = if model.graph.has_cliques() {
-            let ctx = DatasetContext::new(&self.ds);
-            GibbsSampler::new(&model.graph, &weights, &ctx, self.config.gibbs.seed)
-                .run(&self.config.gibbs)
-        } else {
-            Marginals::exact_unary(&model.graph, &weights)
-        };
-        timings.infer = t0.elapsed();
+        // ---- The staged engine ----
+        let (data, mut timings) = Pipeline::standard().run(&cx)?;
+        timings.compile += matching_time;
+
+        let model = data
+            .model
+            .ok_or_else(|| HoloError::Pipeline("standard pipeline produced no model".into()))?;
+        let weights = data
+            .weights
+            .ok_or_else(|| HoloError::Pipeline("standard pipeline produced no weights".into()))?;
+        let marginals = data
+            .marginals
+            .ok_or_else(|| HoloError::Pipeline("standard pipeline produced no marginals".into()))?;
 
         // ---- Repair extraction ----
+        let ds = cx.ds;
         let report = RepairReport::from_marginals(
-            &self.ds,
+            &ds,
             &model.query_cells,
             &model.query_vars,
             &model.graph,
             &marginals,
         );
-        let repaired = report.apply(&self.ds);
+        let repaired = report.apply(&ds);
 
         let outcome = RepairOutcome {
-            dataset: self.ds,
+            dataset: ds,
             repaired,
             report,
             timings,
             model: model.stats.clone(),
-            learn_stats,
-            violations: violations.len(),
-            noisy_cells: noisy.len(),
+            learn_stats: data.learn_stats,
+            violations: data.violations.len(),
+            noisy_cells: data.noisy.len(),
         };
         Ok((outcome, model, weights))
     }
@@ -258,6 +215,7 @@ mod tests {
     use super::*;
     use crate::config::ModelVariant;
     use holo_dataset::Schema;
+    use std::time::Duration;
 
     fn zip_city_dataset() -> Dataset {
         let mut ds = Dataset::new(Schema::new(vec!["Zip", "City", "State"]));
@@ -358,13 +316,9 @@ mod tests {
         let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
         ds.push_row(&["60608", "Cicago"]);
         ds.push_row(&["60609", "Cicago"]); // same wrong city, other zip
-        let dict = ExtDict::from_csv(
-            "addr",
-            "Ext_Zip,Ext_City\n60608,Chicago\n60609,Chicago\n",
-        )
-        .unwrap();
-        let md =
-            MatchingDependency::equalities("m1", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
+        let dict =
+            ExtDict::from_csv("addr", "Ext_Zip,Ext_City\n60608,Chicago\n60609,Chicago\n").unwrap();
+        let md = MatchingDependency::equalities("m1", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
         let city = ds.schema().attr_id("City").unwrap();
         let mut cells = FxHashSet::default();
         cells.insert(CellRef {

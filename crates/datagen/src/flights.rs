@@ -46,12 +46,7 @@ impl Default for FlightsConfig {
 
 /// Schema of the Flights dataset (6 attributes as in Table 2).
 pub const FLIGHTS_ATTRS: [&str; 6] = [
-    "Flight",
-    "Source",
-    "SchedDep",
-    "ActDep",
-    "SchedArr",
-    "ActArr",
+    "Flight", "Source", "SchedDep", "ActDep", "SchedArr", "ActArr",
 ];
 
 /// The four denial constraints of Table 2: a unique scheduled and actual
@@ -147,8 +142,7 @@ pub fn flights(config: FlightsConfig) -> GeneratedDataset {
             ];
             clean.push_row(&row_truth);
             let t = dirty.tuple_count();
-            let mut dirty_row: Vec<String> =
-                row_truth.iter().map(|v| (*v).to_string()).collect();
+            let mut dirty_row: Vec<String> = row_truth.iter().map(|v| (*v).to_string()).collect();
             for (a, plan) in plans.iter().enumerate() {
                 if !plan.contested {
                     continue;

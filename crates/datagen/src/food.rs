@@ -181,7 +181,9 @@ pub fn food(config: FoodConfig) -> GeneratedDataset {
     let mut dirty = clean.clone();
     let zip_pool: Vec<String> = {
         let c = &vocab::CITIES[0];
-        (0..c.zip_count).map(|i| format!("{:05}", c.zip_base + i)).collect()
+        (0..c.zip_count)
+            .map(|i| format!("{:05}", c.zip_base + i))
+            .collect()
     };
     let facility_pool: Vec<String> = FACILITY_TYPES.iter().map(|s| s.to_string()).collect();
     let risk_pool: Vec<String> = RISKS.iter().map(|s| s.to_string()).collect();

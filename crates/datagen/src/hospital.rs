@@ -57,8 +57,16 @@ const MEASURES: &[(&str, &str, &str)] = &[
     ("PN-2", "Pneumococcal vaccination", "Pneumonia"),
     ("PN-3b", "Blood culture before antibiotic", "Pneumonia"),
     ("PN-4", "Smoking cessation advice", "Pneumonia"),
-    ("SCIP-1", "Prophylactic antibiotic within 1 hour", "Surgical Infection Prevention"),
-    ("SCIP-2", "Antibiotic selection", "Surgical Infection Prevention"),
+    (
+        "SCIP-1",
+        "Prophylactic antibiotic within 1 hour",
+        "Surgical Infection Prevention",
+    ),
+    (
+        "SCIP-2",
+        "Antibiotic selection",
+        "Surgical Infection Prevention",
+    ),
 ];
 
 const OWNERS: &[&str] = &[
@@ -158,18 +166,15 @@ pub fn hospital(config: HospitalConfig) -> GeneratedDataset {
         };
         let row_start = clean.tuple_count();
         provider_rows.push((row_start, row_start + measures_per_provider));
-        for m in 0..measures_per_provider {
-            let (code, mname, condition) = MEASURES[m];
+        for (m, &(code, mname, condition)) in
+            MEASURES.iter().take(measures_per_provider).enumerate()
+        {
             // Random and coarse-grained: deterministic formulas here would
             // leak spurious co-occurrences between scores and other attrs.
             let score = format!("{}%", rng.gen_range(50..100));
             let sample = format!("{} patients", rng.gen_range(2..32) * 10);
             // State average is functionally determined by (State, Measure).
-            let state_avg = format!(
-                "{}_{}%",
-                p.state,
-                60 + ((p.state.len() * 17 + m * 3) % 35)
-            );
+            let state_avg = format!("{}_{}%", p.state, 60 + ((p.state.len() * 17 + m * 3) % 35));
             clean.push_row(&[
                 p.number.as_str(),
                 p.name.as_str(),

@@ -185,9 +185,7 @@ pub fn physicians(config: PhysiciansConfig) -> GeneratedDataset {
     }
     let mut provider_rows: Vec<ProviderRow> = Vec::with_capacity(config.providers);
     for p in 0..config.providers {
-        provider_rows.push(ProviderRow {
-            org: p % n_orgs,
-        });
+        provider_rows.push(ProviderRow { org: p % n_orgs });
     }
 
     let mut rows_meta: Vec<usize> = Vec::new(); // org of each row

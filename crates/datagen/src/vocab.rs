@@ -21,52 +21,188 @@ pub struct CityRecord {
 /// A fixed, realistic city/state/zip geography. Zips are disjoint across
 /// cities so `Zip → City` and `Zip → State` hold in clean data.
 pub const CITIES: &[CityRecord] = &[
-    CityRecord { city: "Chicago", state: "IL", zip_base: 60601, zip_count: 40 },
-    CityRecord { city: "Evanston", state: "IL", zip_base: 60201, zip_count: 4 },
-    CityRecord { city: "Springfield", state: "IL", zip_base: 62701, zip_count: 6 },
-    CityRecord { city: "Madison", state: "WI", zip_base: 53703, zip_count: 6 },
-    CityRecord { city: "Milwaukee", state: "WI", zip_base: 53202, zip_count: 10 },
-    CityRecord { city: "Sacramento", state: "CA", zip_base: 95811, zip_count: 12 },
-    CityRecord { city: "Fresno", state: "CA", zip_base: 93701, zip_count: 8 },
-    CityRecord { city: "Austin", state: "TX", zip_base: 78701, zip_count: 12 },
-    CityRecord { city: "Houston", state: "TX", zip_base: 77002, zip_count: 16 },
-    CityRecord { city: "Boston", state: "MA", zip_base: 2108, zip_count: 10 },
-    CityRecord { city: "Worcester", state: "MA", zip_base: 1601, zip_count: 6 },
-    CityRecord { city: "Denver", state: "CO", zip_base: 80202, zip_count: 10 },
-    CityRecord { city: "Phoenix", state: "AZ", zip_base: 85003, zip_count: 12 },
-    CityRecord { city: "Seattle", state: "WA", zip_base: 98101, zip_count: 10 },
-    CityRecord { city: "Portland", state: "OR", zip_base: 97201, zip_count: 8 },
-    CityRecord { city: "Nashville", state: "TN", zip_base: 37201, zip_count: 8 },
+    CityRecord {
+        city: "Chicago",
+        state: "IL",
+        zip_base: 60601,
+        zip_count: 40,
+    },
+    CityRecord {
+        city: "Evanston",
+        state: "IL",
+        zip_base: 60201,
+        zip_count: 4,
+    },
+    CityRecord {
+        city: "Springfield",
+        state: "IL",
+        zip_base: 62701,
+        zip_count: 6,
+    },
+    CityRecord {
+        city: "Madison",
+        state: "WI",
+        zip_base: 53703,
+        zip_count: 6,
+    },
+    CityRecord {
+        city: "Milwaukee",
+        state: "WI",
+        zip_base: 53202,
+        zip_count: 10,
+    },
+    CityRecord {
+        city: "Sacramento",
+        state: "CA",
+        zip_base: 95811,
+        zip_count: 12,
+    },
+    CityRecord {
+        city: "Fresno",
+        state: "CA",
+        zip_base: 93701,
+        zip_count: 8,
+    },
+    CityRecord {
+        city: "Austin",
+        state: "TX",
+        zip_base: 78701,
+        zip_count: 12,
+    },
+    CityRecord {
+        city: "Houston",
+        state: "TX",
+        zip_base: 77002,
+        zip_count: 16,
+    },
+    CityRecord {
+        city: "Boston",
+        state: "MA",
+        zip_base: 2108,
+        zip_count: 10,
+    },
+    CityRecord {
+        city: "Worcester",
+        state: "MA",
+        zip_base: 1601,
+        zip_count: 6,
+    },
+    CityRecord {
+        city: "Denver",
+        state: "CO",
+        zip_base: 80202,
+        zip_count: 10,
+    },
+    CityRecord {
+        city: "Phoenix",
+        state: "AZ",
+        zip_base: 85003,
+        zip_count: 12,
+    },
+    CityRecord {
+        city: "Seattle",
+        state: "WA",
+        zip_base: 98101,
+        zip_count: 10,
+    },
+    CityRecord {
+        city: "Portland",
+        state: "OR",
+        zip_base: 97201,
+        zip_count: 8,
+    },
+    CityRecord {
+        city: "Nashville",
+        state: "TN",
+        zip_base: 37201,
+        zip_count: 8,
+    },
 ];
 
 const STREET_NAMES: &[&str] = &[
-    "Morgan", "Wells", "Erie", "Cermak", "State", "Lake", "Madison", "Clark", "Halsted",
-    "Damen", "Ashland", "Western", "Pulaski", "Cicero", "Archer", "Kedzie", "Main", "Oak",
-    "Maple", "Washington",
+    "Morgan",
+    "Wells",
+    "Erie",
+    "Cermak",
+    "State",
+    "Lake",
+    "Madison",
+    "Clark",
+    "Halsted",
+    "Damen",
+    "Ashland",
+    "Western",
+    "Pulaski",
+    "Cicero",
+    "Archer",
+    "Kedzie",
+    "Main",
+    "Oak",
+    "Maple",
+    "Washington",
 ];
 
 const STREET_SUFFIXES: &[&str] = &["ST", "AVE", "RD", "BLVD", "DR", "PL"];
 
 const FIRST_NAMES: &[&str] = &[
-    "John", "Mary", "Robert", "Linda", "Michael", "Susan", "David", "Karen", "James",
-    "Patricia", "Daniel", "Nancy", "Thomas", "Laura", "Carlos", "Elena", "Wei", "Amara",
-    "Noah", "Sofia",
+    "John", "Mary", "Robert", "Linda", "Michael", "Susan", "David", "Karen", "James", "Patricia",
+    "Daniel", "Nancy", "Thomas", "Laura", "Carlos", "Elena", "Wei", "Amara", "Noah", "Sofia",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
-    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
-    "Veliotis", "Nakamura", "Okafor", "Kowalski", "Petrov",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Veliotis",
+    "Nakamura",
+    "Okafor",
+    "Kowalski",
+    "Petrov",
 ];
 
 const BUSINESS_HEADS: &[&str] = &[
-    "Johnny", "Lakeview", "Morgan", "Golden", "Blue Door", "Prairie", "Windy City",
-    "North Side", "Halsted", "Union", "Harbor", "Cedar", "Granite", "Sunset", "Twin Oaks",
+    "Johnny",
+    "Lakeview",
+    "Morgan",
+    "Golden",
+    "Blue Door",
+    "Prairie",
+    "Windy City",
+    "North Side",
+    "Halsted",
+    "Union",
+    "Harbor",
+    "Cedar",
+    "Granite",
+    "Sunset",
+    "Twin Oaks",
 ];
 
 const BUSINESS_TAILS: &[&str] = &[
-    "Grill", "Diner", "Cafe", "Bakery", "Tavern", "Market", "Kitchen", "Bistro",
-    "Pizzeria", "Deli", "Brewhouse", "Cantina",
+    "Grill",
+    "Diner",
+    "Cafe",
+    "Bakery",
+    "Tavern",
+    "Market",
+    "Kitchen",
+    "Bistro",
+    "Pizzeria",
+    "Deli",
+    "Brewhouse",
+    "Cantina",
 ];
 
 /// Picks a deterministic element of `items` for index `i` (wrapping).
@@ -85,7 +221,7 @@ pub fn address(rng: &mut StdRng) -> String {
     format!(
         "{} {} {} {}",
         rng.gen_range(1..5000),
-        ["N", "S", "E", "W"][rng.gen_range(0..4)],
+        ["N", "S", "E", "W"][rng.gen_range(0..4usize)],
         choose(rng, STREET_NAMES),
         choose(rng, STREET_SUFFIXES),
     )
@@ -98,7 +234,7 @@ pub fn address_unique(rng: &mut StdRng, entity: usize) -> String {
     format!(
         "{} {} {} {}",
         100 + entity,
-        ["N", "S", "E", "W"][rng.gen_range(0..4)],
+        ["N", "S", "E", "W"][rng.gen_range(0..4usize)],
         choose(rng, STREET_NAMES),
         choose(rng, STREET_SUFFIXES),
     )
@@ -114,13 +250,21 @@ pub fn person_name(rng: &mut StdRng) -> (String, String) {
 
 /// A business name like "Johnny's Grill".
 pub fn business_name(rng: &mut StdRng) -> String {
-    format!("{}'s {}", choose(rng, BUSINESS_HEADS), choose(rng, BUSINESS_TAILS))
+    format!(
+        "{}'s {}",
+        choose(rng, BUSINESS_HEADS),
+        choose(rng, BUSINESS_TAILS)
+    )
 }
 
 /// A 10-digit phone number with a region-stable area code.
 pub fn phone(rng: &mut StdRng, area_seed: usize) -> String {
     let area = 200 + (area_seed * 37) % 700;
-    format!("{area}-{:03}-{:04}", rng.gen_range(200..999), rng.gen_range(0..9999))
+    format!(
+        "{area}-{:03}-{:04}",
+        rng.gen_range(200..999),
+        rng.gen_range(0..9999)
+    )
 }
 
 /// Picks a city and one of its zips.
@@ -153,7 +297,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for c in CITIES {
             for i in 0..c.zip_count {
-                assert!(seen.insert(c.zip_base + i), "zip overlap at {}", c.zip_base + i);
+                assert!(
+                    seen.insert(c.zip_base + i),
+                    "zip overlap at {}",
+                    c.zip_base + i
+                );
             }
         }
     }

@@ -43,10 +43,7 @@ impl Schema {
     pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         for (i, n) in names.iter().enumerate() {
-            assert!(
-                !names[..i].contains(n),
-                "duplicate attribute name: {n:?}"
-            );
+            assert!(!names[..i].contains(n), "duplicate attribute name: {n:?}");
         }
         Schema { names }
     }

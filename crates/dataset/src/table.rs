@@ -249,8 +249,14 @@ mod tests {
     #[test]
     fn interning_shares_symbols() {
         let ds = small();
-        assert_eq!(ds.cell(TupleId(0), AttrId(0)), ds.cell(TupleId(2), AttrId(0)));
-        assert_ne!(ds.cell(TupleId(0), AttrId(0)), ds.cell(TupleId(1), AttrId(0)));
+        assert_eq!(
+            ds.cell(TupleId(0), AttrId(0)),
+            ds.cell(TupleId(2), AttrId(0))
+        );
+        assert_ne!(
+            ds.cell(TupleId(0), AttrId(0)),
+            ds.cell(TupleId(1), AttrId(0))
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl ExtDict {
 
     /// Loads a dictionary from CSV text.
     pub fn from_csv(name: impl Into<String>, csv_text: &str) -> Result<Self, DatasetError> {
-        Ok(ExtDict::new(name, holo_dataset::csv::parse_dataset(csv_text)?))
+        Ok(ExtDict::new(
+            name,
+            holo_dataset::csv::parse_dataset(csv_text)?,
+        ))
     }
 
     /// Attribute lookup on the dictionary schema.

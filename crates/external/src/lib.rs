@@ -17,4 +17,4 @@ pub mod dict;
 pub mod matching;
 
 pub use dict::{DictId, ExtDict};
-pub use matching::{MatchOp, MatchTuple, MatchingDependency, Matcher};
+pub use matching::{MatchOp, MatchTuple, Matcher, MatchingDependency};

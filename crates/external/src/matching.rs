@@ -230,7 +230,9 @@ mod tests {
         let dict = addresses();
         let ds = food();
         let md = MatchingDependency::equalities("m1", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
-        let matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        let matches = Matcher::new(&dict, DictId(0))
+            .find_matches(&ds, &md)
+            .unwrap();
         // t0 zip 60608 matches the dictionary; asserts City=Chicago.
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].cell, CellRef::new(0usize, 1usize));
@@ -274,7 +276,9 @@ mod tests {
                 dict_attr: "Ext_Zip".into(),
             },
         };
-        let matches = Matcher::new(&dict, DictId(2)).find_matches(&ds, &md).unwrap();
+        let matches = Matcher::new(&dict, DictId(2))
+            .find_matches(&ds, &md)
+            .unwrap();
         // Both t0 (Cicago ≈ Chicago) and t1 (exact) match → Zip=60608.
         assert_eq!(matches.len(), 2);
         for m in &matches {
@@ -293,7 +297,9 @@ mod tests {
             &[("Address", "Ext_Address"), ("Zip", "Ext_Zip")],
             ("City", "Ext_City"),
         );
-        let matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        let matches = Matcher::new(&dict, DictId(0))
+            .find_matches(&ds, &md)
+            .unwrap();
         // Only t0 matches both address and zip.
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].cell.tuple, TupleId(0));
@@ -309,7 +315,9 @@ mod tests {
         let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
         ds.push_row(&["60608", "X"]);
         let md = MatchingDependency::equalities("m", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
-        let mut matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        let mut matches = Matcher::new(&dict, DictId(0))
+            .find_matches(&ds, &md)
+            .unwrap();
         matches.sort_by(|a, b| a.value.cmp(&b.value));
         assert_eq!(matches.len(), 2);
         assert_eq!(matches[0].value, "Chicago");
@@ -323,7 +331,9 @@ mod tests {
         let dict = addresses();
         let ds = food();
         let md = MatchingDependency::equalities("m", &[("Zap", "Ext_Zip")], ("City", "Ext_City"));
-        assert!(Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).is_err());
+        assert!(Matcher::new(&dict, DictId(0))
+            .find_matches(&ds, &md)
+            .is_err());
     }
 
     #[test]
@@ -332,7 +342,9 @@ mod tests {
         let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
         ds.push_row(&["", "Chicago"]);
         let md = MatchingDependency::equalities("m", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
-        let matches = Matcher::new(&dict, DictId(0)).find_matches(&ds, &md).unwrap();
+        let matches = Matcher::new(&dict, DictId(0))
+            .find_matches(&ds, &md)
+            .unwrap();
         assert!(matches.is_empty());
     }
 }

@@ -12,7 +12,11 @@ use holo_dataset::Sym;
 ///
 /// # Panics
 /// Panics if the joint space exceeds 2^22 assignments.
-pub fn exact_marginals(graph: &FactorGraph, weights: &Weights, ctx: &impl ValueContext) -> Marginals {
+pub fn exact_marginals(
+    graph: &FactorGraph,
+    weights: &Weights,
+    ctx: &impl ValueContext,
+) -> Marginals {
     let query = graph.query_vars();
     let space: usize = query
         .iter()

@@ -6,6 +6,17 @@
 //! cliques, making variables independent, in which case every conditional
 //! *is* the marginal and the sampler trivially mixes in `O(n log n)` sweeps
 //! — matching the theory the paper cites [21, 36].
+//!
+//! ## Multi-chain parallelism
+//!
+//! [`run_chains`] runs [`GibbsConfig::chains`] independent chains, each with
+//! its own deterministically derived seed (chain 0 uses `seed` itself, so
+//! `chains = 1` is bit-for-bit the single-chain sampler), and merges their
+//! per-candidate sample counts into one [`Marginals`]. Chains are
+//! embarrassingly parallel — they share only the read-only graph, weights
+//! and value context — and are scheduled over up to `threads` OS threads.
+//! Because each chain's counts depend only on its own seed and the merge is
+//! a sum in chain order, the result is identical for every thread count.
 
 use crate::graph::{FactorGraph, ValueContext, VarId};
 use crate::marginals::Marginals;
@@ -19,12 +30,17 @@ use serde::{Deserialize, Serialize};
 /// Sampler configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct GibbsConfig {
-    /// Sweeps discarded before collecting statistics.
+    /// Sweeps discarded before collecting statistics (per chain).
     pub burn_in: usize,
-    /// Sweeps whose states are counted into the marginals.
+    /// Sweeps whose states are counted into the marginals, split across
+    /// chains by [`run_chains`].
     pub samples: usize,
-    /// RNG seed — the sampler is fully deterministic given the seed.
+    /// RNG seed — the sampler is fully deterministic given the seed (and,
+    /// for [`run_chains`], the chain count).
     pub seed: u64,
+    /// Independent chains merged by [`run_chains`]; `1` reproduces the
+    /// single-chain sampler exactly.
+    pub chains: usize,
 }
 
 impl Default for GibbsConfig {
@@ -33,6 +49,85 @@ impl Default for GibbsConfig {
             burn_in: 20,
             samples: 100,
             seed: 0x5eed,
+            chains: 1,
+        }
+    }
+}
+
+/// Seed of chain `i`: chain 0 keeps the configured seed (exact
+/// single-chain compatibility); later chains pass `(seed, i)` through a
+/// SplitMix64-style finalizer. A plain additive step would interact with
+/// the RNG's own additive seed expansion — consecutive chains' initial
+/// states would share 3 of 4 words — so the seeds are mixed, not stepped,
+/// keeping the chains' streams statistically independent.
+fn chain_seed(seed: u64, chain: usize) -> u64 {
+    if chain == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (chain as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `config.chains` independent seeded chains over up to `threads` OS
+/// threads and merges their sample counts into one [`Marginals`].
+///
+/// Each chain burns in for `config.burn_in` sweeps and contributes
+/// `ceil(samples / chains)` counted sweeps. Deterministic for a fixed
+/// `(seed, chains)` pair at any `threads`; `chains = 1` is bit-for-bit
+/// [`GibbsSampler::run`].
+pub fn run_chains<C: ValueContext + Sync>(
+    graph: &FactorGraph,
+    weights: &Weights,
+    ctx: &C,
+    config: &GibbsConfig,
+    threads: usize,
+) -> Marginals {
+    let chains = config.chains.max(1);
+    if chains == 1 {
+        return GibbsSampler::new(graph, weights, ctx, config.seed).run(config);
+    }
+    let samples_per_chain = config.samples.max(1).div_ceil(chains);
+    let per_chain: Vec<Vec<Vec<f64>>> = holo_parallel::parallel_jobs(threads, chains, |i| {
+        let mut sampler = GibbsSampler::new(graph, weights, ctx, chain_seed(config.seed, i));
+        sampler.collect_counts(config.burn_in, samples_per_chain)
+    });
+    let mut merged = per_chain
+        .into_iter()
+        .reduce(|mut acc, counts| {
+            for (a, c) in acc.iter_mut().zip(counts) {
+                for (x, y) in a.iter_mut().zip(c) {
+                    *x += y;
+                }
+            }
+            acc
+        })
+        .expect("at least one chain");
+    normalize_counts(graph, &mut merged);
+    Marginals::from_raw(merged)
+}
+
+/// Turns raw per-candidate sample counts into marginals in place: evidence
+/// variables get a point mass, sampled query variables normalise, and
+/// never-sampled variables fall back to uniform.
+fn normalize_counts(graph: &FactorGraph, counts: &mut [Vec<f64>]) {
+    for (i, var) in graph.vars().iter().enumerate() {
+        match var.evidence {
+            Some(k) => {
+                counts[i].iter_mut().for_each(|c| *c = 0.0);
+                counts[i][k] = 1.0;
+            }
+            None => {
+                let total: f64 = counts[i].iter().sum();
+                if total > 0.0 {
+                    counts[i].iter_mut().for_each(|c| *c /= total);
+                } else {
+                    // Unreached query var (no sampling sweeps): uniform.
+                    let n = counts[i].len().max(1);
+                    counts[i].iter_mut().for_each(|c| *c = 1.0 / n as f64);
+                }
+            }
         }
     }
 }
@@ -97,7 +192,8 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
                 .expect("adjacency list inconsistent");
             self.clique_syms.clear();
             for &u in &clique.vars {
-                self.clique_syms.push(self.graph.var(u).domain[self.state[u.index()]]);
+                self.clique_syms
+                    .push(self.graph.var(u).domain[self.state[u.index()]]);
             }
             for k in 0..arity {
                 self.clique_syms[slot] = self.graph.var(v).domain[k];
@@ -118,10 +214,10 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
         self.query = query;
     }
 
-    /// Runs burn-in + sampling sweeps and returns empirical marginals.
-    /// Evidence variables get a point mass on their observed candidate.
-    pub fn run(mut self, config: &GibbsConfig) -> Marginals {
-        for _ in 0..config.burn_in {
+    /// Runs burn-in + sampling sweeps and returns raw per-candidate sample
+    /// counts (the merge unit of [`run_chains`]).
+    fn collect_counts(&mut self, burn_in: usize, samples: usize) -> Vec<Vec<f64>> {
+        for _ in 0..burn_in {
             self.sweep();
         }
         let mut counts: Vec<Vec<f64>> = self
@@ -130,31 +226,20 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
             .iter()
             .map(|v| vec![0.0; v.arity()])
             .collect();
-        let samples = config.samples.max(1);
-        for _ in 0..samples {
+        for _ in 0..samples.max(1) {
             self.sweep();
             for &v in &self.query {
                 counts[v.index()][self.state[v.index()]] += 1.0;
             }
         }
-        for (i, var) in self.graph.vars().iter().enumerate() {
-            match var.evidence {
-                Some(k) => {
-                    counts[i].iter_mut().for_each(|c| *c = 0.0);
-                    counts[i][k] = 1.0;
-                }
-                None => {
-                    let total: f64 = counts[i].iter().sum();
-                    if total > 0.0 {
-                        counts[i].iter_mut().for_each(|c| *c /= total);
-                    } else {
-                        // Unreached query var (no sampling sweeps): uniform.
-                        let n = counts[i].len().max(1);
-                        counts[i].iter_mut().for_each(|c| *c = 1.0 / n as f64);
-                    }
-                }
-            }
-        }
+        counts
+    }
+
+    /// Runs burn-in + sampling sweeps and returns empirical marginals.
+    /// Evidence variables get a point mass on their observed candidate.
+    pub fn run(mut self, config: &GibbsConfig) -> Marginals {
+        let mut counts = self.collect_counts(config.burn_in, config.samples);
+        normalize_counts(self.graph, &mut counts);
         Marginals::from_raw(counts)
     }
 
@@ -196,6 +281,7 @@ mod tests {
             burn_in: 50,
             samples: 4000,
             seed: 7,
+            chains: 1,
         });
         let sigmoid = 1.0 / (1.0 + (-1.5f64).exp());
         assert!(
@@ -231,6 +317,7 @@ mod tests {
             burn_in: 200,
             samples: 20_000,
             seed: 13,
+            chains: 1,
         });
         for v in [a, b] {
             for k in 0..2 {
@@ -268,9 +355,14 @@ mod tests {
             burn_in: 50,
             samples: 3000,
             seed: 3,
+            chains: 1,
         });
         assert_eq!(m.probs(e), &[1.0, 0.0]);
-        assert!(m.prob(q, 1) > 0.9, "q flees the evidence value: {:?}", m.probs(q));
+        assert!(
+            m.prob(q, 1) > 0.9,
+            "q flees the evidence value: {:?}",
+            m.probs(q)
+        );
     }
 
     #[test]
@@ -285,6 +377,7 @@ mod tests {
             burn_in: 10,
             samples: 500,
             seed: 42,
+            chains: 1,
         };
         let m1 = GibbsSampler::new(&g, &w, &ctx, cfg.seed).run(&cfg);
         let m2 = GibbsSampler::new(&g, &w, &ctx, cfg.seed).run(&cfg);
@@ -299,5 +392,144 @@ mod tests {
         let ctx = EqOnlyContext;
         let m = GibbsSampler::new(&g, &w, &ctx, 1).run(&GibbsConfig::default());
         assert_eq!(m.probs(VarId(0)), &[1.0]);
+    }
+
+    /// The toy graph the multi-chain tests sample: two coupled variables
+    /// plus an evidence pin, exercising unary, clique and evidence paths.
+    fn toy_graph() -> (FactorGraph, Weights) {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        g.add_variable(Variable::evidence(vec![sym(1), sym(2)], 1));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 0.7);
+        w.set(WeightId(1), 1.4);
+        g.add_feature(a, 0, WeightId(0), 1.0);
+        g.add_clique(CliqueFactor {
+            vars: vec![a, b],
+            weight: WeightId(1),
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        });
+        (g, w)
+    }
+
+    #[test]
+    fn single_chain_run_chains_is_bit_for_bit_run() {
+        let (g, w) = toy_graph();
+        let ctx = EqOnlyContext;
+        let cfg = GibbsConfig {
+            burn_in: 30,
+            samples: 700,
+            seed: 21,
+            chains: 1,
+        };
+        let direct = GibbsSampler::new(&g, &w, &ctx, cfg.seed).run(&cfg);
+        let chained = run_chains(&g, &w, &ctx, &cfg, 4);
+        assert_eq!(direct, chained);
+    }
+
+    #[test]
+    fn multi_chain_deterministic_at_any_thread_count() {
+        let (g, w) = toy_graph();
+        let ctx = EqOnlyContext;
+        let cfg = GibbsConfig {
+            burn_in: 30,
+            samples: 2000,
+            seed: 77,
+            chains: 4,
+        };
+        let reference = run_chains(&g, &w, &ctx, &cfg, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run_chains(&g, &w, &ctx, &cfg, threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
+        // And across repeated runs with the same seed set.
+        assert_eq!(run_chains(&g, &w, &ctx, &cfg, 4), reference);
+    }
+
+    #[test]
+    fn four_chain_marginals_close_to_single_chain() {
+        let (g, w) = toy_graph();
+        let ctx = EqOnlyContext;
+        let single = run_chains(
+            &g,
+            &w,
+            &ctx,
+            &GibbsConfig {
+                burn_in: 200,
+                samples: 20_000,
+                seed: 5,
+                chains: 1,
+            },
+            1,
+        );
+        let multi = run_chains(
+            &g,
+            &w,
+            &ctx,
+            &GibbsConfig {
+                burn_in: 200,
+                samples: 20_000,
+                seed: 5,
+                chains: 4,
+            },
+            4,
+        );
+        for v in [VarId(0), VarId(1), VarId(2)] {
+            for k in 0..2 {
+                assert!(
+                    (single.prob(v, k) - multi.prob(v, k)).abs() < 0.03,
+                    "var {v:?} cand {k}: single {} vs 4-chain {}",
+                    single.prob(v, k),
+                    multi.prob(v, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_chain_matches_exact_enumeration() {
+        let (g, w) = toy_graph();
+        let ctx = EqOnlyContext;
+        let exact = exact_marginals(&g, &w, &ctx);
+        let multi = run_chains(
+            &g,
+            &w,
+            &ctx,
+            &GibbsConfig {
+                burn_in: 300,
+                samples: 40_000,
+                seed: 9,
+                chains: 4,
+            },
+            4,
+        );
+        for v in [VarId(0), VarId(1)] {
+            for k in 0..2 {
+                assert!(
+                    (exact.prob(v, k) - multi.prob(v, k)).abs() < 0.02,
+                    "var {v:?} cand {k}: exact {} vs 4-chain {}",
+                    exact.prob(v, k),
+                    multi.prob(v, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_seeds_distinct_and_stable() {
+        assert_eq!(chain_seed(42, 0), 42);
+        let seeds: Vec<u64> = (0..8).map(|i| chain_seed(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
     }
 }

@@ -254,9 +254,7 @@ impl FactorGraph {
 
     /// Ids of query variables.
     pub fn query_vars(&self) -> Vec<VarId> {
-        self.var_ids()
-            .filter(|v| self.var(*v).is_query())
-            .collect()
+        self.var_ids().filter(|v| self.var(*v).is_query()).collect()
     }
 
     /// Ids of evidence variables.

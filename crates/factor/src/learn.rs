@@ -86,8 +86,8 @@ pub fn train(graph: &FactorGraph, weights: &mut Weights, config: &LearnConfig) -
             softmax_in_place(&mut scores);
             ll_sum += scores[target].max(1e-300).ln();
             // Gradient of log P(target): x_f · (1[k = target] − p_k).
-            for k in 0..var.arity() {
-                let residual = f64::from(u8::from(k == target)) - scores[k];
+            for (k, &p_k) in scores.iter().enumerate() {
+                let residual = f64::from(u8::from(k == target)) - p_k;
                 if residual == 0.0 {
                     continue;
                 }
@@ -144,7 +144,12 @@ mod tests {
         let mut w = reg.build_weights();
         let stats = train(&g, &mut w, &LearnConfig::default());
         assert_eq!(stats.examples, 50);
-        assert!(w.get(fa) > w.get(fb), "w(A)={} w(B)={}", w.get(fa), w.get(fb));
+        assert!(
+            w.get(fa) > w.get(fb),
+            "w(A)={} w(B)={}",
+            w.get(fa),
+            w.get(fb)
+        );
         let m = Marginals::exact_unary(&g, &w);
         assert!(m.prob(q, 0) > 0.8, "query prefers the learned signal");
         assert!(stats.final_log_likelihood > -0.5);

@@ -39,10 +39,9 @@ pub mod weights;
 #[cfg(test)]
 mod proptests;
 
-pub use gibbs::{GibbsConfig, GibbsSampler};
+pub use gibbs::{run_chains, GibbsConfig, GibbsSampler};
 pub use graph::{
-    CliqueFactor, CmpOp, FactorGraph, FactorOperand, FactorPredicate, ValueContext, VarId,
-    Variable,
+    CliqueFactor, CmpOp, FactorGraph, FactorOperand, FactorPredicate, ValueContext, VarId, Variable,
 };
 pub use learn::{LearnConfig, LearnStats};
 pub use marginals::Marginals;

@@ -38,16 +38,13 @@ fn random_model() -> impl Strategy<Value = RandomModel> {
                     (0..arities.len(), 0..arities.len(), 0.0f64..2.0),
                     0..3,
                 );
-                (Just(arities.clone()), unary, cliques).prop_map(
-                    |(arities, unary, cliques)| RandomModel {
+                (Just(arities.clone()), unary, cliques).prop_map(|(arities, unary, cliques)| {
+                    RandomModel {
                         arities,
                         unary,
-                        cliques: cliques
-                            .into_iter()
-                            .filter(|(a, b, _)| a != b)
-                            .collect(),
-                    },
-                )
+                        cliques: cliques.into_iter().filter(|(a, b, _)| a != b).collect(),
+                    }
+                })
             })
         })
         .prop_filter("at least one variable", |m| !m.arities.is_empty())
@@ -102,6 +99,7 @@ proptest! {
             burn_in: 300,
             samples: 12_000,
             seed: 99,
+            chains: 1,
         });
         for v in graph.var_ids() {
             for k in 0..graph.var(v).arity() {
@@ -123,6 +121,7 @@ proptest! {
                 burn_in: 10,
                 samples: 200,
                 seed: 5,
+            chains: 1,
             }),
         ] {
             for v in graph.var_ids() {
@@ -144,6 +143,7 @@ proptest! {
             burn_in: 200,
             samples: 12_000,
             seed: 17,
+            chains: 1,
         });
         for v in graph.var_ids() {
             for k in 0..graph.var(v).arity() {

@@ -1,0 +1,243 @@
+//! Deterministic data-parallel primitives for the HoloClean pipeline.
+//!
+//! The build environment is offline, so rayon is unavailable; this crate
+//! provides the small parallel vocabulary the staged engine needs, built on
+//! `std::thread::scope`. Every operation here has a hard determinism
+//! contract: **the result is identical for every thread count**, including
+//! `threads = 1`, which runs inline on the caller's stack with no pool at
+//! all. Parallel maps split the input into contiguous chunks, each worker
+//! produces its chunk's outputs in input order, and chunks are concatenated
+//! in order — so a pure `f` yields bit-for-bit the sequential result.
+//!
+//! Work sizing: spawning threads costs ~10µs each, so [`parallel_map`]
+//! falls back to the inline path for inputs smaller than
+//! [`MIN_PARALLEL_ITEMS`] items.
+
+use std::num::NonZeroUsize;
+
+/// Below this many items a parallel map runs inline — thread spawn overhead
+/// would dominate.
+pub const MIN_PARALLEL_ITEMS: usize = 64;
+
+/// Resolves a configured thread-count knob: `0` means "all cores"
+/// (`std::thread::available_parallelism`), anything else is taken as-is.
+pub fn effective_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Maps `f` over `items` with up to `threads` worker threads, returning
+/// outputs in input order. `f(index, item)` receives the item's index in
+/// `items`. Deterministic for pure `f` regardless of `threads`.
+pub fn parallel_map<T: Sync, R: Send, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let f = &f;
+    parallel_chunks(threads, items, |offset, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(offset + i, t))
+            .collect()
+    })
+}
+
+/// [`parallel_map`] followed by an in-order flatten: each item may produce
+/// any number of outputs and the concatenation order matches the sequential
+/// `flat_map`.
+pub fn parallel_flat_map<T: Sync, R: Send, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(usize, &T) -> Vec<R> + Sync,
+{
+    let f = &f;
+    parallel_chunks(threads, items, |offset, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| f(offset + i, t))
+            .collect()
+    })
+}
+
+/// The chunk-level primitive under [`parallel_map`]: `f(offset, chunk)`
+/// receives a contiguous sub-slice starting at `items[offset]` and returns
+/// that chunk's outputs in item order; chunk outputs concatenate in chunk
+/// order. Use directly when per-item work wants per-chunk reusable scratch
+/// (a buffer allocated once per chunk instead of once per item).
+/// Determinism contract: the outputs must depend only on the items, never
+/// on the chunking — with that, the result is identical for every thread
+/// count, and `threads = 1` (or a small input) runs `f(0, items)` inline
+/// with no pool.
+pub fn parallel_chunks<T: Sync, R: Send, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let threads = effective_threads(threads).min(items.len()).max(1);
+    if threads == 1 || items.len() < MIN_PARALLEL_ITEMS {
+        return f(0, items);
+    }
+    spawn_ranges(threads, items.len(), |start, len| {
+        f(start, &items[start..start + len])
+    })
+}
+
+/// Runs `n` independent jobs (indexed `0..n`) on up to `threads` threads
+/// and returns their results in index order. Unlike [`parallel_map`] there
+/// is no minimum-size cutoff: jobs are assumed coarse (e.g. one Gibbs
+/// chain or one full-column statistics scan each).
+pub fn parallel_jobs<R: Send, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(n).max(1);
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    spawn_ranges(threads, n, |start, len| {
+        (start..start + len).map(f).collect()
+    })
+}
+
+/// The shared spawn/merge scaffolding: splits `0..n` into `threads`
+/// contiguous ranges (the first `n % threads` one element longer), runs
+/// `f(start, len)` for each on a scoped thread, and concatenates the
+/// per-range outputs in range order. Callers handle their own sequential
+/// cutoffs before reaching here.
+fn spawn_ranges<R: Send, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize, usize) -> Vec<R> + Sync,
+{
+    let base = n / threads;
+    let remainder = n % threads;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        for w in 0..threads {
+            let len = base + usize::from(w < remainder);
+            let offset = start;
+            start += len;
+            handles.push(scope.spawn(move || f(offset, len)));
+        }
+        for h in handles {
+            results.push(join_propagating(h));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Joins a worker, re-raising its panic with the original payload — an
+/// `expect` here would bury the worker's own message and location under a
+/// generic one.
+fn join_propagating<R>(h: std::thread::ScopedJoinHandle<'_, R>) -> R {
+    h.join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_zero_means_all_cores() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let sequential = parallel_map(1, &items, |i, &x| i * 1000 + x * x);
+        for threads in [2, 3, 4, 7, 16, 1000] {
+            let parallel = parallel_map(threads, &items, |i, &x| i * 1000 + x * x);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(8, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u8; 0] = [];
+        assert!(parallel_map(4, &items, |_, &x| x).is_empty());
+        assert!(parallel_jobs(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn flat_map_matches_sequential_flatten() {
+        let items: Vec<usize> = (0..500).collect();
+        let f = |_i: usize, &x: &usize| (0..x % 4).map(|k| (x, k)).collect::<Vec<_>>();
+        let seq: Vec<_> = items
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| f(i, t))
+            .collect();
+        assert_eq!(parallel_flat_map(5, &items, f), seq);
+    }
+
+    #[test]
+    fn chunks_see_contiguous_offsets() {
+        let items: Vec<usize> = (0..300).collect();
+        for threads in [1, 2, 5, 8] {
+            let out = parallel_chunks(threads, &items, |offset, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        assert_eq!(items[offset + i], x, "offset/chunk misaligned");
+                        x * 2
+                    })
+                    .collect()
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn jobs_return_in_index_order() {
+        let out = parallel_jobs(4, 9, |i| i * 10);
+        assert_eq!(out, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_actually_parallel_when_asked() {
+        // Structural overlap check (immune to scheduler load, unlike a
+        // wall-clock bound): record each job's [start, end) interval and
+        // require that at least one pair overlaps.
+        let t0 = std::time::Instant::now();
+        let spans = parallel_jobs(4, 4, |_| {
+            let begin = t0.elapsed();
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            (begin, t0.elapsed())
+        });
+        let overlapping = spans
+            .iter()
+            .enumerate()
+            .any(|(i, &(s1, e1))| spans.iter().skip(i + 1).any(|&(s2, e2)| s1 < e2 && s2 < e1));
+        assert!(overlapping, "no two jobs overlapped: {spans:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "original worker message")]
+    fn worker_panics_keep_their_payload() {
+        let items: Vec<usize> = (0..200).collect();
+        parallel_map(4, &items, |i, _| {
+            if i == 137 {
+                panic!("original worker message");
+            }
+            i
+        });
+    }
+}

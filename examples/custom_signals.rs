@@ -31,7 +31,10 @@ impl Detector for AgeRangeDetector {
             let value = ds.cell_str(t, age);
             let plausible = value.parse::<u32>().map(|a| (18..=110).contains(&a));
             if !matches!(plausible, Ok(true)) {
-                noisy.insert(CellRef { tuple: t, attr: age });
+                noisy.insert(CellRef {
+                    tuple: t,
+                    attr: age,
+                });
             }
         }
         noisy
@@ -91,6 +94,11 @@ fn main() {
             .iter()
             .map(|(sym, pr)| format!("{:?}={:.2}", outcome.dataset.value_str(*sym), pr))
             .collect();
-        println!("  tuple {} {:>10}: {}", p.cell.tuple.index(), name, cands.join("  "));
+        println!(
+            "  tuple {} {:>10}: {}",
+            p.cell.tuple.index(),
+            name,
+            cands.join("  ")
+        );
     }
 }

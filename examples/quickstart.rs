@@ -23,16 +23,65 @@ fn main() {
         "DBAName", "AKAName", "Address", "City", "State", "Zip",
     ]));
     // t1-t4 of Figure 1(A).
-    ds.push_row(&["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST", "Chicago", "IL", "60609"]);
-    ds.push_row(&["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST", "Chicago", "IL", "60608"]);
-    ds.push_row(&["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST", "Chicago", "IL", "60608"]);
-    ds.push_row(&["Johnnyo's", "Johnnyo's", "3465 S Morgan ST", "Cicago", "IL", "60609"]);
+    ds.push_row(&[
+        "John Veliotis Sr.",
+        "Johnnyo's",
+        "3465 S Morgan ST",
+        "Chicago",
+        "IL",
+        "60609",
+    ]);
+    ds.push_row(&[
+        "John Veliotis Sr.",
+        "Johnnyo's",
+        "3465 S Morgan ST",
+        "Chicago",
+        "IL",
+        "60608",
+    ]);
+    ds.push_row(&[
+        "John Veliotis Sr.",
+        "Johnnyo's",
+        "3465 S Morgan ST",
+        "Chicago",
+        "IL",
+        "60608",
+    ]);
+    ds.push_row(&[
+        "Johnnyo's",
+        "Johnnyo's",
+        "3465 S Morgan ST",
+        "Cicago",
+        "IL",
+        "60609",
+    ]);
     // Context rows from the wider catalog: the real dataset spans years of
     // inspections, so each establishment repeats many times.
     for _ in 0..4 {
-        ds.push_row(&["John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST", "Chicago", "IL", "60608"]);
-        ds.push_row(&["Zaribu Grill", "Zaribu", "1208 N Wells ST", "Chicago", "IL", "60610"]);
-        ds.push_row(&["Erie Cafe", "Erie Cafe", "259 E Erie ST", "Chicago", "IL", "60611"]);
+        ds.push_row(&[
+            "John Veliotis Sr.",
+            "Johnnyo's",
+            "3465 S Morgan ST",
+            "Chicago",
+            "IL",
+            "60608",
+        ]);
+        ds.push_row(&[
+            "Zaribu Grill",
+            "Zaribu",
+            "1208 N Wells ST",
+            "Chicago",
+            "IL",
+            "60610",
+        ]);
+        ds.push_row(&[
+            "Erie Cafe",
+            "Erie Cafe",
+            "259 E Erie ST",
+            "Chicago",
+            "IL",
+            "60611",
+        ]);
     }
 
     // Figure 1(B): c1, c2, c3 as FD sugar (expands to denial constraints).
@@ -58,19 +107,31 @@ fn main() {
         name: "m3".into(),
         antecedent: vec![
             (
-                AttrPair { ds_attr: "City".into(), dict_attr: "Ext_City".into() },
+                AttrPair {
+                    ds_attr: "City".into(),
+                    dict_attr: "Ext_City".into(),
+                },
                 MatchOp::Sim(0.8),
             ),
             (
-                AttrPair { ds_attr: "State".into(), dict_attr: "Ext_State".into() },
+                AttrPair {
+                    ds_attr: "State".into(),
+                    dict_attr: "Ext_State".into(),
+                },
                 MatchOp::Eq,
             ),
             (
-                AttrPair { ds_attr: "Address".into(), dict_attr: "Ext_Address".into() },
+                AttrPair {
+                    ds_attr: "Address".into(),
+                    dict_attr: "Ext_Address".into(),
+                },
                 MatchOp::Eq,
             ),
         ],
-        consequent: AttrPair { ds_attr: "Zip".into(), dict_attr: "Ext_Zip".into() },
+        consequent: AttrPair {
+            ds_attr: "Zip".into(),
+            dict_attr: "Ext_Zip".into(),
+        },
     };
     let deps = vec![
         MatchingDependency::equalities("m1", &[("Zip", "Ext_Zip")], ("City", "Ext_City")),

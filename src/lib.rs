@@ -1,17 +1,75 @@
 //! Umbrella crate for the HoloClean reproduction workspace.
 //!
-//! This root package exists to host the runnable examples in `examples/`
-//! and the cross-crate integration tests in `tests/`. It re-exports the
-//! public crates so examples can use a single dependency:
+//! This root package hosts the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`, and re-exports the public
+//! crates so both can use a single dependency.
 //!
-//! * [`holo_dataset`] — relational substrate (tables, interning, statistics)
-//! * [`holo_constraints`] — denial constraints and violation detection
-//! * [`holo_factor`] — factor-graph grounding, learning and Gibbs sampling
-//! * [`holo_external`] — external dictionaries and matching dependencies
-//! * [`holo_detect`] — error-detection module
-//! * [`holoclean`] — the HoloClean compiler and repair pipeline
-//! * [`holo_baselines`] — Holistic, KATARA and SCARE baselines
-//! * [`holo_datagen`] — evaluation dataset generators
+//! # Workspace layout
+//!
+//! The workspace is a dependency DAG rooted at the relational substrate;
+//! `cargo build --release && cargo test` at the repository root covers
+//! every crate.
+//!
+//! | crate (`crates/…`) | lib name | role |
+//! |---|---|---|
+//! | `parallel` | `holo_parallel` | deterministic data-parallel primitives over std scoped threads |
+//! | `dataset` | [`holo_dataset`] | tables, value interning, CSV, statistics |
+//! | `constraints` | [`holo_constraints`] | denial constraints, parsing, violation detection |
+//! | `factor` | [`holo_factor`] | factor graphs, SGD learning, (multi-chain) Gibbs |
+//! | `external` | [`holo_external`] | dictionaries and matching dependencies |
+//! | `detect` | [`holo_detect`] | pluggable error detection |
+//! | `core` | [`holoclean`] | the staged repair engine and its compiler |
+//! | `baselines` | [`holo_baselines`] | Holistic, KATARA and SCARE |
+//! | `datagen` | [`holo_datagen`] | deterministic evaluation dataset generators |
+//! | `bench` | `holo_bench` | experiment harness + criterion benches |
+//!
+//! `third_party/` holds offline API-compatible stubs for `serde`, `rand`,
+//! `proptest` and `criterion` — the build environment has no registry
+//! access, so the workspace vendors the small API surface it actually
+//! uses (see each stub's crate docs). Swap the `[workspace.dependencies]`
+//! paths for registry versions to use the real crates.
+//!
+//! # The staged engine
+//!
+//! The repair pipeline (paper §2.2/Figure 2) is an explicit stage list in
+//! `holoclean::pipeline`:
+//!
+//! ```text
+//! PipelineContext (immutable: dataset, constraints, matches, config)
+//!        │
+//!        ▼
+//! Detect ─► Compile ─► Learn ─► Infer        (Pipeline::standard())
+//!   │         │          │        │
+//!   ▼         ▼          ▼        ▼
+//!          StageData (violations, noisy, model, weights, marginals)
+//! ```
+//!
+//! Each stage implements `holoclean::pipeline::Stage`, bills its
+//! wall-clock to a `StageTimings` slot, and parallelises internally over
+//! `HoloConfig::threads` — violation probing, domain pruning,
+//! featurization, co-occurrence statistics and Gibbs chains all shard
+//! across worker threads, and every parallel path merges shard results in
+//! input order, so **any thread count produces bit-for-bit the
+//! `threads = 1` output**. To add a stage, implement `Stage` (choosing the
+//! `StageKind` whose time budget it belongs to) and splice it in with
+//! `Pipeline::insert_after`; `HoloClean::run` is a thin driver over
+//! `Pipeline::standard()`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use holoclean_repro::holo_dataset::{Dataset, Schema};
+//! use holoclean_repro::holoclean::{HoloClean, HoloConfig};
+//!
+//! let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+//! for _ in 0..8 { ds.push_row(&["60608", "Chicago"]); }
+//! ds.push_row(&["60608", "Cicago"]); // typo to repair
+//! let outcome = HoloClean::new(ds)
+//!     .with_constraint_text("FD: Zip -> City").unwrap()
+//!     .with_config(HoloConfig::default().with_threads(0)) // all cores
+//!     .run().unwrap();
+//! assert_eq!(outcome.report.repairs[0].new_value, "Chicago");
+//! ```
 
 pub use holo_baselines;
 pub use holo_constraints;

@@ -2,10 +2,10 @@
 //! dictionaries, matching dependencies, source reliability, and the
 //! detector ensemble.
 
+use holoclean_repro::holo_constraints::parse_constraints;
 use holoclean_repro::holo_dataset::{CellRef, Dataset, FxHashSet, Schema};
 use holoclean_repro::holo_detect::{Detector, NullDetector, OutlierDetector, ViolationDetector};
 use holoclean_repro::holo_external::{ExtDict, MatchingDependency};
-use holoclean_repro::holo_constraints::parse_constraints;
 use holoclean_repro::holoclean::{HoloClean, HoloConfig};
 
 #[test]
@@ -14,16 +14,19 @@ fn dictionary_repairs_without_duplicates() {
     let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
     ds.push_row(&["60608", "Cicago"]);
     ds.push_row(&["60201", "Evanstn"]);
-    let dict = ExtDict::from_csv(
-        "addr",
-        "Ext_Zip,Ext_City\n60608,Chicago\n60201,Evanston\n",
-    )
-    .unwrap();
+    let dict =
+        ExtDict::from_csv("addr", "Ext_Zip,Ext_City\n60608,Chicago\n60201,Evanston\n").unwrap();
     let md = MatchingDependency::equalities("m1", &[("Zip", "Ext_Zip")], ("City", "Ext_City"));
     let city = ds.schema().attr_id("City").unwrap();
     let mut noisy = FxHashSet::default();
-    noisy.insert(CellRef { tuple: 0usize.into(), attr: city });
-    noisy.insert(CellRef { tuple: 1usize.into(), attr: city });
+    noisy.insert(CellRef {
+        tuple: 0usize.into(),
+        attr: city,
+    });
+    noisy.insert(CellRef {
+        tuple: 1usize.into(),
+        attr: city,
+    });
     let outcome = HoloClean::new(ds)
         .with_dictionary(dict, vec![md])
         .with_noisy_cells(noisy)
@@ -119,7 +122,11 @@ fn source_reliability_beats_wrong_majorities() {
             } else {
                 (s + f) % 3 != 0
             };
-            let value = if is_wrong { wrong.clone() } else { truth.clone() };
+            let value = if is_wrong {
+                wrong.clone()
+            } else {
+                truth.clone()
+            };
             ds.push_row(&[flight.clone(), format!("bad{s}"), value]);
         }
     }

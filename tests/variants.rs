@@ -27,10 +27,7 @@ fn every_variant_produces_usable_repairs() {
     for variant in ModelVariant::all() {
         let outcome = outcome_for(&gen, variant, 0.5);
         let q = evaluate(&outcome.report, &outcome.dataset, &gen.clean);
-        assert!(
-            q.f1 > 0.4,
-            "variant {variant:?} collapsed: {q:?}"
-        );
+        assert!(q.f1 > 0.4, "variant {variant:?} collapsed: {q:?}");
         if variant.uses_dc_factors() {
             assert!(outcome.model.cliques > 0, "{variant:?} must ground cliques");
         } else {

@@ -1,0 +1,277 @@
+//! Offline stub of `criterion`.
+//!
+//! Measures wall-clock time with `std::time::Instant` and reports
+//! mean/median/min per benchmark. API-compatible with the subset the
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] and
+//! [`black_box`]. No statistical analysis, no comparison against saved
+//! baselines — numbers print to stdout and the caller eyeballs them.
+//!
+//! When the binary is invoked by `cargo test --benches` (cargo passes
+//! `--test`), every benchmark runs exactly one iteration as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    /// One-iteration smoke mode (`--test`).
+    test_mode: bool,
+    /// Substring filter from the CLI, if any.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion callers pass that we accept and
+                // ignore (value-taking ones consume their value).
+                "--bench" | "--nocapture" | "--quiet" | "-q" | "--verbose" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') && filter.is_none() => {
+                    filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = self.sample_size;
+        self.run_one(&id.0, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { samples },
+            test_mode: self.test_mode,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        b.report(label);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&label, samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`group/label` once inside a group).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value, e.g. `0.5`.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call, after one untimed warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.test_mode {
+            black_box(routine()); // warm-up
+        }
+        self.durations.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.durations.is_empty() {
+            println!("bench {label:<44} (no samples)");
+            return;
+        }
+        let mut sorted = self.durations.clone();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "bench {label:<44} mean {:>12?}  median {:>12?}  min {:>12?}  ({} samples)",
+            mean,
+            median,
+            sorted[0],
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+            filter: None,
+        };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 4 samples.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: true,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(0.5), &0.5f64, |b, &x| {
+            b.iter(|| assert_eq!(x, 0.5))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: false,
+            filter: Some("zzz".into()),
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

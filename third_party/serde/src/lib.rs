@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the macro namespace
+//! (no-op derives from the sibling `serde_derive` stub) and the trait
+//! namespace (empty marker traits), which is all the workspace uses. If a
+//! future PR needs real serialization, replace this stub with a vendored
+//! copy of the actual crate — the dependency declarations won't change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; never implemented or required.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; never implemented or required.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real serde cannot be compiled. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` — nothing serializes at runtime — so these
+//! derives accept the full attribute syntax (including `#[serde(...)]`
+//! helpers) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
