@@ -169,6 +169,39 @@ fn bench_learning_and_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Learn stage in isolation, through the same [`Stage`] seam the
+/// pipeline drives: Detect + Compile run once to fill the blackboard,
+/// then each iteration re-trains from the model's priors. `threads_1` vs
+/// `threads_all` isolates the minibatch-shard parallelism of
+/// `learn::train_with_threads` (bit-for-bit identical outputs; wall-clock
+/// only).
+fn bench_learn_stage(c: &mut Criterion) {
+    use holoclean::pipeline::{
+        CompileStage, DetectStage, LearnStage, PipelineContext, Stage, StageData,
+    };
+    let mut group = c.benchmark_group("learn_stage");
+    group.sample_size(10);
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    for (label, threads) in [("threads_1", 1usize), ("threads_all", 0usize)] {
+        let cx = PipelineContext::new(
+            gen.dirty.clone(),
+            cons.clone(),
+            HoloConfig::default().with_threads(threads),
+        );
+        let mut data = StageData::default();
+        DetectStage.run(&cx, &mut data).unwrap();
+        CompileStage.run(&cx, &mut data).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                LearnStage.run(&cx, &mut data).unwrap();
+                black_box(data.weights.as_ref().unwrap().learnable_norm())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_gibbs(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs");
     group.sample_size(10);
@@ -276,6 +309,7 @@ criterion_group!(
     bench_pruning,
     bench_compile_variants,
     bench_learning_and_inference,
+    bench_learn_stage,
     bench_gibbs,
     bench_end_to_end,
     bench_end_to_end_parallelism

@@ -42,6 +42,21 @@ fn main() {
         "model: {} evidence vars, {} factors, {} singleton noisy cells",
         out.model.evidence_vars, out.model.factors, out.model.singleton_noisy_cells
     );
+    println!(
+        "stage timings: detect {:?}, compile {:?}, learn {:?}, infer {:?} (total {:?})",
+        out.timings.detect,
+        out.timings.compile,
+        out.timings.learn,
+        out.timings.infer,
+        out.timings.total()
+    );
+    match &out.learn_stats {
+        Some(ls) => println!(
+            "learning: {} examples, {} epochs, {} minibatches, final LL {:.4}, final grad L2 {:.6}",
+            ls.examples, ls.epochs, ls.minibatches, ls.final_log_likelihood, ls.grad_norm
+        ),
+        None => println!("learning: skipped (no evidence)"),
+    }
     println!("\nlearned DC-violation weights:");
     let constraints_text = gen.constraints_text.lines();
     let mut sigma = 0usize;

@@ -1,0 +1,42 @@
+//! Dumps the full repair list of a default-config hospital run, one line
+//! per repair, for before/after equivalence diffs during refactors.
+
+use holo_bench::runner::run_holoclean_full;
+use holo_bench::{build, Scale};
+use holo_datagen::DatasetKind;
+use holoclean::HoloConfig;
+
+fn main() {
+    let gen = build(
+        DatasetKind::Hospital,
+        Scale {
+            factor: 1.0,
+            seed: 7,
+            full: false,
+        },
+    );
+    let (out, _model, weights) = run_holoclean_full(&gen, HoloConfig::default(), None, false);
+    let mut lines: Vec<String> = out
+        .report
+        .repairs
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?} {:?} -> {:?} p={:.12}",
+                r.cell, r.old_value, r.new_value, r.probability
+            )
+        })
+        .collect();
+    lines.sort();
+    for l in &lines {
+        println!("{l}");
+    }
+    println!(
+        "TOTAL {} repairs, P={:.6} R={:.6} F1={:.6}, |w|={:.12}",
+        lines.len(),
+        out.quality.precision,
+        out.quality.recall,
+        out.quality.f1,
+        weights.learnable_norm()
+    );
+}

@@ -19,6 +19,8 @@ pub struct HoloOutcome {
     pub report: holoclean::RepairReport,
     /// Model-shape diagnostics.
     pub model: holoclean::compile::CompileStats,
+    /// Learning diagnostics (when any evidence existed).
+    pub learn_stats: Option<holo_factor::LearnStats>,
     /// Detected violations / noisy cells (Table 2 columns).
     pub violations: usize,
     /// Number of noisy cells.
@@ -77,6 +79,7 @@ pub fn run_holoclean_full(
             timings: outcome.timings,
             report: outcome.report,
             model: outcome.model,
+            learn_stats: outcome.learn_stats,
             violations: outcome.violations,
             noisy_cells: outcome.noisy_cells,
         },

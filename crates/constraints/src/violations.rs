@@ -10,11 +10,13 @@
 //! scan (exposed separately as [`find_violations_naive`], which is also the
 //! test oracle for the blocked path).
 //!
-//! Detection is data-parallel over tuples: the blocking index is built
-//! once, then the probe side shards across worker threads
-//! ([`find_violations_with_threads`]), each probe tuple's matches collected
-//! independently and concatenated in tuple order — so the output is
-//! byte-identical to the sequential scan at every thread count.
+//! Detection is data-parallel over tuples on both sides
+//! ([`find_violations_with_threads`]): the blocking index is built from
+//! per-chunk maps merged in chunk order (every bucket keeps ascending
+//! tuple order), then the probe side shards across worker threads, each
+//! probe tuple's matches collected independently and concatenated in tuple
+//! order — so the output is byte-identical to the sequential scan at every
+//! thread count.
 
 use crate::ast::{ConstraintId, ConstraintSet, DenialConstraint, Operand, TupleVar};
 use holo_dataset::{CellRef, Dataset, FxHashMap, Sym, TupleId};
@@ -147,26 +149,43 @@ pub fn find_constraint_violations_with_threads(
 
     let symmetric = c.is_symmetric();
 
-    // Block tuples by their t2-side key.
-    let mut blocks: FxHashMap<Vec<Sym>, Vec<TupleId>> = FxHashMap::default();
-    'outer_block: for t in ds.tuples() {
-        let mut key = Vec::with_capacity(eq_keys.len());
-        for &(_, a2) in &eq_keys {
-            let v = ds.cell(t, a2);
-            if v.is_null() {
-                // A null key cell can never satisfy the equality predicate.
-                continue 'outer_block;
+    // Build phase: block tuples by their t2-side key. Sharded like
+    // `CooccurStats::build_with_threads` — each chunk of tuples builds a
+    // local map, and the local maps merge in chunk order, so every
+    // bucket's tuple list comes out in ascending tuple order exactly as
+    // the sequential scan produced it.
+    let tuples: Vec<TupleId> = ds.tuples().collect();
+    let chunk_maps = holo_parallel::parallel_chunks(threads, &tuples, |_, chunk| {
+        let mut local: FxHashMap<Vec<Sym>, Vec<TupleId>> = FxHashMap::default();
+        'tuple: for &t in chunk {
+            let mut key = Vec::with_capacity(eq_keys.len());
+            for &(_, a2) in &eq_keys {
+                let v = ds.cell(t, a2);
+                if v.is_null() {
+                    // A null key cell can never satisfy the equality
+                    // predicate.
+                    continue 'tuple;
+                }
+                key.push(v);
             }
-            key.push(v);
+            local.entry(key).or_default().push(t);
         }
-        blocks.entry(key).or_default().push(t);
+        vec![local]
+    });
+    // The first chunk's map seeds the merge, so the sequential path
+    // (one chunk) takes its finished index verbatim.
+    let mut chunk_maps = chunk_maps.into_iter();
+    let mut blocks: FxHashMap<Vec<Sym>, Vec<TupleId>> = chunk_maps.next().unwrap_or_default();
+    for local in chunk_maps {
+        for (key, mut ts) in local {
+            blocks.entry(key).or_default().append(&mut ts);
+        }
     }
 
     // Probe phase: each probe tuple's bucket scan is independent, so the
     // probe side shards cleanly; chunk results concatenate in probe-tuple
     // order. Chunk-level (not per-item) so the probe-key scratch buffer is
     // allocated once per worker, as the sequential loop did.
-    let tuples: Vec<TupleId> = ds.tuples().collect();
     out.extend(holo_parallel::parallel_chunks(
         threads,
         &tuples,

@@ -13,7 +13,10 @@
 //!    source-reliability features;
 //! 4. in the factor variants, grounds denial constraints into clique
 //!    factors (Algorithm 1), optionally restricted to the Algorithm 3
-//!    tuple groups.
+//!    tuple groups — pair discovery and clique construction both shard
+//!    across threads with ordered merges;
+//! 5. builds the CSR design matrix, the flat scoring substrate Learn and
+//!    Infer read.
 
 use crate::config::HoloConfig;
 use crate::domain::{prune_cell_with_support, CellDomains};
@@ -296,6 +299,11 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
         );
     }
 
+    // Compile hands the model over in its scoring form: force the CSR
+    // design-matrix build here so Learn and Infer read a ready substrate
+    // and the conversion cost is billed to the Compile stage.
+    let _ = graph.design();
+
     cstats.factors = graph.factor_count();
     let weights = registry.build_weights();
     Ok(CompiledModel {
@@ -356,10 +364,22 @@ fn dom_of<'a>(
     singleton
 }
 
+/// Tuple pairs per parallel clique-construction block: large enough that a
+/// block amortises the fan-out, small enough that a binding
+/// [`HoloConfig::max_cliques_per_constraint`] cap doesn't build far past
+/// its stopping point.
+const GROUND_BLOCK_PAIRS: usize = 4096;
+
 /// Grounds denial constraints into clique factors over the query variables
 /// (Algorithm 1). Pairs are discovered by blocking on the first cross-tuple
 /// equality predicate *over candidate domains* — a pair is grounded iff some
 /// candidate assignment can satisfy the equality join at all.
+///
+/// Both phases are data-parallel with ordered merges: pair discovery shards
+/// the probe tuples (each probe tuple's bucket scan is pure; per-tuple pair
+/// lists concatenate in tuple order), and clique construction shards the
+/// pair list in fixed blocks (cliques append in pair order) — so the
+/// grounded graph is identical at every thread count.
 #[allow(clippy::too_many_arguments)]
 fn ground_dc_factors(
     graph: &mut FactorGraph,
@@ -372,10 +392,11 @@ fn ground_dc_factors(
     components: Option<&[FxHashMap<TupleId, u32>]>,
     cstats: &mut CompileStats,
 ) {
+    let threads = config.effective_threads();
     let weight = registry.fixed(FeatureKey::DcFactor, config.dc_factor_weight);
     for (sigma, c) in constraints.iter() {
         if !c.two_tuple {
-            ground_single_tuple(graph, ds, c, domains, cell_vars, weight);
+            ground_single_tuple(graph, ds, c, cell_vars, weight, threads);
             continue;
         }
         // Cross-tuple equality predicates, oriented (t1 attr, t2 attr).
@@ -420,50 +441,71 @@ fn ground_dc_factors(
         }
 
         let component = components.map(|m| &m[sigma]);
-        let mut grounded_pairs: FxHashSet<(TupleId, TupleId)> = FxHashSet::default();
-        let mut cliques_here = 0usize;
-        'outer: for t1 in ds.tuples() {
-            let t1_comp = component.and_then(|m| m.get(&t1).copied());
-            if component.is_some() && t1_comp.is_none() {
-                continue;
-            }
-            let cell1 = CellRef {
-                tuple: t1,
-                attr: block_a1,
-            };
-            let mut singleton1 = [Sym::NULL];
-            let cands1 = dom_of(ds, domains, cell1, &mut singleton1).to_vec();
-            for v in cands1 {
-                if v.is_null() {
-                    continue;
+
+        // Phase 1 — pair discovery. Each probe tuple's candidate/bucket
+        // scan is pure (a pair is keyed by its probe tuple, so dedup is
+        // local to t1); shard probe tuples and concatenate the per-tuple
+        // pair lists in tuple order, replaying the sequential discovery
+        // order exactly.
+        let tuples: Vec<TupleId> = ds.tuples().collect();
+        let pairs: Vec<(TupleId, TupleId)> =
+            holo_parallel::parallel_flat_map(threads, &tuples, |_, &t1| {
+                let t1_comp = component.and_then(|m| m.get(&t1).copied());
+                if component.is_some() && t1_comp.is_none() {
+                    return Vec::new();
                 }
-                let Some(bucket) = buckets.get(&v) else {
-                    continue;
+                let cell1 = CellRef {
+                    tuple: t1,
+                    attr: block_a1,
                 };
-                for &t2 in bucket {
-                    if t1 == t2 || (symmetric && t1 >= t2) {
+                let mut singleton1 = [Sym::NULL];
+                let mut seen: FxHashSet<TupleId> = FxHashSet::default();
+                let mut found = Vec::new();
+                for &v in dom_of(ds, domains, cell1, &mut singleton1) {
+                    if v.is_null() {
                         continue;
                     }
-                    if let (Some(tc), Some(m)) = (t1_comp, component) {
-                        if m.get(&t2) != Some(&tc) {
+                    let Some(bucket) = buckets.get(&v) else {
+                        continue;
+                    };
+                    for &t2 in bucket {
+                        if t1 == t2 || (symmetric && t1 >= t2) {
                             continue;
                         }
-                    }
-                    if !grounded_pairs.insert((t1, t2)) {
-                        continue;
-                    }
-                    cstats.dc_pairs_considered += 1;
-                    if let Some(clique) =
-                        build_clique(ds, c, t1, t2, domains, cell_vars, weight, &eq_pairs)
-                    {
-                        graph.add_clique(clique);
-                        cliques_here += 1;
-                        cstats.cliques += 1;
-                        if cliques_here >= config.max_cliques_per_constraint {
-                            cstats.clique_cap_hits += 1;
-                            continue 'outer;
+                        if let (Some(tc), Some(m)) = (t1_comp, component) {
+                            if m.get(&t2) != Some(&tc) {
+                                continue;
+                            }
+                        }
+                        if seen.insert(t2) {
+                            found.push((t1, t2));
                         }
                     }
+                }
+                found
+            });
+
+        // Phase 2 — clique construction (the expensive part of Algorithm
+        // 1) in parallel over fixed pair blocks; results append in pair
+        // order. The per-constraint cap is applied during the ordered
+        // append and stops the constraint outright once hit. (The
+        // pre-refactor loop only skipped to the next probe tuple on a cap
+        // hit, leaking roughly one clique per remaining tuple past the
+        // "cap" — the hard stop is the documented intent.)
+        let mut cliques_here = 0usize;
+        'blocks: for block in pairs.chunks(GROUND_BLOCK_PAIRS) {
+            let built = holo_parallel::parallel_map(threads, block, |_, &(t1, t2)| {
+                build_clique(ds, c, t1, t2, domains, cell_vars, weight, &eq_pairs)
+            });
+            for clique in built {
+                cstats.dc_pairs_considered += 1;
+                let Some(clique) = clique else { continue };
+                graph.add_clique(clique);
+                cliques_here += 1;
+                cstats.cliques += 1;
+                if cliques_here >= config.max_cliques_per_constraint {
+                    cstats.clique_cap_hits += 1;
+                    break 'blocks;
                 }
             }
         }
@@ -471,17 +513,19 @@ fn ground_dc_factors(
 }
 
 /// Grounds single-tuple constraints: one clique per tuple whose involved
-/// cells include at least one query variable.
+/// cells include at least one query variable. Clique construction per
+/// tuple is pure, so tuples shard across threads and the cliques append
+/// in tuple order.
 fn ground_single_tuple(
     graph: &mut FactorGraph,
     ds: &Dataset,
     c: &holo_constraints::DenialConstraint,
-    domains: &CellDomains,
     cell_vars: &FxHashMap<CellRef, VarId>,
     weight: holo_factor::WeightId,
+    threads: usize,
 ) {
-    let _ = domains;
-    for t in ds.tuples() {
+    let tuples: Vec<TupleId> = ds.tuples().collect();
+    let built = holo_parallel::parallel_map(threads, &tuples, |_, &t| {
         let mut vars: Vec<VarId> = Vec::new();
         let slot_of = |cell: CellRef, vars: &mut Vec<VarId>| -> Option<u8> {
             let var = cell_vars.get(&cell)?;
@@ -518,13 +562,16 @@ fn ground_single_tuple(
             });
         }
         if vars.is_empty() {
-            continue;
+            return None;
         }
-        graph.add_clique(CliqueFactor {
+        Some(CliqueFactor {
             vars,
             weight,
             predicates,
-        });
+        })
+    });
+    for clique in built.into_iter().flatten() {
+        graph.add_clique(clique);
     }
 }
 
@@ -678,6 +725,18 @@ mod tests {
         let part = run_compile(&ds, &cons, &config_p);
         assert!(part.stats.cliques <= unpart.stats.cliques);
         assert!(part.stats.dc_pairs_considered <= unpart.stats.dc_pairs_considered);
+    }
+
+    /// The clique cap is a hard stop: a constraint grounds exactly
+    /// `max_cliques_per_constraint` cliques and records the hit.
+    #[test]
+    fn clique_cap_stops_grounding() {
+        let (ds, cons, mut config) = setup(ModelVariant::DcFactors);
+        config.max_cliques_per_constraint = 3;
+        let model = run_compile(&ds, &cons, &config);
+        assert_eq!(model.stats.cliques, 3);
+        assert!(model.stats.clique_cap_hits >= 1);
+        assert!(model.graph.cliques().len() == 3);
     }
 
     #[test]

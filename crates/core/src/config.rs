@@ -119,7 +119,8 @@ pub struct HoloConfig {
     pub dc_violation_prior: f64,
     /// Cap on grounded cliques per constraint (safety valve for the
     /// unpartitioned factor variants at small τ; the paper reports exactly
-    /// this blow-up in §1 challenge (2)).
+    /// this blow-up in §1 challenge (2)). A constraint stops grounding
+    /// outright once the cap is reached.
     pub max_cliques_per_constraint: usize,
     /// Evidence cells sampled per attribute for weight learning.
     pub max_evidence_per_attr: usize,
@@ -147,8 +148,9 @@ pub struct HoloConfig {
     pub gibbs: GibbsConfig,
     /// Master seed (evidence sampling).
     pub seed: u64,
-    /// Worker threads for the data-parallel stages (violation detection,
-    /// statistics, domain pruning, featurization, and — when
+    /// Worker threads for the data-parallel stages (violation detection
+    /// and its blocking index, statistics, domain pruning, featurization,
+    /// DC-factor grounding, minibatch-SGD gradient shards, and — when
     /// [`GibbsConfig::chains`] > 1 — the Gibbs chains). `0` = all cores.
     /// Every thread count produces bit-for-bit the `threads = 1` result —
     /// the knob trades wall-clock only, never output. Note the chain
@@ -211,6 +213,16 @@ impl HoloConfig {
     /// separate.
     pub fn with_gibbs_chains(mut self, chains: usize) -> Self {
         self.gibbs.chains = chains.max(1);
+        self
+    }
+
+    /// Sets the SGD minibatch size (builder style); `0`/`1` = classic
+    /// per-example SGD. Like the Gibbs chain count this is a *model* knob
+    /// — it changes where gradients are applied, hence the learned
+    /// weights — while `threads` only changes how each minibatch's
+    /// gradient work is sharded.
+    pub fn with_minibatch(mut self, minibatch: usize) -> Self {
+        self.learn.minibatch = minibatch;
         self
     }
 

@@ -120,7 +120,12 @@ impl FeedbackSession {
     /// (labelled cells now contribute gradients as evidence), then fresh
     /// inference for the remaining query cells.
     pub fn retrain(&mut self, ds: &Dataset) -> learn::LearnStats {
-        let stats = learn::train(&self.model.graph, &mut self.weights, &self.config.learn);
+        let stats = learn::train_with_threads(
+            &self.model.graph,
+            &mut self.weights,
+            &self.config.learn,
+            self.config.threads,
+        );
         self.marginals = infer(&self.model, &self.weights, &self.config, ds);
         stats
     }

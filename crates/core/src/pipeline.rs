@@ -24,13 +24,28 @@
 //!
 //! ## Parallelism contract
 //!
-//! Stages parallelise *internally* (violation probing, domain pruning,
-//! featurization, Gibbs chains — all sharded over
-//! [`HoloConfig::threads`]); the stage sequence itself is strictly ordered
-//! because each stage consumes its predecessor's output. Every parallel
-//! path merges per-shard results in input order, so a pipeline run yields
+//! Stages parallelise *internally* (violation blocking and probing, domain
+//! pruning, featurization, DC-factor grounding, minibatch-SGD gradient
+//! shards, Gibbs chains — all sharded over [`HoloConfig::threads`]); the
+//! stage sequence itself is strictly ordered because each stage consumes
+//! its predecessor's output. Every parallel path merges per-shard results
+//! in input order, and order-sensitive reductions (the SGD gradient sums)
+//! use **fixed-size shards** whose boundaries never depend on the thread
+//! count (`holo_parallel::sharded_fold`) — so a pipeline run yields
 //! **bit-for-bit identical output for every thread count** — `threads = 1`
 //! is the sequential engine, anything else is just faster.
+//!
+//! ## The compiled scoring substrate
+//!
+//! Compile ends by building the model's [`holo_factor::DesignMatrix`]: a
+//! CSR matrix with one row per `(variable, candidate)` pair, columns of
+//! `(WeightId, f64)` feature entries, a row-offset index and a
+//! per-variable row-range index. Learn and Infer never touch the graph's
+//! build-side adjacency `Vec`s — SGD walks rows, the Gibbs conditional
+//! scores a variable's contiguous row range, and exact enumeration
+//! precomputes all row scores once. A stage that mutates the unary
+//! structure (e.g. feedback pinning new evidence values) invalidates the
+//! cached matrix; the next scoring access rebuilds it.
 //!
 //! ## Adding a stage
 //!
@@ -247,9 +262,9 @@ impl Stage for DetectStage {
 }
 
 /// Compilation: co-occurrence statistics, Algorithm 2 pruning,
-/// featurization of every variable, and (in the factor variants) Algorithm
-/// 1 grounding. Pruning and featurization shard across
-/// [`HoloConfig::threads`].
+/// featurization of every variable, (in the factor variants) Algorithm 1
+/// grounding, and the final CSR design-matrix build. Pruning,
+/// featurization and grounding shard across [`HoloConfig::threads`].
 pub struct CompileStage;
 
 impl Stage for CompileStage {
@@ -273,8 +288,12 @@ impl Stage for CompileStage {
     }
 }
 
-/// Weight learning: SGD over the evidence variables. Skipped (weights stay
-/// at their priors) when compilation produced no evidence.
+/// Weight learning: minibatch SGD over the evidence variables, reading
+/// the compiled [`holo_factor::DesignMatrix`]. Minibatch gradients shard
+/// across [`HoloConfig::threads`] in fixed-size example shards merged in
+/// shard order, so the learned weights are bit-for-bit identical at every
+/// thread count. Skipped (weights stay at their priors) when compilation
+/// produced no evidence.
 pub struct LearnStage;
 
 impl Stage for LearnStage {
@@ -286,7 +305,12 @@ impl Stage for LearnStage {
         let model = data.require_model("Learn")?;
         let mut weights = model.weights.clone();
         data.learn_stats = if model.stats.evidence_vars > 0 {
-            Some(learn::train(&model.graph, &mut weights, &cx.config.learn))
+            Some(learn::train_with_threads(
+                &model.graph,
+                &mut weights,
+                &cx.config.learn,
+                cx.config.threads,
+            ))
         } else {
             None
         };

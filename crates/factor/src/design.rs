@@ -1,0 +1,198 @@
+//! The compiled design matrix — the flat scoring substrate of the model.
+//!
+//! The builder-side [`FactorGraph`](crate::graph::FactorGraph) collects
+//! unary features as nested per-variable/per-candidate adjacency `Vec`s,
+//! which is the right shape for incremental construction but the wrong one
+//! for the hot loops: learning walks every `(variable, candidate)` row once
+//! per epoch, Gibbs scores a variable's full candidate slice per sweep, and
+//! both pay a double pointer chase per access. [`DesignMatrix`] compiles
+//! the same features once into CSR form:
+//!
+//! * one **row** per `(variable, candidate)` pair, rows ordered by variable
+//!   then candidate — so a variable's candidates are a contiguous row range;
+//! * **columns** are `(WeightId, f64)` entries, concatenated in exactly the
+//!   insertion order of the adjacency lists (so a row's dot product sums in
+//!   the same order as the nested path: scores are bit-for-bit identical);
+//! * a **row-offset** index (`row_offsets`, standard CSR) plus a
+//!   **per-variable slice** index (`var_rows`: the first row of each
+//!   variable, one prefix-sum entry per variable).
+//!
+//! This is the compile-the-model-first move PClean and BClean make before
+//! inference: once the grounded model is a flat array, learning and
+//! inference shard over contiguous index ranges instead of chasing object
+//! graphs.
+
+use crate::graph::{FeatureVec, VarId};
+use crate::weights::{WeightId, Weights};
+use std::ops::Range;
+
+/// CSR design matrix over all `(variable, candidate)` rows of a factor
+/// graph. Immutable once compiled; rebuild after graph mutation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DesignMatrix {
+    /// `var_rows[v] .. var_rows[v + 1]` is the row range of variable `v`
+    /// (one row per candidate, in domain order). Length `var_count + 1`.
+    var_rows: Vec<u32>,
+    /// `row_offsets[r] .. row_offsets[r + 1]` is the entry range of row
+    /// `r`. Length `rows + 1`.
+    row_offsets: Vec<u32>,
+    /// Sparse feature entries of all rows, concatenated.
+    entries: Vec<(WeightId, f64)>,
+}
+
+impl DesignMatrix {
+    /// Compiles the nested adjacency representation (`unary[v][k]` = sparse
+    /// features of candidate `k` of variable `v`) into CSR.
+    pub fn compile(unary: &[Vec<FeatureVec>]) -> Self {
+        let rows: usize = unary.iter().map(Vec::len).sum();
+        let nnz: usize = unary
+            .iter()
+            .map(|per_var| per_var.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        assert!(rows < u32::MAX as usize, "design matrix row overflow");
+        assert!(nnz <= u32::MAX as usize, "design matrix entry overflow");
+
+        let mut var_rows = Vec::with_capacity(unary.len() + 1);
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        let mut entries = Vec::with_capacity(nnz);
+        var_rows.push(0);
+        row_offsets.push(0);
+        for per_var in unary {
+            for features in per_var {
+                entries.extend_from_slice(features);
+                row_offsets.push(entries.len() as u32);
+            }
+            var_rows.push(row_offsets.len() as u32 - 1);
+        }
+        DesignMatrix {
+            var_rows,
+            row_offsets,
+            entries,
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn var_count(&self) -> usize {
+        self.var_rows.len() - 1
+    }
+
+    /// Total number of `(variable, candidate)` rows.
+    pub fn rows(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Total number of stored feature entries (the unary factor count).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The contiguous row range of variable `v` (one row per candidate).
+    #[inline]
+    pub fn var_range(&self, v: VarId) -> Range<usize> {
+        self.var_rows[v.index()] as usize..self.var_rows[v.index() + 1] as usize
+    }
+
+    /// The row index of candidate `k` of variable `v`.
+    ///
+    /// # Panics
+    /// Panics when `k` is not a candidate of `v` — without the check an
+    /// out-of-range `k` would silently land in the next variable's rows
+    /// (the nested-adjacency path this replaces always bounds-checked).
+    #[inline]
+    pub fn row_of(&self, v: VarId, k: usize) -> usize {
+        let range = self.var_range(v);
+        assert!(k < range.len(), "candidate index out of range");
+        range.start + k
+    }
+
+    /// The sparse feature entries of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[(WeightId, f64)] {
+        &self.entries[self.row_offsets[r] as usize..self.row_offsets[r + 1] as usize]
+    }
+
+    /// Dot product of row `r` with the weight vector.
+    #[inline]
+    pub fn score_row(&self, r: usize, weights: &Weights) -> f64 {
+        self.row(r).iter().map(|&(w, x)| weights.get(w) * x).sum()
+    }
+
+    /// Scores every candidate row of variable `v` into `out` (cleared
+    /// first) — the allocation-free form the Gibbs sweep and the SGD inner
+    /// loop use.
+    pub fn score_var_into(&self, v: VarId, weights: &Weights, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.var_range(v).map(|r| self.score_row(r, weights)));
+    }
+
+    /// Scores every row under `weights` — precomputation for exhaustive
+    /// consumers (exact enumeration scores each row many times).
+    pub fn score_all(&self, weights: &Weights) -> Vec<f64> {
+        (0..self.rows())
+            .map(|r| self.score_row(r, weights))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(i: u32) -> WeightId {
+        WeightId(i)
+    }
+
+    /// Two variables: arities 2 and 3, features in deliberate non-sorted
+    /// insertion order to pin down that CSR preserves it.
+    fn sample_unary() -> Vec<Vec<FeatureVec>> {
+        vec![
+            vec![vec![(wid(3), 1.0), (wid(0), 2.0)], vec![]],
+            vec![
+                vec![(wid(1), 0.5)],
+                vec![(wid(0), -1.0), (wid(2), 4.0)],
+                vec![(wid(1), 1.0)],
+            ],
+        ]
+    }
+
+    #[test]
+    fn compile_layout() {
+        let m = DesignMatrix::compile(&sample_unary());
+        assert_eq!(m.var_count(), 2);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.var_range(VarId(0)), 0..2);
+        assert_eq!(m.var_range(VarId(1)), 2..5);
+        assert_eq!(m.row_of(VarId(1), 1), 3);
+        assert_eq!(m.row(0), &[(wid(3), 1.0), (wid(0), 2.0)]);
+        assert!(m.row(1).is_empty());
+        assert_eq!(m.row(3), &[(wid(0), -1.0), (wid(2), 4.0)]);
+    }
+
+    #[test]
+    fn scores_match_manual_dot_product() {
+        let m = DesignMatrix::compile(&sample_unary());
+        let mut w = Weights::zeros(4);
+        w.set(wid(0), 1.5);
+        w.set(wid(1), -2.0);
+        w.set(wid(2), 0.25);
+        w.set(wid(3), 3.0);
+        // Row 0: 3.0 * 1.0 + 1.5 * 2.0.
+        assert_eq!(m.score_row(0, &w), 3.0 + 3.0);
+        assert_eq!(m.score_row(1, &w), 0.0);
+        // Row 3: 1.5 * -1.0 + 0.25 * 4.0.
+        assert_eq!(m.score_row(3, &w), -1.5 + 1.0);
+        let mut out = Vec::new();
+        m.score_var_into(VarId(1), &w, &mut out);
+        assert_eq!(out, vec![-1.0, -0.5, -2.0]);
+        assert_eq!(m.score_all(&w), vec![6.0, 0.0, -1.0, -0.5, -2.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = DesignMatrix::compile(&[]);
+        assert_eq!(m.var_count(), 0);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

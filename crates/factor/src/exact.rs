@@ -1,6 +1,7 @@
 //! Brute-force inference for tiny graphs — the correctness oracle for the
 //! Gibbs sampler and for variant-equivalence tests.
 
+use crate::design::DesignMatrix;
 use crate::graph::{FactorGraph, ValueContext};
 use crate::marginals::Marginals;
 use crate::weights::Weights;
@@ -25,6 +26,12 @@ pub fn exact_marginals(
         .expect("joint space overflow");
     assert!(space <= 1 << 22, "joint space too large for enumeration");
 
+    // Every (variable, candidate) unary score is read once per joint
+    // assignment; precompute them all from the design matrix so the
+    // enumeration loop is a pure table lookup.
+    let design = graph.design();
+    let row_scores = design.score_all(weights);
+
     // Current assignment: evidence fixed, query enumerated odometer-style.
     let mut state: Vec<usize> = graph
         .vars()
@@ -39,7 +46,7 @@ pub fn exact_marginals(
         for (i, &v) in query.iter().enumerate() {
             state[v.index()] = odometer[i];
         }
-        let score = joint_score(graph, weights, ctx, &state);
+        let score = joint_score(graph, design, &row_scores, weights, ctx, &state);
         let p = score.exp();
         total += p;
         for &v in &query {
@@ -86,11 +93,14 @@ fn finalize(graph: &FactorGraph, mut accum: Vec<Vec<f64>>, total: f64) -> Vec<Ve
     accum
 }
 
-/// Unnormalised joint log-score of a full assignment: unary scores of the
-/// query variables plus clique scores. (Evidence unary scores are constant
-/// across the enumeration, so they cancel in the normalisation.)
+/// Unnormalised joint log-score of a full assignment: precomputed unary
+/// row scores of the query variables plus clique scores. (Evidence unary
+/// scores are constant across the enumeration, so they cancel in the
+/// normalisation.)
 fn joint_score(
     graph: &FactorGraph,
+    design: &DesignMatrix,
+    row_scores: &[f64],
     weights: &Weights,
     ctx: &impl ValueContext,
     state: &[usize],
@@ -98,7 +108,7 @@ fn joint_score(
     let mut score = 0.0;
     for v in graph.var_ids() {
         if graph.var(v).is_query() {
-            score += graph.unary_score(v, state[v.index()], weights);
+            score += row_scores[design.row_of(v, state[v.index()])];
         }
     }
     let mut syms: Vec<Sym> = Vec::new();
@@ -116,6 +126,8 @@ fn joint_score(
 /// indices maximising the joint score.
 pub fn exact_map(graph: &FactorGraph, weights: &Weights, ctx: &impl ValueContext) -> Vec<usize> {
     let query = graph.query_vars();
+    let design = graph.design();
+    let row_scores = design.score_all(weights);
     let mut state: Vec<usize> = graph
         .vars()
         .iter()
@@ -128,7 +140,7 @@ pub fn exact_map(graph: &FactorGraph, weights: &Weights, ctx: &impl ValueContext
         for (i, &v) in query.iter().enumerate() {
             state[v.index()] = odometer[i];
         }
-        let score = joint_score(graph, weights, ctx, &state);
+        let score = joint_score(graph, design, &row_scores, weights, ctx, &state);
         if score > best_score {
             best_score = score;
             best_state = state.clone();

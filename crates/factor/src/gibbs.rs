@@ -175,12 +175,14 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
     }
 
     /// Conditional log-scores of every candidate of `v` given the rest.
+    /// Unary terms come straight from the design matrix (the variable's
+    /// candidates are one contiguous CSR row range); clique terms are
+    /// re-evaluated against the current state.
     fn conditional_scores(&mut self, v: VarId) {
         let arity = self.graph.var(v).arity();
-        self.scores.clear();
-        for k in 0..arity {
-            self.scores.push(self.graph.unary_score(v, k, self.weights));
-        }
+        self.graph
+            .design()
+            .score_var_into(v, self.weights, &mut self.scores);
         // Clique contributions: evaluate each adjacent clique once per
         // candidate of v, with all other clique members at their state.
         for &ci in self.graph.cliques_of(v) {

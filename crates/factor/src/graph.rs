@@ -7,9 +7,11 @@
 //! predicates over the candidate values of up to a handful of variables
 //! plus constants frozen from clean cells.
 
+use crate::design::DesignMatrix;
 use crate::weights::{WeightId, Weights};
 use holo_dataset::Sym;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Index of a variable in a [`FactorGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -196,14 +198,41 @@ impl CliqueFactor {
 pub type FeatureVec = Vec<(WeightId, f64)>;
 
 /// The grounded factor graph.
-#[derive(Debug, Clone, Default)]
+///
+/// Unary features live in two representations: the nested adjacency
+/// `Vec`s (`unary`) are the *build side* — cheap to append to while the
+/// compiler grounds the model — and the compiled [`DesignMatrix`] is the
+/// *scoring substrate* every consumer reads ([`FactorGraph::unary_score`],
+/// the Gibbs conditional loop, exact enumeration, SGD). The matrix is
+/// compiled lazily on first use and cached; any mutation of the unary
+/// structure invalidates the cache.
+#[derive(Debug, Default)]
 pub struct FactorGraph {
     vars: Vec<Variable>,
-    /// `unary[v][k]` = sparse features of candidate `k` of variable `v`.
+    /// `unary[v][k]` = sparse features of candidate `k` of variable `v`
+    /// (build-side adjacency; scoring goes through `design`).
     unary: Vec<Vec<FeatureVec>>,
     cliques: Vec<CliqueFactor>,
     /// `var_cliques[v]` = clique indices touching `v`.
     var_cliques: Vec<Vec<u32>>,
+    /// Compiled CSR view of `unary`, built on first scoring access.
+    design: OnceLock<DesignMatrix>,
+}
+
+impl Clone for FactorGraph {
+    fn clone(&self) -> Self {
+        let design = OnceLock::new();
+        if let Some(d) = self.design.get() {
+            let _ = design.set(d.clone());
+        }
+        FactorGraph {
+            vars: self.vars.clone(),
+            unary: self.unary.clone(),
+            cliques: self.cliques.clone(),
+            var_cliques: self.var_cliques.clone(),
+            design,
+        }
+    }
 }
 
 impl FactorGraph {
@@ -218,12 +247,14 @@ impl FactorGraph {
         self.unary.push(vec![Vec::new(); var.arity()]);
         self.var_cliques.push(Vec::new());
         self.vars.push(var);
+        self.design.take();
         id
     }
 
     /// Appends a unary feature `(weight, value)` to candidate `k` of `v`.
     pub fn add_feature(&mut self, v: VarId, k: usize, weight: WeightId, value: f64) {
         self.unary[v.index()][k].push((weight, value));
+        self.design.take();
     }
 
     /// Adds a clique factor, wiring the adjacency lists.
@@ -264,23 +295,49 @@ impl FactorGraph {
             .collect()
     }
 
-    /// Sparse features of candidate `k` of variable `v`.
+    /// The compiled CSR design matrix over all `(variable, candidate)`
+    /// rows — the single scoring substrate. Compiled on first access and
+    /// cached until the unary structure mutates; the compiler forces the
+    /// build at the end of the Compile stage so learning and inference
+    /// never pay it.
+    pub fn design(&self) -> &DesignMatrix {
+        self.design
+            .get_or_init(|| DesignMatrix::compile(&self.unary))
+    }
+
+    /// Sparse features of candidate `k` of variable `v` (a CSR row of the
+    /// design matrix, in insertion order).
     pub fn features(&self, v: VarId, k: usize) -> &[(WeightId, f64)] {
-        &self.unary[v.index()][k]
+        let d = self.design();
+        d.row(d.row_of(v, k))
     }
 
     /// Unary log-score of candidate `k` of `v` under `weights`.
     pub fn unary_score(&self, v: VarId, k: usize, weights: &Weights) -> f64 {
-        self.features(v, k)
-            .iter()
-            .map(|&(w, x)| weights.get(w) * x)
-            .sum()
+        let d = self.design();
+        d.score_row(d.row_of(v, k), weights)
     }
 
     /// Unary log-scores of all candidates of `v`.
     pub fn unary_scores(&self, v: VarId, weights: &Weights) -> Vec<f64> {
-        (0..self.var(v).arity())
-            .map(|k| self.unary_score(v, k, weights))
+        let mut out = Vec::with_capacity(self.var(v).arity());
+        self.design().score_var_into(v, weights, &mut out);
+        out
+    }
+
+    /// [`FactorGraph::unary_scores`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free form hot loops use.
+    pub fn unary_scores_into(&self, v: VarId, weights: &Weights, out: &mut Vec<f64>) {
+        self.design().score_var_into(v, weights, out);
+    }
+
+    /// Unary log-scores of all candidates of `v` computed over the nested
+    /// adjacency `Vec`s — the pre-CSR reference path, kept as the oracle
+    /// for design-matrix equivalence tests.
+    pub fn unary_scores_adjacency(&self, v: VarId, weights: &Weights) -> Vec<f64> {
+        self.unary[v.index()]
+            .iter()
+            .map(|features| features.iter().map(|&(w, x)| weights.get(w) * x).sum())
             .collect()
     }
 
@@ -328,6 +385,7 @@ impl FactorGraph {
             None => {
                 var.domain.push(value);
                 self.unary[v.index()].push(Vec::new());
+                self.design.take();
                 var.domain.len() - 1
             }
         };
@@ -452,6 +510,47 @@ mod tests {
         assert_eq!(g.query_vars(), vec![v0, v1]);
         assert_eq!(g.evidence_vars(), vec![v2]);
         assert!(g.has_cliques());
+    }
+
+    /// The CSR path and the adjacency reference path agree bit-for-bit,
+    /// and the cached design matrix is invalidated by mutation.
+    #[test]
+    fn design_matrix_matches_adjacency_and_invalidates() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2), sym(3)], Some(0)));
+        let mut w = Weights::zeros(3);
+        w.set(WeightId(0), 0.7);
+        w.set(WeightId(1), -1.3);
+        w.set(WeightId(2), 2.2);
+        g.add_feature(v, 0, WeightId(1), 0.25);
+        g.add_feature(v, 0, WeightId(0), 1.0);
+        g.add_feature(v, 2, WeightId(2), -0.5);
+        assert_eq!(g.unary_scores(v, &w), g.unary_scores_adjacency(v, &w));
+        assert_eq!(g.design().nnz(), 3);
+        // Mutation after scoring must rebuild the matrix, not serve stale
+        // rows.
+        g.add_feature(v, 1, WeightId(0), 4.0);
+        assert_eq!(g.design().nnz(), 4);
+        assert_eq!(g.unary_scores(v, &w), g.unary_scores_adjacency(v, &w));
+        let mut buf = vec![99.0];
+        g.unary_scores_into(v, &w, &mut buf);
+        assert_eq!(buf, g.unary_scores(v, &w));
+        // Pinning evidence to a new value appends a candidate row.
+        g.pin_evidence(v, sym(9));
+        assert_eq!(g.design().rows(), 4);
+        assert_eq!(g.unary_scores(v, &w), g.unary_scores_adjacency(v, &w));
+    }
+
+    #[test]
+    fn cloned_graph_scores_identically() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        g.add_feature(v, 0, WeightId(0), 1.0);
+        let mut w = Weights::zeros(1);
+        w.set(WeightId(0), 3.0);
+        let _ = g.unary_scores(v, &w); // populate the cache
+        let clone = g.clone();
+        assert_eq!(clone.unary_scores(v, &w), g.unary_scores(v, &w));
     }
 
     #[test]

@@ -11,14 +11,46 @@
 //! query variables (noisy cells), whose values are unknown at training
 //! time — the same simplification DeepDive applies when evidence
 //! separates from the query set.
+//!
+//! ## Minibatch parallelism and determinism
+//!
+//! Training is minibatch SGD over the compiled
+//! [`DesignMatrix`](crate::design::DesignMatrix): a seed-fixed permutation
+//! of the evidence set is cut into minibatches of
+//! [`LearnConfig::minibatch`] examples, every example's sparse gradient is
+//! computed against the weights frozen at minibatch start, and the summed
+//! gradient is applied once per minibatch. Inside a minibatch the examples
+//! are folded in **fixed-size shards** ([`holo_parallel::sharded_fold`]):
+//! each shard accumulates its examples' gradients in example order into a
+//! sparse accumulator, shards run on up to `threads` workers, and the
+//! shard accumulators merge strictly in shard order. Because the shard
+//! boundaries depend only on the shard size — never on the thread count —
+//! every floating-point addition happens in the same order at every
+//! thread count, so `threads = N` is **bit-for-bit identical** to
+//! `threads = 1`. The gradient is summed (not averaged) over the
+//! minibatch, so one epoch applies the same total step mass as classic
+//! per-example SGD at the same learning rate.
 
 use crate::graph::{FactorGraph, VarId};
 use crate::math::softmax_in_place;
-use crate::weights::Weights;
+use crate::weights::{WeightId, Weights};
+use holo_dataset::FxHashMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Examples per gradient shard — the fixed parallel work unit inside a
+/// minibatch. Independent of the thread count by design (that is what
+/// makes the merge order, and hence the result, thread-count invariant);
+/// small enough that the default minibatch spans 16 shards.
+const GRAD_SHARD_EXAMPLES: usize = 8;
+
+/// Below this many examples a minibatch's gradient folds inline: spawning
+/// scoped threads costs ~10µs each, which would rival the gradient work
+/// of a handful of examples. Purely a wall-clock guard — the shard
+/// boundaries (and hence the result) are identical either way.
+const MIN_PARALLEL_EXAMPLES: usize = 64;
 
 /// SGD hyper-parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -33,6 +65,10 @@ pub struct LearnConfig {
     pub l2: f64,
     /// Shuffle seed — learning is deterministic given the seed.
     pub seed: u64,
+    /// Examples per minibatch: gradients are computed against the weights
+    /// frozen at minibatch start and applied once per minibatch. `0` is
+    /// treated as `1` (classic per-example SGD, fully sequential).
+    pub minibatch: usize,
 }
 
 impl Default for LearnConfig {
@@ -43,6 +79,7 @@ impl Default for LearnConfig {
             decay: 0.95,
             l2: 1e-4,
             seed: 0x1ea2,
+            minibatch: 128,
         }
     }
 }
@@ -56,46 +93,69 @@ pub struct LearnStats {
     pub examples: usize,
     /// Number of epochs executed.
     pub epochs: usize,
+    /// Total minibatches executed across all epochs.
+    pub minibatches: usize,
+    /// L2 norm of the last minibatch's accumulated gradient (a convergence
+    /// signal: near zero when the model has stopped moving).
+    pub grad_norm: f64,
 }
 
-/// Trains the learnable weights on the evidence variables of `graph`.
+/// [`train_with_threads`] on a single thread.
+pub fn train(graph: &FactorGraph, weights: &mut Weights, config: &LearnConfig) -> LearnStats {
+    train_with_threads(graph, weights, config, 1)
+}
+
+/// Trains the learnable weights on the evidence variables of `graph`,
+/// sharding minibatch gradient computation over up to `threads` worker
+/// threads (`0` = all cores). Bit-for-bit identical for every thread
+/// count (see the module docs for the scheme).
 ///
 /// Returns diagnostics; `weights` is updated in place. Evidence variables
 /// with a single candidate carry no gradient signal and are skipped.
-pub fn train(graph: &FactorGraph, weights: &mut Weights, config: &LearnConfig) -> LearnStats {
+pub fn train_with_threads(
+    graph: &FactorGraph,
+    weights: &mut Weights,
+    config: &LearnConfig,
+    threads: usize,
+) -> LearnStats {
     let mut examples: Vec<VarId> = graph
         .evidence_vars()
         .into_iter()
         .filter(|&v| graph.var(v).arity() > 1)
         .collect();
+    let design = graph.design();
+    let batch = config.minibatch.max(1);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut lr = config.learning_rate;
     let mut final_ll = 0.0;
-    let mut scores: Vec<f64> = Vec::new();
+    let mut minibatches = 0usize;
+    let mut grad_norm = 0.0;
+    let mut keys: Vec<WeightId> = Vec::new();
 
     for _epoch in 0..config.epochs {
         examples.shuffle(&mut rng);
         let mut ll_sum = 0.0;
-        for &v in &examples {
-            let var = graph.var(v);
-            let target = var.evidence.expect("evidence variable");
-            scores.clear();
-            for k in 0..var.arity() {
-                scores.push(graph.unary_score(v, k, weights));
+        for minibatch in examples.chunks(batch) {
+            let Some((grad, ll)) =
+                minibatch_gradient(graph, design, weights, config, threads, minibatch)
+            else {
+                continue;
+            };
+            ll_sum += ll;
+            minibatches += 1;
+            // Apply once per minibatch, in weight-id order. The order is
+            // cosmetic for determinism (each weight is touched exactly
+            // once) but makes the update sequence easy to reason about.
+            keys.clear();
+            keys.extend(grad.keys().copied());
+            keys.sort_unstable();
+            let mut norm_sq = 0.0;
+            for &w in &keys {
+                let g = grad[&w];
+                norm_sq += g * g;
+                weights.update(w, lr * g);
             }
-            softmax_in_place(&mut scores);
-            ll_sum += scores[target].max(1e-300).ln();
-            // Gradient of log P(target): x_f · (1[k = target] − p_k).
-            for (k, &p_k) in scores.iter().enumerate() {
-                let residual = f64::from(u8::from(k == target)) - p_k;
-                if residual == 0.0 {
-                    continue;
-                }
-                for &(w, x) in graph.features(v, k) {
-                    let grad = x * residual - config.l2 * weights.get(w);
-                    weights.update(w, lr * grad);
-                }
-            }
+            grad_norm = norm_sq.sqrt();
         }
         final_ll = if examples.is_empty() {
             0.0
@@ -109,7 +169,67 @@ pub fn train(graph: &FactorGraph, weights: &mut Weights, config: &LearnConfig) -
         final_log_likelihood: final_ll,
         examples: examples.len(),
         epochs: config.epochs,
+        minibatches,
+        grad_norm,
     }
+}
+
+/// Sparse summed gradient of one minibatch (plus its log-likelihood sum),
+/// computed against the frozen `weights`. Examples fold in fixed-size
+/// shards merged in shard order, so the accumulation order — and the
+/// floating-point result — is independent of the thread count.
+fn minibatch_gradient(
+    graph: &FactorGraph,
+    design: &crate::design::DesignMatrix,
+    weights: &Weights,
+    config: &LearnConfig,
+    threads: usize,
+    minibatch: &[VarId],
+) -> Option<(FxHashMap<WeightId, f64>, f64)> {
+    let threads = if minibatch.len() < MIN_PARALLEL_EXAMPLES {
+        1
+    } else {
+        threads
+    };
+    holo_parallel::sharded_fold(
+        threads,
+        minibatch,
+        GRAD_SHARD_EXAMPLES,
+        |shard| {
+            let mut grad: FxHashMap<WeightId, f64> = FxHashMap::default();
+            let mut ll = 0.0;
+            let mut scores: Vec<f64> = Vec::new();
+            for &v in shard {
+                let target = graph.var(v).evidence.expect("evidence variable");
+                design.score_var_into(v, weights, &mut scores);
+                softmax_in_place(&mut scores);
+                ll += scores[target].max(1e-300).ln();
+                // Gradient of log P(target): x_f · (1[k = target] − p_k),
+                // with L2 shrinkage toward zero per feature occurrence.
+                // The variable's candidates are its contiguous CSR rows.
+                let rows = design.var_range(v);
+                for (k, (r, &p_k)) in rows.zip(scores.iter()).enumerate() {
+                    let residual = f64::from(u8::from(k == target)) - p_k;
+                    if residual == 0.0 {
+                        continue;
+                    }
+                    for &(w, x) in design.row(r) {
+                        if weights.is_fixed(w) {
+                            continue;
+                        }
+                        *grad.entry(w).or_insert(0.0) += x * residual - config.l2 * weights.get(w);
+                    }
+                }
+            }
+            (grad, ll)
+        },
+        |(mut acc, acc_ll), (grad, ll)| {
+            for (w, g) in grad {
+                *acc.entry(w).or_insert(0.0) += g;
+            }
+            (acc, acc_ll + ll)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -144,6 +264,7 @@ mod tests {
         let mut w = reg.build_weights();
         let stats = train(&g, &mut w, &LearnConfig::default());
         assert_eq!(stats.examples, 50);
+        assert!(stats.minibatches > 0);
         assert!(
             w.get(fa) > w.get(fb),
             "w(A)={} w(B)={}",
@@ -179,6 +300,7 @@ mod tests {
                 decay: 1.0,
                 l2: 0.0,
                 seed: 1,
+                minibatch: 32,
             },
         );
         let logit = w.get(f);
@@ -217,6 +339,72 @@ mod tests {
         assert_eq!(w1.get(f), w2.get(f));
     }
 
+    /// The headline determinism contract: any thread count is bit-for-bit
+    /// `threads = 1`, across minibatch sizes that do and don't divide the
+    /// example count or the shard size.
+    #[test]
+    fn thread_count_never_changes_weights() {
+        let mut reg: FeatureRegistry<(u8, usize)> = FeatureRegistry::new();
+        let mut g = FactorGraph::new();
+        // 150 examples over 30 tied weights with irregular feature values.
+        for i in 0..150usize {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2), sym(3)], i % 3));
+            for k in 0..3usize {
+                let w = reg.learnable((b'a', (i + k) % 30));
+                g.add_feature(v, k, w, 0.1 + ((i * 7 + k) % 5) as f64 * 0.3);
+            }
+        }
+        for minibatch in [1, 7, 32, 64, 150, 400] {
+            let cfg = LearnConfig {
+                minibatch,
+                ..LearnConfig::default()
+            };
+            let mut reference = reg.build_weights();
+            let ref_stats = train_with_threads(&g, &mut reference, &cfg, 1);
+            for threads in [2, 4] {
+                let mut w = reg.build_weights();
+                let stats = train_with_threads(&g, &mut w, &cfg, threads);
+                assert_eq!(w, reference, "minibatch = {minibatch}, threads = {threads}");
+                assert_eq!(stats.minibatches, ref_stats.minibatches);
+                assert_eq!(stats.grad_norm.to_bits(), ref_stats.grad_norm.to_bits());
+                assert_eq!(
+                    stats.final_log_likelihood.to_bits(),
+                    ref_stats.final_log_likelihood.to_bits()
+                );
+            }
+        }
+    }
+
+    /// `minibatch = 1` applies every example's gradient immediately —
+    /// classic per-example SGD — and still counts one minibatch per
+    /// example.
+    #[test]
+    fn minibatch_one_is_per_example_sgd() {
+        let mut g = FactorGraph::new();
+        let f = WeightId(0);
+        for i in 0..10 {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2)], i % 2));
+            g.add_feature(v, 0, f, 1.0);
+        }
+        let cfg = LearnConfig {
+            epochs: 2,
+            minibatch: 1,
+            ..LearnConfig::default()
+        };
+        let mut w = Weights::zeros(1);
+        let stats = train(&g, &mut w, &cfg);
+        assert_eq!(stats.minibatches, 20);
+        // Zero treated as one.
+        let cfg0 = LearnConfig {
+            minibatch: 0,
+            ..cfg
+        };
+        let mut w0 = Weights::zeros(1);
+        let stats0 = train(&g, &mut w0, &cfg0);
+        assert_eq!(stats0.minibatches, stats.minibatches);
+        assert_eq!(w0.get(f), w.get(f));
+    }
+
     #[test]
     fn no_evidence_is_a_noop() {
         let mut g = FactorGraph::new();
@@ -224,6 +412,7 @@ mod tests {
         let mut w = Weights::zeros(1);
         let stats = train(&g, &mut w, &LearnConfig::default());
         assert_eq!(stats.examples, 0);
+        assert_eq!(stats.minibatches, 0);
         assert_eq!(w.get(WeightId(0)), 0.0);
     }
 

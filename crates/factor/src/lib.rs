@@ -11,11 +11,17 @@
 //!   candidate, tied weights — the grounding of `Value?(t,a,d) :- …
 //!   weight = w(…)` rules) or *cliques* (multi-variable denial-constraint
 //!   factors produced by Algorithm 1).
+//! * [`design`] — the compiled CSR [`DesignMatrix`]: one row per
+//!   `(variable, candidate)` pair, built once at the end of compilation.
+//!   Every unary-scoring consumer (learning, Gibbs conditionals, exact
+//!   enumeration, closed-form marginals) reads this flat substrate instead
+//!   of the graph's nested adjacency `Vec`s.
 //! * [`weights`] — tied weights `θ`, learnable or fixed, plus a generic
 //!   feature registry for interning structured feature keys.
 //! * [`learn`] — empirical-risk minimisation over evidence variables with
-//!   SGD (§2.2), i.e. multinomial logistic regression over the unary
-//!   features; L2 regularised, deterministic under a seed.
+//!   minibatch SGD (§2.2), i.e. multinomial logistic regression over the
+//!   design-matrix rows; L2 regularised, deterministic under a seed at
+//!   every thread count (fixed gradient shards merged in shard order).
 //! * [`gibbs`] — the Gibbs sampler used for approximate inference over
 //!   models with clique factors; single-site sweeps over the query
 //!   variables.
@@ -28,6 +34,7 @@
 //! The probability model is Eq. 1 of the paper:
 //! `P(T) = Z⁻¹ exp(Σ_φ θ_φ · h_φ(φ))`.
 
+pub mod design;
 pub mod exact;
 pub mod gibbs;
 pub mod graph;
@@ -39,6 +46,7 @@ pub mod weights;
 #[cfg(test)]
 mod proptests;
 
+pub use design::DesignMatrix;
 pub use gibbs::{run_chains, GibbsConfig, GibbsSampler};
 pub use graph::{
     CliqueFactor, CmpOp, FactorGraph, FactorOperand, FactorPredicate, ValueContext, VarId, Variable,

@@ -8,6 +8,9 @@
 //! all. Parallel maps split the input into contiguous chunks, each worker
 //! produces its chunk's outputs in input order, and chunks are concatenated
 //! in order — so a pure `f` yields bit-for-bit the sequential result.
+//! [`sharded_fold`] extends the contract to reductions whose merge is
+//! order-sensitive (floating-point sums, sparse accumulators) by fixing the
+//! shard boundaries independently of the thread count.
 //!
 //! Work sizing: spawning threads costs ~10µs each, so [`parallel_map`]
 //! falls back to the inline path for inputs smaller than
@@ -103,6 +106,39 @@ where
     spawn_ranges(threads, n, |start, len| {
         (start..start + len).map(f).collect()
     })
+}
+
+/// Splits `items` into **fixed-size** shards, folds each shard with
+/// `fold` on up to `threads` worker threads, and reduces the shard
+/// accumulators strictly in shard order with `merge`. Returns `None` for
+/// empty input.
+///
+/// This is the deterministic stand-in for a parallel reduce: because the
+/// shard boundaries depend only on `shard_size` — never on the thread
+/// count — the merge applies the exact same accumulator sequence in the
+/// exact same order at every thread count, so even order-sensitive merges
+/// (floating-point sums, sparse gradient accumulators) are bit-for-bit
+/// identical to `threads = 1`. Shards are treated as coarse jobs (no
+/// minimum-size cutoff, like [`parallel_jobs`]): pick `shard_size` so one
+/// shard amortises a thread hop, and so `items.len() / shard_size`
+/// comfortably exceeds the core count.
+pub fn sharded_fold<T: Sync, A: Send, F, M>(
+    threads: usize,
+    items: &[T],
+    shard_size: usize,
+    fold: F,
+    merge: M,
+) -> Option<A>
+where
+    F: Fn(&[T]) -> A + Sync,
+    M: FnMut(A, A) -> A,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let shards: Vec<&[T]> = items.chunks(shard_size.max(1)).collect();
+    let accs = parallel_jobs(threads, shards.len(), |i| fold(shards[i]));
+    accs.into_iter().reduce(merge)
 }
 
 /// The shared spawn/merge scaffolding: splits `0..n` into `threads`
@@ -227,6 +263,59 @@ mod tests {
             .enumerate()
             .any(|(i, &(s1, e1))| spans.iter().skip(i + 1).any(|&(s2, e2)| s1 < e2 && s2 < e1));
         assert!(overlapping, "no two jobs overlapped: {spans:?}");
+    }
+
+    /// Floating-point shard sums are merged in shard order, so the result
+    /// is bit-for-bit identical at every thread count (the whole point of
+    /// fixing the shard boundaries instead of chunking by thread).
+    #[test]
+    fn sharded_fold_bit_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |threads| {
+            sharded_fold(
+                threads,
+                &items,
+                37,
+                |shard| shard.iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                run(threads).to_bits(),
+                reference.to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_fold_empty_input_is_none() {
+        let items: [u8; 0] = [];
+        assert_eq!(sharded_fold(4, &items, 8, |s| s.len(), |a, b| a + b), None);
+    }
+
+    #[test]
+    fn sharded_fold_merge_sees_shard_order() {
+        // Record which shard offsets the merge concatenates: must be the
+        // items in order, regardless of threads.
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 3, 7] {
+            let merged = sharded_fold(
+                threads,
+                &items,
+                9,
+                |shard| shard.to_vec(),
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .unwrap();
+            assert_eq!(merged, items, "threads = {threads}");
+        }
     }
 
     #[test]

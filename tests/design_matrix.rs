@@ -1,0 +1,108 @@
+//! Golden tests for the CSR design-matrix refactor: on a real compiled
+//! hospital model, the CSR scoring path must be bit-for-bit the old
+//! nested-adjacency path, and minibatch-parallel SGD must produce
+//! identical weights at every thread count.
+
+use holoclean_repro::holo_datagen::{hospital, HospitalConfig};
+use holoclean_repro::holo_factor::learn::train_with_threads;
+use holoclean_repro::holoclean::pipeline::{
+    CompileStage, DetectStage, PipelineContext, Stage, StageData,
+};
+use holoclean_repro::holoclean::HoloConfig;
+
+/// Detect + Compile over a generated hospital dataset, returning the
+/// filled blackboard and the shared context.
+fn compile_hospital(threads: usize) -> (PipelineContext, StageData) {
+    let gen = hospital(HospitalConfig {
+        rows: 300,
+        seed: 11,
+        ..HospitalConfig::default()
+    });
+    let mut ds = gen.dirty.clone();
+    let constraints =
+        holoclean_repro::holo_constraints::parse_constraints(&gen.constraints_text, &mut ds)
+            .expect("generated constraints parse");
+    let cx = PipelineContext::new(ds, constraints, HoloConfig::default().with_threads(threads));
+    let mut data = StageData::default();
+    DetectStage.run(&cx, &mut data).unwrap();
+    CompileStage.run(&cx, &mut data).unwrap();
+    (cx, data)
+}
+
+/// The tentpole equivalence: every variable's CSR-backed `unary_scores`
+/// equals the nested-adjacency reference path bit-for-bit, under both the
+/// prior weights and trained (non-trivial) weights.
+#[test]
+fn csr_unary_scores_match_adjacency_on_hospital() {
+    let (cx, data) = compile_hospital(1);
+    let model = data.model.as_ref().unwrap();
+    let mut trained = model.weights.clone();
+    train_with_threads(&model.graph, &mut trained, &cx.config.learn, 1);
+    assert!(trained.learnable_norm() > 0.0, "training moved the weights");
+    let design = model.graph.design();
+    assert!(design.nnz() > 0, "hospital model has unary features");
+    assert_eq!(design.var_count(), model.graph.var_count());
+    for weights in [&model.weights, &trained] {
+        for v in model.graph.var_ids() {
+            let csr = model.graph.unary_scores(v, weights);
+            let adjacency = model.graph.unary_scores_adjacency(v, weights);
+            assert_eq!(csr.len(), adjacency.len(), "var {v:?}");
+            for (k, (a, b)) in csr.iter().zip(&adjacency).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "var {v:?} candidate {k}: csr {a} vs adjacency {b}"
+                );
+            }
+        }
+    }
+}
+
+/// The learning determinism contract on a real model: `threads ∈ {1, 2, 4}`
+/// produce identical `Weights` (and identical diagnostics).
+#[test]
+fn learn_thread_counts_produce_identical_weights_on_hospital() {
+    let (cx, data) = compile_hospital(1);
+    let model = data.model.as_ref().unwrap();
+    let mut reference = model.weights.clone();
+    let ref_stats = train_with_threads(&model.graph, &mut reference, &cx.config.learn, 1);
+    assert!(ref_stats.examples > 0, "hospital compiles evidence");
+    assert!(ref_stats.minibatches > 0);
+    for threads in [2, 4] {
+        let mut weights = model.weights.clone();
+        let stats = train_with_threads(&model.graph, &mut weights, &cx.config.learn, threads);
+        assert_eq!(weights, reference, "threads = {threads}");
+        assert_eq!(stats.minibatches, ref_stats.minibatches);
+        assert_eq!(
+            stats.grad_norm.to_bits(),
+            ref_stats.grad_norm.to_bits(),
+            "threads = {threads}"
+        );
+        assert_eq!(
+            stats.final_log_likelihood.to_bits(),
+            ref_stats.final_log_likelihood.to_bits(),
+            "threads = {threads}"
+        );
+    }
+}
+
+/// The whole compile stage is thread-count invariant too — including the
+/// parallel DC grounding and the design-matrix shape it feeds.
+#[test]
+fn compile_thread_counts_produce_identical_design() {
+    let reference = compile_hospital(1).1;
+    let ref_model = reference.model.as_ref().unwrap();
+    for threads in [2, 4] {
+        let data = compile_hospital(threads).1;
+        let model = data.model.as_ref().unwrap();
+        assert_eq!(
+            model.query_cells, ref_model.query_cells,
+            "threads = {threads}"
+        );
+        assert_eq!(
+            model.graph.design(),
+            ref_model.graph.design(),
+            "threads = {threads}"
+        );
+    }
+}
