@@ -260,6 +260,73 @@ fn bench_gibbs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The feedback loop's design-matrix maintenance, isolated: pinning user
+/// labels (out-of-domain values, the expensive case — each appends a
+/// candidate row) against a compiled hospital model, then scoring. The
+/// `patched` arm keeps the matrix in sync through the in-place splice path
+/// `pin_evidence` uses; the `full_rebuild` arm forces the recompile the
+/// pre-incremental engine paid on every retrain round. Both arms clone the
+/// same compiled graph; the delta is the maintenance strategy.
+fn bench_feedback_retrain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_retrain");
+    group.sample_size(10);
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    let matches = Default::default();
+    let config = HoloConfig::default();
+    let model = compile(&CompileInput {
+        ds: &gen.dirty,
+        constraints: &cons,
+        noisy: &noisy,
+        violations: &violations,
+        stats: &stats,
+        matches: &matches,
+        config: &config,
+    })
+    .unwrap();
+    let mut ds = gen.dirty.clone();
+    let labels: Vec<_> = model
+        .query_vars
+        .iter()
+        .copied()
+        .take(8)
+        .enumerate()
+        .map(|(i, v)| (v, ds.intern(&format!("user-label-{i}"))))
+        .collect();
+    assert!(!labels.is_empty());
+    group.bench_function("pin_patched", |b| {
+        b.iter(|| {
+            let mut g = model.graph.clone();
+            for &(v, sym) in &labels {
+                g.pin_evidence(v, sym);
+            }
+            let nnz = g.design().nnz();
+            assert_eq!(g.design_stats().full_builds, 1, "no rebuild after compile");
+            black_box(nnz)
+        })
+    });
+    group.bench_function("pin_full_rebuild", |b| {
+        b.iter(|| {
+            let mut g = model.graph.clone();
+            // Drop the cache *first* so the pins route through the dirty
+            // set — exactly the pre-incremental engine's behavior (mark,
+            // then recompile everything on the next scoring access).
+            g.invalidate_design();
+            for &(v, sym) in &labels {
+                g.pin_evidence(v, sym);
+            }
+            black_box(g.design().nnz())
+        })
+    });
+    group.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
@@ -311,6 +378,7 @@ criterion_group!(
     bench_learning_and_inference,
     bench_learn_stage,
     bench_gibbs,
+    bench_feedback_retrain,
     bench_end_to_end,
     bench_end_to_end_parallelism
 );

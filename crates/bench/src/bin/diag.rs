@@ -50,6 +50,11 @@ fn main() {
         out.timings.infer,
         out.timings.total()
     );
+    let design = out.timings.design;
+    println!(
+        "design matrix: {} full build(s), {} var(s) patched, {} row(s) / {} entry(ies) spliced",
+        design.full_builds, design.vars_patched, design.rows_patched, design.entries_patched
+    );
     match &out.learn_stats {
         Some(ls) => println!(
             "learning: {} examples, {} epochs, {} minibatches, final LL {:.4}, final grad L2 {:.6}",

@@ -301,8 +301,12 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
 
     // Compile hands the model over in its scoring form: force the CSR
     // design-matrix build here so Learn and Infer read a ready substrate
-    // and the conversion cost is billed to the Compile stage.
+    // and the conversion cost is billed to the Compile stage. This is the
+    // model's *only* full build — it absorbs the dirty set the mutators
+    // above accumulated, and later mutations (feedback pins) patch the
+    // matrix in place (`graph.design_stats()` keeps the tally).
     let _ = graph.design();
+    debug_assert_eq!(graph.design_stats().full_builds, 1);
 
     cstats.factors = graph.factor_count();
     let weights = registry.build_weights();

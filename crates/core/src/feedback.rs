@@ -16,14 +16,31 @@
 //! 3. [`FeedbackSession::retrain`] re-runs SGD — warm-started from the
 //!    current weights (the "incremental" part) — and re-infers marginals
 //!    for the still-unlabelled cells.
+//!
+//! ## Incremental recompilation
+//!
+//! The model's CSR design matrix is compiled once (by the pipeline's
+//! Compile stage) and **patched, never rebuilt**, across the session:
+//! each out-of-domain label appends exactly one candidate row to its
+//! variable via `DesignMatrix::append_candidate_row`, and in-domain
+//! labels change nothing in the matrix at all — so a retrain round's
+//! matrix maintenance is a per-label row splice (plus a contiguous
+//! suffix-index shift, a plain memmove) instead of re-deriving every row
+//! from the nested adjacency.
+//! [`FeedbackSession::design_stats`] exposes the counters (a healthy
+//! session shows `full_builds == 0` and one patched row per out-of-domain
+//! label) and [`FeedbackSession::timings`] accumulates the learn/infer
+//! wall-clock of every retrain round alongside them.
 
 use crate::compile::CompiledModel;
 use crate::config::HoloConfig;
 use crate::context::DatasetContext;
+use crate::pipeline::StageTimings;
 use crate::repair::RepairReport;
 use holo_dataset::{CellRef, Dataset, FxHashMap, Sym};
-use holo_factor::{learn, GibbsSampler, Marginals, Weights};
+use holo_factor::{learn, DesignStats, GibbsSampler, Marginals, Weights};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// A cell the model wants verified, with its current best guess.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +70,13 @@ pub struct FeedbackSession {
     /// Cells already pinned by the user.
     labelled: FxHashMap<CellRef, Sym>,
     marginals: Marginals,
+    /// Learn/infer wall-clock accumulated over retrain rounds, plus the
+    /// session-relative design-matrix counters.
+    timings: StageTimings,
+    /// Design-matrix counters at session start; `design_stats` diffs
+    /// against this so the compile-stage full build is not billed to the
+    /// session.
+    design_baseline: DesignStats,
 }
 
 impl FeedbackSession {
@@ -60,13 +84,19 @@ impl FeedbackSession {
     /// [`HoloClean::run_full`](crate::HoloClean::run_full)) — the model,
     /// its learned weights, and the configuration used.
     pub fn new(model: CompiledModel, weights: Weights, config: HoloConfig, ds: &Dataset) -> Self {
+        let design_baseline = model.graph.design_stats();
+        let mut timings = StageTimings::default();
+        let t0 = Instant::now();
         let marginals = infer(&model, &weights, &config, ds);
+        timings.infer += t0.elapsed();
         FeedbackSession {
             model,
             weights,
             config,
             labelled: FxHashMap::default(),
             marginals,
+            timings,
+            design_baseline,
         }
     }
 
@@ -90,10 +120,14 @@ impl FeedbackSession {
                 }
             })
             .collect();
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN
+        // marginal (possible for degenerate empty-count chains) makes the
+        // latter an inconsistent comparator — `sort_by` may panic on one
+        // and the order is unspecified. Under the IEEE total order NaN
+        // confidences sort last, after every real confidence.
         out.sort_by(|a, b| {
             a.confidence
-                .partial_cmp(&b.confidence)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.confidence)
                 .then(a.cell.cmp(&b.cell))
         });
         out.truncate(limit);
@@ -102,8 +136,14 @@ impl FeedbackSession {
 
     /// Pins user-verified values. Labels whose value is not among the
     /// cell's candidates are added to the variable's domain on the fly
-    /// (the user knows values the statistics never proposed). Unknown
-    /// cells are ignored.
+    /// (the user knows values the statistics never proposed) — which
+    /// patches one candidate row into the compiled design matrix instead
+    /// of invalidating it. Unknown cells are ignored.
+    ///
+    /// Each pinned cell's marginal becomes a point mass on the label
+    /// immediately, so [`FeedbackSession::report`] reflects the pin (with
+    /// probability 1, and a probability vector as long as the extended
+    /// domain) even before the next [`FeedbackSession::retrain`].
     pub fn apply_labels(&mut self, ds: &mut Dataset, labels: &[Label]) {
         for label in labels {
             let Some(idx) = self.model.query_cells.iter().position(|&c| c == label.cell) else {
@@ -112,21 +152,32 @@ impl FeedbackSession {
             let var = self.model.query_vars[idx];
             let sym = ds.intern(&label.value);
             self.model.graph.pin_evidence(var, sym);
+            let pinned = self.model.graph.var(var);
+            let k = pinned.evidence.expect("pin_evidence just fixed this var");
+            self.marginals.pin(var, k, pinned.arity());
             self.labelled.insert(label.cell, sym);
         }
+        self.timings.design = self.design_stats();
     }
 
     /// Incremental retraining: SGD warm-started from the current weights
     /// (labelled cells now contribute gradients as evidence), then fresh
-    /// inference for the remaining query cells.
+    /// inference for the remaining query cells. Both phases read the
+    /// patched design matrix — no rebuild happens here — and bill their
+    /// wall-clock to [`FeedbackSession::timings`].
     pub fn retrain(&mut self, ds: &Dataset) -> learn::LearnStats {
+        let t0 = Instant::now();
         let stats = learn::train_with_threads(
             &self.model.graph,
             &mut self.weights,
             &self.config.learn,
             self.config.threads,
         );
+        self.timings.learn += t0.elapsed();
+        let t1 = Instant::now();
         self.marginals = infer(&self.model, &self.weights, &self.config, ds);
+        self.timings.infer += t1.elapsed();
+        self.timings.design = self.design_stats();
         stats
     }
 
@@ -145,6 +196,21 @@ impl FeedbackSession {
     /// Number of labels applied so far.
     pub fn labelled_count(&self) -> usize {
         self.labelled.len()
+    }
+
+    /// Design-matrix work done *by this session* (the compile-stage build
+    /// is not counted): `full_builds` stays 0 as long as every label went
+    /// through the patch path, and `rows_patched` counts one row per
+    /// out-of-domain label.
+    pub fn design_stats(&self) -> DesignStats {
+        self.model.graph.design_stats().since(&self.design_baseline)
+    }
+
+    /// Wall-clock accumulated by this session (initial inference plus
+    /// every retrain round), with [`StageTimings::design`] holding the
+    /// session-relative [`DesignStats`].
+    pub fn timings(&self) -> StageTimings {
+        self.timings
     }
 }
 
@@ -293,5 +359,148 @@ mod tests {
             .repairs
             .iter()
             .any(|r| r.cell == cell && r.new_value == "omega"));
+    }
+
+    /// Regression: a NaN confidence must not panic the ranking (`sort_by`
+    /// rejects inconsistent comparators) and must sort *after* every real
+    /// confidence under the IEEE total order.
+    #[test]
+    fn nan_confidences_sort_last_without_panicking() {
+        let (dirty, _) = ambiguous_dataset();
+        let (mut session, ds) = session_for(&dirty);
+        // Poison a handful of marginals with NaN, as a degenerate
+        // empty-count chain would.
+        let n = session.model.query_vars.len();
+        assert!(n >= 4, "need a few query vars");
+        for &var in session.model.query_vars.iter().step_by(2) {
+            let arity = session.model.graph.var(var).arity();
+            let raw: Vec<Vec<f64>> = (0..session.marginals.len())
+                .map(|i| {
+                    if i == var.index() {
+                        vec![f64::NAN; arity]
+                    } else {
+                        session
+                            .marginals
+                            .probs(holo_factor::VarId(i as u32))
+                            .to_vec()
+                    }
+                })
+                .collect();
+            session.marginals = Marginals::from_raw(raw);
+        }
+        let requests = session.requests(&ds, usize::MAX);
+        assert_eq!(requests.len(), n);
+        let first_nan = requests
+            .iter()
+            .position(|r| r.confidence.is_nan())
+            .expect("poisoned confidences surface");
+        assert!(
+            requests[first_nan..].iter().all(|r| r.confidence.is_nan()),
+            "NaN confidences must form the tail of the ranking"
+        );
+        assert!(requests[..first_nan]
+            .windows(2)
+            .all(|p| p[0].confidence <= p[1].confidence));
+    }
+
+    /// Regression: between `apply_labels` and `retrain`, a pinned cell —
+    /// even one pinned to an out-of-domain value, which extends the
+    /// variable's domain past the stale marginal vector — must already
+    /// report its label with probability 1, as the `report` docs promise.
+    #[test]
+    fn pinned_cells_report_immediately_before_retrain() {
+        let (dirty, _) = ambiguous_dataset();
+        let (mut session, mut ds) = session_for(&dirty);
+        let cells: Vec<CellRef> = session.requests(&ds, 2).iter().map(|r| r.cell).collect();
+        session.apply_labels(
+            &mut ds,
+            &[
+                Label {
+                    cell: cells[0],
+                    value: "omega".to_string(), // out-of-domain: appends a candidate
+                },
+                Label {
+                    cell: cells[1],
+                    value: "alpha".to_string(), // in-domain
+                },
+            ],
+        );
+        // No retrain yet: the report must already pin both cells.
+        let report = session.report(&ds);
+        for (cell, value) in [(cells[0], "omega"), (cells[1], "alpha")] {
+            let post = report
+                .posteriors
+                .iter()
+                .find(|p| p.cell == cell)
+                .expect("pinned cell keeps its posterior");
+            let var = session.model.query_vars[session
+                .model
+                .query_cells
+                .iter()
+                .position(|&c| c == cell)
+                .unwrap()];
+            assert_eq!(
+                post.candidates.len(),
+                session.model.graph.var(var).arity(),
+                "posterior covers the extended domain"
+            );
+            let (sym, p) = post
+                .candidates
+                .iter()
+                .find(|(s, _)| ds.value_str(*s) == value)
+                .copied()
+                .expect("label among candidates");
+            assert_eq!(p, 1.0, "pinned {value} at probability 1, got {sym:?}={p}");
+        }
+    }
+
+    /// The acceptance criterion of the incremental path: a multi-round
+    /// feedback session (requests → apply_labels → retrain → report, with
+    /// in-domain and out-of-domain labels) performs **zero** full design
+    /// rebuilds, patches exactly one row per out-of-domain label, and the
+    /// patched matrix stays bit-for-bit equal to a from-scratch compile of
+    /// the mutated adjacency.
+    #[test]
+    fn feedback_session_never_rebuilds_the_design_matrix() {
+        let (dirty, clean) = ambiguous_dataset();
+        let (mut session, mut ds) = session_for(&dirty);
+        let mut out_of_domain = 0u64;
+        for round in 0..3 {
+            let requests = session.requests(&ds, 3);
+            if requests.is_empty() {
+                break;
+            }
+            let labels: Vec<Label> = requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let value = if i == 0 {
+                        out_of_domain += 1;
+                        format!("novel-{round}-{i}") // never in any domain
+                    } else {
+                        clean.cell_str(r.cell.tuple, r.cell.attr).to_string()
+                    };
+                    Label {
+                        cell: r.cell,
+                        value,
+                    }
+                })
+                .collect();
+            session.apply_labels(&mut ds, &labels);
+            session.retrain(&ds);
+            let _ = session.report(&ds);
+        }
+        assert!(out_of_domain > 0, "exercised the append path");
+        let stats = session.design_stats();
+        assert_eq!(stats.full_builds, 0, "no full rebuild in the session");
+        assert_eq!(stats.vars_patched, out_of_domain);
+        assert_eq!(stats.rows_patched, out_of_domain, "one row per novel label");
+        assert_eq!(
+            session.model.graph.design(),
+            &session.model.graph.compile_design(),
+            "patched matrix == fresh compile, bit for bit"
+        );
+        assert_eq!(session.timings().design, stats);
+        assert!(session.timings().learn > std::time::Duration::ZERO);
     }
 }

@@ -43,9 +43,18 @@
 //! per-variable row-range index. Learn and Infer never touch the graph's
 //! build-side adjacency `Vec`s — SGD walks rows, the Gibbs conditional
 //! scores a variable's contiguous row range, and exact enumeration
-//! precomputes all row scores once. A stage that mutates the unary
-//! structure (e.g. feedback pinning new evidence values) invalidates the
-//! cached matrix; the next scoring access rebuilds it.
+//! precomputes all row scores once.
+//!
+//! The matrix is built **once** and then kept in sync incrementally:
+//! while no matrix exists (the bulk mutations of the Compile stage),
+//! `FactorGraph` mutators record the touched variable in a dirty set and
+//! the forced build at the end of Compile absorbs it; afterwards every
+//! mutator splices the affected variable's row range in place, so the
+//! feedback loop's `pin_evidence` patches one variable per label instead
+//! of invalidating the whole matrix. A full rebuild only happens again if
+//! a caller forces one with `FactorGraph::invalidate_design`. The
+//! [`holo_factor::DesignStats`] counters in [`StageTimings::design`]
+//! (full builds vs rows patched) make the distinction observable.
 //!
 //! ## Adding a stage
 //!
@@ -84,11 +93,15 @@ use crate::features::MatchLookup;
 use holo_constraints::{find_violations_with_threads, ConstraintSet, Violation};
 use holo_dataset::{CellRef, CooccurStats, Dataset, FxHashSet};
 use holo_detect::Detector;
-use holo_factor::{learn, run_chains, LearnStats, Marginals, Weights};
+use holo_factor::{learn, run_chains, DesignStats, LearnStats, Marginals, Weights};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
-/// Wall-clock duration of each pipeline stage (Table 4 / Figure 4).
+/// Wall-clock duration of each pipeline stage (Table 4 / Figure 4), plus
+/// the design-matrix build/patch counters accumulated while those stages
+/// ran — a fresh pipeline run shows exactly one full build (forced at the
+/// end of Compile) and zero patches; a feedback session's timings show
+/// zero further full builds and one patch per label-extended variable.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Violation detection + any extra detectors.
@@ -99,6 +112,8 @@ pub struct StageTimings {
     pub learn: Duration,
     /// Marginal inference (closed-form or Gibbs).
     pub infer: Duration,
+    /// Design-matrix work: full compiles vs in-place row patches.
+    pub design: DesignStats,
 }
 
 impl StageTimings {
@@ -397,7 +412,8 @@ impl Pipeline {
     }
 
     /// Runs every stage in order over the shared context, billing each
-    /// stage's wall-clock to its [`StageKind`] slot.
+    /// stage's wall-clock to its [`StageKind`] slot and snapshotting the
+    /// model's design-matrix counters into [`StageTimings::design`].
     pub fn run(&self, cx: &PipelineContext) -> Result<(StageData, StageTimings), HoloError> {
         let mut data = StageData::default();
         let mut timings = StageTimings::default();
@@ -405,6 +421,9 @@ impl Pipeline {
             let t0 = Instant::now();
             stage.run(cx, &mut data)?;
             timings.record(stage.kind(), t0.elapsed());
+        }
+        if let Some(model) = &data.model {
+            timings.design = model.graph.design_stats();
         }
         Ok((data, timings))
     }
@@ -454,6 +473,10 @@ mod tests {
         assert!(data.learn_stats.is_some());
         assert!(data.marginals.is_some());
         assert!(timings.total() > Duration::ZERO);
+        // A fresh run compiles the design matrix exactly once, at the end
+        // of Compile; Learn and Infer reuse it untouched.
+        assert_eq!(timings.design.full_builds, 1);
+        assert_eq!(timings.design.vars_patched, 0);
     }
 
     #[test]

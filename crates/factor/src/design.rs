@@ -24,10 +24,43 @@
 
 use crate::graph::{FeatureVec, VarId};
 use crate::weights::{WeightId, Weights};
+use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
+/// Counters for how the design matrix has been (re)built — the
+/// observability hook for the incremental feedback loop: a healthy
+/// multi-round feedback session shows exactly one full build (the Compile
+/// stage) and one patch per mutated variable afterwards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignStats {
+    /// Full `compile` passes over the whole adjacency.
+    pub full_builds: u64,
+    /// Variables whose row range was spliced in place.
+    pub vars_patched: u64,
+    /// Rows written by patch splices (the O(changed rows) work).
+    pub rows_patched: u64,
+    /// Feature entries written by patch splices.
+    pub entries_patched: u64,
+}
+
+impl DesignStats {
+    /// Counter-wise difference since an earlier snapshot (for per-session
+    /// accounting on a long-lived graph).
+    pub fn since(&self, earlier: &DesignStats) -> DesignStats {
+        DesignStats {
+            full_builds: self.full_builds - earlier.full_builds,
+            vars_patched: self.vars_patched - earlier.vars_patched,
+            rows_patched: self.rows_patched - earlier.rows_patched,
+            entries_patched: self.entries_patched - earlier.entries_patched,
+        }
+    }
+}
+
 /// CSR design matrix over all `(variable, candidate)` rows of a factor
-/// graph. Immutable once compiled; rebuild after graph mutation.
+/// graph. Compiled once; graph mutations splice the affected variable's
+/// row range in place ([`DesignMatrix::patch_var`] and friends) instead of
+/// recompiling, and the patched matrix is bit-for-bit identical to a fresh
+/// [`DesignMatrix::compile`] of the mutated adjacency.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DesignMatrix {
     /// `var_rows[v] .. var_rows[v + 1]` is the row range of variable `v`
@@ -49,8 +82,7 @@ impl DesignMatrix {
             .iter()
             .map(|per_var| per_var.iter().map(Vec::len).sum::<usize>())
             .sum();
-        assert!(rows < u32::MAX as usize, "design matrix row overflow");
-        assert!(nnz <= u32::MAX as usize, "design matrix entry overflow");
+        Self::assert_dims(rows, nnz);
 
         let mut var_rows = Vec::with_capacity(unary.len() + 1);
         let mut row_offsets = Vec::with_capacity(rows + 1);
@@ -69,6 +101,100 @@ impl DesignMatrix {
             row_offsets,
             entries,
         }
+    }
+
+    /// The single bound check of the CSR layout, shared by [`compile`]
+    /// and every patch splice so no mutation path can silently wrap:
+    /// `var_rows` stores row indices and `row_offsets` has `rows + 1`
+    /// elements whose values are entry offsets, all as `u32` — so
+    /// `rows + 1` and `nnz` must both be representable.
+    ///
+    /// [`compile`]: DesignMatrix::compile
+    #[inline]
+    fn assert_dims(rows: usize, nnz: usize) {
+        assert!(rows < u32::MAX as usize, "design matrix row overflow");
+        assert!(nnz <= u32::MAX as usize, "design matrix entry overflow");
+    }
+
+    /// Replaces the rows of variable `v` with `per_candidate` (one sparse
+    /// feature vector per candidate, in domain order), splicing `entries`
+    /// and `row_offsets` and shifting the suffix indexes — O(changed rows
+    /// plus a suffix memmove) instead of a full recompile. The result is
+    /// bit-for-bit identical to [`DesignMatrix::compile`] of an adjacency
+    /// whose `unary[v]` equals `per_candidate`.
+    pub fn patch_var(&mut self, v: VarId, per_candidate: &[FeatureVec]) {
+        let rows = self.var_range(v);
+        let e0 = self.row_offsets[rows.start] as usize;
+        let e1 = self.row_offsets[rows.end] as usize;
+        let old_rows = rows.len();
+        let new_rows = per_candidate.len();
+        let new_nnz: usize = per_candidate.iter().map(Vec::len).sum();
+        Self::assert_dims(
+            self.rows() - old_rows + new_rows,
+            self.entries.len() - (e1 - e0) + new_nnz,
+        );
+
+        self.entries
+            .splice(e0..e1, per_candidate.iter().flatten().copied());
+        // New offsets for the replaced rows (absolute, starting at e0),
+        // then shift every later row's offset by the entry delta.
+        let mut acc = e0;
+        let new_offsets = per_candidate.iter().map(|f| {
+            acc += f.len();
+            acc as u32
+        });
+        self.row_offsets
+            .splice(rows.start + 1..rows.end + 1, new_offsets);
+        let entry_delta = new_nnz as i64 - (e1 - e0) as i64;
+        if entry_delta != 0 {
+            for off in &mut self.row_offsets[rows.start + 1 + new_rows..] {
+                *off = (*off as i64 + entry_delta) as u32;
+            }
+        }
+        let row_delta = new_rows as i64 - old_rows as i64;
+        if row_delta != 0 {
+            for vr in &mut self.var_rows[v.index() + 1..] {
+                *vr = (*vr as i64 + row_delta) as u32;
+            }
+        }
+    }
+
+    /// Appends one candidate row at the end of variable `v`'s row range —
+    /// the common feedback mutation (an out-of-domain pin appends one
+    /// candidate to the variable's domain). Equivalent to
+    /// [`DesignMatrix::patch_var`] with the old candidates plus one, but
+    /// without re-splicing the variable's existing entries.
+    pub fn append_candidate_row(&mut self, v: VarId, features: &[(WeightId, f64)]) {
+        Self::assert_dims(self.rows() + 1, self.nnz() + features.len());
+        // The new row starts where v's last row ends (= the entry offset
+        // of the first row after v).
+        let new_row = self.var_rows[v.index() + 1] as usize;
+        let e = self.row_offsets[new_row] as usize;
+        self.entries.splice(e..e, features.iter().copied());
+        self.row_offsets
+            .insert(new_row + 1, (e + features.len()) as u32);
+        if !features.is_empty() {
+            let delta = features.len() as u32;
+            for off in &mut self.row_offsets[new_row + 2..] {
+                *off += delta;
+            }
+        }
+        for vr in &mut self.var_rows[v.index() + 1..] {
+            *vr += 1;
+        }
+    }
+
+    /// Appends a whole new variable's rows at the end of the matrix (the
+    /// `add_variable`-after-compile path). Row and entry order match what
+    /// [`DesignMatrix::compile`] would produce for the extended adjacency.
+    pub fn append_var(&mut self, per_candidate: &[FeatureVec]) {
+        let new_nnz: usize = per_candidate.iter().map(Vec::len).sum();
+        Self::assert_dims(self.rows() + per_candidate.len(), self.nnz() + new_nnz);
+        for features in per_candidate {
+            self.entries.extend_from_slice(features);
+            self.row_offsets.push(self.entries.len() as u32);
+        }
+        self.var_rows.push(self.row_offsets.len() as u32 - 1);
     }
 
     /// Number of variables covered.
@@ -194,5 +320,75 @@ mod tests {
         assert_eq!(m.var_count(), 0);
         assert_eq!(m.rows(), 0);
         assert_eq!(m.nnz(), 0);
+    }
+
+    /// The determinism contract of every patch path: the spliced matrix
+    /// equals a fresh compile of the mutated adjacency, field for field.
+    #[test]
+    fn patch_var_matches_fresh_compile() {
+        let mut unary = sample_unary();
+        let mut m = DesignMatrix::compile(&unary);
+        // Grow var 0's first candidate, shrink its second away, add one.
+        unary[0] = vec![
+            vec![(wid(3), 1.0), (wid(0), 2.0), (wid(2), -3.0)],
+            vec![(wid(1), 9.0)],
+            vec![],
+        ];
+        m.patch_var(VarId(0), &unary[0]);
+        assert_eq!(m, DesignMatrix::compile(&unary));
+        // Patch the last variable too (no suffix to shift).
+        unary[1] = vec![vec![], vec![(wid(0), 5.0)]];
+        m.patch_var(VarId(1), &unary[1]);
+        assert_eq!(m, DesignMatrix::compile(&unary));
+        // Patching to fewer entries/rows shrinks correctly.
+        unary[0] = vec![vec![(wid(1), 1.0)]];
+        m.patch_var(VarId(0), &unary[0]);
+        assert_eq!(m, DesignMatrix::compile(&unary));
+    }
+
+    #[test]
+    fn append_candidate_row_matches_fresh_compile() {
+        let mut unary = sample_unary();
+        let mut m = DesignMatrix::compile(&unary);
+        // Empty-feature append to the first var (the out-of-domain pin).
+        unary[0].push(vec![]);
+        m.append_candidate_row(VarId(0), &[]);
+        assert_eq!(m, DesignMatrix::compile(&unary));
+        // Non-empty append to the last var.
+        unary[1].push(vec![(wid(2), 7.0), (wid(0), -1.0)]);
+        m.append_candidate_row(VarId(1), &[(wid(2), 7.0), (wid(0), -1.0)]);
+        assert_eq!(m, DesignMatrix::compile(&unary));
+    }
+
+    #[test]
+    fn append_var_matches_fresh_compile() {
+        let mut unary = sample_unary();
+        let mut m = DesignMatrix::compile(&unary);
+        unary.push(vec![vec![(wid(1), 2.0)], vec![]]);
+        m.append_var(&unary[2]);
+        assert_eq!(m, DesignMatrix::compile(&unary));
+        assert_eq!(m.var_count(), 3);
+        assert_eq!(m.var_range(VarId(2)), 5..7);
+    }
+
+    #[test]
+    fn design_stats_since_subtracts() {
+        let a = DesignStats {
+            full_builds: 1,
+            vars_patched: 2,
+            rows_patched: 5,
+            entries_patched: 9,
+        };
+        let b = DesignStats {
+            full_builds: 1,
+            vars_patched: 5,
+            rows_patched: 11,
+            entries_patched: 20,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.full_builds, 0);
+        assert_eq!(d.vars_patched, 3);
+        assert_eq!(d.rows_patched, 6);
+        assert_eq!(d.entries_patched, 11);
     }
 }

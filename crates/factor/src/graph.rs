@@ -7,11 +7,12 @@
 //! predicates over the candidate values of up to a handful of variables
 //! plus constants frozen from clean cells.
 
-use crate::design::DesignMatrix;
+use crate::design::{DesignMatrix, DesignStats};
 use crate::weights::{WeightId, Weights};
-use holo_dataset::Sym;
+use holo_dataset::{FxHashSet, Sym};
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Index of a variable in a [`FactorGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -204,8 +205,14 @@ pub type FeatureVec = Vec<(WeightId, f64)>;
 /// compiler grounds the model — and the compiled [`DesignMatrix`] is the
 /// *scoring substrate* every consumer reads ([`FactorGraph::unary_score`],
 /// the Gibbs conditional loop, exact enumeration, SGD). The matrix is
-/// compiled lazily on first use and cached; any mutation of the unary
-/// structure invalidates the cache.
+/// compiled lazily on first use and cached. Mutations keep the cache
+/// **incrementally in sync**: while no matrix exists yet (the bulk-build
+/// phase of the compiler), mutators just record the variable in a dirty
+/// set and the first scoring access compiles everything once; once a
+/// matrix exists, each mutator splices the affected variable's rows in
+/// place (`patch_var`/`append_candidate_row`/`append_var`) — the feedback
+/// loop's `pin_evidence` never triggers a full rebuild. [`DesignStats`]
+/// counts both paths so the claim is observable.
 #[derive(Debug, Default)]
 pub struct FactorGraph {
     vars: Vec<Variable>,
@@ -215,8 +222,20 @@ pub struct FactorGraph {
     cliques: Vec<CliqueFactor>,
     /// `var_cliques[v]` = clique indices touching `v`.
     var_cliques: Vec<Vec<u32>>,
-    /// Compiled CSR view of `unary`, built on first scoring access.
+    /// Compiled CSR view of `unary`, built on first scoring access and
+    /// patched in place by later mutations.
     design: OnceLock<DesignMatrix>,
+    /// Variables mutated while no compiled matrix existed — absorbed (and
+    /// cleared) by the next full compile. Empty whenever a cached matrix
+    /// exists: with a cache present, mutators patch it immediately instead
+    /// of marking. Behind a `Mutex` only so the `OnceLock` init closure
+    /// (`&self`) can clear it; the hot scoring path never locks.
+    dirty: Mutex<FxHashSet<VarId>>,
+    /// Patch-path counters (`full_builds` lives in the atomic below, since
+    /// full compiles happen behind the `OnceLock` under `&self`).
+    stats: DesignStats,
+    /// Number of full [`DesignMatrix::compile`] passes.
+    full_builds: AtomicU64,
 }
 
 impl Clone for FactorGraph {
@@ -231,6 +250,9 @@ impl Clone for FactorGraph {
             cliques: self.cliques.clone(),
             var_cliques: self.var_cliques.clone(),
             design,
+            dirty: Mutex::new(self.dirty.lock().unwrap().clone()),
+            stats: self.stats,
+            full_builds: AtomicU64::new(self.full_builds.load(Ordering::Relaxed)),
         }
     }
 }
@@ -241,20 +263,40 @@ impl FactorGraph {
         Self::default()
     }
 
-    /// Adds a variable, returning its id.
+    /// Adds a variable, returning its id. With a compiled matrix present
+    /// its rows are appended in place; otherwise the variable joins the
+    /// dirty set for the next full compile.
     pub fn add_variable(&mut self, var: Variable) -> VarId {
         let id = VarId(self.vars.len() as u32);
         self.unary.push(vec![Vec::new(); var.arity()]);
         self.var_cliques.push(Vec::new());
         self.vars.push(var);
-        self.design.take();
+        if let Some(d) = self.design.get_mut() {
+            d.append_var(&self.unary[id.index()]);
+            self.stats.vars_patched += 1;
+            self.stats.rows_patched += self.unary[id.index()].len() as u64;
+        } else {
+            self.dirty.get_mut().unwrap().insert(id);
+        }
         id
     }
 
     /// Appends a unary feature `(weight, value)` to candidate `k` of `v`.
+    /// With a compiled matrix present `v`'s row range is re-spliced in
+    /// place (O(its rows) per call — bulk featurization should happen
+    /// before the first scoring access, which is what the compiler does);
+    /// otherwise `v` joins the dirty set for the next full compile.
     pub fn add_feature(&mut self, v: VarId, k: usize, weight: WeightId, value: f64) {
         self.unary[v.index()][k].push((weight, value));
-        self.design.take();
+        if let Some(d) = self.design.get_mut() {
+            let per_candidate = &self.unary[v.index()];
+            d.patch_var(v, per_candidate);
+            self.stats.vars_patched += 1;
+            self.stats.rows_patched += per_candidate.len() as u64;
+            self.stats.entries_patched += per_candidate.iter().map(Vec::len).sum::<usize>() as u64;
+        } else {
+            self.dirty.get_mut().unwrap().insert(v);
+        }
     }
 
     /// Adds a clique factor, wiring the adjacency lists.
@@ -297,12 +339,54 @@ impl FactorGraph {
 
     /// The compiled CSR design matrix over all `(variable, candidate)`
     /// rows — the single scoring substrate. Compiled on first access and
-    /// cached until the unary structure mutates; the compiler forces the
-    /// build at the end of the Compile stage so learning and inference
-    /// never pay it.
+    /// cached; the compiler forces the build at the end of the Compile
+    /// stage so learning and inference never pay it. Unary mutations after
+    /// the build patch the cache in place (see the struct docs), so this
+    /// never serves stale rows and never recompiles unless
+    /// [`FactorGraph::invalidate_design`] forced it.
     pub fn design(&self) -> &DesignMatrix {
-        self.design
-            .get_or_init(|| DesignMatrix::compile(&self.unary))
+        self.design.get_or_init(|| {
+            self.full_builds.fetch_add(1, Ordering::Relaxed);
+            self.dirty.lock().unwrap().clear();
+            DesignMatrix::compile(&self.unary)
+        })
+    }
+
+    /// Drops the compiled design matrix (and any pending dirty marks); the
+    /// next scoring access recompiles from scratch. The escape hatch for
+    /// callers that prefer a fresh compile over accumulated patches — the
+    /// `feedback_retrain` bench uses it to price the patch path against
+    /// the full rebuild it replaces.
+    pub fn invalidate_design(&mut self) {
+        self.design.take();
+        self.dirty.get_mut().unwrap().clear();
+    }
+
+    /// A from-scratch [`DesignMatrix::compile`] of the current adjacency,
+    /// bypassing (and not counting toward) the cache — the reference
+    /// oracle that patch-equivalence tests compare the cached matrix
+    /// against bit-for-bit.
+    pub fn compile_design(&self) -> DesignMatrix {
+        DesignMatrix::compile(&self.unary)
+    }
+
+    /// Build/patch counters of the design-matrix cache (full compiles vs
+    /// in-place row splices). Snapshot at session start and diff with
+    /// [`DesignStats::since`] for per-session accounting.
+    pub fn design_stats(&self) -> DesignStats {
+        DesignStats {
+            full_builds: self.full_builds.load(Ordering::Relaxed),
+            ..self.stats
+        }
+    }
+
+    /// Variables mutated since the last full design build, in id order —
+    /// the pending work of the next compile. Empty whenever a cached
+    /// matrix exists (mutations patch an existing cache immediately).
+    pub fn dirty_vars(&self) -> Vec<VarId> {
+        let mut out: Vec<VarId> = self.dirty.lock().unwrap().iter().copied().collect();
+        out.sort_unstable();
+        out
     }
 
     /// Sparse features of candidate `k` of variable `v` (a CSR row of the
@@ -377,7 +461,9 @@ impl FactorGraph {
     /// incremental-feedback path (§2.2): user-verified cells become
     /// labelled examples for retraining. If `value` is not in the
     /// variable's domain it is appended (with no unary features; the pin
-    /// itself carries the information).
+    /// itself carries the information) and the compiled design matrix, if
+    /// built, gains the one candidate row in place — pinning k labels
+    /// patches k variables' rows, never triggering a full rebuild.
     pub fn pin_evidence(&mut self, v: VarId, value: Sym) {
         let var = &mut self.vars[v.index()];
         let k = match var.domain.iter().position(|&d| d == value) {
@@ -385,7 +471,13 @@ impl FactorGraph {
             None => {
                 var.domain.push(value);
                 self.unary[v.index()].push(Vec::new());
-                self.design.take();
+                if let Some(d) = self.design.get_mut() {
+                    d.append_candidate_row(v, &[]);
+                    self.stats.vars_patched += 1;
+                    self.stats.rows_patched += 1;
+                } else {
+                    self.dirty.get_mut().unwrap().insert(v);
+                }
                 var.domain.len() - 1
             }
         };
@@ -539,6 +631,49 @@ mod tests {
         g.pin_evidence(v, sym(9));
         assert_eq!(g.design().rows(), 4);
         assert_eq!(g.unary_scores(v, &w), g.unary_scores_adjacency(v, &w));
+    }
+
+    /// Post-build mutations patch the cached matrix in place: it stays
+    /// bit-for-bit equal to a fresh compile while `full_builds` stays 1,
+    /// and every mutation is visible in the patch counters.
+    #[test]
+    fn mutations_patch_instead_of_rebuilding() {
+        let mut g = FactorGraph::new();
+        let v0 = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        g.add_feature(v0, 0, WeightId(0), 1.0);
+        assert_eq!(g.dirty_vars(), vec![v0], "pre-build mutations mark dirty");
+        let _ = g.design(); // first (and only) full build
+        assert!(g.dirty_vars().is_empty(), "build absorbs the dirty set");
+        assert_eq!(g.design_stats().full_builds, 1);
+        assert_eq!(g.design_stats().vars_patched, 0);
+
+        g.add_feature(v0, 1, WeightId(1), 2.0);
+        let v1 = g.add_variable(Variable::query(vec![sym(3), sym(4), sym(5)], None));
+        g.add_feature(v1, 2, WeightId(0), -1.0);
+        g.pin_evidence(v0, sym(9)); // out-of-domain: appends a row
+        g.pin_evidence(v1, sym(3)); // in-domain: no matrix change needed
+
+        assert_eq!(g.design(), &g.compile_design(), "patched == fresh compile");
+        assert!(g.dirty_vars().is_empty());
+        let stats = g.design_stats();
+        assert_eq!(stats.full_builds, 1, "no rebuild after the compile");
+        assert_eq!(stats.vars_patched, 4, "feature x2 + add_variable + pin");
+        assert!(stats.rows_patched >= 6);
+        // Forcing invalidation is the only way to get a second full build.
+        g.invalidate_design();
+        let _ = g.design();
+        assert_eq!(g.design_stats().full_builds, 2);
+    }
+
+    #[test]
+    fn cloned_graph_carries_design_stats() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        let _ = g.design();
+        g.pin_evidence(v, sym(7));
+        let clone = g.clone();
+        assert_eq!(clone.design_stats(), g.design_stats());
+        assert_eq!(clone.design(), g.design());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod weights;
 #[cfg(test)]
 mod proptests;
 
-pub use design::DesignMatrix;
+pub use design::{DesignMatrix, DesignStats};
 pub use gibbs::{run_chains, GibbsConfig, GibbsSampler};
 pub use graph::{
     CliqueFactor, CmpOp, FactorGraph, FactorOperand, FactorPredicate, ValueContext, VarId, Variable,

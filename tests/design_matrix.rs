@@ -86,6 +86,45 @@ fn learn_thread_counts_produce_identical_weights_on_hospital() {
     }
 }
 
+/// Hospital-scale check of the incremental path: pinning evidence (the
+/// feedback mutation) on a real compiled model patches the cached matrix
+/// in place — no further full build — and the patched matrix is
+/// bit-for-bit a fresh compile of the mutated adjacency.
+#[test]
+fn pinning_patches_hospital_design_in_place() {
+    let (cx, mut data) = compile_hospital(1);
+    let model = data.model.as_mut().unwrap();
+    let before = model.graph.design_stats();
+    assert_eq!(before.full_builds, 1, "compile forced the one build");
+    let mut ds = cx.ds.clone();
+    let pins: Vec<_> = model
+        .query_vars
+        .iter()
+        .copied()
+        .step_by(3)
+        .take(6)
+        .enumerate()
+        .map(|(i, v)| (v, ds.intern(&format!("steward-says-{i}"))))
+        .collect();
+    assert_eq!(pins.len(), 6);
+    for &(v, sym) in &pins {
+        model.graph.pin_evidence(v, sym);
+    }
+    let stats = model.graph.design_stats().since(&before);
+    assert_eq!(stats.full_builds, 0);
+    assert_eq!(stats.vars_patched, 6);
+    assert_eq!(stats.rows_patched, 6, "one appended row per novel pin");
+    assert_eq!(model.graph.design(), &model.graph.compile_design());
+    // The reference adjacency path agrees with the patched CSR path.
+    let weights = model.weights.clone();
+    for &(v, _) in &pins {
+        assert_eq!(
+            model.graph.unary_scores(v, &weights),
+            model.graph.unary_scores_adjacency(v, &weights)
+        );
+    }
+}
+
 /// The whole compile stage is thread-count invariant too — including the
 /// parallel DC grounding and the design-matrix shape it feeds.
 #[test]
