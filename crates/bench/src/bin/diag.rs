@@ -3,12 +3,93 @@
 //! tune the reproduction; kept because it is genuinely useful for anyone
 //! adapting the system to new data.
 
-use holo_bench::runner::run_holoclean_full;
+use holo_bench::runner::{run_holoclean_full, HoloOutcome};
 use holo_bench::{build, Args, Scale};
 use holo_datagen::DatasetKind;
 use holo_dataset::FxHashMap;
 use holoclean::features::FeatureKey;
 use holoclean::HoloConfig;
+
+/// A float as a JSON value: non-finite values (NaN precision on a
+/// zero-repair run, a degenerate gradient norm) become `null` — bare
+/// `NaN`/`inf` are not JSON and would break every consumer of `--json`.
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Emits the run's diagnostics as one JSON object for the bench
+/// trajectory: stage timings, `DesignStats`, `LearnStats`,
+/// `PartitionStats` and the component-index counters. Hand-rolled — the
+/// offline `serde` stub derives are no-ops, and the shape here is small
+/// and stable.
+fn print_json(dataset: &str, out: &HoloOutcome) {
+    let t = &out.timings;
+    let d = t.design;
+    let p = t.partition;
+    let ci = t.components;
+    let learn = match &out.learn_stats {
+        Some(ls) => format!(
+            "{{\"examples\":{},\"epochs\":{},\"minibatches\":{},\
+             \"final_log_likelihood\":{},\"grad_norm\":{}}}",
+            ls.examples,
+            ls.epochs,
+            ls.minibatches,
+            jnum(ls.final_log_likelihood),
+            jnum(ls.grad_norm)
+        ),
+        None => "null".to_string(),
+    };
+    println!(
+        "{{\"dataset\":\"{dataset}\",\
+         \"quality\":{{\"precision\":{},\"recall\":{},\"f1\":{},\
+         \"repairs\":{},\"errors\":{}}},\
+         \"timings\":{{\"detect_s\":{:.6},\"compile_s\":{:.6},\"learn_s\":{:.6},\
+         \"infer_s\":{:.6},\"total_s\":{:.6}}},\
+         \"design\":{{\"full_builds\":{},\"vars_patched\":{},\"rows_patched\":{},\
+         \"entries_patched\":{}}},\
+         \"learn\":{learn},\
+         \"partition\":{{\"components\":{},\"singleton_components\":{},\
+         \"largest_component\":{},\"size_hist\":[{},{},{},{}],\
+         \"closed_form_components\":{},\"closed_form_vars\":{},\
+         \"exact_components\":{},\"exact_vars\":{},\
+         \"gibbs_components\":{},\"gibbs_vars\":{}}},\
+         \"component_index\":{{\"full_builds\":{},\"merges\":{},\"vars_appended\":{}}}}}",
+        jnum(out.quality.precision),
+        jnum(out.quality.recall),
+        jnum(out.quality.f1),
+        out.quality.total_repairs,
+        out.quality.total_errors,
+        t.detect.as_secs_f64(),
+        t.compile.as_secs_f64(),
+        t.learn.as_secs_f64(),
+        t.infer.as_secs_f64(),
+        t.total().as_secs_f64(),
+        d.full_builds,
+        d.vars_patched,
+        d.rows_patched,
+        d.entries_patched,
+        p.components,
+        p.singleton_components,
+        p.largest_component,
+        p.size_hist[0],
+        p.size_hist[1],
+        p.size_hist[2],
+        p.size_hist[3],
+        p.closed_form_components,
+        p.closed_form_vars,
+        p.exact_components,
+        p.exact_vars,
+        p.gibbs_components,
+        p.gibbs_vars,
+        ci.full_builds,
+        ci.merges,
+        ci.vars_appended,
+    );
+}
 
 fn main() {
     let args = Args::parse(std::env::args());
@@ -27,6 +108,10 @@ fn main() {
         },
     );
     let (out, model, weights) = run_holoclean_full(&gen, HoloConfig::default(), None, false);
+    if args.json {
+        print_json(kind.name(), &out);
+        return;
+    }
     println!(
         "{}: P={:.3} R={:.3} F1={:.3} ({} repairs, {} errors, {} noisy cells, {} query vars)",
         kind.name(),
@@ -54,6 +139,26 @@ fn main() {
     println!(
         "design matrix: {} full build(s), {} var(s) patched, {} row(s) / {} entry(ies) spliced",
         design.full_builds, design.vars_patched, design.rows_patched, design.entries_patched
+    );
+    let p = out.timings.partition;
+    println!(
+        "partitioned inference: {} component(s) ({} singleton, largest {}), \
+         size histogram 1/2-3/4-15/16+ = {:?}",
+        p.components, p.singleton_components, p.largest_component, p.size_hist
+    );
+    println!(
+        "  routing: {} closed-form ({} vars), {} exact ({} vars), {} Gibbs ({} vars)",
+        p.closed_form_components,
+        p.closed_form_vars,
+        p.exact_components,
+        p.exact_vars,
+        p.gibbs_components,
+        p.gibbs_vars
+    );
+    let ci = out.timings.components;
+    println!(
+        "component index: {} full build(s), {} merge(s), {} singleton(s) appended",
+        ci.full_builds, ci.merges, ci.vars_appended
     );
     match &out.learn_stats {
         Some(ls) => println!(

@@ -1,5 +1,12 @@
 //! Dumps the full repair list of a default-config hospital run, one line
 //! per repair, for before/after equivalence diffs during refactors.
+//!
+//! With `--marginals`, additionally dumps every query cell's posterior
+//! (one `MARGINAL` line per cell, candidates in domain order, printed at
+//! shortest round-trip precision so any bit-level probability change
+//! shows in a diff) — repairs only surface the MAP candidate, so this is
+//! the view that diffs exact-vs-Gibbs routing changes which move
+//! probability mass without flipping any repair.
 
 use holo_bench::runner::run_holoclean_full;
 use holo_bench::{build, Scale};
@@ -7,6 +14,7 @@ use holo_datagen::DatasetKind;
 use holoclean::HoloConfig;
 
 fn main() {
+    let with_marginals = std::env::args().skip(1).any(|a| a == "--marginals");
     let gen = build(
         DatasetKind::Hospital,
         Scale {
@@ -30,6 +38,25 @@ fn main() {
     lines.sort();
     for l in &lines {
         println!("{l}");
+    }
+    if with_marginals {
+        let mut lines: Vec<String> = out
+            .report
+            .posteriors
+            .iter()
+            .map(|p| {
+                let cands: Vec<String> = p
+                    .candidates
+                    .iter()
+                    .map(|(sym, pr)| format!("{:?}={pr}", gen.dirty.value_str(*sym)))
+                    .collect();
+                format!("MARGINAL {:?} {}", p.cell, cands.join(" "))
+            })
+            .collect();
+        lines.sort();
+        for l in &lines {
+            println!("{l}");
+        }
     }
     println!(
         "TOTAL {} repairs, P={:.6} R={:.6} F1={:.6}, |w|={:.12}",

@@ -38,6 +38,9 @@ pub struct Args {
     pub full: bool,
     /// SCARE wall-clock budget in seconds (it DNFs past this).
     pub scare_budget_secs: u64,
+    /// Machine-readable JSON output instead of the human tables (honoured
+    /// by the binaries that track the bench trajectory, e.g. `diag`).
+    pub json: bool,
 }
 
 impl Default for Args {
@@ -47,6 +50,7 @@ impl Default for Args {
             seed: 42,
             full: false,
             scare_budget_secs: 120,
+            json: false,
         }
     }
 }
@@ -78,6 +82,7 @@ impl Args {
                         .unwrap_or_else(|| usage("--scare-budget needs seconds"));
                 }
                 "--full" => args.full = true,
+                "--json" => args.json = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -91,11 +96,12 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--scale F] [--seed N] [--full] [--scare-budget SECS]\n\
+        "usage: <bin> [--scale F] [--seed N] [--full] [--json] [--scare-budget SECS]\n\
          \n\
          --scale F          row-count multiplier (default 1.0)\n\
          --seed N           generator seed (default 42)\n\
          --full             paper-scale rows for Food and Physicians\n\
+         --json             machine-readable JSON output (diag)\n\
          --scare-budget S   SCARE wall-clock budget in seconds (default 120)"
     );
     std::process::exit(2)
@@ -122,9 +128,10 @@ mod tests {
 
     #[test]
     fn parse_flags() {
-        let a = Args::parse(argv(&["--scale", "0.5", "--seed", "7", "--full"]));
+        let a = Args::parse(argv(&["--scale", "0.5", "--seed", "7", "--full", "--json"]));
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 7);
         assert!(a.full);
+        assert!(a.json);
     }
 }

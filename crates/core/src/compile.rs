@@ -209,10 +209,15 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
         if dom.len() < 2 {
             continue;
         }
-        let observed = dom
-            .iter()
-            .position(|&v| v == ds.cell_ref(cell))
-            .expect("initial value always survives pruning");
+        // The pruner keeps a cell's observed value by construction; if a
+        // pruning configuration ever breaks that, surface the cell as a
+        // typed error rather than a crash.
+        let Some(observed) = dom.iter().position(|&v| v == ds.cell_ref(cell)) else {
+            return Err(HoloError::PrunedInitialValue {
+                cell,
+                attr: ds.schema().attr_name(cell.attr).to_string(),
+            });
+        };
         evidence.push((cell, dom, observed));
     }
     cstats.evidence_vars = evidence.len();

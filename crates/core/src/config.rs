@@ -146,6 +146,19 @@ pub struct HoloConfig {
     pub learn: LearnConfig,
     /// Gibbs hyper-parameters (clique variants only).
     pub gibbs: GibbsConfig,
+    /// Joint-state ceiling for per-component **exact** inference: during
+    /// partitioned inference, a clique-coupled connected component whose
+    /// query variables span at most this many joint assignments is
+    /// enumerated exactly (exact marginals, no sampling noise) instead of
+    /// Gibbs-sampled; `0` disables enumeration. Components with no cliques
+    /// at all — singleton variables are the common case after pruning —
+    /// always take the closed-form softmax regardless of this limit, so
+    /// for the relaxed (clique-free) model the knob has **no effect on
+    /// output**. Determinism contract: like [`GibbsConfig::chains`] this
+    /// is a *model* knob — changing it changes which engine produces a
+    /// coupled component's marginals — while at any fixed value every
+    /// thread count remains bit-for-bit identical to `threads = 1`.
+    pub exact_component_limit: u64,
     /// Master seed (evidence sampling).
     pub seed: u64,
     /// Worker threads for the data-parallel stages (violation detection
@@ -179,6 +192,7 @@ impl Default for HoloConfig {
             source: None,
             learn: LearnConfig::default(),
             gibbs: GibbsConfig::default(),
+            exact_component_limit: 4096,
             seed: 0x401c,
             threads: 0,
         }
@@ -223,6 +237,14 @@ impl HoloConfig {
     /// gradient work is sharded.
     pub fn with_minibatch(mut self, minibatch: usize) -> Self {
         self.learn.minibatch = minibatch;
+        self
+    }
+
+    /// Sets the per-component exact-inference ceiling (builder style);
+    /// `0` disables exact enumeration so every clique-coupled component
+    /// samples. See the field docs for the determinism contract.
+    pub fn with_exact_component_limit(mut self, limit: u64) -> Self {
+        self.exact_component_limit = limit;
         self
     }
 

@@ -1,5 +1,6 @@
 //! Error type of the HoloClean pipeline.
 
+use holo_dataset::CellRef;
 use std::fmt;
 
 /// Pipeline errors.
@@ -14,6 +15,17 @@ pub enum HoloError {
     /// Stage-contract violation in a custom pipeline (e.g. Learn scheduled
     /// before Compile produced a model).
     Pipeline(String),
+    /// Algorithm 2 pruning dropped a cell's own observed value from its
+    /// candidate domain — a pathological pruning configuration (the
+    /// compiler's invariant is that the initial value always survives).
+    /// Carries the offending cell and its attribute name so the broken
+    /// configuration is diagnosable instead of a crash.
+    PrunedInitialValue {
+        /// The cell whose observed value vanished from its domain.
+        cell: CellRef,
+        /// Name of the cell's attribute.
+        attr: String,
+    },
 }
 
 impl fmt::Display for HoloError {
@@ -23,6 +35,12 @@ impl fmt::Display for HoloError {
             HoloError::Constraint(msg) => write!(f, "constraint error: {msg}"),
             HoloError::Config(msg) => write!(f, "configuration error: {msg}"),
             HoloError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
+            HoloError::PrunedInitialValue { cell, attr } => write!(
+                f,
+                "compile error: pruning removed the observed value of cell {cell} \
+                 (attribute {attr:?}) from its own domain — the pruning \
+                 configuration is inconsistent"
+            ),
         }
     }
 }
@@ -51,5 +69,19 @@ mod tests {
         assert!(e.to_string().contains("configuration"));
         let e: HoloError = holo_dataset::DatasetError::EmptyInput.into();
         assert!(matches!(e, HoloError::Dataset(_)));
+    }
+
+    #[test]
+    fn pruned_initial_value_names_the_cell() {
+        let e = HoloError::PrunedInitialValue {
+            cell: CellRef {
+                tuple: 7usize.into(),
+                attr: 2usize.into(),
+            },
+            attr: "City".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("City"), "{msg}");
+        assert!(msg.contains("pruning"), "{msg}");
     }
 }

@@ -31,6 +31,15 @@
 //! session shows `full_builds == 0` and one patched row per out-of-domain
 //! label) and [`FeedbackSession::timings`] accumulates the learn/infer
 //! wall-clock of every retrain round alongside them.
+//!
+//! The graph's component index rides the same contract: pinning a label
+//! converts a query variable to evidence *inside* its component (clique
+//! scopes are unioned over all members, so no split is ever needed) and
+//! re-inference runs partitioned over the patched index —
+//! [`FeedbackSession::component_stats`] shows zero full rebuilds for any
+//! label sequence, and [`FeedbackSession::partition_stats`] reports how
+//! the latest pass routed components between closed form, exact
+//! enumeration and Gibbs.
 
 use crate::compile::CompiledModel;
 use crate::config::HoloConfig;
@@ -38,7 +47,10 @@ use crate::context::DatasetContext;
 use crate::pipeline::StageTimings;
 use crate::repair::RepairReport;
 use holo_dataset::{CellRef, Dataset, FxHashMap, Sym};
-use holo_factor::{learn, DesignStats, GibbsSampler, Marginals, Weights};
+use holo_factor::{
+    infer_partitioned, learn, ComponentStats, DesignStats, Marginals, PartitionStats,
+    PartitionedConfig, Weights,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -77,6 +89,11 @@ pub struct FeedbackSession {
     /// against this so the compile-stage full build is not billed to the
     /// session.
     design_baseline: DesignStats,
+    /// Component-index counters at session start; `component_stats` diffs
+    /// against this so the pipeline's one index build is not billed to
+    /// the session — a healthy session never rebuilds the index (pins
+    /// leave it untouched by construction).
+    component_baseline: ComponentStats,
 }
 
 impl FeedbackSession {
@@ -85,10 +102,17 @@ impl FeedbackSession {
     /// its learned weights, and the configuration used.
     pub fn new(model: CompiledModel, weights: Weights, config: HoloConfig, ds: &Dataset) -> Self {
         let design_baseline = model.graph.design_stats();
+        // Force the index to exist before snapshotting: a model built
+        // straight from `compile()` (never inferred) would otherwise pay
+        // its one lazy build inside the initial inference below, billing
+        // it to the session and tripping the zero-rebuild contract.
+        let _ = model.graph.components();
+        let component_baseline = model.graph.component_stats();
         let mut timings = StageTimings::default();
         let t0 = Instant::now();
-        let marginals = infer(&model, &weights, &config, ds);
+        let (marginals, partition) = infer(&model, &weights, &config, ds);
         timings.infer += t0.elapsed();
+        timings.partition = partition;
         FeedbackSession {
             model,
             weights,
@@ -97,6 +121,7 @@ impl FeedbackSession {
             marginals,
             timings,
             design_baseline,
+            component_baseline,
         }
     }
 
@@ -158,6 +183,7 @@ impl FeedbackSession {
             self.labelled.insert(label.cell, sym);
         }
         self.timings.design = self.design_stats();
+        self.timings.components = self.component_stats();
     }
 
     /// Incremental retraining: SGD warm-started from the current weights
@@ -175,9 +201,12 @@ impl FeedbackSession {
         );
         self.timings.learn += t0.elapsed();
         let t1 = Instant::now();
-        self.marginals = infer(&self.model, &self.weights, &self.config, ds);
+        let (marginals, partition) = infer(&self.model, &self.weights, &self.config, ds);
+        self.marginals = marginals;
         self.timings.infer += t1.elapsed();
         self.timings.design = self.design_stats();
+        self.timings.components = self.component_stats();
+        self.timings.partition = partition;
         stats
     }
 
@@ -206,21 +235,54 @@ impl FeedbackSession {
         self.model.graph.design_stats().since(&self.design_baseline)
     }
 
+    /// Component-index work done *by this session* (the pipeline's one
+    /// build is not counted): `full_builds` stays 0 for any label
+    /// sequence — pins never restructure the index, and even late cliques
+    /// merge it in place.
+    pub fn component_stats(&self) -> ComponentStats {
+        self.model
+            .graph
+            .component_stats()
+            .since(&self.component_baseline)
+    }
+
+    /// How the most recent inference pass (session start or the last
+    /// [`FeedbackSession::retrain`]) partitioned the graph and routed its
+    /// components between closed form, exact enumeration and Gibbs.
+    pub fn partition_stats(&self) -> PartitionStats {
+        self.timings.partition
+    }
+
     /// Wall-clock accumulated by this session (initial inference plus
-    /// every retrain round), with [`StageTimings::design`] holding the
-    /// session-relative [`DesignStats`].
+    /// every retrain round), with [`StageTimings::design`] /
+    /// [`StageTimings::components`] holding the session-relative counters
+    /// and [`StageTimings::partition`] the latest routing snapshot.
     pub fn timings(&self) -> StageTimings {
         self.timings
     }
 }
 
-fn infer(model: &CompiledModel, weights: &Weights, config: &HoloConfig, ds: &Dataset) -> Marginals {
-    if model.graph.has_cliques() {
-        let ctx = DatasetContext::new(ds);
-        GibbsSampler::new(&model.graph, weights, &ctx, config.gibbs.seed).run(&config.gibbs)
-    } else {
-        Marginals::exact_unary(&model.graph, weights)
-    }
+/// Partitioned hybrid inference over the session's model — the same
+/// engine the pipeline's Infer stage runs, so a retrain round reuses the
+/// patched component index (never rebuilding it) and independent
+/// components of the graph re-infer concurrently.
+fn infer(
+    model: &CompiledModel,
+    weights: &Weights,
+    config: &HoloConfig,
+    ds: &Dataset,
+) -> (Marginals, PartitionStats) {
+    let ctx = DatasetContext::new(ds);
+    infer_partitioned(
+        &model.graph,
+        weights,
+        &ctx,
+        &PartitionedConfig {
+            gibbs: config.gibbs,
+            exact_limit: config.exact_component_limit,
+        },
+        config.threads,
+    )
 }
 
 #[cfg(test)]
@@ -502,5 +564,16 @@ mod tests {
         );
         assert_eq!(session.timings().design, stats);
         assert!(session.timings().learn > std::time::Duration::ZERO);
+        // The component index obeys the same incremental contract: zero
+        // session rebuilds, and the patched index equals a fresh one.
+        let cstats = session.component_stats();
+        assert_eq!(cstats.full_builds, 0, "no index rebuild in the session");
+        assert_eq!(
+            session.model.graph.components(),
+            &session.model.graph.compile_components(),
+            "patched index == fresh build"
+        );
+        assert!(session.partition_stats().components > 0);
+        assert_eq!(session.timings().components, cstats);
     }
 }

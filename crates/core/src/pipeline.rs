@@ -26,14 +26,34 @@
 //!
 //! Stages parallelise *internally* (violation blocking and probing, domain
 //! pruning, featurization, DC-factor grounding, minibatch-SGD gradient
-//! shards, Gibbs chains — all sharded over [`HoloConfig::threads`]); the
-//! stage sequence itself is strictly ordered because each stage consumes
-//! its predecessor's output. Every parallel path merges per-shard results
-//! in input order, and order-sensitive reductions (the SGD gradient sums)
-//! use **fixed-size shards** whose boundaries never depend on the thread
-//! count (`holo_parallel::sharded_fold`) — so a pipeline run yields
+//! shards, per-component inference — all sharded over
+//! [`HoloConfig::threads`]); the stage sequence itself is strictly ordered
+//! because each stage consumes its predecessor's output. Every parallel
+//! path merges per-shard results in input order, and order-sensitive
+//! reductions (the SGD gradient sums) use **fixed-size shards** whose
+//! boundaries never depend on the thread count
+//! (`holo_parallel::sharded_fold`) — so a pipeline run yields
 //! **bit-for-bit identical output for every thread count** — `threads = 1`
 //! is the sequential engine, anything else is just faster.
+//!
+//! ## The partition/merge seam of inference
+//!
+//! Variables interact only through shared clique factors, so the grounded
+//! graph splits into independent connected components.
+//! [`holo_factor::ComponentIndex`] materialises that partition (built once
+//! per model by a union-find over the clique scopes, then patched in place
+//! by graph mutators exactly like the design matrix — feedback pins never
+//! rebuild it), and [`InferStage`] fans one inference job out per
+//! component: **closed-form** softmax over the component's design-matrix
+//! rows when it has no cliques (every variable of the relaxed §5.2 model),
+//! **exact enumeration** when its joint query space is within
+//! [`HoloConfig::exact_component_limit`], and **per-component multi-chain
+//! Gibbs** otherwise, seeded from `(seed, component_rank)`. Components
+//! share no state and per-component marginals merge back in variable
+//! order, so the parallelism is deterministic *by construction* — no
+//! cross-thread sampling order exists to get wrong. The routing split is
+//! observable in [`StageTimings::partition`] and the index maintenance in
+//! [`StageTimings::components`].
 //!
 //! ## The compiled scoring substrate
 //!
@@ -93,7 +113,10 @@ use crate::features::MatchLookup;
 use holo_constraints::{find_violations_with_threads, ConstraintSet, Violation};
 use holo_dataset::{CellRef, CooccurStats, Dataset, FxHashSet};
 use holo_detect::Detector;
-use holo_factor::{learn, run_chains, DesignStats, LearnStats, Marginals, Weights};
+use holo_factor::{
+    infer_partitioned, learn, ComponentStats, DesignStats, LearnStats, Marginals, PartitionStats,
+    PartitionedConfig, Weights,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -114,6 +137,12 @@ pub struct StageTimings {
     pub infer: Duration,
     /// Design-matrix work: full compiles vs in-place row patches.
     pub design: DesignStats,
+    /// How the last inference pass decomposed the graph: component count,
+    /// size histogram, and the closed-form / exact / Gibbs routing split.
+    pub partition: PartitionStats,
+    /// Component-index work: full union-find builds vs in-place patches
+    /// (late-clique merges, appended singletons).
+    pub components: ComponentStats,
 }
 
 impl StageTimings {
@@ -220,6 +249,8 @@ pub struct StageData {
     pub learn_stats: Option<LearnStats>,
     /// Posterior marginals (Infer).
     pub marginals: Option<Marginals>,
+    /// How inference partitioned and routed the graph (Infer).
+    pub partition_stats: Option<PartitionStats>,
 }
 
 impl StageData {
@@ -334,10 +365,17 @@ impl Stage for LearnStage {
     }
 }
 
-/// Marginal inference: closed-form softmax for the relaxed (clique-free)
-/// model, Gibbs sampling otherwise. With
-/// [`HoloConfig::with_gibbs_chains`] > 1 the chains run in parallel over
-/// [`HoloConfig::threads`]; the default single chain is sequential.
+/// Marginal inference, partitioned: the grounded graph decomposes into
+/// connected components (variables interact only through shared cliques),
+/// each component routes to the cheapest sound engine — closed-form
+/// softmax when clique-free (the entire relaxed §5.2 model), exact
+/// enumeration when its joint query space is at most
+/// [`HoloConfig::exact_component_limit`], multi-chain Gibbs otherwise —
+/// and components run concurrently over [`HoloConfig::threads`] with
+/// per-component seeds derived from `(gibbs.seed, component_rank)`.
+/// Marginals merge back in variable order, so every thread count is
+/// bit-for-bit `threads = 1`. The routing split lands in
+/// [`StageData::partition_stats`] / [`StageTimings::partition`].
 pub struct InferStage;
 
 impl Stage for InferStage {
@@ -350,18 +388,18 @@ impl Stage for InferStage {
         let weights = data.weights.as_ref().ok_or_else(|| {
             HoloError::Pipeline("Infer stage ran before Learn produced weights".into())
         })?;
-        let marginals = if model.graph.has_cliques() {
-            let ctx = cx.value_context();
-            run_chains(
-                &model.graph,
-                weights,
-                &ctx,
-                &cx.config.gibbs,
-                cx.config.threads,
-            )
-        } else {
-            Marginals::exact_unary(&model.graph, weights)
-        };
+        let ctx = cx.value_context();
+        let (marginals, partition) = infer_partitioned(
+            &model.graph,
+            weights,
+            &ctx,
+            &PartitionedConfig {
+                gibbs: cx.config.gibbs,
+                exact_limit: cx.config.exact_component_limit,
+            },
+            cx.config.threads,
+        );
+        data.partition_stats = Some(partition);
         data.marginals = Some(marginals);
         Ok(())
     }
@@ -424,6 +462,10 @@ impl Pipeline {
         }
         if let Some(model) = &data.model {
             timings.design = model.graph.design_stats();
+            timings.components = model.graph.component_stats();
+        }
+        if let Some(partition) = data.partition_stats {
+            timings.partition = partition;
         }
         Ok((data, timings))
     }
@@ -477,6 +519,15 @@ mod tests {
         // of Compile; Learn and Infer reuse it untouched.
         assert_eq!(timings.design.full_builds, 1);
         assert_eq!(timings.design.vars_patched, 0);
+        // Inference partitioned the graph: one component index build, a
+        // component per query variable (the default model is clique-free),
+        // all routed through the closed form.
+        assert_eq!(timings.components.full_builds, 1);
+        let partition = data.partition_stats.unwrap();
+        assert!(partition.components >= 1);
+        assert_eq!(partition.components, partition.closed_form_components);
+        assert_eq!(partition.gibbs_components, 0);
+        assert_eq!(timings.partition, partition);
     }
 
     #[test]

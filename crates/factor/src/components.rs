@@ -1,0 +1,867 @@
+//! Connected-component decomposition of the grounded factor graph, and the
+//! partitioned hybrid inference engine built on it.
+//!
+//! Variables interact only through shared clique factors, so the grounded
+//! graph splits into independent connected components that can be inferred
+//! in isolation — the subproblem decomposition that lets PClean-style
+//! systems scale Bayesian cleaning. [`ComponentIndex`] materialises that
+//! partition (union-find over clique scopes, finalized into per-component
+//! sorted member lists plus a variable→component map) and
+//! [`infer_partitioned`] exploits it:
+//!
+//! * **closed form** — components whose query variables touch no clique
+//!   are independent; each variable's marginal is the softmax of its
+//!   design-matrix row range (the common case after pruning, and the whole
+//!   graph in the §5.2 relaxed model);
+//! * **exact** — clique-coupled components whose joint query state space
+//!   is at most [`PartitionedConfig::exact_limit`] are enumerated exactly
+//!   ([`crate::exact::exact_marginals_for`]): exact marginals, no sampling
+//!   noise;
+//! * **Gibbs** — larger components run multi-chain Gibbs restricted to
+//!   the component, seeded from `(seed, component_rank)`.
+//!
+//! Components share no state, so they run concurrently via
+//! [`holo_parallel::parallel_jobs`]; per-component seeds depend only on
+//! the component's rank in the canonical index order and the merge writes
+//! each variable's marginal exactly once — so the result is **bit-for-bit
+//! identical at every thread count**.
+//!
+//! The index is maintained incrementally like the design matrix: graph
+//! mutators patch it in place (`add_variable` appends a singleton
+//! component, a late `add_clique` merges the components its scope spans,
+//! feedback pins change nothing — scopes are unioned over *all* members,
+//! evidence included, precisely so that pinning never has to split a
+//! component). [`ComponentStats`] counts full builds vs in-place patches,
+//! and a patched index is always equal to a fresh
+//! [`ComponentIndex::build`] of the mutated graph (proptested).
+
+use crate::exact::{exact_marginals_for, MAX_EXACT_STATES};
+use crate::gibbs::{chain_seed, GibbsConfig, GibbsSampler};
+use crate::graph::{CliqueFactor, FactorGraph, ValueContext, VarId};
+use crate::marginals::Marginals;
+use crate::math::softmax;
+use crate::weights::Weights;
+use holo_dataset::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Build/patch counters of the cached [`ComponentIndex`] — the
+/// observability hook for its incremental maintenance: a healthy feedback
+/// session shows **zero** full builds (the one build happened during the
+/// pipeline's Infer stage) and one patch per late mutation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentStats {
+    /// Full union-find builds over the whole graph.
+    pub full_builds: u64,
+    /// Components fused in place by late cliques (a clique spanning `k`
+    /// components counts `k - 1`).
+    pub merges: u64,
+    /// Singleton components appended for late variables.
+    pub vars_appended: u64,
+}
+
+impl ComponentStats {
+    /// Counter-wise difference since an earlier snapshot (for per-session
+    /// accounting on a long-lived graph).
+    pub fn since(&self, earlier: &ComponentStats) -> ComponentStats {
+        ComponentStats {
+            full_builds: self.full_builds - earlier.full_builds,
+            merges: self.merges - earlier.merges,
+            vars_appended: self.vars_appended - earlier.vars_appended,
+        }
+    }
+}
+
+/// How one partitioned inference pass decomposed and routed the graph —
+/// the component count, the size shape, and the exact vs sampled split.
+/// Snapshot semantics (unlike the counter-style [`ComponentStats`]): each
+/// inference pass produces a fresh one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Connected components containing at least one query variable.
+    pub components: u64,
+    /// Components with exactly one query variable.
+    pub singleton_components: u64,
+    /// Query variables in the largest component.
+    pub largest_component: u64,
+    /// Component-size histogram over query-variable counts: buckets are
+    /// `1`, `2..=3`, `4..=15`, `16+`.
+    pub size_hist: [u64; 4],
+    /// Components solved in closed form (no adjacent cliques).
+    pub closed_form_components: u64,
+    /// Query variables solved in closed form.
+    pub closed_form_vars: u64,
+    /// Clique-coupled components solved by exact enumeration.
+    pub exact_components: u64,
+    /// Query variables solved by exact enumeration.
+    pub exact_vars: u64,
+    /// Components sampled with per-component Gibbs chains.
+    pub gibbs_components: u64,
+    /// Query variables sampled with Gibbs.
+    pub gibbs_vars: u64,
+}
+
+/// The connected components of a factor graph under the relation "appears
+/// in a common clique scope". Canonical form: every member list is sorted
+/// ascending, and components are ordered by their smallest member — so
+/// two indexes over the same graph are structurally equal however they
+/// were produced (fresh build or incremental patches).
+///
+/// Scopes are unioned over **all** clique members, evidence included:
+/// conditioning on evidence could split components further, but splitting
+/// a union-find is not an in-place operation — keeping evidence in the
+/// union means [`FactorGraph::pin_evidence`] never invalidates the index.
+/// Routing still only counts *query* variables (see
+/// [`infer_partitioned`]), so the conservatism costs nothing in the
+/// common case.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComponentIndex {
+    /// `comp_of[v]` = component id of variable `v`.
+    comp_of: Vec<u32>,
+    /// `members[c]` = sorted variable ids of component `c`.
+    members: Vec<Vec<VarId>>,
+}
+
+impl ComponentIndex {
+    /// Builds the index from scratch: union-find over the clique scopes,
+    /// finalized into the canonical form.
+    pub fn build(var_count: usize, cliques: &[CliqueFactor]) -> ComponentIndex {
+        // Union-find with the invariant "root = smallest member", which
+        // makes the finalize pass canonical for free.
+        let mut parent: Vec<u32> = (0..var_count as u32).collect();
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                parent[v as usize] = parent[parent[v as usize] as usize];
+                v = parent[v as usize];
+            }
+            v
+        }
+        for clique in cliques {
+            let mut vars = clique.vars.iter();
+            let Some(&first) = vars.next() else { continue };
+            let mut root = find(&mut parent, first.0);
+            for &v in vars {
+                let r = find(&mut parent, v.0);
+                if r == root {
+                    continue;
+                }
+                if r < root {
+                    parent[root as usize] = r;
+                    root = r;
+                } else {
+                    parent[r as usize] = root;
+                }
+            }
+        }
+        // Finalize: component ids in order of first-encountered member
+        // (the set's minimum, since roots are minima and variables scan in
+        // ascending order).
+        let mut comp_of = vec![0u32; var_count];
+        let mut id_of_root = vec![u32::MAX; var_count];
+        let mut members: Vec<Vec<VarId>> = Vec::new();
+        for v in 0..var_count as u32 {
+            let root = find(&mut parent, v) as usize;
+            let id = if id_of_root[root] == u32::MAX {
+                let id = members.len() as u32;
+                id_of_root[root] = id;
+                members.push(Vec::new());
+                id
+            } else {
+                id_of_root[root]
+            };
+            comp_of[v as usize] = id;
+            members[id as usize].push(VarId(v));
+        }
+        ComponentIndex { comp_of, members }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the graph has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of variables covered.
+    pub fn var_count(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    /// The component id of variable `v`.
+    pub fn comp_of(&self, v: VarId) -> u32 {
+        self.comp_of[v.index()]
+    }
+
+    /// The sorted members of component `c`.
+    pub fn members(&self, c: u32) -> &[VarId] {
+        &self.members[c as usize]
+    }
+
+    /// Iterates component member lists in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &[VarId]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+
+    /// Appends a fresh singleton component for a just-added variable
+    /// (which must carry the next variable id). A new variable has the
+    /// largest id, so its singleton sorts last — the canonical position.
+    pub fn add_singleton(&mut self, v: VarId) {
+        assert_eq!(v.index(), self.comp_of.len(), "variables append in order");
+        self.comp_of.push(self.members.len() as u32);
+        self.members.push(vec![v]);
+    }
+
+    /// Fuses the components spanned by a late clique's scope in place,
+    /// returning how many merges happened (`distinct components - 1`).
+    /// O(variable count) when a merge occurs — late cliques are rare
+    /// (feedback-scale), and a fresh build is O(V + cliques) anyway.
+    pub fn merge_scope(&mut self, vars: &[VarId]) -> u64 {
+        let mut comps: Vec<u32> = vars.iter().map(|&v| self.comp_of[v.index()]).collect();
+        comps.sort_unstable();
+        comps.dedup();
+        if comps.len() <= 1 {
+            return 0;
+        }
+        // Component ids are ordered by smallest member, so the smallest id
+        // keeps its slot and absorbs the rest.
+        let target = comps[0] as usize;
+        let mut merged = std::mem::take(&mut self.members[target]);
+        for &c in &comps[1..] {
+            merged.extend_from_slice(&self.members[c as usize]);
+        }
+        merged.sort_unstable();
+        self.members[target] = merged;
+        for &c in comps[1..].iter().rev() {
+            self.members.remove(c as usize);
+        }
+        for (id, members) in self.members.iter().enumerate() {
+            for &v in members {
+                self.comp_of[v.index()] = id as u32;
+            }
+        }
+        (comps.len() - 1) as u64
+    }
+}
+
+/// Configuration of [`infer_partitioned`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PartitionedConfig {
+    /// Sampler budget for Gibbs-routed components. `gibbs.seed` is the
+    /// master seed every per-component seed derives from.
+    pub gibbs: GibbsConfig,
+    /// Joint-query-state ceiling under which a clique-coupled component is
+    /// enumerated exactly instead of sampled; `0` disables enumeration
+    /// entirely (every coupled component samples). Clique-free components
+    /// always go through the closed form regardless — that path is exact
+    /// and cheaper than both.
+    pub exact_limit: u64,
+}
+
+/// Gibbs components with at least this many query variables fan their
+/// chains out as separate parallel jobs (each chain pays its own O(graph)
+/// sampler setup, amortised by the sweep work on a component this big);
+/// smaller components run chains sequentially on one rewound sampler.
+/// The threshold only picks a schedule — both paths produce bit-for-bit
+/// identical counts (same seeds, same chain-order merge) — so it can
+/// never affect output, only wall-clock. Without the fan-out, a densely
+/// constrained graph that collapses into one giant component would lose
+/// the chain parallelism the monolithic `run_chains` had.
+const CHAIN_FANOUT_MIN_QUERY_VARS: usize = 64;
+
+/// One schedulable work unit of a partitioned inference pass, referencing
+/// its component by rank.
+enum Unit {
+    /// Independent variables: per-variable softmax over design rows.
+    Closed(usize),
+    /// Exact enumeration of the component's joint query space.
+    Exact(usize),
+    /// Per-component Gibbs, all chains sequentially on one sampler.
+    Gibbs(usize),
+    /// One chain of a fanned-out large Gibbs component.
+    GibbsChain(usize, usize),
+}
+
+/// What a unit produces: finished marginals, or one chain's raw counts
+/// (query-aligned) still to be merged with its sibling chains.
+enum UnitOut {
+    Done(Vec<(VarId, Vec<f64>)>),
+    ChainCounts(usize, Vec<Vec<f64>>),
+}
+
+/// Partitioned hybrid inference: decomposes the graph via its cached
+/// [`ComponentIndex`], routes every query-bearing component to closed
+/// form / exact enumeration / Gibbs (see the module docs), runs components
+/// concurrently over up to `threads` OS threads, and merges per-component
+/// marginals back in variable order.
+///
+/// Determinism: the component order is canonical, component `rank` seeds
+/// its chains via the same SplitMix mixing as multi-chain Gibbs (rank 0
+/// keeps `gibbs.seed`, so a graph that is one single component reproduces
+/// [`crate::gibbs::run_chains`] bit-for-bit), and each variable's marginal
+/// is produced by exactly one component — so any thread count yields the
+/// `threads = 1` result bit-for-bit. Evidence variables get a point mass.
+pub fn infer_partitioned<C: ValueContext + Sync>(
+    graph: &FactorGraph,
+    weights: &Weights,
+    ctx: &C,
+    config: &PartitionedConfig,
+    threads: usize,
+) -> (Marginals, PartitionStats) {
+    let index = graph.components();
+    let chains = config.gibbs.chains.max(1);
+    let mut stats = PartitionStats::default();
+    let mut comps: Vec<Vec<VarId>> = Vec::new();
+    let mut units: Vec<Unit> = Vec::new();
+    for members in index.iter() {
+        let query: Vec<VarId> = members
+            .iter()
+            .copied()
+            .filter(|&v| graph.var(v).is_query())
+            .collect();
+        if query.is_empty() {
+            continue;
+        }
+        let size = query.len() as u64;
+        stats.components += 1;
+        stats.singleton_components += u64::from(size == 1);
+        stats.largest_component = stats.largest_component.max(size);
+        stats.size_hist[match size {
+            1 => 0,
+            2..=3 => 1,
+            4..=15 => 2,
+            _ => 3,
+        }] += 1;
+        let rank = comps.len();
+        let coupled = query.iter().any(|&v| !graph.cliques_of(v).is_empty());
+        if !coupled {
+            stats.closed_form_components += 1;
+            stats.closed_form_vars += size;
+            units.push(Unit::Closed(rank));
+        } else {
+            let space = query.iter().fold(1u64, |acc, &v| {
+                acc.saturating_mul(graph.var(v).arity() as u64)
+            });
+            if space <= config.exact_limit && space <= MAX_EXACT_STATES as u64 {
+                stats.exact_components += 1;
+                stats.exact_vars += size;
+                units.push(Unit::Exact(rank));
+            } else {
+                stats.gibbs_components += 1;
+                stats.gibbs_vars += size;
+                if chains > 1 && query.len() >= CHAIN_FANOUT_MIN_QUERY_VARS {
+                    units.extend((0..chains).map(|c| Unit::GibbsChain(rank, c)));
+                } else {
+                    units.push(Unit::Gibbs(rank));
+                }
+            }
+        }
+        comps.push(query);
+    }
+    let outs = holo_parallel::parallel_jobs(threads, units.len(), |i| match units[i] {
+        Unit::Closed(rank) => UnitOut::Done(
+            comps[rank]
+                .iter()
+                .map(|&v| (v, softmax(&graph.unary_scores(v, weights))))
+                .collect(),
+        ),
+        Unit::Exact(rank) => UnitOut::Done(exact_marginals_for(graph, weights, ctx, &comps[rank])),
+        Unit::Gibbs(rank) => UnitOut::Done(sample_component(
+            graph,
+            weights,
+            ctx,
+            &config.gibbs,
+            component_seed(config.gibbs.seed, rank),
+            &comps[rank],
+        )),
+        Unit::GibbsChain(rank, chain) => {
+            let seed = chain_seed(component_seed(config.gibbs.seed, rank), chain);
+            let mut sampler =
+                GibbsSampler::for_query(graph, weights, ctx, seed, comps[rank].to_vec());
+            let counts = sampler
+                .collect_query_counts(config.gibbs.burn_in, samples_per_chain(&config.gibbs));
+            UnitOut::ChainCounts(rank, counts)
+        }
+    });
+    // Merge: finished units pass through; fanned chain counts accumulate
+    // per component in unit order — which is chain order, the same f64
+    // addition sequence the sequential sampler performs — then normalise.
+    let mut parts: Vec<(VarId, Vec<f64>)> = Vec::new();
+    let mut fanned: FxHashMap<usize, Vec<Vec<f64>>> = FxHashMap::default();
+    let mut fanned_ranks: Vec<usize> = Vec::new();
+    for out in outs {
+        match out {
+            UnitOut::Done(p) => parts.extend(p),
+            UnitOut::ChainCounts(rank, counts) => match fanned.entry(rank) {
+                std::collections::hash_map::Entry::Occupied(mut acc) => {
+                    for (a, c) in acc.get_mut().iter_mut().zip(counts) {
+                        for (x, y) in a.iter_mut().zip(c) {
+                            *x += y;
+                        }
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(counts);
+                    fanned_ranks.push(rank);
+                }
+            },
+        }
+    }
+    for rank in fanned_ranks {
+        let counts = fanned.remove(&rank).expect("accumulated above");
+        parts.extend(normalize_query_counts(&comps[rank], counts));
+    }
+    let marginals = Marginals::assemble(graph, parts);
+    (marginals, stats)
+}
+
+/// Counted sweeps contributed by each chain: the total sample budget split
+/// evenly, rounded up — exactly [`crate::gibbs::run_chains`]'s split, so
+/// the fan-out path stays bit-compatible with it.
+fn samples_per_chain(cfg: &GibbsConfig) -> usize {
+    cfg.samples.max(1).div_ceil(cfg.chains.max(1))
+}
+
+/// Seed of component `rank`: rank 0 keeps the master seed — so a graph
+/// that is one single component reproduces [`crate::gibbs::run_chains`]
+/// bit-for-bit — and later ranks mix `(seed, rank)` through a SplitMix64
+/// finalizer with **different constants** than the chain-level
+/// [`chain_seed`]. The two tiers must not share a mixer: `chain_seed(x,
+/// 0) == x`, so with one mixer, component `r`'s chain 0 and component
+/// 0's chain `r` would both derive the identical stream `mix(seed, r)`
+/// and two different components would consume correlated randomness.
+fn component_seed(seed: u64, rank: usize) -> u64 {
+    if rank == 0 {
+        return seed;
+    }
+    // Murmur3-style finalizer constants (distinct from chain_seed's).
+    let mut z = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+/// Multi-chain Gibbs restricted to one component: chains run sequentially
+/// (components provide the parallelism) with seeds derived from the
+/// component seed exactly as [`crate::gibbs::run_chains`] derives them
+/// from the master seed, and their counts merge in chain order.
+fn sample_component<C: ValueContext>(
+    graph: &FactorGraph,
+    weights: &Weights,
+    ctx: &C,
+    cfg: &GibbsConfig,
+    comp_seed: u64,
+    query: &[VarId],
+) -> Vec<(VarId, Vec<f64>)> {
+    let chains = cfg.chains.max(1);
+    let per_chain = samples_per_chain(cfg);
+    let mut merged: Vec<Vec<f64>> = query
+        .iter()
+        .map(|&v| vec![0.0; graph.var(v).arity()])
+        .collect();
+    // One sampler per component, rewound between chains: the full-graph
+    // state build happens once, each further chain costs O(component).
+    let mut sampler = GibbsSampler::for_query(
+        graph,
+        weights,
+        ctx,
+        chain_seed(comp_seed, 0),
+        query.to_vec(),
+    );
+    for chain in 0..chains {
+        if chain > 0 {
+            sampler.reset_chain(chain_seed(comp_seed, chain));
+        }
+        let counts = sampler.collect_query_counts(cfg.burn_in, per_chain);
+        for (acc, c) in merged.iter_mut().zip(counts) {
+            for (x, y) in acc.iter_mut().zip(c) {
+                *x += y;
+            }
+        }
+    }
+    normalize_query_counts(query, merged)
+}
+
+/// Raw per-candidate sample counts into marginals, query-aligned: sampled
+/// variables normalise, never-sampled ones fall back to uniform (the same
+/// rule as [`crate::gibbs::run_chains`]'s normalisation).
+fn normalize_query_counts(query: &[VarId], mut counts: Vec<Vec<f64>>) -> Vec<(VarId, Vec<f64>)> {
+    for probs in &mut counts {
+        let total: f64 = probs.iter().sum();
+        if total > 0.0 {
+            probs.iter_mut().for_each(|p| *p /= total);
+        } else {
+            let n = probs.len().max(1);
+            probs.iter_mut().for_each(|p| *p = 1.0 / n as f64);
+        }
+    }
+    query.iter().copied().zip(counts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_marginals;
+    use crate::gibbs::run_chains;
+    use crate::graph::{CmpOp, EqOnlyContext, FactorOperand, FactorPredicate, Variable};
+    use crate::weights::WeightId;
+    use holo_dataset::Sym;
+    use proptest::prelude::*;
+
+    fn sym(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    fn must_differ(a: VarId, b: VarId, weight: WeightId) -> CliqueFactor {
+        CliqueFactor {
+            vars: vec![a, b],
+            weight,
+            predicates: vec![FactorPredicate {
+                lhs: FactorOperand::Var(0),
+                op: CmpOp::Eq,
+                rhs: FactorOperand::Var(1),
+            }],
+        }
+    }
+
+    /// Two coupled pairs plus a free variable: three components, in
+    /// canonical order.
+    fn two_pair_graph() -> (FactorGraph, Weights) {
+        let mut g = FactorGraph::new();
+        let vs: Vec<VarId> = (0..5)
+            .map(|i| {
+                g.add_variable(Variable::query(
+                    vec![sym(1), sym(2), sym(3)],
+                    Some((i % 2) as usize),
+                ))
+            })
+            .collect();
+        let mut w = Weights::zeros(4);
+        w.set(WeightId(0), 0.9);
+        w.set(WeightId(1), 1.7);
+        w.set(WeightId(2), 1.1);
+        w.set(WeightId(3), -0.4);
+        g.add_feature(vs[0], 0, WeightId(0), 1.0);
+        g.add_feature(vs[2], 1, WeightId(3), 2.0);
+        g.add_feature(vs[4], 2, WeightId(0), 1.0);
+        g.add_clique(must_differ(vs[0], vs[1], WeightId(1)));
+        g.add_clique(must_differ(vs[2], vs[3], WeightId(2)));
+        (g, w)
+    }
+
+    #[test]
+    fn build_groups_by_clique_scope() {
+        let (g, _) = two_pair_graph();
+        let ix = g.components();
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.members(0), &[VarId(0), VarId(1)]);
+        assert_eq!(ix.members(1), &[VarId(2), VarId(3)]);
+        assert_eq!(ix.members(2), &[VarId(4)]);
+        assert_eq!(ix.comp_of(VarId(3)), 1);
+        assert_eq!(ix.var_count(), 5);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = FactorGraph::new();
+        assert!(g.components().is_empty());
+    }
+
+    #[test]
+    fn late_clique_merges_in_place_and_matches_fresh_build() {
+        let (mut g, _) = two_pair_graph();
+        let _ = g.components(); // the one full build
+        assert_eq!(g.component_stats().full_builds, 1);
+        // Bridge the two pairs: components 0 and 1 fuse.
+        g.add_clique(must_differ(VarId(1), VarId(2), WeightId(1)));
+        assert_eq!(g.components(), &g.compile_components());
+        assert_eq!(g.components().len(), 2);
+        assert_eq!(
+            g.components().members(0),
+            &[VarId(0), VarId(1), VarId(2), VarId(3)]
+        );
+        // Late variable: appended as a singleton.
+        let v = g.add_variable(Variable::query(vec![sym(1), sym(2)], None));
+        assert_eq!(g.components(), &g.compile_components());
+        assert_eq!(g.components().comp_of(v), 2);
+        let stats = g.component_stats();
+        assert_eq!(stats.full_builds, 1, "patched, never rebuilt");
+        assert_eq!(stats.merges, 1);
+        assert_eq!(stats.vars_appended, 1);
+    }
+
+    #[test]
+    fn pins_leave_the_index_untouched() {
+        let (mut g, _) = two_pair_graph();
+        let before = g.components().clone();
+        g.pin_evidence(VarId(1), sym(9)); // out-of-domain pin
+        g.pin_evidence(VarId(4), sym(1)); // in-domain pin
+        assert_eq!(g.components(), &before);
+        assert_eq!(g.components(), &g.compile_components());
+        assert_eq!(g.component_stats().full_builds, 1);
+    }
+
+    /// Clique-free graphs route every variable through the closed form,
+    /// reproducing `Marginals::exact_unary` bit-for-bit at any limit.
+    #[test]
+    fn clique_free_graph_is_closed_form_at_any_limit() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        g.add_variable(Variable::evidence(vec![sym(3), sym(4)], 1));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2), sym(3)], None));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 1.2);
+        w.set(WeightId(1), -0.7);
+        g.add_feature(a, 0, WeightId(0), 1.0);
+        g.add_feature(b, 2, WeightId(1), 3.0);
+        let reference = Marginals::exact_unary(&g, &w);
+        for exact_limit in [0, 4096] {
+            let cfg = PartitionedConfig {
+                gibbs: GibbsConfig::default(),
+                exact_limit,
+            };
+            let (m, stats) = infer_partitioned(&g, &w, &EqOnlyContext, &cfg, 1);
+            assert_eq!(m, reference, "exact_limit = {exact_limit}");
+            assert_eq!(stats.components, 2);
+            assert_eq!(stats.closed_form_vars, 2);
+            assert_eq!(stats.gibbs_vars, 0);
+            assert_eq!(stats.exact_vars, 0);
+        }
+    }
+
+    /// A single-component graph sampled with `exact_limit = 0` reproduces
+    /// the monolithic `run_chains` bit-for-bit (same seeds, same sweep
+    /// order, same merge order) — the partition seam costs nothing.
+    #[test]
+    fn single_component_gibbs_is_bit_for_bit_run_chains() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        g.add_variable(Variable::evidence(vec![sym(1), sym(2)], 1));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 0.7);
+        w.set(WeightId(1), 1.4);
+        g.add_feature(a, 0, WeightId(0), 1.0);
+        g.add_clique(must_differ(a, b, WeightId(1)));
+        let ctx = EqOnlyContext;
+        for chains in [1usize, 4] {
+            let gibbs = GibbsConfig {
+                burn_in: 30,
+                samples: 600,
+                seed: 21,
+                chains,
+            };
+            let reference = run_chains(&g, &w, &ctx, &gibbs, 1);
+            let cfg = PartitionedConfig {
+                gibbs,
+                exact_limit: 0,
+            };
+            let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
+            assert_eq!(m, reference, "chains = {chains}");
+            assert_eq!(stats.gibbs_components, 1);
+            assert_eq!(stats.gibbs_vars, 2);
+        }
+    }
+
+    /// Exact routing matches global enumeration, and the whole pass is
+    /// identical at every thread count.
+    #[test]
+    fn exact_routing_matches_global_enumeration_and_threads() {
+        let (g, w) = two_pair_graph();
+        let ctx = EqOnlyContext;
+        let cfg = PartitionedConfig {
+            gibbs: GibbsConfig::default(),
+            exact_limit: 4096,
+        };
+        let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
+        assert_eq!(stats.components, 3);
+        assert_eq!(stats.exact_components, 2);
+        assert_eq!(stats.closed_form_components, 1);
+        assert_eq!(stats.size_hist, [1, 2, 0, 0]);
+        let global = exact_marginals(&g, &w, &ctx);
+        for v in g.var_ids() {
+            for k in 0..g.var(v).arity() {
+                assert!(
+                    (m.prob(v, k) - global.prob(v, k)).abs() < 1e-12,
+                    "var {v:?} cand {k}: {} vs {}",
+                    m.prob(v, k),
+                    global.prob(v, k)
+                );
+            }
+        }
+        for threads in [2, 4, 8] {
+            let (mt, st) = infer_partitioned(&g, &w, &ctx, &cfg, threads);
+            assert_eq!(mt, m, "threads = {threads}");
+            assert_eq!(st, stats);
+        }
+    }
+
+    /// Gibbs routing is thread-count invariant too, and statistically
+    /// close to the exact answer.
+    #[test]
+    fn gibbs_routing_thread_invariant_and_converges() {
+        let (g, w) = two_pair_graph();
+        let ctx = EqOnlyContext;
+        let cfg = PartitionedConfig {
+            gibbs: GibbsConfig {
+                burn_in: 200,
+                samples: 20_000,
+                seed: 5,
+                chains: 2,
+            },
+            exact_limit: 0, // force sampling of the coupled pairs
+        };
+        let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
+        assert_eq!(stats.gibbs_components, 2);
+        assert_eq!(stats.closed_form_components, 1);
+        for threads in [2, 4] {
+            let (mt, _) = infer_partitioned(&g, &w, &ctx, &cfg, threads);
+            assert_eq!(mt, m, "threads = {threads}");
+        }
+        let exact = exact_marginals(&g, &w, &ctx);
+        for v in g.var_ids() {
+            for k in 0..g.var(v).arity() {
+                assert!(
+                    (m.prob(v, k) - exact.prob(v, k)).abs() < 0.03,
+                    "var {v:?} cand {k}: gibbs {} vs exact {}",
+                    m.prob(v, k),
+                    exact.prob(v, k)
+                );
+            }
+        }
+    }
+
+    /// A component large enough to trip the chain fan-out (≥ 64 query
+    /// vars, chains > 1) still reproduces the monolithic `run_chains`
+    /// bit-for-bit — the fan-out is a schedule, not a model change — and
+    /// stays thread-invariant.
+    #[test]
+    fn fanned_out_chains_match_run_chains_bit_for_bit() {
+        let mut g = FactorGraph::new();
+        let n = CHAIN_FANOUT_MIN_QUERY_VARS + 6;
+        let vars: Vec<VarId> = (0..n)
+            .map(|i| g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(i % 2))))
+            .collect();
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 0.6);
+        w.set(WeightId(1), 1.1);
+        g.add_feature(vars[0], 0, WeightId(0), 1.0);
+        for pair in vars.windows(2) {
+            g.add_clique(must_differ(pair[0], pair[1], WeightId(1)));
+        }
+        let ctx = EqOnlyContext;
+        let gibbs = GibbsConfig {
+            burn_in: 10,
+            samples: 80,
+            seed: 33,
+            chains: 4,
+        };
+        let reference = run_chains(&g, &w, &ctx, &gibbs, 1);
+        let cfg = PartitionedConfig {
+            gibbs,
+            exact_limit: 0,
+        };
+        for threads in [1, 2, 4] {
+            let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, threads);
+            assert_eq!(m, reference, "threads = {threads}");
+            assert_eq!(stats.gibbs_components, 1);
+            assert_eq!(stats.gibbs_vars, n as u64);
+        }
+    }
+
+    /// The two seed tiers never collide structurally: component `r`'s
+    /// chain 0 (`component_seed(s, r)`) must differ from component 0's
+    /// chain `r` (`chain_seed(s, r)`) — with a shared mixer they would be
+    /// identical — and all (rank, chain) streams in a small grid are
+    /// pairwise distinct.
+    #[test]
+    fn component_and_chain_seeds_do_not_collide() {
+        let seed = 0x5eed;
+        assert_eq!(component_seed(seed, 0), seed);
+        let mut all = Vec::new();
+        for rank in 0..8 {
+            for chain in 0..8 {
+                all.push(chain_seed(component_seed(seed, rank), chain));
+            }
+        }
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "colliding (rank, chain) streams");
+    }
+
+    /// One mutation drawn from the moves a live graph makes after its
+    /// index is built.
+    #[derive(Debug, Clone)]
+    enum Op {
+        AddVar { arity: usize },
+        AddClique { a: usize, b: usize },
+        Pin { var: usize, novel: bool },
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        // The offline proptest stub has no `prop_oneof!`; select the
+        // variant with a modulo, like the feedback mutation strategy does.
+        (0usize..3, 0usize..64, 0usize..64).prop_map(|(which, a, b)| match which {
+            0 => Op::AddVar { arity: 2 + a % 3 },
+            1 => Op::AddClique { a, b },
+            _ => Op::Pin {
+                var: a,
+                novel: b % 2 == 0,
+            },
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random pin / late-clique / late-variable sequences keep the
+        /// patched index equal to a fresh recompute, with exactly one full
+        /// build ever.
+        #[test]
+        fn random_mutations_patch_equals_fresh_build(
+            arities in proptest::collection::vec(2usize..=4, 1..6),
+            ops in proptest::collection::vec(op(), 1..24),
+        ) {
+            let mut g = FactorGraph::new();
+            for (i, &arity) in arities.iter().enumerate() {
+                let base = 1 + (i * 8) as u32;
+                let domain: Vec<Sym> = (0..arity as u32).map(|k| Sym(base + k)).collect();
+                g.add_variable(Variable::query(domain, Some(0)));
+            }
+            let _ = g.components(); // the one full build
+            let mut novel = 50_000u32;
+            for op in ops {
+                match op {
+                    Op::AddVar { arity } => {
+                        novel += 16;
+                        let domain: Vec<Sym> =
+                            (0..arity as u32).map(|k| Sym(novel + k)).collect();
+                        g.add_variable(Variable::query(domain, None));
+                    }
+                    Op::AddClique { a, b } => {
+                        let n = g.var_count();
+                        let (a, b) = (VarId((a % n) as u32), VarId((b % n) as u32));
+                        if a == b {
+                            continue;
+                        }
+                        g.add_clique(must_differ(a, b, WeightId(0)));
+                    }
+                    Op::Pin { var, novel: out_of_domain } => {
+                        let v = VarId((var % g.var_count()) as u32);
+                        let value = if out_of_domain {
+                            novel += 16;
+                            Sym(novel)
+                        } else {
+                            g.var(v).domain[0]
+                        };
+                        g.pin_evidence(v, value);
+                    }
+                }
+                prop_assert_eq!(g.components(), &g.compile_components());
+            }
+            prop_assert_eq!(g.component_stats().full_builds, 1, "patches only");
+        }
+    }
+}

@@ -2,10 +2,15 @@
 //! Gibbs sampler and for variant-equivalence tests.
 
 use crate::design::DesignMatrix;
-use crate::graph::{FactorGraph, ValueContext};
+use crate::graph::{FactorGraph, ValueContext, VarId};
 use crate::marginals::Marginals;
 use crate::weights::Weights;
 use holo_dataset::Sym;
+
+/// Hard ceiling on the joint assignment count any enumeration here will
+/// walk; [`crate::components::infer_partitioned`] routes components past
+/// it (or past its configured limit, whichever is smaller) to Gibbs.
+pub const MAX_EXACT_STATES: usize = 1 << 22;
 
 /// Exact marginals by enumerating every joint assignment of the query
 /// variables (evidence pinned). Exponential — intended for graphs with a
@@ -24,7 +29,10 @@ pub fn exact_marginals(
         .map(|&v| graph.var(v).arity())
         .try_fold(1usize, |acc, a| acc.checked_mul(a))
         .expect("joint space overflow");
-    assert!(space <= 1 << 22, "joint space too large for enumeration");
+    assert!(
+        space <= MAX_EXACT_STATES,
+        "joint space too large for enumeration"
+    );
 
     // Every (variable, candidate) unary score is read once per joint
     // assignment; precompute them all from the design matrix so the
@@ -120,6 +128,160 @@ fn joint_score(
         score += clique.score(&syms, weights, ctx);
     }
     score
+}
+
+/// Exact marginals of one connected component, by enumerating the joint
+/// assignments of `query` (the component's query variables, ascending)
+/// with every other variable pinned — evidence at its observed candidate,
+/// which is the only outside state the component's cliques can read.
+/// Returns `(variable, marginal)` pairs aligned to `query`.
+///
+/// Unlike [`exact_marginals`] this never touches rows, cliques *or state*
+/// outside the component — the working state vector covers only the
+/// component's own variables (query members plus the clique-referenced
+/// evidence), so a call is O(component + joint work), and thousands of
+/// small components stay linear overall. Joint scores are max-shifted
+/// before exponentiating, so strongly-weighted constraints cannot
+/// underflow the partition sum to zero.
+///
+/// # Panics
+/// Panics if the component's joint space exceeds [`MAX_EXACT_STATES`];
+/// the partitioned router checks the space before calling.
+pub fn exact_marginals_for(
+    graph: &FactorGraph,
+    weights: &Weights,
+    ctx: &impl ValueContext,
+    query: &[VarId],
+) -> Vec<(VarId, Vec<f64>)> {
+    let arities: Vec<usize> = query.iter().map(|&v| graph.var(v).arity()).collect();
+    let space: usize = arities
+        .iter()
+        .try_fold(1usize, |acc, &a| acc.checked_mul(a))
+        .expect("component joint space overflow");
+    assert!(
+        space <= MAX_EXACT_STATES,
+        "component joint space too large for enumeration"
+    );
+    // Cliques of the component, deduped: every clique adjacent to a query
+    // member lies entirely inside the component (that is what the
+    // union-find guarantees), and cliques over evidence only are constant.
+    let mut cliques: Vec<u32> = query
+        .iter()
+        .flat_map(|&v| graph.cliques_of(v).iter().copied())
+        .collect();
+    cliques.sort_unstable();
+    cliques.dedup();
+    // Component-local variable table: the query members plus every
+    // clique-referenced variable (evidence included) — the state vector
+    // spans these only, never the whole graph.
+    let mut locals: Vec<VarId> = query.to_vec();
+    for &ci in &cliques {
+        locals.extend_from_slice(&graph.cliques()[ci as usize].vars);
+    }
+    locals.sort_unstable();
+    locals.dedup();
+    let local_of = |v: VarId| -> usize {
+        locals
+            .binary_search(&v)
+            .expect("clique member in component")
+    };
+    let query_slots: Vec<usize> = query.iter().map(|&v| local_of(v)).collect();
+    // Per-clique member slots, resolved once instead of per assignment.
+    let clique_slots: Vec<(u32, Vec<usize>)> = cliques
+        .iter()
+        .map(|&ci| {
+            let slots = graph.cliques()[ci as usize]
+                .vars
+                .iter()
+                .map(|&v| local_of(v))
+                .collect();
+            (ci, slots)
+        })
+        .collect();
+    // Unary scores of the component's own rows only.
+    let unary: Vec<Vec<f64>> = query
+        .iter()
+        .map(|&v| graph.unary_scores(v, weights))
+        .collect();
+    let mut state: Vec<usize> = locals
+        .iter()
+        .map(|&v| graph.var(v).evidence.unwrap_or(0))
+        .collect();
+    let mut syms: Vec<Sym> = Vec::new();
+    let score_of = |state: &[usize], syms: &mut Vec<Sym>| -> f64 {
+        let mut score = 0.0;
+        for (i, &slot) in query_slots.iter().enumerate() {
+            score += unary[i][state[slot]];
+        }
+        for (ci, slots) in &clique_slots {
+            let clique = &graph.cliques()[*ci as usize];
+            syms.clear();
+            for (&u, &slot) in clique.vars.iter().zip(slots) {
+                syms.push(graph.var(u).domain[state[slot]]);
+            }
+            score += clique.score(syms, weights, ctx);
+        }
+        score
+    };
+
+    // Pass 1 walks the joint space once — paying the clique evaluations,
+    // the dominant cost, exactly once per assignment — and buffers every
+    // score (`space` is router-bounded, so the buffer is small at the
+    // default limit). Pass 2 replays the odometer over the buffer, pure
+    // index arithmetic, accumulating exp(score - max); the shifted sum
+    // always contains a 1.0 term, so the normaliser never underflows to
+    // zero. Pass 2 reuses the state vector — the odometer rewrites every
+    // query slot from zero.
+    let mut scores = Vec::with_capacity(space);
+    for_each_assignment(&arities, &query_slots, &mut state, |state| {
+        scores.push(score_of(state, &mut syms));
+    });
+    let max_score = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut accum: Vec<Vec<f64>> = arities.iter().map(|&a| vec![0.0; a]).collect();
+    let mut total = 0.0f64;
+    let mut next = 0usize;
+    for_each_assignment(&arities, &query_slots, &mut state, |state| {
+        let p = (scores[next] - max_score).exp();
+        next += 1;
+        total += p;
+        for (i, &slot) in query_slots.iter().enumerate() {
+            accum[i][state[slot]] += p;
+        }
+    });
+    for probs in &mut accum {
+        probs.iter_mut().for_each(|p| *p /= total);
+    }
+    query.iter().copied().zip(accum).collect()
+}
+
+/// Odometer-enumerates every joint candidate assignment (digit `i`
+/// ranging over `0..arities[i]`) into `state[slots[i]]` (other entries
+/// untouched), invoking `visit` once per assignment.
+fn for_each_assignment(
+    arities: &[usize],
+    slots: &[usize],
+    state: &mut [usize],
+    mut visit: impl FnMut(&[usize]),
+) {
+    let mut odometer = vec![0usize; slots.len()];
+    loop {
+        for (i, &slot) in slots.iter().enumerate() {
+            state[slot] = odometer[i];
+        }
+        visit(state);
+        let mut i = 0;
+        loop {
+            if i == odometer.len() {
+                return;
+            }
+            odometer[i] += 1;
+            if odometer[i] < arities[i] {
+                break;
+            }
+            odometer[i] = 0;
+            i += 1;
+        }
+    }
 }
 
 /// MAP assignment by enumeration (for tests): returns per-variable candidate

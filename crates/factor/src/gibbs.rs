@@ -59,8 +59,11 @@ impl Default for GibbsConfig {
 /// SplitMix64-style finalizer. A plain additive step would interact with
 /// the RNG's own additive seed expansion — consecutive chains' initial
 /// states would share 3 of 4 words — so the seeds are mixed, not stepped,
-/// keeping the chains' streams statistically independent.
-fn chain_seed(seed: u64, chain: usize) -> u64 {
+/// keeping the chains' streams statistically independent. Partitioned
+/// inference reuses the same mixer one level up (component rank → chain):
+/// rank 0 keeps the master seed, so a single-component graph reproduces
+/// [`run_chains`] exactly.
+pub(crate) fn chain_seed(seed: u64, chain: usize) -> u64 {
     if chain == 0 {
         return seed;
     }
@@ -151,6 +154,25 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
     /// Initialises state: evidence at its observed candidate, query
     /// variables at their initial value (or candidate 0).
     pub fn new(graph: &'a FactorGraph, weights: &'a Weights, ctx: &'a C, seed: u64) -> Self {
+        Self::for_query(graph, weights, ctx, seed, graph.query_vars())
+    }
+
+    /// A sampler whose sweeps touch only `query` (a subset of the graph's
+    /// query variables, in ascending id order) — the per-component sampler
+    /// of [`crate::components::infer_partitioned`]. All other variables
+    /// stay pinned at their initial state; that is sound exactly when no
+    /// clique couples `query` to an outside *query* variable, which the
+    /// component decomposition guarantees. With `query` equal to the full
+    /// query set this is [`GibbsSampler::new`].
+    pub fn for_query(
+        graph: &'a FactorGraph,
+        weights: &'a Weights,
+        ctx: &'a C,
+        seed: u64,
+        query: Vec<VarId>,
+    ) -> Self {
+        debug_assert!(query.iter().all(|&v| graph.var(v).is_query()));
+        debug_assert!(query.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
         let state = graph
             .vars()
             .iter()
@@ -161,10 +183,25 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
             weights,
             ctx,
             state,
-            query: graph.query_vars(),
+            query,
             rng: StdRng::seed_from_u64(seed),
             scores: Vec::new(),
             clique_syms: Vec::new(),
+        }
+    }
+
+    /// Rewinds the sampler for a fresh chain: reseeds the RNG and resets
+    /// this sampler's *own* query variables to their initial state.
+    /// Restricted sweeps never move any other variable, so the reset is
+    /// O(this sampler's query set) — per-component multi-chain sampling
+    /// pays the full-graph state build once per component, not once per
+    /// chain, and a reset sampler is indistinguishable from a fresh
+    /// [`GibbsSampler::for_query`] with the same seed.
+    pub(crate) fn reset_chain(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        for &v in &self.query {
+            let var = self.graph.var(v);
+            self.state[v.index()] = var.evidence.or(var.init).unwrap_or(0);
         }
     }
 
@@ -217,22 +254,39 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
     }
 
     /// Runs burn-in + sampling sweeps and returns raw per-candidate sample
-    /// counts (the merge unit of [`run_chains`]).
-    fn collect_counts(&mut self, burn_in: usize, samples: usize) -> Vec<Vec<f64>> {
+    /// counts aligned to this sampler's query list (the merge unit of
+    /// per-component sampling, where full-graph count vectors would cost
+    /// O(variables) per component).
+    pub(crate) fn collect_query_counts(&mut self, burn_in: usize, samples: usize) -> Vec<Vec<f64>> {
         for _ in 0..burn_in {
             self.sweep();
         }
+        let mut counts: Vec<Vec<f64>> = self
+            .query
+            .iter()
+            .map(|&v| vec![0.0; self.graph.var(v).arity()])
+            .collect();
+        for _ in 0..samples.max(1) {
+            self.sweep();
+            for (i, &v) in self.query.iter().enumerate() {
+                counts[i][self.state[v.index()]] += 1.0;
+            }
+        }
+        counts
+    }
+
+    /// [`GibbsSampler::collect_query_counts`] scattered into full-graph
+    /// count vectors (the merge unit of [`run_chains`]).
+    fn collect_counts(&mut self, burn_in: usize, samples: usize) -> Vec<Vec<f64>> {
+        let query_counts = self.collect_query_counts(burn_in, samples);
         let mut counts: Vec<Vec<f64>> = self
             .graph
             .vars()
             .iter()
             .map(|v| vec![0.0; v.arity()])
             .collect();
-        for _ in 0..samples.max(1) {
-            self.sweep();
-            for &v in &self.query {
-                counts[v.index()][self.state[v.index()]] += 1.0;
-            }
+        for (&v, c) in self.query.iter().zip(query_counts) {
+            counts[v.index()] = c;
         }
         counts
     }

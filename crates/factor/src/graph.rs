@@ -7,6 +7,7 @@
 //! predicates over the candidate values of up to a handful of variables
 //! plus constants frozen from clean cells.
 
+use crate::components::{ComponentIndex, ComponentStats};
 use crate::design::{DesignMatrix, DesignStats};
 use crate::weights::{WeightId, Weights};
 use holo_dataset::{FxHashSet, Sym};
@@ -236,6 +237,18 @@ pub struct FactorGraph {
     stats: DesignStats,
     /// Number of full [`DesignMatrix::compile`] passes.
     full_builds: AtomicU64,
+    /// Connected components of the clique structure, built on first use by
+    /// partitioned inference and patched in place by mutators exactly like
+    /// `design`: `add_variable` appends a singleton component,
+    /// `add_clique` merges the components its scope spans, and
+    /// `pin_evidence` changes nothing (scopes are unioned over all
+    /// members, evidence included — see [`ComponentIndex`]).
+    components: OnceLock<ComponentIndex>,
+    /// Patch-path counters of the component index (`full_builds` in the
+    /// atomic below, for the same `&self`-init reason as the matrix).
+    comp_stats: ComponentStats,
+    /// Number of full [`ComponentIndex::build`] passes.
+    comp_full_builds: AtomicU64,
 }
 
 impl Clone for FactorGraph {
@@ -243,6 +256,10 @@ impl Clone for FactorGraph {
         let design = OnceLock::new();
         if let Some(d) = self.design.get() {
             let _ = design.set(d.clone());
+        }
+        let components = OnceLock::new();
+        if let Some(c) = self.components.get() {
+            let _ = components.set(c.clone());
         }
         FactorGraph {
             vars: self.vars.clone(),
@@ -253,6 +270,9 @@ impl Clone for FactorGraph {
             dirty: Mutex::new(self.dirty.lock().unwrap().clone()),
             stats: self.stats,
             full_builds: AtomicU64::new(self.full_builds.load(Ordering::Relaxed)),
+            components,
+            comp_stats: self.comp_stats,
+            comp_full_builds: AtomicU64::new(self.comp_full_builds.load(Ordering::Relaxed)),
         }
     }
 }
@@ -278,6 +298,10 @@ impl FactorGraph {
         } else {
             self.dirty.get_mut().unwrap().insert(id);
         }
+        if let Some(ix) = self.components.get_mut() {
+            ix.add_singleton(id);
+            self.comp_stats.vars_appended += 1;
+        }
         id
     }
 
@@ -299,13 +323,18 @@ impl FactorGraph {
         }
     }
 
-    /// Adds a clique factor, wiring the adjacency lists.
+    /// Adds a clique factor, wiring the adjacency lists. With a built
+    /// component index present, the components its scope spans merge in
+    /// place; otherwise the next index build sees the clique anyway.
     pub fn add_clique(&mut self, clique: CliqueFactor) {
         assert!(!clique.vars.is_empty());
         assert!(clique.vars.len() <= u8::MAX as usize);
         let idx = self.cliques.len() as u32;
         for &v in &clique.vars {
             self.var_cliques[v.index()].push(idx);
+        }
+        if let Some(ix) = self.components.get_mut() {
+            self.comp_stats.merges += ix.merge_scope(&clique.vars);
         }
         self.cliques.push(clique);
     }
@@ -387,6 +416,43 @@ impl FactorGraph {
         let mut out: Vec<VarId> = self.dirty.lock().unwrap().iter().copied().collect();
         out.sort_unstable();
         out
+    }
+
+    /// The connected components of the clique structure — the partition
+    /// seam of [`crate::components::infer_partitioned`]. Built on first
+    /// access (one union-find pass over the clique scopes) and cached;
+    /// later mutations patch it in place (see the field docs), so like the
+    /// design matrix it is never stale and never rebuilt unless
+    /// [`FactorGraph::invalidate_components`] forced it.
+    pub fn components(&self) -> &ComponentIndex {
+        self.components.get_or_init(|| {
+            self.comp_full_builds.fetch_add(1, Ordering::Relaxed);
+            ComponentIndex::build(self.vars.len(), &self.cliques)
+        })
+    }
+
+    /// A from-scratch [`ComponentIndex::build`] of the current graph,
+    /// bypassing (and not counting toward) the cache — the reference
+    /// oracle patch-equivalence tests compare the cached index against.
+    pub fn compile_components(&self) -> ComponentIndex {
+        ComponentIndex::build(self.vars.len(), &self.cliques)
+    }
+
+    /// Drops the cached component index; the next access rebuilds it from
+    /// scratch. Escape hatch mirroring
+    /// [`FactorGraph::invalidate_design`].
+    pub fn invalidate_components(&mut self) {
+        self.components.take();
+    }
+
+    /// Build/patch counters of the component-index cache. Snapshot at
+    /// session start and diff with [`ComponentStats::since`] for
+    /// per-session accounting.
+    pub fn component_stats(&self) -> ComponentStats {
+        ComponentStats {
+            full_builds: self.comp_full_builds.load(Ordering::Relaxed),
+            ..self.comp_stats
+        }
     }
 
     /// Sparse features of candidate `k` of variable `v` (a CSR row of the

@@ -25,6 +25,11 @@
 //! * [`gibbs`] — the Gibbs sampler used for approximate inference over
 //!   models with clique factors; single-site sweeps over the query
 //!   variables.
+//! * [`components`] — connected-component decomposition of the grounded
+//!   graph (union-find over clique scopes, patched in place by graph
+//!   mutators) and the partitioned hybrid inference driver that routes
+//!   each component to closed-form softmax, exact enumeration, or
+//!   per-component seeded Gibbs and merges the results deterministically.
 //! * [`marginals`] — marginal estimates, either exact (closed-form softmax
 //!   for the relaxed model of §5.2, whose variables are independent) or
 //!   empirical from Gibbs samples; MAP extraction.
@@ -34,6 +39,7 @@
 //! The probability model is Eq. 1 of the paper:
 //! `P(T) = Z⁻¹ exp(Σ_φ θ_φ · h_φ(φ))`.
 
+pub mod components;
 pub mod design;
 pub mod exact;
 pub mod gibbs;
@@ -46,6 +52,9 @@ pub mod weights;
 #[cfg(test)]
 mod proptests;
 
+pub use components::{
+    infer_partitioned, ComponentIndex, ComponentStats, PartitionStats, PartitionedConfig,
+};
 pub use design::{DesignMatrix, DesignStats};
 pub use gibbs::{run_chains, GibbsConfig, GibbsSampler};
 pub use graph::{

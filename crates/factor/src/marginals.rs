@@ -43,6 +43,44 @@ impl Marginals {
         Marginals { per_var }
     }
 
+    /// Assembles full-graph marginals from per-component pieces — the
+    /// merge step of partitioned inference. Evidence variables get a point
+    /// mass on their observed candidate; every query variable takes its
+    /// vector from `parts` (each appears in exactly one component, so each
+    /// slot is written once and the iteration order cannot matter). A
+    /// query variable `parts` never covers — impossible through the
+    /// component router, which visits every component — falls back to
+    /// uniform rather than an empty vector.
+    pub fn assemble(
+        graph: &FactorGraph,
+        parts: impl IntoIterator<Item = (VarId, Vec<f64>)>,
+    ) -> Self {
+        let mut per_var: Vec<Vec<f64>> = graph
+            .vars()
+            .iter()
+            .map(|var| match var.evidence {
+                Some(k) => {
+                    let mut p = vec![0.0; var.arity()];
+                    p[k] = 1.0;
+                    p
+                }
+                None => Vec::new(),
+            })
+            .collect();
+        for (v, probs) in parts {
+            debug_assert!(graph.var(v).is_query(), "parts cover query vars only");
+            debug_assert_eq!(probs.len(), graph.var(v).arity());
+            per_var[v.index()] = probs;
+        }
+        for (i, probs) in per_var.iter_mut().enumerate() {
+            if probs.is_empty() {
+                let n = graph.vars()[i].arity().max(1);
+                *probs = vec![1.0 / n as f64; n];
+            }
+        }
+        Marginals { per_var }
+    }
+
     /// The marginal vector of variable `v`.
     pub fn probs(&self, v: VarId) -> &[f64] {
         &self.per_var[v.index()]

@@ -85,7 +85,9 @@ proptest! {
         let ((arities, features), mutations) = case;
         let mut g = build_graph(&arities, &features);
         let _ = g.design(); // the one full build
+        let _ = g.components(); // likewise for the component index
         prop_assert_eq!(g.design_stats().full_builds, 1);
+        prop_assert_eq!(g.component_stats().full_builds, 1);
         let mut novel = 10_000u32; // far above any domain symbol
         for m in mutations {
             match m {
@@ -106,10 +108,13 @@ proptest! {
                 }
             }
             // After *every* mutation: the patched matrix is exactly what a
-            // from-scratch compile of the current adjacency produces.
+            // from-scratch compile of the current adjacency produces, and
+            // the patched component index equals a fresh union-find build.
             prop_assert_eq!(g.design(), &g.compile_design());
+            prop_assert_eq!(g.components(), &g.compile_components());
         }
         prop_assert_eq!(g.design_stats().full_builds, 1, "patches only, no rebuild");
+        prop_assert_eq!(g.component_stats().full_builds, 1, "index patches only");
     }
 }
 
@@ -199,4 +204,8 @@ fn feedback_loop_is_thread_count_invariant() {
     let stats = ref_session.design_stats();
     assert_eq!(stats.full_builds, 0);
     assert!(stats.rows_patched >= 2, "one novel label per round");
+    // The component index was never rebuilt either: pins patch inside
+    // their components, and partitioned re-inference reads the cache.
+    assert_eq!(ref_session.component_stats().full_builds, 0);
+    assert!(ref_session.partition_stats().components > 1);
 }
