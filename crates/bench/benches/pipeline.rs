@@ -438,6 +438,66 @@ fn bench_end_to_end_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming ingestion: per-batch cost of the incremental engine, patched
+/// path vs the `invalidate_design` full-recompute path
+/// (`StreamConfig::force_full_rebuild` recompiles every cell and rebuilds
+/// the design matrix and component index from scratch each batch — the
+/// behaviour the in-place patching replaces). Also prices the one-shot
+/// pipeline over the same rows as the amortisation baseline.
+fn bench_stream_ingest(c: &mut Criterion) {
+    use holoclean::stream::StreamSession;
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    let gen = build(DatasetKind::Hospital, small_scale());
+    let rows: Vec<Vec<String>> = gen
+        .dirty
+        .tuples()
+        .map(|t| {
+            gen.dirty
+                .schema()
+                .attrs()
+                .map(|a| gen.dirty.cell_str(t, a).to_string())
+                .collect()
+        })
+        .collect();
+    let batches = 8usize;
+    let mut config = HoloConfig::default().with_threads(1);
+    config.tau = gen.kind.paper_tau();
+    for (label, full_rebuild) in [("patched", false), ("full_rebuild", true)] {
+        let mut config = config.clone();
+        config.stream.force_full_rebuild = full_rebuild;
+        config.stream.refine_each_batch = false; // isolate maintenance cost
+        group.bench_function(BenchmarkId::new("per_batch", label), |b| {
+            b.iter(|| {
+                let mut session = StreamSession::new(
+                    gen.dirty.schema().clone(),
+                    &gen.constraints_text,
+                    config.clone(),
+                )
+                .unwrap();
+                for chunk in rows.chunks(rows.len().div_ceil(batches)) {
+                    black_box(session.push_batch(chunk).unwrap());
+                }
+                black_box(session.report().repairs.len())
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::new("per_batch", "one_shot_baseline"), |b| {
+        b.iter(|| {
+            let mut config = config.clone();
+            config.tau = gen.kind.paper_tau();
+            let outcome = HoloClean::new(gen.dirty.clone())
+                .with_constraint_text(&gen.constraints_text)
+                .unwrap()
+                .with_config(config)
+                .run()
+                .unwrap();
+            black_box(outcome.report.repairs.len())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_violation_detection,
@@ -449,6 +509,7 @@ criterion_group!(
     bench_gibbs,
     bench_infer_partitioned,
     bench_feedback_retrain,
+    bench_stream_ingest,
     bench_end_to_end,
     bench_end_to_end_parallelism
 );

@@ -2,28 +2,26 @@
 //! HoloClean on one dataset, with missed/wrong repair examples. Used to
 //! tune the reproduction; kept because it is genuinely useful for anyone
 //! adapting the system to new data.
+//!
+//! `--stream K` runs the incremental engine (`StreamSession`, K batches)
+//! instead of the one-shot pipeline and additionally reports the ingest
+//! counters; `--json` emits the machine-readable form either way (via the
+//! shared `holo_bench::json` writer). Unknown flags abort with a usage
+//! line (exit 2).
 
+use holo_bench::json::{num_exact, JsonObj};
 use holo_bench::runner::{run_holoclean_full, HoloOutcome};
 use holo_bench::{build, Args, Scale};
-use holo_datagen::DatasetKind;
-use holo_dataset::FxHashMap;
+use holo_datagen::{DatasetKind, GeneratedDataset};
+use holo_dataset::{Dataset, FxHashMap};
 use holoclean::features::FeatureKey;
-use holoclean::HoloConfig;
-
-/// A float as a JSON value: non-finite values (NaN precision on a
-/// zero-repair run, a degenerate gradient norm) become `null` — bare
-/// `NaN`/`inf` are not JSON and would break every consumer of `--json`.
-fn jnum(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.6}")
-    } else {
-        "null".to_string()
-    }
-}
+use holoclean::stream::{IngestStats, StreamSession};
+use holoclean::{evaluate, HoloConfig};
 
 /// Emits the run's diagnostics as one JSON object for the bench
 /// trajectory: stage timings, `DesignStats`, `LearnStats`,
-/// `PartitionStats` and the component-index counters. Hand-rolled — the
+/// `PartitionStats`, the component-index counters, and (for streamed
+/// runs) the `IngestStats`. Hand-rolled over `holo_bench::json` — the
 /// offline `serde` stub derives are no-ops, and the shape here is small
 /// and stable.
 fn print_json(dataset: &str, out: &HoloOutcome) {
@@ -32,63 +30,143 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
     let p = t.partition;
     let ci = t.components;
     let learn = match &out.learn_stats {
-        Some(ls) => format!(
-            "{{\"examples\":{},\"epochs\":{},\"minibatches\":{},\
-             \"final_log_likelihood\":{},\"grad_norm\":{}}}",
-            ls.examples,
-            ls.epochs,
-            ls.minibatches,
-            jnum(ls.final_log_likelihood),
-            jnum(ls.grad_norm)
-        ),
+        Some(ls) => {
+            let mut o = JsonObj::new();
+            o.field_u64("examples", ls.examples as u64);
+            o.field_u64("epochs", ls.epochs as u64);
+            o.field_u64("minibatches", ls.minibatches as u64);
+            o.field_num("final_log_likelihood", ls.final_log_likelihood);
+            o.field_num("grad_norm", ls.grad_norm);
+            o.finish()
+        }
         None => "null".to_string(),
     };
-    println!(
-        "{{\"dataset\":\"{dataset}\",\
-         \"quality\":{{\"precision\":{},\"recall\":{},\"f1\":{},\
-         \"repairs\":{},\"errors\":{}}},\
-         \"timings\":{{\"detect_s\":{:.6},\"compile_s\":{:.6},\"learn_s\":{:.6},\
-         \"infer_s\":{:.6},\"total_s\":{:.6}}},\
-         \"design\":{{\"full_builds\":{},\"vars_patched\":{},\"rows_patched\":{},\
-         \"entries_patched\":{}}},\
-         \"learn\":{learn},\
-         \"partition\":{{\"components\":{},\"singleton_components\":{},\
-         \"largest_component\":{},\"size_hist\":[{},{},{},{}],\
-         \"closed_form_components\":{},\"closed_form_vars\":{},\
-         \"exact_components\":{},\"exact_vars\":{},\
-         \"gibbs_components\":{},\"gibbs_vars\":{}}},\
-         \"component_index\":{{\"full_builds\":{},\"merges\":{},\"vars_appended\":{}}}}}",
-        jnum(out.quality.precision),
-        jnum(out.quality.recall),
-        jnum(out.quality.f1),
-        out.quality.total_repairs,
-        out.quality.total_errors,
-        t.detect.as_secs_f64(),
-        t.compile.as_secs_f64(),
-        t.learn.as_secs_f64(),
-        t.infer.as_secs_f64(),
-        t.total().as_secs_f64(),
-        d.full_builds,
-        d.vars_patched,
-        d.rows_patched,
-        d.entries_patched,
-        p.components,
-        p.singleton_components,
-        p.largest_component,
-        p.size_hist[0],
-        p.size_hist[1],
-        p.size_hist[2],
-        p.size_hist[3],
-        p.closed_form_components,
-        p.closed_form_vars,
-        p.exact_components,
-        p.exact_vars,
-        p.gibbs_components,
-        p.gibbs_vars,
-        ci.full_builds,
-        ci.merges,
-        ci.vars_appended,
+    let ingest = if t.ingest.batches > 0 {
+        ingest_json(&t.ingest)
+    } else {
+        "null".to_string()
+    };
+    let mut quality = JsonObj::new();
+    quality.field_num("precision", out.quality.precision);
+    quality.field_num("recall", out.quality.recall);
+    quality.field_num("f1", out.quality.f1);
+    quality.field_u64("repairs", out.quality.total_repairs as u64);
+    quality.field_u64("errors", out.quality.total_errors as u64);
+    let mut timings = JsonObj::new();
+    timings.field_raw("detect_s", &num_exact(t.detect.as_secs_f64()));
+    timings.field_raw("compile_s", &num_exact(t.compile.as_secs_f64()));
+    timings.field_raw("learn_s", &num_exact(t.learn.as_secs_f64()));
+    timings.field_raw("infer_s", &num_exact(t.infer.as_secs_f64()));
+    timings.field_raw("total_s", &num_exact(t.total().as_secs_f64()));
+    let mut design = JsonObj::new();
+    design.field_u64("full_builds", d.full_builds);
+    design.field_u64("vars_patched", d.vars_patched);
+    design.field_u64("rows_patched", d.rows_patched);
+    design.field_u64("entries_patched", d.entries_patched);
+    let mut partition = JsonObj::new();
+    partition.field_u64("components", p.components);
+    partition.field_u64("singleton_components", p.singleton_components);
+    partition.field_u64("largest_component", p.largest_component);
+    partition.field_raw(
+        "size_hist",
+        &format!(
+            "[{},{},{},{}]",
+            p.size_hist[0], p.size_hist[1], p.size_hist[2], p.size_hist[3]
+        ),
     );
+    partition.field_u64("closed_form_components", p.closed_form_components);
+    partition.field_u64("closed_form_vars", p.closed_form_vars);
+    partition.field_u64("exact_components", p.exact_components);
+    partition.field_u64("exact_vars", p.exact_vars);
+    partition.field_u64("gibbs_components", p.gibbs_components);
+    partition.field_u64("gibbs_vars", p.gibbs_vars);
+    let mut component_index = JsonObj::new();
+    component_index.field_u64("full_builds", ci.full_builds);
+    component_index.field_u64("merges", ci.merges);
+    component_index.field_u64("vars_appended", ci.vars_appended);
+
+    let mut root = JsonObj::new();
+    root.field_str("dataset", dataset);
+    root.field_raw("quality", &quality.finish());
+    root.field_raw("timings", &timings.finish());
+    root.field_raw("design", &design.finish());
+    root.field_raw("learn", &learn);
+    root.field_raw("partition", &partition.finish());
+    root.field_raw("component_index", &component_index.finish());
+    root.field_raw("ingest", &ingest);
+    println!("{}", root.finish());
+}
+
+/// The `IngestStats` object — also reused verbatim for the new
+/// machine-readable ingest dump of streamed runs.
+fn ingest_json(i: &IngestStats) -> String {
+    let mut o = JsonObj::new();
+    o.field_u64("batches", i.batches);
+    o.field_u64("tuples", i.tuples);
+    o.field_u64("delta_violations", i.delta_violations);
+    o.field_u64("affected_tuples", i.affected_tuples);
+    o.field_u64("cells_recomputed", i.cells_recomputed);
+    o.field_u64("cells_reused", i.cells_reused);
+    o.field_u64("vars_added", i.vars_added);
+    o.field_u64("vars_retired", i.vars_retired);
+    o.field_u64("replay_minibatches", i.replay_minibatches);
+    o.field_u64("canonical_retrains", i.canonical_retrains);
+    o.finish()
+}
+
+/// Runs the dataset through the incremental engine in `batches` batches,
+/// shaping the outcome like the one-shot runner's so the reporting is
+/// shared. The returned [`Dataset`] is the session's — report symbols
+/// are pool-local (the streaming loader interns in arrival order), so
+/// candidate values must resolve through it, not through `gen.dirty`.
+fn run_streamed(
+    gen: &GeneratedDataset,
+    mut config: HoloConfig,
+    batches: usize,
+) -> (
+    HoloOutcome,
+    holo_factor::FeatureRegistry<FeatureKey>,
+    holo_factor::Weights,
+    Dataset,
+) {
+    config.tau = gen.kind.paper_tau();
+    let mut session = StreamSession::new(gen.dirty.schema().clone(), &gen.constraints_text, config)
+        .unwrap_or_else(|e| {
+            eprintln!("diag --stream: {e}");
+            std::process::exit(2)
+        });
+    let rows: Vec<Vec<String>> = gen
+        .dirty
+        .tuples()
+        .map(|t| {
+            gen.dirty
+                .schema()
+                .attrs()
+                .map(|a| gen.dirty.cell_str(t, a).to_string())
+                .collect()
+        })
+        .collect();
+    for chunk in rows.chunks(rows.len().div_ceil(batches.max(1))) {
+        session.push_batch(chunk).unwrap_or_else(|e| {
+            eprintln!("diag --stream: {e}");
+            std::process::exit(2)
+        });
+    }
+    let report = session.report();
+    let quality = evaluate(&report, session.dataset(), &gen.clean);
+    let outcome = HoloOutcome {
+        quality,
+        timings: session.timings(),
+        report,
+        model: session.compile_stats().clone(),
+        learn_stats: session.learn_stats().cloned(),
+        violations: session.violations(),
+        noisy_cells: session.noisy_cells(),
+    };
+    let registry = session.registry().clone();
+    let weights = session.weights().clone();
+    let pool = session.dataset().clone();
+    (outcome, registry, weights, pool)
 }
 
 fn main() {
@@ -107,7 +185,13 @@ fn main() {
             full: args.full,
         },
     );
-    let (out, model, weights) = run_holoclean_full(&gen, HoloConfig::default(), None, false);
+    let config = HoloConfig::default().with_threads(args.threads);
+    let (out, registry, weights, pool) = if args.stream > 0 {
+        run_streamed(&gen, config, args.stream)
+    } else {
+        let (out, model, weights) = run_holoclean_full(&gen, config, None, false);
+        (out, model.registry, weights, gen.dirty.clone())
+    };
     if args.json {
         print_json(kind.name(), &out);
         return;
@@ -160,6 +244,23 @@ fn main() {
         "component index: {} full build(s), {} merge(s), {} singleton(s) appended",
         ci.full_builds, ci.merges, ci.vars_appended
     );
+    let ingest = out.timings.ingest;
+    if ingest.batches > 0 {
+        println!(
+            "ingest: {} batch(es), {} tuple(s), {} delta violation(s), {} affected tuple(s)",
+            ingest.batches, ingest.tuples, ingest.delta_violations, ingest.affected_tuples
+        );
+        println!(
+            "  delta compile: {} cell(s) recomputed, {} reused; {} var(s) added, {} retired; \
+             {} replay minibatch(es), {} canonical retrain(s)",
+            ingest.cells_recomputed,
+            ingest.cells_reused,
+            ingest.vars_added,
+            ingest.vars_retired,
+            ingest.replay_minibatches,
+            ingest.canonical_retrains
+        );
+    }
     match &out.learn_stats {
         Some(ls) => println!(
             "learning: {} examples, {} epochs, {} minibatches, final LL {:.4}, final grad L2 {:.6}",
@@ -179,10 +280,7 @@ fn main() {
         // mapping by probing consecutive ids until the registry runs out.
         let _ = line;
         loop {
-            match model
-                .registry
-                .get(&FeatureKey::DcViolation { constraint: sigma })
-            {
+            match registry.get(&FeatureKey::DcViolation { constraint: sigma }) {
                 Some(id) => {
                     println!("  sigma {} -> w = {:+.4}", sigma, weights.get(id));
                 }
@@ -196,7 +294,7 @@ fn main() {
         break;
     }
     println!("minimality prior = {:+.4}", {
-        match model.registry.get(&FeatureKey::Minimality) {
+        match registry.get(&FeatureKey::Minimality) {
             Some(id) => weights.get(id),
             None => f64::NAN,
         }
@@ -269,7 +367,7 @@ fn main() {
         let cands: Vec<String> = p
             .candidates
             .iter()
-            .map(|(s, pr)| format!("{}={pr:.3}", gen.dirty.value_str(*s)))
+            .map(|(s, pr)| format!("{}={pr:.3}", pool.value_str(*s)))
             .collect();
         println!(
             "  {} [{}]: dirty={dirty:?} truth={truth:?} posterior: {}",

@@ -7,25 +7,79 @@
 //! shows in a diff) — repairs only surface the MAP candidate, so this is
 //! the view that diffs exact-vs-Gibbs routing changes which move
 //! probability mass without flipping any repair.
+//!
+//! With `--stream K`, the dataset is ingested in K batches through the
+//! incremental `StreamSession` instead of the one-shot pipeline. The
+//! streaming engine's equivalence contract says the output is
+//! **byte-identical** either way — CI runs both and diffs them.
+//!
+//! Flags are parsed strictly (`holo_bench::Args`): a typo'd flag aborts
+//! with a usage line and exit code 2 instead of being silently dropped.
 
 use holo_bench::runner::run_holoclean_full;
-use holo_bench::{build, Scale};
+use holo_bench::{build, Args, Scale};
 use holo_datagen::DatasetKind;
-use holoclean::HoloConfig;
+use holo_dataset::Dataset;
+use holoclean::stream::StreamSession;
+use holoclean::{evaluate, HoloConfig, RepairQuality, RepairReport};
 
 fn main() {
-    let with_marginals = std::env::args().skip(1).any(|a| a == "--marginals");
+    let args = Args::parse(std::env::args());
     let gen = build(
         DatasetKind::Hospital,
         Scale {
-            factor: 1.0,
+            factor: args.scale,
             seed: 7,
             full: false,
         },
     );
-    let (out, _model, weights) = run_holoclean_full(&gen, HoloConfig::default(), None, false);
-    let mut lines: Vec<String> = out
-        .report
+    let mut config = HoloConfig::default().with_threads(args.threads);
+    let (report, quality, norm, value_of): (
+        RepairReport,
+        RepairQuality,
+        f64,
+        Box<dyn Fn(holo_dataset::Sym) -> String>,
+    ) = if args.stream > 0 {
+        config.tau = gen.kind.paper_tau();
+        let mut session =
+            StreamSession::new(gen.dirty.schema().clone(), &gen.constraints_text, config)
+                .expect("hospital streams the default variant");
+        let rows: Vec<Vec<String>> = gen
+            .dirty
+            .tuples()
+            .map(|t| {
+                gen.dirty
+                    .schema()
+                    .attrs()
+                    .map(|a| gen.dirty.cell_str(t, a).to_string())
+                    .collect()
+            })
+            .collect();
+        for chunk in rows.chunks(rows.len().div_ceil(args.stream)) {
+            session.push_batch(chunk).expect("batch ingest");
+        }
+        let report = session.report();
+        let quality = evaluate(&report, session.dataset(), &gen.clean);
+        let norm = session.weights().learnable_norm();
+        let ds: Dataset = session.dataset().clone();
+        (
+            report,
+            quality,
+            norm,
+            Box::new(move |s| ds.value_str(s).to_string()),
+        )
+    } else {
+        let (out, _model, weights) = run_holoclean_full(&gen, config, None, false);
+        let ds = gen.dirty.clone();
+        (
+            out.report,
+            out.quality,
+            weights.learnable_norm(),
+            Box::new(move |s| ds.value_str(s).to_string()),
+        )
+    };
+
+    let mut lines: Vec<String> = report
         .repairs
         .iter()
         .map(|r| {
@@ -39,31 +93,30 @@ fn main() {
     for l in &lines {
         println!("{l}");
     }
-    if with_marginals {
-        let mut lines: Vec<String> = out
-            .report
+    if args.marginals {
+        let mut mlines: Vec<String> = report
             .posteriors
             .iter()
             .map(|p| {
                 let cands: Vec<String> = p
                     .candidates
                     .iter()
-                    .map(|(sym, pr)| format!("{:?}={pr}", gen.dirty.value_str(*sym)))
+                    .map(|(sym, pr)| format!("{:?}={pr}", value_of(*sym)))
                     .collect();
                 format!("MARGINAL {:?} {}", p.cell, cands.join(" "))
             })
             .collect();
-        lines.sort();
-        for l in &lines {
+        mlines.sort();
+        for l in &mlines {
             println!("{l}");
         }
     }
     println!(
         "TOTAL {} repairs, P={:.6} R={:.6} F1={:.6}, |w|={:.12}",
         lines.len(),
-        out.quality.precision,
-        out.quality.recall,
-        out.quality.f1,
-        weights.learnable_norm()
+        quality.precision,
+        quality.recall,
+        quality.f1,
+        norm
     );
 }

@@ -19,6 +19,7 @@
 //! for Food and Physicians.
 
 pub mod datasets;
+pub mod json;
 pub mod runner;
 pub mod table;
 
@@ -41,6 +42,15 @@ pub struct Args {
     /// Machine-readable JSON output instead of the human tables (honoured
     /// by the binaries that track the bench trajectory, e.g. `diag`).
     pub json: bool,
+    /// Streaming mode for `diag`/`dump_repairs`: ingest the dataset in
+    /// this many batches through `StreamSession` instead of the one-shot
+    /// pipeline (`0` = one-shot). Output must be byte-identical either
+    /// way — that is the equivalence CI diffs.
+    pub stream: usize,
+    /// Worker-thread override (`0` = the config default, all cores).
+    pub threads: usize,
+    /// Dump per-cell posteriors too (`dump_repairs`).
+    pub marginals: bool,
 }
 
 impl Default for Args {
@@ -51,6 +61,9 @@ impl Default for Args {
             full: false,
             scare_budget_secs: 120,
             json: false,
+            stream: 0,
+            threads: 0,
+            marginals: false,
         }
     }
 }
@@ -81,8 +94,21 @@ impl Args {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--scare-budget needs seconds"));
                 }
+                "--stream" => {
+                    args.stream = argv
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--stream needs a batch count"));
+                }
+                "--threads" => {
+                    args.threads = argv
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs a count"));
+                }
                 "--full" => args.full = true,
                 "--json" => args.json = true,
+                "--marginals" => args.marginals = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -97,12 +123,16 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale F] [--seed N] [--full] [--json] [--scare-budget SECS]\n\
+         \x20            [--stream K] [--threads N] [--marginals]\n\
          \n\
          --scale F          row-count multiplier (default 1.0)\n\
          --seed N           generator seed (default 42)\n\
          --full             paper-scale rows for Food and Physicians\n\
          --json             machine-readable JSON output (diag)\n\
-         --scare-budget S   SCARE wall-clock budget in seconds (default 120)"
+         --scare-budget S   SCARE wall-clock budget in seconds (default 120)\n\
+         --stream K         ingest in K batches via StreamSession (diag, dump_repairs)\n\
+         --threads N        worker-thread override, 0 = all cores (diag, dump_repairs)\n\
+         --marginals        also dump per-cell posteriors (dump_repairs)"
     );
     std::process::exit(2)
 }
@@ -133,5 +163,16 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert!(a.full);
         assert!(a.json);
+        assert_eq!(a.stream, 0);
+        assert_eq!(a.threads, 0);
+        assert!(!a.marginals);
+    }
+
+    #[test]
+    fn parse_stream_flags() {
+        let a = Args::parse(argv(&["--stream", "16", "--threads", "4", "--marginals"]));
+        assert_eq!(a.stream, 16);
+        assert_eq!(a.threads, 4);
+        assert!(a.marginals);
     }
 }

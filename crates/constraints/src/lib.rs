@@ -19,6 +19,9 @@
 //! * [`violations`] — violation detection with hash-join blocking on the
 //!   equality predicates, so FD-style constraints never pay the O(|D|²)
 //!   pair enumeration.
+//! * [`delta`] — the streaming form: a persistent blocking index extended
+//!   per batch and probed with only the new tuples (both join directions),
+//!   whose per-batch results union to exactly the one-shot violation set.
 //! * [`hypergraph`] — the conflict hypergraph of \[26\] and the Algorithm 3
 //!   per-constraint connected-component tuple partitioning.
 //!
@@ -37,12 +40,14 @@
 //! ```
 
 pub mod ast;
+pub mod delta;
 pub mod hypergraph;
 pub mod parser;
 pub mod similarity;
 pub mod violations;
 
 pub use ast::{ConstraintId, ConstraintSet, DenialConstraint, Op, Operand, Predicate, TupleVar};
+pub use delta::DeltaViolationIndex;
 pub use hypergraph::{ConflictHypergraph, TupleGroups};
 pub use parser::{parse_constraint, parse_constraints, ParseError};
 pub use violations::{

@@ -37,7 +37,13 @@ pub struct Violation {
 }
 
 impl Violation {
-    fn new(ds: &Dataset, c: &DenialConstraint, id: ConstraintId, t1: TupleId, t2: TupleId) -> Self {
+    pub(crate) fn new(
+        ds: &Dataset,
+        c: &DenialConstraint,
+        id: ConstraintId,
+        t1: TupleId,
+        t2: TupleId,
+    ) -> Self {
         let _ = ds;
         let mut cells = Vec::new();
         let (a1, a2) = c.attrs_by_tuple();

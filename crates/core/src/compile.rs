@@ -167,21 +167,7 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
     // Evidence: sample clean cells per attribute. Selection stays
     // sequential (it consumes the seeded RNG); the Algorithm 2 pruning of
     // the selected cells — the expensive part — shards across threads.
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut selected: Vec<CellRef> = Vec::new();
-    for attr in ds.schema().attrs() {
-        let mut clean: Vec<CellRef> = ds
-            .tuples()
-            .map(|t| CellRef { tuple: t, attr })
-            .filter(|c| !noisy.contains(c) && !ds.cell_ref(*c).is_null())
-            .collect();
-        if clean.len() > config.max_evidence_per_attr {
-            clean.shuffle(&mut rng);
-            clean.truncate(config.max_evidence_per_attr);
-            clean.sort_unstable();
-        }
-        selected.extend(clean);
-    }
+    let selected = select_evidence_cells(ds, noisy, config);
     let evidence_tau = config.tau.min(config.evidence_tau_cap);
     let evidence_domains = holo_parallel::parallel_map(threads, &selected, |_, &cell| {
         prune_cell_with_support(
@@ -258,31 +244,18 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
     // sequential compiler (same weight ids at every thread count).
     let buffers = holo_parallel::parallel_map(threads, &all_vars, |_, &(cell, var)| {
         let candidates = &graph.var(var).domain;
-        let init = ds.cell_ref(cell);
         let mut buf = FeatureBuffer::default();
-        collect_cooccur_features(&mut buf, ds, cell, candidates);
-        collect_distribution_feature(
+        collect_cell_features(
             &mut buf,
             ds,
             stats,
+            matches,
+            config,
+            dc_featurizer.as_ref(),
+            source_featurizer.as_ref(),
             cell,
             candidates,
-            config.min_cond_support,
-            config.distribution_prior,
         );
-        collect_minimality_feature(&mut buf, config, init, candidates);
-        collect_external_features(&mut buf, matches, cell, candidates, config.ext_dict_prior);
-        if let Some(dcf) = &dc_featurizer {
-            // Partitioning (Alg. 3) restricts the *factor grounding* of
-            // Algorithm 1 only; the relaxed features of §5.2 always count
-            // against all partners — dropping out-of-component partners
-            // would silence the violations a bad repair would create with
-            // clean tuples.
-            dcf.collect_features(&mut buf, cell, candidates, None);
-        }
-        if let Some(sf) = &source_featurizer {
-            sf.collect_features(&mut buf, ds, cell, candidates);
-        }
         buf
     });
     for (&(_, var), buf) in all_vars.iter().zip(buffers) {
@@ -323,6 +296,79 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
         query_vars,
         stats: cstats,
     })
+}
+
+/// Canonical evidence selection: per attribute, the clean non-null cells
+/// of the *whole* dataset, downsampled to
+/// [`HoloConfig::max_evidence_per_attr`] by a seeded shuffle (then
+/// re-sorted). Shared verbatim by the one-shot compiler and the
+/// streaming engine's per-batch recompile — membership must be a
+/// function of `(dataset, noisy set, seed)` only, never of arrival
+/// order, or the streaming-equals-batch byte equivalence breaks.
+pub(crate) fn select_evidence_cells(
+    ds: &Dataset,
+    noisy: &FxHashSet<CellRef>,
+    config: &HoloConfig,
+) -> Vec<CellRef> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut selected: Vec<CellRef> = Vec::new();
+    for attr in ds.schema().attrs() {
+        let mut clean: Vec<CellRef> = ds
+            .tuples()
+            .map(|t| CellRef { tuple: t, attr })
+            .filter(|c| !noisy.contains(c) && !ds.cell_ref(*c).is_null())
+            .collect();
+        if clean.len() > config.max_evidence_per_attr {
+            clean.shuffle(&mut rng);
+            clean.truncate(config.max_evidence_per_attr);
+            clean.sort_unstable();
+        }
+        selected.extend(clean);
+    }
+    selected
+}
+
+/// The full per-cell featurization sequence — every signal of §4.2 in
+/// its canonical order. Shared verbatim by the one-shot compiler and the
+/// streaming engine (which passes an empty match lookup and no source
+/// featurizer): the collect order *is* the per-row feature order in the
+/// design matrix, so the two paths must never diverge.
+///
+/// Partitioning (Alg. 3) restricts the *factor grounding* of Algorithm 1
+/// only; the relaxed features of §5.2 always count against all partners
+/// — dropping out-of-component partners would silence the violations a
+/// bad repair would create with clean tuples.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn collect_cell_features(
+    buf: &mut FeatureBuffer,
+    ds: &Dataset,
+    stats: &CooccurStats,
+    matches: &MatchLookup,
+    config: &HoloConfig,
+    dc_featurizer: Option<&DcFeaturizer<'_>>,
+    source_featurizer: Option<&SourceFeaturizer>,
+    cell: CellRef,
+    candidates: &[Sym],
+) {
+    let init = ds.cell_ref(cell);
+    collect_cooccur_features(buf, ds, cell, candidates);
+    collect_distribution_feature(
+        buf,
+        ds,
+        stats,
+        cell,
+        candidates,
+        config.min_cond_support,
+        config.distribution_prior,
+    );
+    collect_minimality_feature(buf, config, init, candidates);
+    collect_external_features(buf, matches, cell, candidates, config.ext_dict_prior);
+    if let Some(dcf) = dc_featurizer {
+        dcf.collect_features(buf, cell, candidates, None);
+    }
+    if let Some(sf) = source_featurizer {
+        sf.collect_features(buf, ds, cell, candidates);
+    }
 }
 
 /// Per-constraint tuple→component maps from the Algorithm 3 groups.

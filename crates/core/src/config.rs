@@ -85,6 +85,42 @@ pub struct SourceConfig {
     pub source_attr: String,
 }
 
+/// Knobs of the streaming ingestion engine
+/// ([`crate::stream::StreamSession`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Run a warm-start replay training pass after every ingested batch,
+    /// so interim posteriors served between batches reflect the new
+    /// evidence without paying a full retrain. Batch-equivalent reads
+    /// ([`crate::stream::StreamSession::report`]) always run the canonical
+    /// from-scratch retrain regardless — this knob only trades interim
+    /// freshness against per-batch wall-clock.
+    pub refine_each_batch: bool,
+    /// Replay window: the newest `replay_window` evidence examples (plus
+    /// an equally-sized seeded sample of older ones) make up each replay
+    /// pass.
+    pub replay_window: usize,
+    /// Epochs per replay pass.
+    pub replay_epochs: usize,
+    /// Diagnostics/bench escape hatch: recompute every cell and force a
+    /// full design-matrix + component-index rebuild on every batch instead
+    /// of patching in place. Output is identical (that is the point of the
+    /// equivalence contract); the `stream_ingest` bench uses it to price
+    /// the patch path against the rebuild it replaces.
+    pub force_full_rebuild: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            refine_each_batch: true,
+            replay_window: 256,
+            replay_epochs: 2,
+            force_full_rebuild: false,
+        }
+    }
+}
+
 /// Full pipeline configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HoloConfig {
@@ -159,6 +195,10 @@ pub struct HoloConfig {
     /// coupled component's marginals — while at any fixed value every
     /// thread count remains bit-for-bit identical to `threads = 1`.
     pub exact_component_limit: u64,
+    /// Streaming-ingestion knobs (only read by
+    /// [`crate::stream::StreamSession`]; the one-shot pipeline ignores
+    /// them).
+    pub stream: StreamConfig,
     /// Master seed (evidence sampling).
     pub seed: u64,
     /// Worker threads for the data-parallel stages (violation detection
@@ -193,6 +233,7 @@ impl Default for HoloConfig {
             learn: LearnConfig::default(),
             gibbs: GibbsConfig::default(),
             exact_component_limit: 4096,
+            stream: StreamConfig::default(),
             seed: 0x401c,
             threads: 0,
         }
@@ -245,6 +286,12 @@ impl HoloConfig {
     /// samples. See the field docs for the determinism contract.
     pub fn with_exact_component_limit(mut self, limit: u64) -> Self {
         self.exact_component_limit = limit;
+        self
+    }
+
+    /// Sets the streaming-ingestion knobs (builder style).
+    pub fn with_stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
         self
     }
 

@@ -151,10 +151,16 @@ pub fn prune_cell_with_support(
     // The initial value always survives pruning with top priority.
     scores.insert(init, f64::INFINITY);
     let mut candidates: Vec<(Sym, f64)> = scores.into_iter().collect();
+    // Ties break on the *value string*, not the symbol id: symbol ids
+    // encode interning order, and the streaming engine interns values in
+    // arrival order (constraints first, rows as they arrive) while the
+    // one-shot loader interns all rows up front — a pool-dependent
+    // tie-break would make the two paths disagree on domain order (and
+    // therefore on MAP ties) for identical data.
     candidates.sort_by(|(s1, p1), (s2, p2)| {
         p2.partial_cmp(p1)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(s1.cmp(s2))
+            .then_with(|| ds.value_str(*s1).cmp(ds.value_str(*s2)))
     });
     candidates.truncate(max_domain.max(1));
     candidates.into_iter().map(|(s, _)| s).collect()

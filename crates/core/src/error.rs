@@ -15,6 +15,10 @@ pub enum HoloError {
     /// Stage-contract violation in a custom pipeline (e.g. Learn scheduled
     /// before Compile produced a model).
     Pipeline(String),
+    /// Streaming-ingestion failure: an unsupported model variant for the
+    /// incremental engine, a malformed batch (arity mismatch), or an
+    /// out-of-order ingest.
+    Stream(String),
     /// Algorithm 2 pruning dropped a cell's own observed value from its
     /// candidate domain — a pathological pruning configuration (the
     /// compiler's invariant is that the initial value always survives).
@@ -35,6 +39,7 @@ impl fmt::Display for HoloError {
             HoloError::Constraint(msg) => write!(f, "constraint error: {msg}"),
             HoloError::Config(msg) => write!(f, "configuration error: {msg}"),
             HoloError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
+            HoloError::Stream(msg) => write!(f, "streaming error: {msg}"),
             HoloError::PrunedInitialValue { cell, attr } => write!(
                 f,
                 "compile error: pruning removed the observed value of cell {cell} \

@@ -85,7 +85,7 @@ pub enum WeightSpec {
 
 /// One queued grounding unit: either a feature with its own weight, or a
 /// group of features sharing one weight (interned once at apply time).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 enum FeatureEntry {
     /// `(candidate slot, weight spec, feature value)`.
     Single(usize, WeightSpec, f64),
@@ -99,7 +99,10 @@ enum FeatureEntry {
 /// per cell. Applying buffers **in variable order** keeps the registry
 /// interning sequence deterministic, so weight ids (and therefore every
 /// downstream number) are independent of the thread count.
-#[derive(Debug, Default)]
+/// Buffers compare by content (`PartialEq`) and clone cheaply: the
+/// streaming engine caches one buffer per cell and re-grounds a variable
+/// only when its recomputed buffer differs from the cached one.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FeatureBuffer {
     entries: Vec<FeatureEntry>,
 }
@@ -137,30 +140,56 @@ impl FeatureBuffer {
         self.entries.is_empty()
     }
 
-    /// Interns the queued weights and grounds the features onto `var`.
+    /// Interns the queued weights and materialises the buffer as one
+    /// feature row per candidate (in queue order, exactly the rows
+    /// [`FeatureBuffer::apply`] would have grounded entry by entry) — the
+    /// form [`holo_factor::FactorGraph::add_variable_with_features`]
+    /// consumes to append a finished variable to a live design matrix
+    /// with a single splice. Borrows the buffer: the streaming engine
+    /// keeps it cached per cell after grounding.
+    pub fn to_rows(
+        &self,
+        registry: &mut FeatureRegistry<FeatureKey>,
+        arity: usize,
+    ) -> Vec<Vec<(holo_factor::WeightId, f64)>> {
+        let intern = |registry: &mut FeatureRegistry<FeatureKey>, spec: &WeightSpec| match spec {
+            WeightSpec::Learnable(key) => registry.learnable(key.clone()),
+            WeightSpec::LearnableInit(key, prior) => registry.learnable_init(key.clone(), *prior),
+            WeightSpec::Fixed(key, fixed) => registry.fixed(key.clone(), *fixed),
+        };
+        let mut rows = vec![Vec::new(); arity];
+        for entry in &self.entries {
+            match entry {
+                FeatureEntry::Single(slot, spec, value) => {
+                    let w = intern(registry, spec);
+                    rows[*slot].push((w, *value));
+                }
+                FeatureEntry::Group(spec, slots) => {
+                    let w = intern(registry, spec);
+                    for (slot, value) in slots {
+                        rows[*slot].push((w, *value));
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Interns the queued weights and grounds the features onto `var`,
+    /// entry by entry through [`FactorGraph::add_feature`] (cheap while
+    /// the graph has no compiled matrix — the bulk-build phase). One
+    /// grounding semantics exists: this is [`FeatureBuffer::to_rows`]
+    /// replayed onto an existing variable, per-candidate order included.
     pub fn apply(
         self,
         graph: &mut FactorGraph,
         registry: &mut FeatureRegistry<FeatureKey>,
         var: VarId,
     ) {
-        let intern = |registry: &mut FeatureRegistry<FeatureKey>, spec: WeightSpec| match spec {
-            WeightSpec::Learnable(key) => registry.learnable(key),
-            WeightSpec::LearnableInit(key, prior) => registry.learnable_init(key, prior),
-            WeightSpec::Fixed(key, fixed) => registry.fixed(key, fixed),
-        };
-        for entry in self.entries {
-            match entry {
-                FeatureEntry::Single(slot, spec, value) => {
-                    let w = intern(registry, spec);
-                    graph.add_feature(var, slot, w, value);
-                }
-                FeatureEntry::Group(spec, slots) => {
-                    let w = intern(registry, spec);
-                    for (slot, value) in slots {
-                        graph.add_feature(var, slot, w, value);
-                    }
-                }
+        let rows = self.to_rows(registry, graph.var(var).arity());
+        for (k, row) in rows.into_iter().enumerate() {
+            for (w, x) in row {
+                graph.add_feature(var, k, w, x);
             }
         }
     }

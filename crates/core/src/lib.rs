@@ -62,8 +62,9 @@ pub mod pipeline;
 pub mod repair;
 pub mod report;
 pub mod session;
+pub mod stream;
 
-pub use config::{HoloConfig, ModelVariant};
+pub use config::{HoloConfig, ModelVariant, StreamConfig};
 pub use domain::{prune_domains, prune_domains_with_threads, CellDomains};
 pub use error::HoloError;
 pub use feedback::{FeedbackRequest, FeedbackSession, Label};
@@ -72,3 +73,4 @@ pub use pipeline::{Pipeline, PipelineContext, Stage, StageData, StageKind, Stage
 pub use repair::{Repair, RepairReport};
 pub use report::{confidence_buckets, ConfidenceBucket};
 pub use session::{HoloClean, RepairOutcome};
+pub use stream::{BatchReport, IngestStats, StreamSession};

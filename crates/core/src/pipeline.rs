@@ -78,10 +78,34 @@
 //!
 //! ## Adding a stage
 //!
+//! Stages splice in relative to the standard four with
+//! [`Pipeline::insert_after`] and [`Pipeline::insert_before`]. A
+//! post-stage audit slots in *after* its subject; a stage that must see
+//! the raw inputs before anything else — the natural position for an
+//! ingest/admission step feeding the streaming engine, which validates
+//! and stamps arriving tuples before Detect probes them — slots in
+//! *before* Detect:
+//!
 //! ```
 //! use holo_dataset::{Dataset, Schema};
 //! use holoclean::pipeline::{Pipeline, Stage, StageData, StageKind, PipelineContext};
 //! use holoclean::HoloError;
+//!
+//! /// Pre-Detect admission: sanity-checks the batch before detection
+//! /// (shown as a no-op; a real ingest stage would validate arity,
+//! /// stamp arrival metadata, or route tuples to shards).
+//! struct IngestStage;
+//!
+//! impl Stage for IngestStage {
+//!     fn kind(&self) -> StageKind { StageKind::Detect } // billed to detect
+//!     fn name(&self) -> &'static str { "ingest" }
+//!     fn run(&self, cx: &PipelineContext, _data: &mut StageData) -> Result<(), HoloError> {
+//!         if cx.ds.tuple_count() == 0 {
+//!             return Err(HoloError::Stream("empty batch".into()));
+//!         }
+//!         Ok(())
+//!     }
+//! }
 //!
 //! /// Counts how many noisy cells detection produced.
 //! struct AuditStage;
@@ -100,6 +124,9 @@
 //! let cx = PipelineContext::new(ds, Default::default(), Default::default());
 //! let mut pipeline = Pipeline::standard();
 //! pipeline.insert_after(StageKind::Detect, Box::new(AuditStage));
+//! pipeline.insert_before(StageKind::Detect, Box::new(IngestStage));
+//! assert_eq!(pipeline.stage_names(),
+//!            vec!["ingest", "detect", "audit", "compile", "learn", "infer"]);
 //! let (data, timings) = pipeline.run(&cx).unwrap();
 //! assert!(data.marginals.is_some());
 //! assert_eq!(timings.total(), timings.detect + timings.compile + timings.learn + timings.infer);
@@ -143,6 +170,10 @@ pub struct StageTimings {
     /// Component-index work: full union-find builds vs in-place patches
     /// (late-clique merges, appended singletons).
     pub components: ComponentStats,
+    /// Streaming-ingestion counters (zero for one-shot pipeline runs;
+    /// filled by [`crate::stream::StreamSession`], which bills its delta
+    /// stages to the four slots above and its batch bookkeeping here).
+    pub ingest: crate::stream::IngestStats,
 }
 
 impl StageTimings {
@@ -444,6 +475,18 @@ impl Pipeline {
         self
     }
 
+    /// Inserts a stage right before the **first** existing stage of `kind`
+    /// (appends if none matches) — the complement of
+    /// [`Pipeline::insert_after`]. See the module docs for the worked
+    /// example of a pre-Detect ingest stage.
+    pub fn insert_before(&mut self, kind: StageKind, stage: Box<dyn Stage>) -> &mut Self {
+        match self.stages.iter().position(|s| s.kind() == kind) {
+            Some(i) => self.stages.insert(i, stage),
+            None => self.stages.push(stage),
+        }
+        self
+    }
+
     /// Stage names in execution order.
     pub fn stage_names(&self) -> Vec<&'static str> {
         self.stages.iter().map(|s| s.name()).collect()
@@ -552,6 +595,51 @@ mod tests {
             Pipeline::standard().stage_names(),
             vec!["detect", "compile", "learn", "infer"]
         );
+    }
+
+    #[test]
+    fn insert_before_splices_ahead_of_the_first_match() {
+        struct NamedNoop(&'static str, StageKind);
+        impl Stage for NamedNoop {
+            fn kind(&self) -> StageKind {
+                self.1
+            }
+            fn name(&self) -> &'static str {
+                self.0
+            }
+            fn run(&self, _: &PipelineContext, _: &mut StageData) -> Result<(), HoloError> {
+                Ok(())
+            }
+        }
+        let mut p = Pipeline::standard();
+        p.insert_before(
+            StageKind::Detect,
+            Box::new(NamedNoop("ingest", StageKind::Detect)),
+        );
+        p.insert_before(
+            StageKind::Learn,
+            Box::new(NamedNoop("pre-learn", StageKind::Learn)),
+        );
+        assert_eq!(
+            p.stage_names(),
+            vec!["ingest", "detect", "compile", "pre-learn", "learn", "infer"]
+        );
+        // No stage of the kind: appends, mirroring insert_after.
+        let mut p = Pipeline::empty();
+        p.insert_before(
+            StageKind::Infer,
+            Box::new(NamedNoop("tail", StageKind::Infer)),
+        );
+        assert_eq!(p.stage_names(), vec!["tail"]);
+        // The pipeline still runs end to end with the extra stages.
+        let cx = zip_city_context(1);
+        let mut p = Pipeline::standard();
+        p.insert_before(
+            StageKind::Detect,
+            Box::new(NamedNoop("ingest", StageKind::Detect)),
+        );
+        let (data, _) = p.run(&cx).unwrap();
+        assert!(data.marginals.is_some());
     }
 
     #[test]

@@ -1,0 +1,1060 @@
+//! Streaming ingestion: the one-shot pipeline as an **incremental
+//! engine** with batch-equivalent repairs.
+//!
+//! The paper specifies HoloClean as compile-then-infer over a frozen
+//! dataset; a production service ingests tuples continuously. PClean
+//! (arXiv 2007.11838) and the PUD framework (arXiv 1801.06750) both argue
+//! the resolution: keep **one** probabilistic model alive and *condition
+//! it on growing evidence*, recomputing only the part of the model a new
+//! record touches. [`StreamSession`] is that engine, built on the
+//! incremental substrates of the earlier refactors — the in-place
+//! [`holo_factor::DesignMatrix`] patching, the in-place
+//! [`holo_factor::ComponentIndex`] maintenance, and partitioned
+//! inference.
+//!
+//! ## Per-batch dataflow ([`StreamSession::push_batch`])
+//!
+//! 1. **Append** — rows join the dataset with stable `TupleId`s;
+//!    co-occurrence statistics fold in the batch incrementally
+//!    (`CooccurStats::extend_with_threads`, `O(batch · |A|²)`).
+//! 2. **Delta detect** — a persistent blocking index
+//!    ([`holo_constraints::DeltaViolationIndex`]) is probed with *only
+//!    the new tuples, in both join directions*; the per-batch violations
+//!    union to exactly the one-shot violation set.
+//! 3. **Delta compile** — an *affected set* of old tuples is derived from
+//!    value postings (same-column sharing moves co-occurrence counts;
+//!    join-key postings over stored values **and** domain candidates move
+//!    relaxed-DC partner counts). Domains and features are recomputed
+//!    only for cells of affected tuples (plus the batch itself); every
+//!    other cell reuses its cached compile verbatim. Changes funnel
+//!    through the [`holo_factor::FactorGraph`] mutators, so the design
+//!    matrix and component index **patch in place** — after the first
+//!    batch their `full_builds` counters stay at 1 for the life of the
+//!    stream (test-pinned).
+//! 4. **Warm-start learning** — when
+//!    [`crate::config::StreamConfig::refine_each_batch`] is on, SGD
+//!    resumes from the
+//!    current weights over a replay window biased to the new evidence
+//!    ([`holo_factor::learn::train_replay`]) so interim posteriors stay
+//!    fresh at `O(window)` per batch.
+//! 5. **Re-inference** — restricted to the query-bearing components via
+//!    [`holo_factor::infer_partitioned`], on demand.
+//!
+//! ## The equivalence contract
+//!
+//! [`StreamSession::report`] is **batch-equivalent**: feeding a dataset
+//! in any number of batches, at any thread count, produces repairs and
+//! posteriors *byte-identical* to the one-shot [`crate::HoloClean`] run
+//! over the final dataset. Three mechanisms carry the guarantee:
+//!
+//! * the affected-set recomputation is a sound over-approximation, so a
+//!   cell's cached domain/features are reused only when a fresh compile
+//!   would reproduce them exactly;
+//! * everything order-sensitive is order-canonical: evidence is
+//!   re-selected per batch by replaying the compiler's seeded sampling
+//!   over the full dataset, SGD visits examples through
+//!   [`holo_factor::learn::train_examples`] in the canonical
+//!   (attribute-major, cell-sorted) order rather than graph insertion
+//!   order, and domain ties break on value *strings* (interning order
+//!   differs between the streaming and one-shot loaders);
+//! * batch-equivalent reads run a **canonical retrain** — full SGD from
+//!   the priors over the canonical example order — because an SGD
+//!   endpoint is a function of its whole trajectory, so no warm-started
+//!   shortcut can be bitwise-faithful. The model is never recompiled for
+//!   it: the retrain reads the patched design matrix.
+//!
+//! Retired variables (a cell whose domain changed, an evidence cell that
+//! fell out of the replay sample) are *pinned* in place — pinning keeps
+//! the design matrix and component index valid without a rebuild — and
+//! excluded from the canonical example and query lists, so they are
+//! invisible to learning, inference, and reports.
+//!
+//! ## Scope
+//!
+//! The streaming engine serves the **relaxed §5.2 model**
+//! ([`crate::ModelVariant::DcFeats`], the default and the paper's own
+//! recommendation at scale): denial constraints enter as learned
+//! per-constraint violation features, inference is closed-form per
+//! component. Variants that ground DC clique factors couple variables
+//! across tuples in ways in-place patching cannot yet retire
+//! ([`StreamSession::new`] rejects them), as do source-reliability
+//! features and external dictionaries.
+
+use crate::compile::{collect_cell_features, select_evidence_cells, CompileStats};
+use crate::config::HoloConfig;
+use crate::context::DatasetContext;
+use crate::error::HoloError;
+use crate::features::{DcFeaturizer, FeatureBuffer, FeatureKey, MatchLookup};
+use crate::pipeline::{StageKind, StageTimings};
+use crate::repair::RepairReport;
+use holo_constraints::{parse_constraints, ConstraintSet, DeltaViolationIndex, Violation};
+use holo_dataset::{
+    AttrId, CellRef, CooccurStats, Dataset, FxHashMap, FxHashSet, Schema, Sym, TupleId,
+};
+use holo_factor::{
+    infer_partitioned, learn, FactorGraph, FeatureRegistry, LearnStats, Marginals, PartitionStats,
+    PartitionedConfig, VarId, Variable, Weights,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Cumulative streaming counters, riding in [`StageTimings::ingest`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Batches ingested.
+    pub batches: u64,
+    /// Tuples ingested.
+    pub tuples: u64,
+    /// Violations found by delta detection (== one-shot total, by the
+    /// delta-index contract).
+    pub delta_violations: u64,
+    /// Old tuples pulled into recompilation by the affected-set analysis.
+    pub affected_tuples: u64,
+    /// Cells whose domain/features were recomputed.
+    pub cells_recomputed: u64,
+    /// Cells that reused their cached compile verbatim.
+    pub cells_reused: u64,
+    /// Variables appended to the live graph (patching the design matrix
+    /// and component index in place).
+    pub vars_added: u64,
+    /// Variables retired (pinned out of the model, or dropped from the
+    /// evidence sample).
+    pub vars_retired: u64,
+    /// Minibatches executed by warm-start replay passes.
+    pub replay_minibatches: u64,
+    /// Canonical from-priors retrains executed for batch-equivalent reads.
+    pub canonical_retrains: u64,
+}
+
+/// What one [`StreamSession::push_batch`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Rows appended.
+    pub appended: usize,
+    /// Violations the batch introduced.
+    pub new_violations: usize,
+    /// Old tuples whose cells needed recompilation.
+    pub affected_tuples: usize,
+    /// Cells recomputed (batch cells + affected-tuple cells).
+    pub cells_recomputed: usize,
+    /// Cells served from the compile cache.
+    pub cells_reused: usize,
+    /// Variables appended to the live graph.
+    pub vars_added: usize,
+    /// Variables retired.
+    pub vars_retired: usize,
+}
+
+/// Cached compile state of one live cell.
+struct CellState {
+    /// The live variable, if the cell has ≥ 2 candidates.
+    var: Option<VarId>,
+    /// Query (noisy) vs evidence role.
+    query: bool,
+    /// Pruned candidate domain (Algorithm 2 order).
+    domain: Vec<Sym>,
+    /// Collected features (empty for var-less singleton cells).
+    features: FeatureBuffer,
+}
+
+/// The incremental repair engine. See the module docs for the dataflow
+/// and the equivalence contract.
+///
+/// ```
+/// use holo_dataset::Schema;
+/// use holoclean::stream::StreamSession;
+/// use holoclean::HoloConfig;
+///
+/// let mut session = StreamSession::new(
+///     Schema::new(vec!["Zip", "City"]),
+///     "FD: Zip -> City",
+///     HoloConfig::default(),
+/// ).unwrap();
+/// let rows: Vec<Vec<String>> = (0..8)
+///     .map(|_| vec!["60608".into(), "Chicago".into()])
+///     .collect();
+/// session.push_batch(&rows).unwrap();
+/// session.push_batch(&[vec!["60608".to_string(), "Cicago".to_string()]]).unwrap();
+/// let report = session.report();
+/// assert_eq!(report.repairs.len(), 1);
+/// assert_eq!(report.repairs[0].new_value, "Chicago");
+/// ```
+pub struct StreamSession {
+    ds: Dataset,
+    constraints: ConstraintSet,
+    config: HoloConfig,
+    /// Persistent violation blocking index (forward + backward).
+    delta_index: DeltaViolationIndex,
+    /// Incrementally-maintained co-occurrence statistics.
+    stats: CooccurStats,
+    /// `(attr, stored value) → tuples`, for the affected-set analysis.
+    postings: FxHashMap<(AttrId, Sym), Vec<TupleId>>,
+    /// `(join-key attr, domain candidate) → tuples`: cells on join-key
+    /// attributes depend on partner buckets of *every* candidate, not
+    /// just the stored value.
+    cand_postings: FxHashMap<(AttrId, Sym), FxHashSet<TupleId>>,
+    /// Attributes participating in some cross-tuple equality predicate,
+    /// as `(t1-side, t2-side)` pairs.
+    eq_pairs: Vec<(AttrId, AttrId)>,
+    /// Some two-tuple constraint has no equality join key: its relaxed
+    /// features couple every tuple to every tuple, so every batch
+    /// invalidates everything.
+    global_coupling: bool,
+    violations: usize,
+    noisy: FxHashSet<CellRef>,
+    graph: FactorGraph,
+    registry: FeatureRegistry<FeatureKey>,
+    cell_states: FxHashMap<CellRef, CellState>,
+    /// Live query cells/vars, sorted by cell — the report order.
+    query_cells: Vec<CellRef>,
+    query_vars: Vec<VarId>,
+    /// Live evidence vars in canonical (attribute-major, cell-sorted
+    /// selection) order — the SGD example order.
+    examples: Vec<VarId>,
+    /// Evidence vars split as (reused, fresh-this-batch) for replay.
+    replay_order: Vec<VarId>,
+    fresh_examples: usize,
+    weights: Weights,
+    /// Whether `weights` came from a canonical retrain of the current
+    /// model (vs a warm replay or a stale batch).
+    weights_exact: bool,
+    marginals: Option<Marginals>,
+    compile_stats: CompileStats,
+    learn_stats: Option<LearnStats>,
+    partition_stats: Option<PartitionStats>,
+    timings: StageTimings,
+}
+
+impl StreamSession {
+    /// Opens a session over `schema` with constraints parsed from
+    /// `text` (DC lines and/or `FD:` sugar). The dataset starts empty;
+    /// feed rows with [`StreamSession::push_batch`].
+    pub fn new(schema: Schema, text: &str, config: HoloConfig) -> Result<Self, HoloError> {
+        let mut ds = Dataset::new(schema);
+        let parsed = parse_constraints(text, &mut ds)?;
+        let mut constraints = ConstraintSet::new();
+        for (_, c) in parsed.iter() {
+            constraints.push(c.clone());
+        }
+        Self::with_constraints(ds, constraints, config)
+    }
+
+    /// Opens a session over an **empty** dataset (used for its schema and
+    /// value pool — constraint constants are already interned) and an
+    /// already-bound constraint set.
+    pub fn with_constraints(
+        ds: Dataset,
+        constraints: ConstraintSet,
+        config: HoloConfig,
+    ) -> Result<Self, HoloError> {
+        if ds.tuple_count() != 0 {
+            return Err(HoloError::Stream(
+                "streaming sessions start from an empty dataset; feed rows via push_batch".into(),
+            ));
+        }
+        if config.variant.uses_dc_factors() || config.variant.uses_partitioning() {
+            return Err(HoloError::Stream(format!(
+                "streaming serves the relaxed §5.2 model (DcFeats); variant {:?} grounds DC \
+                 clique factors, which in-place patching cannot retire",
+                config.variant
+            )));
+        }
+        if config.source.is_some() {
+            return Err(HoloError::Stream(
+                "source-reliability features are not supported by the streaming engine".into(),
+            ));
+        }
+        let mut eq_pairs: Vec<(AttrId, AttrId)> = Vec::new();
+        let mut global_coupling = false;
+        for (_, c) in constraints.iter() {
+            if !c.two_tuple {
+                continue;
+            }
+            let mut found = false;
+            for p in &c.predicates {
+                if !p.is_cross_tuple_eq() {
+                    continue;
+                }
+                found = true;
+                let rhs_attr = match p.rhs {
+                    holo_constraints::Operand::Cell(_, a) => a,
+                    holo_constraints::Operand::Const(_) => continue,
+                };
+                let pair = match p.lhs_tuple {
+                    holo_constraints::TupleVar::T1 => (p.lhs_attr, rhs_attr),
+                    holo_constraints::TupleVar::T2 => (rhs_attr, p.lhs_attr),
+                };
+                if !eq_pairs.contains(&pair) {
+                    eq_pairs.push(pair);
+                }
+            }
+            global_coupling |= !found;
+        }
+        let delta_index = DeltaViolationIndex::new(&constraints);
+        let stats = CooccurStats::build(&ds);
+        Ok(StreamSession {
+            ds,
+            constraints,
+            config,
+            delta_index,
+            stats,
+            postings: FxHashMap::default(),
+            cand_postings: FxHashMap::default(),
+            eq_pairs,
+            global_coupling,
+            violations: 0,
+            noisy: FxHashSet::default(),
+            graph: FactorGraph::new(),
+            registry: FeatureRegistry::new(),
+            cell_states: FxHashMap::default(),
+            query_cells: Vec::new(),
+            query_vars: Vec::new(),
+            examples: Vec::new(),
+            replay_order: Vec::new(),
+            fresh_examples: 0,
+            weights: Weights::zeros(0),
+            weights_exact: false,
+            marginals: None,
+            compile_stats: CompileStats::default(),
+            learn_stats: None,
+            partition_stats: None,
+            timings: StageTimings::default(),
+        })
+    }
+
+    /// Ingests one batch of raw rows: append → delta detect → delta
+    /// compile → (optional) warm-start replay. Returns what the batch
+    /// cost; batch-equivalent repairs are read with
+    /// [`StreamSession::report`].
+    pub fn push_batch<S: AsRef<str>>(&mut self, rows: &[Vec<S>]) -> Result<BatchReport, HoloError> {
+        let arity = self.ds.schema().len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != arity {
+                return Err(HoloError::Stream(format!(
+                    "batch row {i} has {} values; the schema has {arity} attributes",
+                    row.len()
+                )));
+            }
+        }
+        let threads = self.config.threads;
+        let mut report = BatchReport {
+            appended: rows.len(),
+            ..BatchReport::default()
+        };
+
+        // ---- Append + incremental statistics + delta detection ----
+        let t_detect = Instant::now();
+        let from = self.ds.append_rows(rows);
+        self.stats.extend_with_threads(&self.ds, from, threads);
+        let new_violations = self
+            .delta_index
+            .ingest(&self.ds, &self.constraints, from, threads);
+        for v in &new_violations {
+            self.noisy.extend(v.cells.iter().copied());
+        }
+        self.violations += new_violations.len();
+        report.new_violations = new_violations.len();
+        self.timings.record(StageKind::Detect, t_detect.elapsed());
+
+        // ---- Delta compile ----
+        let t_compile = Instant::now();
+        if self.config.stream.force_full_rebuild {
+            self.graph.invalidate_design();
+            self.graph.invalidate_components();
+        }
+        let affected = self.affected_tuples(from, &new_violations);
+        report.affected_tuples = affected.len();
+        // New tuples join the postings only now, so the affected-set scan
+        // above saw exactly the pre-batch state.
+        for t in from.index()..self.ds.tuple_count() {
+            let t = TupleId(t as u32);
+            for attr in self.ds.schema().attrs() {
+                let v = self.ds.cell(t, attr);
+                if !v.is_null() {
+                    self.postings.entry((attr, v)).or_default().push(t);
+                }
+            }
+        }
+        self.recompile(&affected, from, &mut report)?;
+        self.timings.record(StageKind::Compile, t_compile.elapsed());
+
+        // ---- Warm-start replay (interim-freshness only) ----
+        self.marginals = None;
+        self.partition_stats = None;
+        self.weights_exact = false;
+        if self.config.stream.refine_each_batch {
+            let t_learn = Instant::now();
+            let mut w = self.registry.build_weights();
+            w.adopt_learned(&self.weights);
+            let recent = self
+                .fresh_examples
+                .min(self.config.stream.replay_window.max(1));
+            let stats = learn::train_replay(
+                &self.graph,
+                &mut w,
+                &self.config.learn,
+                threads,
+                &self.replay_order,
+                recent,
+                self.config.stream.replay_epochs,
+            );
+            self.timings.ingest.replay_minibatches += stats.minibatches as u64;
+            self.weights = w;
+            self.timings.record(StageKind::Learn, t_learn.elapsed());
+        }
+
+        let ingest = &mut self.timings.ingest;
+        ingest.batches += 1;
+        ingest.tuples += rows.len() as u64;
+        ingest.delta_violations += report.new_violations as u64;
+        ingest.affected_tuples += report.affected_tuples as u64;
+        ingest.cells_recomputed += report.cells_recomputed as u64;
+        ingest.cells_reused += report.cells_reused as u64;
+        ingest.vars_added += report.vars_added as u64;
+        ingest.vars_retired += report.vars_retired as u64;
+        Ok(report)
+    }
+
+    /// Old tuples whose cells a fresh compile could score differently
+    /// after this batch — a sound over-approximation (see module docs).
+    fn affected_tuples(&self, from: TupleId, new_violations: &[Violation]) -> FxHashSet<TupleId> {
+        let mut affected: FxHashSet<TupleId> = FxHashSet::default();
+        if self.config.stream.force_full_rebuild || self.global_coupling {
+            affected.extend((0..from.index()).map(|t| TupleId(t as u32)));
+            return affected;
+        }
+        // Violations re-flag cells of old partner tuples (role changes).
+        for v in new_violations {
+            for cell in &v.cells {
+                if cell.tuple < from {
+                    affected.insert(cell.tuple);
+                }
+            }
+        }
+        let hit = |key: (AttrId, Sym), affected: &mut FxHashSet<TupleId>| {
+            if let Some(ts) = self.postings.get(&key) {
+                affected.extend(ts.iter().copied());
+            }
+            if let Some(ts) = self.cand_postings.get(&key) {
+                affected.extend(ts.iter().copied());
+            }
+        };
+        for t in from.index()..self.ds.tuple_count() {
+            let t = TupleId(t as u32);
+            for attr in self.ds.schema().attrs() {
+                let v = self.ds.cell(t, attr);
+                if v.is_null() {
+                    continue;
+                }
+                // Same-column sharing moves frequency and co-occurrence
+                // counts of every tuple holding `v` at `attr`.
+                hit((attr, v), &mut affected);
+                // Join-key sharing moves relaxed-DC partner counts: the
+                // new tuple enters the partner bucket of any tuple whose
+                // opposite-side key (stored or candidate) matches.
+                for &(a1, a2) in &self.eq_pairs {
+                    if a2 == attr {
+                        hit((a1, v), &mut affected);
+                    }
+                    if a1 == attr {
+                        hit((a2, v), &mut affected);
+                    }
+                }
+            }
+        }
+        affected
+    }
+
+    /// Rebuilds the canonical model spec for the current dataset —
+    /// recomputing only cells in or conflicting with the batch — and
+    /// patches the live graph to match it.
+    fn recompile(
+        &mut self,
+        affected: &FxHashSet<TupleId>,
+        from: TupleId,
+        report: &mut BatchReport,
+    ) -> Result<(), HoloError> {
+        let threads = self.config.threads;
+        let config = &self.config;
+        let ds = &self.ds;
+        let stats = &self.stats;
+        let dc_featurizer = config
+            .variant
+            .uses_dc_features()
+            .then(|| DcFeaturizer::new(ds, &self.constraints, config));
+
+        // ---- Canonical membership ----
+        let mut noisy_cells: Vec<CellRef> = self.noisy.iter().copied().collect();
+        noisy_cells.sort_unstable();
+        // Evidence selection runs the one-shot compiler's *own* seeded
+        // sampling (shared helper) over the full dataset — membership is
+        // a function of (dataset, noisy set, seed), not of arrival order.
+        let selected = select_evidence_cells(ds, &self.noisy, config);
+
+        // ---- Recompute the cells a fresh compile could change ----
+        let needs_recompute =
+            |cell: &CellRef, query: bool, states: &FxHashMap<CellRef, CellState>| {
+                cell.tuple >= from
+                    || affected.contains(&cell.tuple)
+                    || match states.get(cell) {
+                        Some(st) => st.query != query,
+                        None => true,
+                    }
+            };
+        let evidence_tau = config.tau.min(config.evidence_tau_cap);
+        let mut work: Vec<(CellRef, bool)> = Vec::new();
+        for &cell in &noisy_cells {
+            if needs_recompute(&cell, true, &self.cell_states) {
+                work.push((cell, true));
+            }
+        }
+        for &cell in &selected {
+            if needs_recompute(&cell, false, &self.cell_states) {
+                work.push((cell, false));
+            }
+        }
+        // No dictionaries and no source features in streaming sessions:
+        // the shared featurizer sees an empty lookup (grounds nothing),
+        // exactly what the one-shot compiler produces without them.
+        let no_matches = MatchLookup::default();
+        let computed: Vec<(Vec<Sym>, FeatureBuffer)> =
+            holo_parallel::parallel_map(threads, &work, |_, &(cell, query)| {
+                let tau = if query { config.tau } else { evidence_tau };
+                let domain = crate::domain::prune_cell_with_support(
+                    ds,
+                    cell,
+                    stats,
+                    tau,
+                    config.max_domain,
+                    config.min_cond_support,
+                );
+                let mut buf = FeatureBuffer::default();
+                if domain.len() >= 2 {
+                    collect_cell_features(
+                        &mut buf,
+                        ds,
+                        stats,
+                        &no_matches,
+                        config,
+                        dc_featurizer.as_ref(),
+                        None,
+                        cell,
+                        &domain,
+                    );
+                }
+                (domain, buf)
+            });
+        report.cells_recomputed = work.len();
+        let mut fresh: FxHashMap<CellRef, (Vec<Sym>, FeatureBuffer)> =
+            work.iter().map(|&(cell, _)| cell).zip(computed).collect();
+
+        // ---- Diff against the live graph, in canonical order ----
+        let mut cstats = CompileStats::default();
+        self.query_cells.clear();
+        self.query_vars.clear();
+        self.examples.clear();
+        let mut reused_examples: Vec<VarId> = Vec::new();
+        let mut fresh_examples: Vec<VarId> = Vec::new();
+        let mut live: FxHashSet<CellRef> = FxHashSet::with_capacity_and_hasher(
+            noisy_cells.len() + selected.len(),
+            Default::default(),
+        );
+
+        for &cell in &noisy_cells {
+            live.insert(cell);
+            let (var, _) = self.sync_cell(cell, true, fresh.remove(&cell), report)?;
+            match var {
+                Some(v) => {
+                    self.query_cells.push(cell);
+                    self.query_vars.push(v);
+                    cstats.total_candidates += self.graph.var(v).arity();
+                }
+                None => cstats.singleton_noisy_cells += 1,
+            }
+        }
+        for &cell in &selected {
+            live.insert(cell);
+            let (var, was_fresh) = self.sync_cell(cell, false, fresh.remove(&cell), report)?;
+            if let Some(v) = var {
+                self.examples.push(v);
+                if was_fresh {
+                    fresh_examples.push(v);
+                } else {
+                    reused_examples.push(v);
+                }
+            }
+        }
+        report.cells_reused = live.len() - report.cells_recomputed;
+
+        // Drop states of cells that left the membership (evidence cells
+        // the reshuffled sample no longer selects). Their variables stay
+        // in the graph as inert evidence — removal would force a matrix
+        // rebuild — but nothing reads them again unless the sample
+        // re-selects the cell, which recompiles it afresh.
+        self.cell_states.retain(|cell, st| {
+            let keep = live.contains(cell);
+            if !keep && st.var.is_some() {
+                report.vars_retired += 1;
+            }
+            keep
+        });
+
+        // Replay order: surviving examples first, this batch's new
+        // evidence last — `train_replay` biases its window to the tail.
+        self.fresh_examples = fresh_examples.len();
+        self.replay_order = reused_examples;
+        self.replay_order.append(&mut fresh_examples);
+
+        cstats.query_vars = self.query_vars.len();
+        cstats.evidence_vars = self.examples.len();
+        cstats.factors = self
+            .cell_states
+            .values()
+            .filter(|st| st.var.is_some())
+            .map(|st| st.features.len())
+            .sum();
+        self.compile_stats = cstats;
+
+        // The first batch's forced builds — later batches find the caches
+        // present and these calls are free reads.
+        let _ = self.graph.design();
+        let _ = self.graph.components();
+        Ok(())
+    }
+
+    /// Brings one cell's live variable in line with its canonical compile
+    /// state, reusing the cache when nothing changed. Returns the live
+    /// variable (if the cell carries one) and whether it was (re)created.
+    fn sync_cell(
+        &mut self,
+        cell: CellRef,
+        query: bool,
+        fresh: Option<(Vec<Sym>, FeatureBuffer)>,
+        report: &mut BatchReport,
+    ) -> Result<(Option<VarId>, bool), HoloError> {
+        if let Some((domain, features)) = fresh {
+            if let Some(st) = self.cell_states.get(&cell) {
+                if st.query == query && st.domain == domain && st.features == features {
+                    // Conservatively recomputed, but nothing changed.
+                    return Ok((st.var, false));
+                }
+                // The cell's model changed: retire the old variable. A
+                // query variable is pinned to its observed value so
+                // inference skips it; an evidence variable is simply no
+                // longer listed as an example.
+                if let Some(v) = st.var {
+                    if st.query {
+                        let var = self.graph.var(v);
+                        let k = var.init.unwrap_or(0);
+                        let value = var.domain[k];
+                        self.graph.pin_evidence(v, value);
+                    }
+                    report.vars_retired += 1;
+                }
+            }
+            let var = if domain.len() >= 2 {
+                let init_pos = domain.iter().position(|&d| d == self.ds.cell_ref(cell));
+                let variable = if query {
+                    Variable::query(domain.clone(), init_pos)
+                } else {
+                    let observed = init_pos.ok_or_else(|| HoloError::PrunedInitialValue {
+                        cell,
+                        attr: self.ds.schema().attr_name(cell.attr).to_string(),
+                    })?;
+                    Variable::evidence(domain.clone(), observed)
+                };
+                let rows = features.to_rows(&mut self.registry, domain.len());
+                let v = self.graph.add_variable_with_features(variable, rows);
+                report.vars_added += 1;
+                // Candidate postings: cells on join-key attributes depend
+                // on partner buckets of every candidate value.
+                for &(a1, a2) in &self.eq_pairs {
+                    if cell.attr == a1 || cell.attr == a2 {
+                        for &d in &domain {
+                            if !d.is_null() {
+                                self.cand_postings
+                                    .entry((cell.attr, d))
+                                    .or_default()
+                                    .insert(cell.tuple);
+                            }
+                        }
+                    }
+                }
+                Some(v)
+            } else {
+                None
+            };
+            self.cell_states.insert(
+                cell,
+                CellState {
+                    var,
+                    query,
+                    domain,
+                    features,
+                },
+            );
+            Ok((var, true))
+        } else {
+            // Untouched by the batch: serve the cache.
+            let st = self
+                .cell_states
+                .get(&cell)
+                .expect("cells outside the recompute set keep a cached state");
+            debug_assert_eq!(st.query, query);
+            Ok((st.var, false))
+        }
+    }
+
+    /// Canonical retrain + re-inference, if anything is stale. This is
+    /// the batch-equivalence workhorse: full SGD from the priors over the
+    /// canonical example order (reading the *patched* design matrix — the
+    /// model is never recompiled), then partitioned inference over the
+    /// dirty components.
+    fn ensure_exact(&mut self) {
+        let threads = self.config.threads;
+        if !self.weights_exact {
+            let t_learn = Instant::now();
+            let mut w = self.registry.build_weights();
+            let stats = learn::train_examples(
+                &self.graph,
+                &mut w,
+                &self.config.learn,
+                threads,
+                &self.examples,
+            );
+            self.learn_stats = (!self.examples.is_empty()).then_some(stats);
+            self.weights = w;
+            self.weights_exact = true;
+            self.timings.ingest.canonical_retrains += 1;
+            self.timings.record(StageKind::Learn, t_learn.elapsed());
+            self.marginals = None;
+        }
+        if self.marginals.is_none() {
+            let t_infer = Instant::now();
+            let ctx = DatasetContext::new(&self.ds);
+            let (marginals, partition) = infer_partitioned(
+                &self.graph,
+                &self.weights,
+                &ctx,
+                &PartitionedConfig {
+                    gibbs: self.config.gibbs,
+                    exact_limit: self.config.exact_component_limit,
+                },
+                threads,
+            );
+            self.partition_stats = Some(partition);
+            self.timings.partition = partition;
+            self.marginals = Some(marginals);
+            self.timings.record(StageKind::Infer, t_infer.elapsed());
+        }
+    }
+
+    /// Batch-equivalent repairs and posteriors: byte-identical to a
+    /// one-shot [`crate::HoloClean`] run over everything pushed so far,
+    /// at any batch split and any thread count.
+    pub fn report(&mut self) -> RepairReport {
+        self.ensure_exact();
+        RepairReport::from_marginals(
+            &self.ds,
+            &self.query_cells,
+            &self.query_vars,
+            &self.graph,
+            self.marginals.as_ref().expect("ensure_exact filled it"),
+        )
+    }
+
+    /// Interim repairs under the current (warm-started) weights — cheap,
+    /// fresh after every batch when
+    /// [`crate::config::StreamConfig::refine_each_batch`] is on, but
+    /// *not* the batch-equivalent read.
+    pub fn interim_report(&self) -> RepairReport {
+        let ctx = DatasetContext::new(&self.ds);
+        let mut weights = self.registry.build_weights();
+        weights.adopt_learned(&self.weights);
+        let (marginals, _) = infer_partitioned(
+            &self.graph,
+            &weights,
+            &ctx,
+            &PartitionedConfig {
+                gibbs: self.config.gibbs,
+                exact_limit: self.config.exact_component_limit,
+            },
+            self.config.threads,
+        );
+        RepairReport::from_marginals(
+            &self.ds,
+            &self.query_cells,
+            &self.query_vars,
+            &self.graph,
+            &marginals,
+        )
+    }
+
+    /// The dataset as ingested so far.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// Current weights (canonical after [`StreamSession::report`],
+    /// warm-started between batches).
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// The feature registry (introspection: mapping learned weights back
+    /// to their structured keys, e.g. per-constraint DC weights).
+    pub fn registry(&self) -> &FeatureRegistry<FeatureKey> {
+        &self.registry
+    }
+
+    /// Total violations detected so far (== the one-shot count).
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Noisy cells detected so far.
+    pub fn noisy_cells(&self) -> usize {
+        self.noisy.len()
+    }
+
+    /// Shape of the live model (live variables only; retired ones are
+    /// excluded).
+    pub fn compile_stats(&self) -> &CompileStats {
+        &self.compile_stats
+    }
+
+    /// Learning diagnostics of the last canonical retrain.
+    pub fn learn_stats(&self) -> Option<&LearnStats> {
+        self.learn_stats.as_ref()
+    }
+
+    /// Routing split of the last inference pass.
+    pub fn partition_stats(&self) -> Option<PartitionStats> {
+        self.partition_stats
+    }
+
+    /// Cumulative stage timings and ingest counters. Design-matrix and
+    /// component-index counters are snapshotted from the live graph.
+    pub fn timings(&self) -> StageTimings {
+        let mut t = self.timings;
+        t.design = self.graph.design_stats();
+        t.components = self.graph.component_stats();
+        t
+    }
+
+    /// Cumulative ingest counters.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.timings.ingest
+    }
+
+    /// Whether the live graph's patched design matrix and component index
+    /// are bit-for-bit equal to fresh compiles of the current adjacency —
+    /// the patch-path invariant, exposed for tests and diagnostics
+    /// (`O(model)`; don't call it per batch in production).
+    pub fn verify_patch_equivalence(&self) -> bool {
+        self.graph.design() == &self.graph.compile_design()
+            && self.graph.components() == &self.graph.compile_components()
+    }
+
+    /// Design-matrix build/patch counters of the live graph — pinned at
+    /// one full build for the life of a (non-`force_full_rebuild`)
+    /// stream.
+    pub fn design_stats(&self) -> holo_factor::DesignStats {
+        self.graph.design_stats()
+    }
+
+    /// Component-index build/patch counters of the live graph.
+    pub fn component_stats(&self) -> holo_factor::ComponentStats {
+        self.graph.component_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelVariant;
+    use crate::HoloClean;
+
+    fn zip_city_rows() -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        for _ in 0..8 {
+            rows.push(vec!["60608".into(), "Chicago".into(), "IL".into()]);
+        }
+        rows.push(vec!["60608".into(), "Cicago".into(), "IL".into()]);
+        for _ in 0..5 {
+            rows.push(vec!["60609".into(), "Evanston".into(), "IL".into()]);
+        }
+        rows
+    }
+
+    fn one_shot(rows: &[Vec<String>], threads: usize) -> RepairReport {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City", "State"]));
+        for row in rows {
+            ds.push_row(row);
+        }
+        HoloClean::new(ds)
+            .with_constraint_text("FD: Zip -> City")
+            .unwrap()
+            .with_config(HoloConfig::default().with_threads(threads))
+            .run()
+            .unwrap()
+            .report
+    }
+
+    fn streamed(rows: &[Vec<String>], batches: usize, threads: usize) -> StreamSession {
+        let mut session = StreamSession::new(
+            Schema::new(vec!["Zip", "City", "State"]),
+            "FD: Zip -> City",
+            HoloConfig::default().with_threads(threads),
+        )
+        .unwrap();
+        for chunk in rows.chunks(rows.len().div_ceil(batches)) {
+            session.push_batch(chunk).unwrap();
+        }
+        session
+    }
+
+    #[test]
+    fn any_batch_split_matches_the_one_shot_run_bitwise() {
+        let rows = zip_city_rows();
+        let reference = one_shot(&rows, 1);
+        assert_eq!(reference.repairs.len(), 1);
+        for batches in [1, 3, 7, rows.len()] {
+            for threads in [1, 2] {
+                let mut session = streamed(&rows, batches, threads);
+                let report = session.report();
+                assert_eq!(
+                    report, reference,
+                    "batches = {batches}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incrementality_is_pinned_after_the_first_batch() {
+        let rows = zip_city_rows();
+        let mut session = streamed(&rows, 4, 1);
+        let _ = session.report();
+        assert_eq!(session.design_stats().full_builds, 1);
+        assert_eq!(session.component_stats().full_builds, 1);
+        let stats = session.ingest_stats();
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.tuples as usize, rows.len());
+        assert!(stats.vars_added > 0);
+        assert_eq!(stats.canonical_retrains, 1);
+        // More data arrives after a report: still no rebuild.
+        session
+            .push_batch(&[vec!["60609".to_string(), "Evanstn".into(), "IL".into()]])
+            .unwrap();
+        let _ = session.report();
+        assert_eq!(session.design_stats().full_builds, 1);
+        assert_eq!(session.component_stats().full_builds, 1);
+    }
+
+    #[test]
+    fn late_evidence_can_flip_an_earlier_repair() {
+        // First batches: "Cicago" is the 60608 majority, so the lone
+        // "Chicago" looks wrong. Later batches flip the majority — the
+        // affected-set recompute must revisit the old cells.
+        let mut session = StreamSession::new(
+            Schema::new(vec!["Zip", "City"]),
+            "FD: Zip -> City",
+            HoloConfig::default().with_threads(1),
+        )
+        .unwrap();
+        let early: Vec<Vec<String>> = vec![
+            vec!["60608".into(), "Cicago".into()],
+            vec!["60608".into(), "Cicago".into()],
+            vec!["60608".into(), "Chicago".into()],
+        ];
+        session.push_batch(&early).unwrap();
+        let late: Vec<Vec<String>> = (0..6)
+            .map(|_| vec!["60608".to_string(), "Chicago".to_string()])
+            .collect();
+        session.push_batch(&late).unwrap();
+        let report = session.report();
+        // One-shot over the union agrees byte for byte.
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+        for row in early.iter().chain(&late) {
+            ds.push_row(row);
+        }
+        let reference = HoloClean::new(ds)
+            .with_constraint_text("FD: Zip -> City")
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
+        assert_eq!(report, reference);
+        assert!(report.repairs.iter().any(|r| r.new_value == "Chicago"));
+    }
+
+    #[test]
+    fn unsupported_variants_and_bad_batches_are_typed_errors() {
+        let schema = Schema::new(vec!["Zip", "City"]);
+        for variant in [ModelVariant::DcFactors, ModelVariant::DcFeatsDcFactors] {
+            let err = StreamSession::new(
+                schema.clone(),
+                "FD: Zip -> City",
+                HoloConfig::default().with_variant(variant),
+            )
+            .map(|_| ())
+            .expect_err("DC-factor variants are rejected");
+            assert!(matches!(err, HoloError::Stream(_)), "{err}");
+        }
+        let err = StreamSession::new(
+            schema.clone(),
+            "FD: Zip -> City",
+            HoloConfig::default().with_source("a", "b"),
+        )
+        .map(|_| ())
+        .expect_err("source features are rejected");
+        assert!(matches!(err, HoloError::Stream(_)));
+
+        let mut session =
+            StreamSession::new(schema, "FD: Zip -> City", HoloConfig::default()).unwrap();
+        let err = session
+            .push_batch(&[vec!["only-one".to_string()]])
+            .expect_err("arity mismatch is rejected");
+        assert!(matches!(err, HoloError::Stream(_)), "{err}");
+        assert_eq!(session.dataset().tuple_count(), 0, "nothing was appended");
+    }
+
+    #[test]
+    fn force_full_rebuild_produces_identical_output() {
+        let rows = zip_city_rows();
+        let mut fast = streamed(&rows, 4, 1);
+        let mut slow = {
+            let mut config = HoloConfig::default().with_threads(1);
+            config.stream.force_full_rebuild = true;
+            let mut session = StreamSession::new(
+                Schema::new(vec!["Zip", "City", "State"]),
+                "FD: Zip -> City",
+                config,
+            )
+            .unwrap();
+            for chunk in rows.chunks(rows.len().div_ceil(4)) {
+                session.push_batch(chunk).unwrap();
+            }
+            session
+        };
+        assert_eq!(fast.report(), slow.report());
+        assert_eq!(fast.design_stats().full_builds, 1, "patched path");
+        assert!(
+            slow.design_stats().full_builds > 1,
+            "rebuild path recompiles per batch"
+        );
+    }
+
+    #[test]
+    fn interim_report_tracks_new_evidence_between_batches() {
+        let rows = zip_city_rows();
+        let mut session = streamed(&rows, 3, 1);
+        let interim = session.interim_report();
+        let exact = session.report();
+        // Interim serves the same cells, with (possibly) different
+        // posterior mass: same posterior count, approximate weights.
+        assert_eq!(interim.posteriors.len(), exact.posteriors.len());
+        assert!(session.ingest_stats().replay_minibatches > 0);
+    }
+}

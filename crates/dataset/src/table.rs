@@ -142,6 +142,26 @@ impl Dataset {
         id
     }
 
+    /// Appends a batch of raw string rows, returning the id of the first
+    /// appended tuple (the batch occupies the contiguous id range
+    /// `first..first + rows.len()`).
+    ///
+    /// Tuple ids are **stable**: appending never renumbers existing rows,
+    /// which is what lets the streaming engine hold `TupleId`/[`CellRef`]
+    /// handles (noisy sets, violation indexes, factor-graph cell maps)
+    /// across batches.
+    ///
+    /// # Panics
+    /// Panics if any row's arity differs from the schema arity (same
+    /// contract as [`Dataset::push_row`]).
+    pub fn append_rows<S: AsRef<str>>(&mut self, rows: &[Vec<S>]) -> TupleId {
+        let first = TupleId(self.tuple_count() as u32);
+        for row in rows {
+            self.push_row(row);
+        }
+        first
+    }
+
     /// The symbol stored at cell `t[a]`.
     #[inline]
     pub fn cell(&self, t: TupleId, a: AttrId) -> Sym {
@@ -301,6 +321,28 @@ mod tests {
         let t = ds.push_row_syms(&[x, y]);
         assert_eq!(ds.cell(t, AttrId(0)), x);
         assert_eq!(ds.cell(t, AttrId(1)), y);
+    }
+
+    #[test]
+    fn append_rows_keeps_tuple_ids_stable() {
+        let mut ds = small();
+        let before: Vec<Vec<Sym>> = ds.tuples().map(|t| ds.row(t)).collect();
+        let first = ds.append_rows(&[
+            vec!["Evanston", "IL", "60201"],
+            vec!["Chicago", "IL", "60608"],
+        ]);
+        assert_eq!(first, TupleId(3));
+        assert_eq!(ds.tuple_count(), 5);
+        // Existing rows are untouched, byte for byte.
+        for (t, row) in before.iter().enumerate() {
+            assert_eq!(&ds.row(TupleId(t as u32)), row);
+        }
+        assert_eq!(ds.cell_str(TupleId(3), AttrId(0)), "Evanston");
+        // Appended values share symbols with existing occurrences.
+        assert_eq!(
+            ds.cell(TupleId(4), AttrId(0)),
+            ds.cell(TupleId(0), AttrId(0))
+        );
     }
 
     #[test]

@@ -305,6 +305,38 @@ impl FactorGraph {
         id
     }
 
+    /// Adds a variable **with its unary features already materialised**
+    /// (one `FeatureVec` per candidate, in candidate order), returning its
+    /// id. With a compiled matrix present this splices the finished rows
+    /// in with a *single* append — the path for long-lived graphs that
+    /// keep growing after compile (streaming ingestion): appending the
+    /// variable bare and then calling [`FactorGraph::add_feature`] per
+    /// entry would re-splice the row range once per feature.
+    ///
+    /// # Panics
+    /// Panics if `rows.len()` differs from the variable's arity.
+    pub fn add_variable_with_features(&mut self, var: Variable, rows: Vec<FeatureVec>) -> VarId {
+        assert_eq!(rows.len(), var.arity(), "one feature row per candidate");
+        let id = VarId(self.vars.len() as u32);
+        self.unary.push(rows);
+        self.var_cliques.push(Vec::new());
+        self.vars.push(var);
+        if let Some(d) = self.design.get_mut() {
+            let per_candidate = &self.unary[id.index()];
+            d.append_var(per_candidate);
+            self.stats.vars_patched += 1;
+            self.stats.rows_patched += per_candidate.len() as u64;
+            self.stats.entries_patched += per_candidate.iter().map(Vec::len).sum::<usize>() as u64;
+        } else {
+            self.dirty.get_mut().unwrap().insert(id);
+        }
+        if let Some(ix) = self.components.get_mut() {
+            ix.add_singleton(id);
+            self.comp_stats.vars_appended += 1;
+        }
+        id
+    }
+
     /// Appends a unary feature `(weight, value)` to candidate `k` of `v`.
     /// With a compiled matrix present `v`'s row range is re-spliced in
     /// place (O(its rows) per call — bulk featurization should happen

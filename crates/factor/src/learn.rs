@@ -112,15 +112,47 @@ pub fn train(graph: &FactorGraph, weights: &mut Weights, config: &LearnConfig) -
 ///
 /// Returns diagnostics; `weights` is updated in place. Evidence variables
 /// with a single candidate carry no gradient signal and are skipped.
+///
+/// Examples are visited in the graph's variable-id order — for a graph
+/// built by one compile pass that *is* the canonical (attribute-major,
+/// cell-sorted) evidence order. A long-lived graph whose variables were
+/// appended across batches must use [`train_examples`] with an explicit
+/// canonical order instead: SGD's seeded shuffle permutes example
+/// *positions*, so the example sequence — and therefore every learned
+/// weight, bitwise — depends on the initial order.
 pub fn train_with_threads(
     graph: &FactorGraph,
     weights: &mut Weights,
     config: &LearnConfig,
     threads: usize,
 ) -> LearnStats {
-    let mut examples: Vec<VarId> = graph
-        .evidence_vars()
-        .into_iter()
+    train_examples(graph, weights, config, threads, &graph.evidence_vars())
+}
+
+/// [`train_with_threads`] over a caller-supplied example order.
+///
+/// This is the streaming engine's learning entry point: a
+/// [`StreamSession`]-maintained graph accumulates evidence variables in
+/// arrival order, which differs from the order a one-shot compile of the
+/// same data would produce. Passing the canonical order explicitly makes
+/// the SGD trajectory — and the final weights, bit for bit — a function
+/// of the *model content* rather than of the mutation history, which is
+/// what the streaming-equals-batch equivalence rests on.
+///
+/// Single-candidate entries are skipped (no gradient signal); order is
+/// otherwise preserved. Variables must be evidence.
+///
+/// [`StreamSession`]: https://docs.rs/holoclean (crates/core `stream`)
+pub fn train_examples(
+    graph: &FactorGraph,
+    weights: &mut Weights,
+    config: &LearnConfig,
+    threads: usize,
+    examples: &[VarId],
+) -> LearnStats {
+    let mut examples: Vec<VarId> = examples
+        .iter()
+        .copied()
         .filter(|&v| graph.var(v).arity() > 1)
         .collect();
     let design = graph.design();
@@ -169,6 +201,107 @@ pub fn train_with_threads(
         final_log_likelihood: final_ll,
         examples: examples.len(),
         epochs: config.epochs,
+        minibatches,
+        grad_norm,
+    }
+}
+
+/// Warm-start replay training — the incremental-learning path of the
+/// streaming engine (and of feedback retraining workloads shaped like
+/// it).
+///
+/// Instead of re-running full SGD from the priors over *all* evidence,
+/// this resumes from the **current** `weights` and replays a window
+/// biased to new evidence: the last `recent` examples (the batch that
+/// just arrived) plus an equally-sized seeded sample of the older
+/// examples (so the new signal cannot drag shared weights away from what
+/// the old evidence supports). `epochs` replay epochs run with the usual
+/// minibatch/shard machinery, so the result is bit-for-bit identical at
+/// every thread count.
+///
+/// This is an *approximation*: an SGD endpoint depends on its whole
+/// trajectory, so replayed weights differ from a canonical from-scratch
+/// retrain (which is what batch-equivalent reads use). The point is
+/// wall-clock — `O(window)` per batch instead of `O(all evidence ·
+/// epochs)` — for serving interim posteriors between batches.
+pub fn train_replay(
+    graph: &FactorGraph,
+    weights: &mut Weights,
+    config: &LearnConfig,
+    threads: usize,
+    examples: &[VarId],
+    recent: usize,
+    epochs: usize,
+) -> LearnStats {
+    let eligible: Vec<VarId> = examples
+        .iter()
+        .copied()
+        .filter(|&v| graph.var(v).arity() > 1)
+        .collect();
+    let recent_n = recent.min(eligible.len());
+    let (older, fresh) = eligible.split_at(eligible.len() - recent_n);
+    // Deterministic replay sample of the old evidence: seed mixes the
+    // stream position so successive batches revisit different slices.
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_add((eligible.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    let mut sampled: Vec<VarId> = older.to_vec();
+    sampled.shuffle(&mut rng);
+    sampled.truncate(recent_n);
+    let mut window: Vec<VarId> = fresh.to_vec();
+    window.extend(sampled);
+    if window.is_empty() {
+        return LearnStats {
+            final_log_likelihood: 0.0,
+            examples: 0,
+            epochs,
+            minibatches: 0,
+            grad_norm: 0.0,
+        };
+    }
+
+    let design = graph.design();
+    let batch = config.minibatch.max(1);
+    let mut lr = config.learning_rate;
+    let mut final_ll = 0.0;
+    let mut minibatches = 0usize;
+    let mut grad_norm = 0.0;
+    let mut keys: Vec<WeightId> = Vec::new();
+    for _epoch in 0..epochs {
+        window.shuffle(&mut rng);
+        let mut ll_sum = 0.0;
+        for minibatch in window.chunks(batch) {
+            let Some((grad, ll)) =
+                minibatch_gradient(graph, design, weights, config, threads, minibatch)
+            else {
+                continue;
+            };
+            ll_sum += ll;
+            minibatches += 1;
+            keys.clear();
+            keys.extend(grad.keys().copied());
+            keys.sort_unstable();
+            let mut norm_sq = 0.0;
+            for &w in &keys {
+                let g = grad[&w];
+                norm_sq += g * g;
+                weights.update(w, lr * g);
+            }
+            grad_norm = norm_sq.sqrt();
+        }
+        final_ll = if window.is_empty() {
+            0.0
+        } else {
+            ll_sum / window.len() as f64
+        };
+        lr *= config.decay;
+    }
+    LearnStats {
+        final_log_likelihood: final_ll,
+        examples: window.len(),
+        epochs,
         minibatches,
         grad_norm,
     }
@@ -403,6 +536,69 @@ mod tests {
         let stats0 = train(&g, &mut w0, &cfg0);
         assert_eq!(stats0.minibatches, stats.minibatches);
         assert_eq!(w0.get(f), w.get(f));
+    }
+
+    /// `train_examples` with the graph's own evidence order is exactly
+    /// `train_with_threads`; a permuted order changes the SGD trajectory
+    /// (which is why streaming callers must pass the canonical one).
+    #[test]
+    fn explicit_example_order_controls_the_trajectory() {
+        let mut reg: FeatureRegistry<usize> = FeatureRegistry::new();
+        let mut g = FactorGraph::new();
+        for i in 0..40usize {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2)], i % 2));
+            let w = reg.learnable(i % 5);
+            g.add_feature(v, 0, w, 1.0 + (i % 3) as f64 * 0.5);
+        }
+        let cfg = LearnConfig::default();
+        let order = g.evidence_vars();
+        let mut w_graph = reg.build_weights();
+        let mut w_explicit = reg.build_weights();
+        train_with_threads(&g, &mut w_graph, &cfg, 1);
+        train_examples(&g, &mut w_explicit, &cfg, 1, &order);
+        assert_eq!(w_graph, w_explicit, "graph order == explicit graph order");
+
+        let mut reversed: Vec<VarId> = order.clone();
+        reversed.reverse();
+        let mut w_rev = reg.build_weights();
+        train_examples(&g, &mut w_rev, &cfg, 1, &reversed);
+        assert_ne!(w_graph, w_rev, "order is load-bearing for the trajectory");
+    }
+
+    /// Replay training is deterministic, thread-count invariant, and
+    /// bounded by the window (not the full evidence set).
+    #[test]
+    fn replay_is_deterministic_and_windowed() {
+        let mut reg: FeatureRegistry<usize> = FeatureRegistry::new();
+        let mut g = FactorGraph::new();
+        for i in 0..100usize {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2)], i % 2));
+            let w = reg.learnable(i % 7);
+            g.add_feature(v, 0, w, 1.0);
+        }
+        let order = g.evidence_vars();
+        let cfg = LearnConfig::default();
+        let mut w1 = reg.build_weights();
+        let base = train_with_threads(&g, &mut w1, &cfg, 1);
+        let mut w2 = w1.clone();
+        let stats = train_replay(&g, &mut w2, &cfg, 1, &order, 10, 2);
+        assert_eq!(stats.examples, 20, "10 fresh + 10 replayed old");
+        assert!(stats.minibatches > 0);
+        assert!(
+            stats.minibatches < base.minibatches,
+            "cheaper than full SGD"
+        );
+        for threads in [2, 4] {
+            let mut w3 = w1.clone();
+            let s3 = train_replay(&g, &mut w3, &cfg, threads, &order, 10, 2);
+            assert_eq!(w3, w2, "threads = {threads}");
+            assert_eq!(s3.minibatches, stats.minibatches);
+        }
+        // Empty window is a no-op.
+        let mut w4 = w1.clone();
+        let s4 = train_replay(&g, &mut w4, &cfg, 1, &order, 0, 2);
+        assert_eq!(s4.examples, 0);
+        assert_eq!(w4, w1);
     }
 
     #[test]

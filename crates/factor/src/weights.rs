@@ -154,14 +154,41 @@ impl Weights {
     }
 
     /// L2 norm of the learnable weights (for convergence diagnostics).
+    ///
+    /// The squares are summed in **value-sorted** order, not weight-id
+    /// order: two models whose registries interned the same features in
+    /// different sequences (a one-shot compile vs a streaming session
+    /// patching the same model together batch by batch) hold the same
+    /// multiset of weight values under different ids, and a value-ordered
+    /// sum makes the reported norm bit-for-bit identical for both — so
+    /// equivalence diffs over diagnostic dumps don't false-positive on
+    /// floating-point association order.
     pub fn learnable_norm(&self) -> f64 {
-        self.values
+        let mut squares: Vec<f64> = self
+            .values
             .iter()
             .zip(&self.fixed)
             .filter(|(_, &f)| !f)
             .map(|(v, _)| v * v)
-            .sum::<f64>()
-            .sqrt()
+            .collect();
+        squares.sort_by(f64::total_cmp);
+        squares.iter().sum::<f64>().sqrt()
+    }
+
+    /// Copies the values of every **learnable** weight of `old` into this
+    /// store (positions `0..old.len()`; the two stores must agree on that
+    /// prefix — the streaming engine grows a registry append-only, so a
+    /// rebuilt prior store is exactly the old one plus a fresh tail).
+    /// Fixed weights keep their registry values: they never train, so
+    /// there is nothing to carry over.
+    pub fn adopt_learned(&mut self, old: &Weights) {
+        assert!(old.len() <= self.len(), "weight store shrank");
+        for i in 0..old.values.len() {
+            debug_assert_eq!(self.fixed[i], old.fixed[i], "prefix disagreement");
+            if !self.fixed[i] {
+                self.values[i] = old.values[i];
+            }
+        }
     }
 }
 
@@ -219,6 +246,37 @@ mod tests {
         w.update(feat, 3.0);
         let _ = prior;
         assert!((w.learnable_norm() - 3.0).abs() < 1e-12);
+    }
+
+    /// The norm is a function of the value multiset, not the id order —
+    /// isomorphic registries (same features interned in different
+    /// sequences) report bit-identical norms.
+    #[test]
+    fn learnable_norm_is_id_order_invariant() {
+        let values = [0.3, -1.7, 2.4e-3, 8.1, -0.2, 5.5e2, 1e-9];
+        let mut a = Weights::zeros(values.len());
+        let mut b = Weights::zeros(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            a.set(WeightId(i as u32), v);
+            b.set(WeightId((values.len() - 1 - i) as u32), v);
+        }
+        assert_eq!(a.learnable_norm().to_bits(), b.learnable_norm().to_bits());
+    }
+
+    #[test]
+    fn adopt_learned_carries_prefix_and_keeps_new_priors() {
+        let mut reg: FeatureRegistry<Key> = FeatureRegistry::new();
+        let fixed = reg.fixed(Key::Minimality, 1.5);
+        let feat = reg.learnable(Key::Dict(0));
+        let mut trained = reg.build_weights();
+        trained.update(feat, 4.0);
+        // The registry grows append-only (a later batch interned more).
+        let tail = reg.learnable_init(Key::Dict(1), -0.5);
+        let mut rebuilt = reg.build_weights();
+        rebuilt.adopt_learned(&trained);
+        assert_eq!(rebuilt.get(feat), 4.0, "trained value carried over");
+        assert_eq!(rebuilt.get(fixed), 1.5, "fixed keeps its registry value");
+        assert_eq!(rebuilt.get(tail), -0.5, "new weight starts at its prior");
     }
 
     #[test]

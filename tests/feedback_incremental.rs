@@ -9,14 +9,20 @@
 
 use holoclean_repro::holo_datagen::{hospital, HospitalConfig};
 use holoclean_repro::holo_dataset::Sym;
-use holoclean_repro::holo_factor::{FactorGraph, Variable, WeightId};
+use holoclean_repro::holo_factor::{
+    CliqueFactor, CmpOp, FactorGraph, FactorOperand, FactorPredicate, Variable, WeightId,
+};
 use holoclean_repro::holoclean::feedback::{FeedbackSession, Label};
 use holoclean_repro::holoclean::{HoloClean, HoloConfig};
 use proptest::prelude::*;
 
 /// One post-compile mutation of a factor graph, drawn from the moves the
-/// feedback loop actually makes (plus late features, which the patch path
-/// must also keep in sync).
+/// feedback loop and the streaming engine actually make: pins (in- and
+/// out-of-domain), late features, appended variables (a streamed batch
+/// grounding new cells), and late cliques (coupling spanning the
+/// append/pin history) — the "append batch → pin label → late clique"
+/// interleavings whose patched state must stay bit-for-bit equal to a
+/// fresh compile across every boundary.
 #[derive(Debug, Clone, Copy)]
 enum Mutation {
     /// Pin variable `var % n` to candidate `k % arity` (in-domain).
@@ -30,13 +36,27 @@ enum Mutation {
         weight: usize,
         value_milli: i32,
     },
+    /// Append a fresh variable of the given arity, pre-loaded with
+    /// `features` features — a streamed batch's new cell.
+    AppendVar { arity: usize, features: usize },
+    /// Add a clique over variables `a % n` and `b % n` — late coupling
+    /// that must merge components in place.
+    LateClique { a: usize, b: usize },
 }
 
 fn mutation() -> impl Strategy<Value = Mutation> {
-    (0usize..32, 0usize..8, 0usize..6, -2000i32..2000).prop_map(|(var, k, weight, value_milli)| {
-        match k % 3 {
+    (0usize..32, 0usize..10, 0usize..6, -2000i32..2000).prop_map(|(var, k, weight, value_milli)| {
+        match k % 5 {
             0 => Mutation::PinInDomain { var, k },
             1 => Mutation::PinNovel { var },
+            2 => Mutation::AppendVar {
+                arity: 2 + var % 3,
+                features: weight % 4,
+            },
+            3 => Mutation::LateClique {
+                a: var,
+                b: var / 2 + k,
+            },
             _ => Mutation::AddFeature {
                 var,
                 k,
@@ -88,23 +108,73 @@ proptest! {
         let _ = g.components(); // likewise for the component index
         prop_assert_eq!(g.design_stats().full_builds, 1);
         prop_assert_eq!(g.component_stats().full_builds, 1);
+        let mut n_vars = arities.len();
         let mut novel = 10_000u32; // far above any domain symbol
         for m in mutations {
             match m {
                 Mutation::PinInDomain { var, k } => {
-                    let v = holoclean_repro::holo_factor::VarId((var % arities.len()) as u32);
+                    let v = holoclean_repro::holo_factor::VarId((var % n_vars) as u32);
                     let value = g.var(v).domain[k % g.var(v).arity()];
                     g.pin_evidence(v, value);
                 }
                 Mutation::PinNovel { var } => {
-                    let v = holoclean_repro::holo_factor::VarId((var % arities.len()) as u32);
+                    let v = holoclean_repro::holo_factor::VarId((var % n_vars) as u32);
                     novel += 1;
                     g.pin_evidence(v, Sym(novel));
                 }
                 Mutation::AddFeature { var, k, weight, value_milli } => {
-                    let v = holoclean_repro::holo_factor::VarId((var % arities.len()) as u32);
+                    let v = holoclean_repro::holo_factor::VarId((var % n_vars) as u32);
                     let k = k % g.var(v).arity();
                     g.add_feature(v, k, WeightId(weight as u32), value_milli as f64 / 1000.0);
+                }
+                Mutation::AppendVar { arity, features } => {
+                    // A streamed batch grounding a new cell: the variable
+                    // arrives with its features pre-materialised, splicing
+                    // into the live matrix in one append.
+                    let domain: Vec<Sym> = (0..arity as u32)
+                        .map(|k| {
+                            novel += 1;
+                            Sym(novel + k)
+                        })
+                        .collect();
+                    novel += arity as u32;
+                    let rows: Vec<Vec<(WeightId, f64)>> = (0..arity)
+                        .map(|k| {
+                            (0..features)
+                                .map(|f| (WeightId(((k + f) % 6) as u32), 0.5 + f as f64))
+                                .collect()
+                        })
+                        .collect();
+                    g.add_variable_with_features(Variable::query(domain, Some(0)), rows);
+                    n_vars += 1;
+                }
+                Mutation::LateClique { a, b } => {
+                    let va = holoclean_repro::holo_factor::VarId((a % n_vars) as u32);
+                    let vb = holoclean_repro::holo_factor::VarId((b % n_vars) as u32);
+                    let (vars, predicates) = if va == vb {
+                        (
+                            vec![va],
+                            vec![FactorPredicate {
+                                lhs: FactorOperand::Var(0),
+                                op: CmpOp::Eq,
+                                rhs: FactorOperand::Const(g.var(va).domain[0]),
+                            }],
+                        )
+                    } else {
+                        (
+                            vec![va, vb],
+                            vec![FactorPredicate {
+                                lhs: FactorOperand::Var(0),
+                                op: CmpOp::Eq,
+                                rhs: FactorOperand::Var(1),
+                            }],
+                        )
+                    };
+                    g.add_clique(CliqueFactor {
+                        vars,
+                        weight: WeightId(0),
+                        predicates,
+                    });
                 }
             }
             // After *every* mutation: the patched matrix is exactly what a
@@ -115,6 +185,56 @@ proptest! {
         }
         prop_assert_eq!(g.design_stats().full_builds, 1, "patches only, no rebuild");
         prop_assert_eq!(g.component_stats().full_builds, 1, "index patches only");
+    }
+
+    /// Streaming proptest: random row streams under random batch splits
+    /// keep the session's patched design matrix and component index
+    /// bit-for-bit equal to fresh compiles at every batch boundary, and
+    /// the final report byte-identical to the one-shot pipeline.
+    #[test]
+    fn random_streams_stay_patch_equal_and_batch_equivalent(
+        rows in proptest::collection::vec((0u8..4, 0u8..5, 0u8..2), 4..40),
+        batches in 1usize..5,
+        threads in 1usize..3,
+    ) {
+        use holoclean_repro::holo_dataset::{Dataset, Schema};
+        use holoclean_repro::holoclean::stream::StreamSession;
+
+        let rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(z, c, s)| vec![format!("z{z}"), format!("c{c}"), format!("s{s}")])
+            .collect();
+        let schema = Schema::new(vec!["Zip", "City", "State"]);
+        let constraints = "FD: Zip -> City\nFD: City, State -> Zip";
+        let mut session = StreamSession::new(
+            schema.clone(),
+            constraints,
+            HoloConfig::default().with_threads(threads),
+        )
+        .unwrap();
+        for chunk in rows.chunks(rows.len().div_ceil(batches)) {
+            session.push_batch(chunk).unwrap();
+            prop_assert!(
+                session.verify_patch_equivalence(),
+                "patched design/components must equal fresh compiles at every batch boundary"
+            );
+        }
+        let report = session.report();
+        prop_assert_eq!(session.design_stats().full_builds, 1);
+        prop_assert_eq!(session.component_stats().full_builds, 1);
+
+        let mut ds = Dataset::new(schema);
+        for row in &rows {
+            ds.push_row(row);
+        }
+        let reference = HoloClean::new(ds)
+            .with_constraint_text(constraints)
+            .unwrap()
+            .with_config(HoloConfig::default().with_threads(1))
+            .run()
+            .unwrap()
+            .report;
+        prop_assert_eq!(report, reference);
     }
 }
 

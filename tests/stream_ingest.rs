@@ -1,0 +1,204 @@
+//! The streaming-equivalence contract of PR 5:
+//!
+//! 1. feeding hospital in K batches yields repairs **byte-identical** to
+//!    the one-shot pipeline — cells, values, and full posteriors — for
+//!    K ∈ {1, 4, 16} at every thread count;
+//! 2. the incrementality is real: after the first batch, the design
+//!    matrix and the component index are patched in place only —
+//!    `full_builds` stays pinned at 1 for the whole stream.
+
+use holoclean_repro::holo_datagen::{hospital, HospitalConfig};
+use holoclean_repro::holo_dataset::{Dataset, Schema};
+use holoclean_repro::holoclean::stream::StreamSession;
+use holoclean_repro::holoclean::{HoloClean, HoloConfig, RepairReport};
+
+fn hospital_rows() -> (Schema, String, Vec<Vec<String>>) {
+    let gen = hospital(HospitalConfig {
+        rows: 120,
+        seed: 23,
+        ..HospitalConfig::default()
+    });
+    let schema = gen.dirty.schema().clone();
+    let rows: Vec<Vec<String>> = gen
+        .dirty
+        .tuples()
+        .map(|t| {
+            schema
+                .attrs()
+                .map(|a| gen.dirty.cell_str(t, a).to_string())
+                .collect()
+        })
+        .collect();
+    (schema, gen.constraints_text.clone(), rows)
+}
+
+fn one_shot(
+    schema: &Schema,
+    constraints: &str,
+    rows: &[Vec<String>],
+    threads: usize,
+) -> RepairReport {
+    let mut ds = Dataset::new(schema.clone());
+    for row in rows {
+        ds.push_row(row);
+    }
+    HoloClean::new(ds)
+        .with_constraint_text(constraints)
+        .unwrap()
+        .with_config(HoloConfig::default().with_threads(threads))
+        .run()
+        .unwrap()
+        .report
+}
+
+fn streamed(
+    schema: &Schema,
+    constraints: &str,
+    rows: &[Vec<String>],
+    batches: usize,
+    threads: usize,
+) -> StreamSession {
+    let mut session = StreamSession::new(
+        schema.clone(),
+        constraints,
+        HoloConfig::default().with_threads(threads),
+    )
+    .unwrap();
+    for chunk in rows.chunks(rows.len().div_ceil(batches)) {
+        session.push_batch(chunk).unwrap();
+    }
+    session
+}
+
+/// Repairs and posteriors compared down to the f64 bits — `PartialEq` on
+/// `RepairReport` compares `f64` by value, so assert on bits explicitly
+/// for the probabilities.
+fn assert_bitwise_equal(a: &RepairReport, b: &RepairReport, label: &str) {
+    assert_eq!(a.repairs.len(), b.repairs.len(), "{label}: repair count");
+    for (x, y) in a.repairs.iter().zip(&b.repairs) {
+        assert_eq!(x.cell, y.cell, "{label}");
+        assert_eq!(x.old_value, y.old_value, "{label}");
+        assert_eq!(x.new_value, y.new_value, "{label}");
+        assert_eq!(
+            x.probability.to_bits(),
+            y.probability.to_bits(),
+            "{label}: probability bits of {:?}",
+            x.cell
+        );
+    }
+    assert_eq!(
+        a.posteriors.len(),
+        b.posteriors.len(),
+        "{label}: posteriors"
+    );
+    for (x, y) in a.posteriors.iter().zip(&b.posteriors) {
+        assert_eq!(x.cell, y.cell, "{label}");
+        assert_eq!(
+            x.candidates.len(),
+            y.candidates.len(),
+            "{label}: {:?}",
+            x.cell
+        );
+        for ((sx, px), (sy, py)) in x.candidates.iter().zip(&y.candidates) {
+            // Symbols are pool-local (the two loaders intern in different
+            // orders); posterior identity is (position, probability bits).
+            let _ = (sx, sy);
+            assert_eq!(
+                px.to_bits(),
+                py.to_bits(),
+                "{label}: posterior bits of {:?}",
+                x.cell
+            );
+        }
+    }
+}
+
+#[test]
+fn hospital_streams_bit_identical_to_batch_at_any_split_and_thread_count() {
+    let (schema, constraints, rows) = hospital_rows();
+    let reference = one_shot(&schema, &constraints, &rows, 1);
+    assert!(
+        reference.repairs.len() > 5,
+        "the generated hospital slice must need repairs (got {})",
+        reference.repairs.len()
+    );
+    // One-shot is itself thread-count invariant (the PR 1 contract).
+    for threads in [2, 4] {
+        assert_bitwise_equal(
+            &one_shot(&schema, &constraints, &rows, threads),
+            &reference,
+            &format!("one-shot threads={threads}"),
+        );
+    }
+    for batches in [1, 4, 16] {
+        for threads in [1, 2, 4] {
+            let mut session = streamed(&schema, &constraints, &rows, batches, threads);
+            let report = session.report();
+            assert_bitwise_equal(
+                &report,
+                &reference,
+                &format!("K={batches}, threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn hospital_stream_never_rebuilds_after_the_first_batch() {
+    let (schema, constraints, rows) = hospital_rows();
+    let mut session =
+        StreamSession::new(schema, &constraints, HoloConfig::default().with_threads(1)).unwrap();
+    let mut reports = Vec::new();
+    let chunks: Vec<_> = rows.chunks(rows.len().div_ceil(16)).collect();
+    let n_batches = chunks.len() as u64;
+    for chunk in chunks {
+        reports.push(session.push_batch(chunk).unwrap());
+        // Pinned from the very first batch: one full design build, one
+        // full component-index build, patches only ever after.
+        assert_eq!(session.design_stats().full_builds, 1);
+        assert_eq!(session.component_stats().full_builds, 1);
+    }
+    // Interleave batch-equivalent reads with ingestion: reads must not
+    // rebuild either.
+    let _ = session.report();
+    assert_eq!(session.design_stats().full_builds, 1);
+    assert_eq!(session.component_stats().full_builds, 1);
+    let stats = session.ingest_stats();
+    assert_eq!(stats.batches, n_batches);
+    assert_eq!(stats.tuples as usize, rows.len());
+    assert!(stats.vars_added > 0);
+    assert!(stats.cells_recomputed > 0);
+    assert!(
+        stats.delta_violations as usize >= reports[0].new_violations,
+        "delta detection found violations"
+    );
+    // The design matrix was patched (vars appended across batches), not
+    // recompiled.
+    assert!(session.design_stats().vars_patched > 0);
+    let timings = session.timings();
+    assert_eq!(timings.ingest, stats);
+    assert!(timings.detect + timings.compile > std::time::Duration::ZERO);
+}
+
+#[test]
+fn stream_counts_match_one_shot_detection() {
+    let (schema, constraints, rows) = hospital_rows();
+    let session = streamed(&schema, &constraints, &rows, 4, 1);
+    // The delta union must equal the one-shot detection totals.
+    let mut ds = Dataset::new(session.dataset().schema().clone());
+    for row in &rows {
+        ds.push_row(row);
+    }
+    let outcome = HoloClean::new(ds)
+        .with_constraint_text(&constraints)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(session.violations(), outcome.violations);
+    assert_eq!(session.noisy_cells(), outcome.noisy_cells);
+    assert_eq!(session.compile_stats().query_vars, outcome.model.query_vars);
+    assert_eq!(
+        session.compile_stats().evidence_vars,
+        outcome.model.evidence_vars
+    );
+}
