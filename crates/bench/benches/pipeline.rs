@@ -4,7 +4,7 @@
 //! model compilation under each variant, SGD learning, Gibbs sweeps, and
 //! the end-to-end Hospital pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchRecord, BenchmarkId, Criterion};
 use holo_bench::{build, Scale};
 use holo_constraints::{
     find_violations, find_violations_naive, find_violations_with_threads, parse_constraints,
@@ -269,6 +269,62 @@ fn bench_gibbs(c: &mut Criterion) {
 /// multi-core runner the partitioned arm additionally parallelises across
 /// components; even single-core it wins by routing most variables away
 /// from sampling.
+/// The blocked branch-free dot-product kernel behind
+/// [`score_var_into`](holo_factor::DesignMatrix::score_var_into) against
+/// the pre-blocked per-row map-multiply-sum it replaced, priced over
+/// every query variable of the compiled hospital model — the exact score
+/// loop every Gibbs sweep and SGD epoch runs hottest. The `blocked` arm
+/// must beat `naive_rows`; the committed `BENCH_*.json` snapshot records
+/// the margin.
+fn bench_gibbs_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_kernel");
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    let matches = Default::default();
+    let config = HoloConfig::default();
+    let model = compile(&CompileInput {
+        ds: &gen.dirty,
+        constraints: &cons,
+        noisy: &noisy,
+        violations: &violations,
+        stats: &stats,
+        matches: &matches,
+        config: &config,
+    })
+    .unwrap();
+    let weights = model.weights.clone();
+    let design = model.graph.design();
+    group.bench_function("blocked", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &v in &model.query_vars {
+                design.score_var_into(v, &weights, &mut out);
+                acc += out.iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("naive_rows", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &v in &model.query_vars {
+                design.score_var_into_naive(v, &weights, &mut out);
+                acc += out.iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_infer_partitioned(c: &mut Criterion) {
     let mut group = c.benchmark_group("infer_partitioned");
     group.sample_size(10);
@@ -309,6 +365,7 @@ fn bench_infer_partitioned(c: &mut Criterion) {
                 &holo_factor::PartitionedConfig {
                     gibbs,
                     exact_limit: config.exact_component_limit,
+                    chromatic: config.chromatic_gibbs,
                 },
                 0,
             );
@@ -507,10 +564,72 @@ criterion_group!(
     bench_learning_and_inference,
     bench_learn_stage,
     bench_gibbs,
+    bench_gibbs_kernel,
     bench_infer_partitioned,
     bench_feedback_retrain,
     bench_stream_ingest,
     bench_end_to_end,
     bench_end_to_end_parallelism
 );
-criterion_main!(benches);
+
+/// Runs the groups, then persists the run as a `BENCH_<date>.json`
+/// snapshot in the workspace root via the shared [`holo_bench::json`]
+/// writer — the committed perf trajectory the repo tracks across PRs.
+/// Smoke runs (`cargo test --benches`) and filtered runs that produced
+/// no samples write nothing.
+fn main() {
+    let criterion = benches();
+    if criterion.is_test_mode() || criterion.records().is_empty() {
+        return;
+    }
+    match write_snapshot(criterion.records()) {
+        Ok(path) => println!("perf snapshot written to {path}"),
+        Err(e) => eprintln!("perf snapshot not written: {e}"),
+    }
+}
+
+fn write_snapshot(records: &[BenchRecord]) -> std::io::Result<String> {
+    use holo_bench::json::JsonObj;
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_unix(secs);
+    let mut rows = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let mut o = JsonObj::new();
+        o.field_str("label", &r.label);
+        o.field_u64("mean_ns", r.mean_ns);
+        o.field_u64("median_ns", r.median_ns);
+        o.field_u64("min_ns", r.min_ns);
+        o.field_u64("samples", r.samples);
+        rows.push_str(&o.finish());
+    }
+    rows.push(']');
+    let mut top = JsonObj::new();
+    top.field_str("bench", "pipeline");
+    top.field_str("date", &format!("{y:04}-{m:02}-{d:02}"));
+    top.field_u64("unix_secs", secs);
+    top.field_raw("benchmarks", &rows);
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_{y:04}-{m:02}-{d:02}.json");
+    std::fs::write(&path, top.finish() + "\n")?;
+    Ok(path)
+}
+
+/// Unix seconds → UTC civil date (Howard Hinnant's days algorithm).
+fn civil_from_unix(secs: u64) -> (i64, u32, u32) {
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}

@@ -80,6 +80,10 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
     partition.field_u64("exact_vars", p.exact_vars);
     partition.field_u64("gibbs_components", p.gibbs_components);
     partition.field_u64("gibbs_vars", p.gibbs_vars);
+    partition.field_u64("colors", p.colors);
+    partition.field_u64("color_sweep_blocks", p.color_sweep_blocks);
+    partition.field_u64("coloring_full_builds", p.coloring_full_builds);
+    partition.field_u64("coloring_patches", p.coloring_patches);
     let mut component_index = JsonObj::new();
     component_index.field_u64("full_builds", ci.full_builds);
     component_index.field_u64("merges", ci.merges);
@@ -185,7 +189,9 @@ fn main() {
             full: args.full,
         },
     );
-    let config = HoloConfig::default().with_threads(args.threads);
+    let config = HoloConfig::default()
+        .with_threads(args.threads)
+        .with_chromatic_gibbs(args.chromatic);
     let (out, registry, weights, pool) = if args.stream > 0 {
         run_streamed(&gen, config, args.stream)
     } else {
@@ -239,6 +245,12 @@ fn main() {
         p.gibbs_components,
         p.gibbs_vars
     );
+    if p.colors > 0 {
+        println!(
+            "  chromatic: {} color(s), {} sweep block(s), coloring {} full build(s) / {} patch(es)",
+            p.colors, p.color_sweep_blocks, p.coloring_full_builds, p.coloring_patches
+        );
+    }
     let ci = out.timings.components;
     println!(
         "component index: {} full build(s), {} merge(s), {} singleton(s) appended",

@@ -33,7 +33,9 @@ fn main() {
             full: false,
         },
     );
-    let mut config = HoloConfig::default().with_threads(args.threads);
+    let mut config = HoloConfig::default()
+        .with_threads(args.threads)
+        .with_chromatic_gibbs(args.chromatic);
     let (report, quality, norm, value_of): (
         RepairReport,
         RepairQuality,

@@ -51,6 +51,11 @@ pub struct Args {
     pub threads: usize,
     /// Dump per-cell posteriors too (`dump_repairs`).
     pub marginals: bool,
+    /// Route Gibbs components through chromatic colour sweeps
+    /// (`diag`, `dump_repairs`). Bit-identical at any thread count; on
+    /// clique-free models it is byte-identical to the sequential sweep —
+    /// that is the equivalence CI diffs.
+    pub chromatic: bool,
 }
 
 impl Default for Args {
@@ -64,6 +69,7 @@ impl Default for Args {
             stream: 0,
             threads: 0,
             marginals: false,
+            chromatic: false,
         }
     }
 }
@@ -109,6 +115,7 @@ impl Args {
                 "--full" => args.full = true,
                 "--json" => args.json = true,
                 "--marginals" => args.marginals = true,
+                "--chromatic" => args.chromatic = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -123,7 +130,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale F] [--seed N] [--full] [--json] [--scare-budget SECS]\n\
-         \x20            [--stream K] [--threads N] [--marginals]\n\
+         \x20            [--stream K] [--threads N] [--marginals] [--chromatic]\n\
          \n\
          --scale F          row-count multiplier (default 1.0)\n\
          --seed N           generator seed (default 42)\n\
@@ -132,7 +139,8 @@ fn usage(msg: &str) -> ! {
          --scare-budget S   SCARE wall-clock budget in seconds (default 120)\n\
          --stream K         ingest in K batches via StreamSession (diag, dump_repairs)\n\
          --threads N        worker-thread override, 0 = all cores (diag, dump_repairs)\n\
-         --marginals        also dump per-cell posteriors (dump_repairs)"
+         --marginals        also dump per-cell posteriors (dump_repairs)\n\
+         --chromatic        chromatic Gibbs colour sweeps (diag, dump_repairs)"
     );
     std::process::exit(2)
 }
@@ -174,5 +182,12 @@ mod tests {
         assert_eq!(a.stream, 16);
         assert_eq!(a.threads, 4);
         assert!(a.marginals);
+        assert!(!a.chromatic);
+    }
+
+    #[test]
+    fn parse_chromatic_flag() {
+        let a = Args::parse(argv(&["--chromatic"]));
+        assert!(a.chromatic);
     }
 }

@@ -195,6 +195,26 @@ pub struct HoloConfig {
     /// coupled component's marginals — while at any fixed value every
     /// thread count remains bit-for-bit identical to `threads = 1`.
     pub exact_component_limit: u64,
+    /// Chromatic Gibbs sweeps for sampled components: when set, a
+    /// Gibbs-routed connected component whose query variables span several
+    /// colors of the graph's greedy interaction-graph coloring resamples
+    /// whole color classes in parallel fixed-size blocks instead of
+    /// sweeping variables one at a time — within-component parallelism for
+    /// the densely constrained graphs that collapse into one giant
+    /// component. Like [`HoloConfig::exact_component_limit`] this is a
+    /// *model* knob: it changes the sampling schedule (and therefore the
+    /// stream) of multi-color components, while clique-free components are
+    /// bit-for-bit unaffected and any thread count remains bit-for-bit
+    /// `threads = 1`. Off by default.
+    pub chromatic_gibbs: bool,
+    /// Route [`crate::feedback::FeedbackSession::retrain`] through the
+    /// streaming warm-start replay trainer instead of the canonical
+    /// from-scratch retrain: replay passes start from the current weights
+    /// and prioritise the freshly pinned cells, trading bit-exact
+    /// batch-equivalence for O(replay window) updates per retrain. Off by
+    /// default — the default retrain stays bit-for-bit the one-shot
+    /// pipeline's training.
+    pub feedback_replay: bool,
     /// Streaming-ingestion knobs (only read by
     /// [`crate::stream::StreamSession`]; the one-shot pipeline ignores
     /// them).
@@ -233,6 +253,8 @@ impl Default for HoloConfig {
             learn: LearnConfig::default(),
             gibbs: GibbsConfig::default(),
             exact_component_limit: 4096,
+            chromatic_gibbs: false,
+            feedback_replay: false,
             stream: StreamConfig::default(),
             seed: 0x401c,
             threads: 0,
@@ -286,6 +308,20 @@ impl HoloConfig {
     /// samples. See the field docs for the determinism contract.
     pub fn with_exact_component_limit(mut self, limit: u64) -> Self {
         self.exact_component_limit = limit;
+        self
+    }
+
+    /// Enables chromatic Gibbs sweeps for sampled components (builder
+    /// style). See the field docs for the determinism contract.
+    pub fn with_chromatic_gibbs(mut self, chromatic: bool) -> Self {
+        self.chromatic_gibbs = chromatic;
+        self
+    }
+
+    /// Routes feedback retraining through the warm-start replay trainer
+    /// (builder style). See the field docs for the trade.
+    pub fn with_feedback_replay(mut self, replay: bool) -> Self {
+        self.feedback_replay = replay;
         self
     }
 

@@ -81,6 +81,10 @@ pub struct FeedbackSession {
     config: HoloConfig,
     /// Cells already pinned by the user.
     labelled: FxHashMap<CellRef, Sym>,
+    /// Variables pinned since the last retrain, in label order — the
+    /// "recent" tail of a replay-mode retrain
+    /// ([`HoloConfig::feedback_replay`]).
+    fresh_pins: Vec<holo_factor::VarId>,
     marginals: Marginals,
     /// Learn/infer wall-clock accumulated over retrain rounds, plus the
     /// session-relative design-matrix counters.
@@ -118,6 +122,7 @@ impl FeedbackSession {
             weights,
             config,
             labelled: FxHashMap::default(),
+            fresh_pins: Vec::new(),
             marginals,
             timings,
             design_baseline,
@@ -180,7 +185,9 @@ impl FeedbackSession {
             let pinned = self.model.graph.var(var);
             let k = pinned.evidence.expect("pin_evidence just fixed this var");
             self.marginals.pin(var, k, pinned.arity());
-            self.labelled.insert(label.cell, sym);
+            if self.labelled.insert(label.cell, sym).is_none() {
+                self.fresh_pins.push(var);
+            }
         }
         self.timings.design = self.design_stats();
         self.timings.components = self.component_stats();
@@ -191,14 +198,47 @@ impl FeedbackSession {
     /// inference for the remaining query cells. Both phases read the
     /// patched design matrix — no rebuild happens here — and bill their
     /// wall-clock to [`FeedbackSession::timings`].
+    ///
+    /// With [`HoloConfig::feedback_replay`] set, the SGD pass is the
+    /// streaming warm-start replay trainer instead of the canonical
+    /// from-scratch retrain: the window is the freshly pinned cells (the
+    /// "recent" tail) plus a seeded sample of older evidence, for
+    /// O(replay window) work per round. Off (the default), this method is
+    /// bit-for-bit the historical full retrain.
     pub fn retrain(&mut self, ds: &Dataset) -> learn::LearnStats {
         let t0 = Instant::now();
-        let stats = learn::train_with_threads(
-            &self.model.graph,
-            &mut self.weights,
-            &self.config.learn,
-            self.config.threads,
-        );
+        let stats = if self.config.feedback_replay {
+            // Evidence examples in ascending id order, with this round's
+            // pins moved to the tail — `train_replay` treats the last
+            // `recent` entries as the fresh window.
+            let graph = &self.model.graph;
+            let mut examples: Vec<holo_factor::VarId> = graph
+                .var_ids()
+                .filter(|&v| graph.var(v).evidence.is_some() && !self.fresh_pins.contains(&v))
+                .collect();
+            examples.extend_from_slice(&self.fresh_pins);
+            let recent = self
+                .fresh_pins
+                .len()
+                .min(self.config.stream.replay_window.max(1));
+            learn::train_replay(
+                graph,
+                &mut self.weights,
+                &self.config.learn,
+                self.config.threads,
+                &examples,
+                recent,
+                self.config.stream.replay_epochs.max(1),
+            )
+        } else {
+            learn::train_with_threads(
+                &self.model.graph,
+                &mut self.weights,
+                &self.config.learn,
+                self.config.threads,
+            )
+        };
+        self.fresh_pins.clear();
         self.timings.learn += t0.elapsed();
         let t1 = Instant::now();
         let (marginals, partition) = infer(&self.model, &self.weights, &self.config, ds);
@@ -280,6 +320,7 @@ fn infer(
         &PartitionedConfig {
             gibbs: config.gibbs,
             exact_limit: config.exact_component_limit,
+            chromatic: config.chromatic_gibbs,
         },
         config.threads,
     )
@@ -514,6 +555,54 @@ mod tests {
                 .expect("label among candidates");
             assert_eq!(p, 1.0, "pinned {value} at probability 1, got {sym:?}={p}");
         }
+    }
+
+    /// The warm-start replay retrain (`feedback_replay = true`) keeps the
+    /// session contracts: labelled cells repair correctly after the
+    /// O(window) retrain, and the design matrix is still never rebuilt.
+    #[test]
+    fn replay_retrain_propagates_labels_without_rebuilds() {
+        let (dirty, clean) = ambiguous_dataset();
+        let (outcome, model, weights) = HoloClean::new(dirty.clone())
+            .with_constraint_text("FD: Key -> Value")
+            .unwrap()
+            .run_full()
+            .unwrap();
+        let config = HoloConfig::default().with_feedback_replay(true);
+        let mut ds = outcome.dataset;
+        let mut session = FeedbackSession::new(model, weights, config, &ds);
+        for _ in 0..2 {
+            let requests = session.requests(&ds, 4);
+            if requests.is_empty() {
+                break;
+            }
+            let labels: Vec<Label> = requests
+                .iter()
+                .map(|r| Label {
+                    cell: r.cell,
+                    value: clean.cell_str(r.cell.tuple, r.cell.attr).to_string(),
+                })
+                .collect();
+            session.apply_labels(&mut ds, &labels);
+            let stats = session.retrain(&ds);
+            assert!(stats.examples > 0, "replay window never empty here");
+            let report = session.report(&ds);
+            for label in &labels {
+                let truth = clean.cell_str(label.cell.tuple, label.cell.attr);
+                assert!(
+                    report
+                        .posteriors
+                        .iter()
+                        .find(|p| p.cell == label.cell)
+                        .and_then(|p| p.candidates.iter().find(|(s, _)| ds.value_str(*s) == truth))
+                        .is_some_and(|&(_, p)| p == 1.0),
+                    "labelled cell {label:?} pinned at probability 1"
+                );
+            }
+        }
+        assert!(session.labelled_count() > 0);
+        let stats = session.design_stats();
+        assert_eq!(stats.full_builds, 0, "replay retrain never rebuilds");
     }
 
     /// The acceptance criterion of the incremental path: a multi-round

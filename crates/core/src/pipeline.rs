@@ -427,6 +427,7 @@ impl Stage for InferStage {
             &PartitionedConfig {
                 gibbs: cx.config.gibbs,
                 exact_limit: cx.config.exact_component_limit,
+                chromatic: cx.config.chromatic_gibbs,
             },
             cx.config.threads,
         );

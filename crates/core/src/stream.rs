@@ -739,6 +739,7 @@ impl StreamSession {
                 &PartitionedConfig {
                     gibbs: self.config.gibbs,
                     exact_limit: self.config.exact_component_limit,
+                    chromatic: self.config.chromatic_gibbs,
                 },
                 threads,
             );
@@ -778,6 +779,7 @@ impl StreamSession {
             &PartitionedConfig {
                 gibbs: self.config.gibbs,
                 exact_limit: self.config.exact_component_limit,
+                chromatic: self.config.chromatic_gibbs,
             },
             self.config.threads,
         );

@@ -18,7 +18,12 @@
 //!   ([`crate::exact::exact_marginals_for`]): exact marginals, no sampling
 //!   noise;
 //! * **Gibbs** — larger components run multi-chain Gibbs restricted to
-//!   the component, seeded from `(seed, component_rank)`.
+//!   the component, seeded from `(seed, component_rank)`. With
+//!   [`PartitionedConfig::chromatic`] set, each Gibbs-routed component
+//!   whose query set spans several colors of the graph's cached
+//!   [`Coloring`] sweeps chromatically — color classes resample in
+//!   parallel blocks — cracking the one-giant-component ceiling where
+//!   component-level parallelism degenerates to a single unit.
 //!
 //! Components share no state, so they run concurrently via
 //! [`holo_parallel::parallel_jobs`]; per-component seeds depend only on
@@ -35,8 +40,9 @@
 //! and a patched index is always equal to a fresh
 //! [`ComponentIndex::build`] of the mutated graph (proptested).
 
+use crate::coloring::Coloring;
 use crate::exact::{exact_marginals_for, MAX_EXACT_STATES};
-use crate::gibbs::{chain_seed, GibbsConfig, GibbsSampler};
+use crate::gibbs::{chain_seed, chromatic_sweep_blocks, GibbsConfig, GibbsSampler};
 use crate::graph::{CliqueFactor, FactorGraph, ValueContext, VarId};
 use crate::marginals::Marginals;
 use crate::math::softmax;
@@ -98,6 +104,19 @@ pub struct PartitionStats {
     pub gibbs_components: u64,
     /// Query variables sampled with Gibbs.
     pub gibbs_vars: u64,
+    /// Colors of the cached graph coloring (0 when chromatic sweeps are
+    /// off — the coloring is never even built).
+    pub colors: u64,
+    /// Parallel blocks one chromatic sweep schedules, summed over the
+    /// Gibbs-routed components that armed a plan (0 for every single-color
+    /// component, which keeps the sequential sweep).
+    pub color_sweep_blocks: u64,
+    /// Full greedy builds of the coloring over the graph's lifetime (a
+    /// healthy streaming session shows 1).
+    pub coloring_full_builds: u64,
+    /// In-place coloring patches (late cliques repaired raise-only plus
+    /// appended variables) over the graph's lifetime.
+    pub coloring_patches: u64,
 }
 
 /// The connected components of a factor graph under the relation "appears
@@ -257,6 +276,13 @@ pub struct PartitionedConfig {
     /// always go through the closed form regardless — that path is exact
     /// and cheaper than both.
     pub exact_limit: u64,
+    /// Chromatic Gibbs sweeps for sampled components: multi-color query
+    /// sets resample color classes in parallel fixed blocks (see
+    /// [`crate::gibbs`]). Changes the sampling schedule — and therefore
+    /// the stream — of multi-color components only; single-color
+    /// (clique-free) components are bit-for-bit unaffected, and any thread
+    /// count remains bit-for-bit `threads = 1`.
+    pub chromatic: bool,
 }
 
 /// Gibbs components with at least this many query variables fan their
@@ -311,7 +337,16 @@ pub fn infer_partitioned<C: ValueContext + Sync>(
 ) -> (Marginals, PartitionStats) {
     let index = graph.components();
     let chains = config.gibbs.chains.max(1);
+    // The coloring is only built (or even looked at) when chromatic sweeps
+    // are requested — the flag off leaves the cache untouched.
+    let coloring = config.chromatic.then(|| graph.coloring());
     let mut stats = PartitionStats::default();
+    if let Some(col) = coloring {
+        let cstats = graph.coloring_stats();
+        stats.colors = col.num_colors() as u64;
+        stats.coloring_full_builds = cstats.full_builds;
+        stats.coloring_patches = cstats.cliques_patched + cstats.vars_appended;
+    }
     let mut comps: Vec<Vec<VarId>> = Vec::new();
     let mut units: Vec<Unit> = Vec::new();
     for members in index.iter() {
@@ -350,6 +385,9 @@ pub fn infer_partitioned<C: ValueContext + Sync>(
             } else {
                 stats.gibbs_components += 1;
                 stats.gibbs_vars += size;
+                if let Some(col) = coloring {
+                    stats.color_sweep_blocks += chromatic_sweep_blocks(col, &query);
+                }
                 if chains > 1 && query.len() >= CHAIN_FANOUT_MIN_QUERY_VARS {
                     units.extend((0..chains).map(|c| Unit::GibbsChain(rank, c)));
                 } else {
@@ -374,11 +412,16 @@ pub fn infer_partitioned<C: ValueContext + Sync>(
             &config.gibbs,
             component_seed(config.gibbs.seed, rank),
             &comps[rank],
+            coloring,
+            threads,
         )),
         Unit::GibbsChain(rank, chain) => {
             let seed = chain_seed(component_seed(config.gibbs.seed, rank), chain);
             let mut sampler =
                 GibbsSampler::for_query(graph, weights, ctx, seed, comps[rank].to_vec());
+            if let Some(col) = coloring {
+                sampler = sampler.with_chromatic(col, threads);
+            }
             let counts = sampler
                 .collect_query_counts(config.gibbs.burn_in, samples_per_chain(&config.gibbs));
             UnitOut::ChainCounts(rank, counts)
@@ -445,14 +488,20 @@ fn component_seed(seed: u64, rank: usize) -> u64 {
 /// Multi-chain Gibbs restricted to one component: chains run sequentially
 /// (components provide the parallelism) with seeds derived from the
 /// component seed exactly as [`crate::gibbs::run_chains`] derives them
-/// from the master seed, and their counts merge in chain order.
-fn sample_component<C: ValueContext>(
+/// from the master seed, and their counts merge in chain order. With a
+/// `coloring`, multi-color query sets sweep chromatically — the same plan
+/// and seeds the fanned-out [`Unit::GibbsChain`] path derives, so the two
+/// schedules stay bit-compatible.
+#[allow(clippy::too_many_arguments)]
+fn sample_component<C: ValueContext + Sync>(
     graph: &FactorGraph,
     weights: &Weights,
     ctx: &C,
     cfg: &GibbsConfig,
     comp_seed: u64,
     query: &[VarId],
+    coloring: Option<&Coloring>,
+    threads: usize,
 ) -> Vec<(VarId, Vec<f64>)> {
     let chains = cfg.chains.max(1);
     let per_chain = samples_per_chain(cfg);
@@ -469,6 +518,9 @@ fn sample_component<C: ValueContext>(
         chain_seed(comp_seed, 0),
         query.to_vec(),
     );
+    if let Some(col) = coloring {
+        sampler = sampler.with_chromatic(col, threads);
+    }
     for chain in 0..chains {
         if chain > 0 {
             sampler.reset_chain(chain_seed(comp_seed, chain));
@@ -620,6 +672,7 @@ mod tests {
             let cfg = PartitionedConfig {
                 gibbs: GibbsConfig::default(),
                 exact_limit,
+                chromatic: false,
             };
             let (m, stats) = infer_partitioned(&g, &w, &EqOnlyContext, &cfg, 1);
             assert_eq!(m, reference, "exact_limit = {exact_limit}");
@@ -656,6 +709,7 @@ mod tests {
             let cfg = PartitionedConfig {
                 gibbs,
                 exact_limit: 0,
+                chromatic: false,
             };
             let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
             assert_eq!(m, reference, "chains = {chains}");
@@ -673,6 +727,7 @@ mod tests {
         let cfg = PartitionedConfig {
             gibbs: GibbsConfig::default(),
             exact_limit: 4096,
+            chromatic: false,
         };
         let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
         assert_eq!(stats.components, 3);
@@ -711,6 +766,7 @@ mod tests {
                 chains: 2,
             },
             exact_limit: 0, // force sampling of the coupled pairs
+            chromatic: false,
         };
         let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
         assert_eq!(stats.gibbs_components, 2);
@@ -761,6 +817,7 @@ mod tests {
         let cfg = PartitionedConfig {
             gibbs,
             exact_limit: 0,
+            chromatic: false,
         };
         for threads in [1, 2, 4] {
             let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, threads);
@@ -770,25 +827,167 @@ mod tests {
         }
     }
 
-    /// The two seed tiers never collide structurally: component `r`'s
+    /// The three seed tiers never collide structurally: component `r`'s
     /// chain 0 (`component_seed(s, r)`) must differ from component 0's
     /// chain `r` (`chain_seed(s, r)`) — with a shared mixer they would be
-    /// identical — and all (rank, chain) streams in a small grid are
-    /// pairwise distinct.
+    /// identical — and all (rank, chain) streams plus the chromatic block
+    /// seeds hanging off each of them are pairwise distinct in a small
+    /// grid.
     #[test]
-    fn component_and_chain_seeds_do_not_collide() {
+    fn component_chain_and_block_seeds_do_not_collide() {
         let seed = 0x5eed;
         assert_eq!(component_seed(seed, 0), seed);
         let mut all = Vec::new();
         for rank in 0..8 {
             for chain in 0..8 {
-                all.push(chain_seed(component_seed(seed, rank), chain));
+                let cs = chain_seed(component_seed(seed, rank), chain);
+                all.push(cs);
+                for block in 0..4 {
+                    all.push(crate::gibbs::color_block_seed(cs, block));
+                }
             }
         }
         let mut dedup = all.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), all.len(), "colliding (rank, chain) streams");
+        assert_eq!(dedup.len(), all.len(), "colliding seed streams");
+    }
+
+    /// Chromatic routing on a multi-color component: stats report the
+    /// coloring, the result stays bit-for-bit across thread counts, and
+    /// marginals still converge to the exact answer.
+    #[test]
+    fn chromatic_routing_thread_invariant_and_converges() {
+        let mut g = FactorGraph::new();
+        let n = 6;
+        let vars: Vec<VarId> = (0..n)
+            .map(|i| g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(i % 2))))
+            .collect();
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 0.8);
+        w.set(WeightId(1), 1.3);
+        g.add_feature(vars[0], 0, WeightId(0), 1.0);
+        for pair in vars.windows(2) {
+            g.add_clique(must_differ(pair[0], pair[1], WeightId(1)));
+        }
+        let ctx = EqOnlyContext;
+        let cfg = PartitionedConfig {
+            gibbs: GibbsConfig {
+                burn_in: 200,
+                samples: 30_000,
+                seed: 19,
+                chains: 1,
+            },
+            exact_limit: 0, // force sampling
+            chromatic: true,
+        };
+        let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
+        assert_eq!(stats.gibbs_components, 1);
+        assert_eq!(stats.colors, 2, "a chain two-colors");
+        assert_eq!(stats.color_sweep_blocks, 2, "one block per color class");
+        assert_eq!(stats.coloring_full_builds, 1);
+        for threads in [2, 4] {
+            let (mt, st) = infer_partitioned(&g, &w, &ctx, &cfg, threads);
+            assert_eq!(mt, m, "threads = {threads}");
+            assert_eq!(st, stats);
+        }
+        let exact = exact_marginals(&g, &w, &ctx);
+        for v in g.var_ids() {
+            for k in 0..g.var(v).arity() {
+                assert!(
+                    (m.prob(v, k) - exact.prob(v, k)).abs() < 0.03,
+                    "var {v:?} cand {k}: chromatic {} vs exact {}",
+                    m.prob(v, k),
+                    exact.prob(v, k)
+                );
+            }
+        }
+    }
+
+    /// On a clique-free graph the chromatic flag is a no-op: everything
+    /// routes closed-form, no plans arm, and the result is bit-for-bit the
+    /// non-chromatic pass (the CI byte-diff contract for hospital runs).
+    #[test]
+    fn chromatic_flag_is_noop_on_clique_free_graphs() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2), sym(3)], None));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 1.1);
+        w.set(WeightId(1), -0.4);
+        g.add_feature(a, 0, WeightId(0), 1.0);
+        g.add_feature(b, 1, WeightId(1), 2.0);
+        let ctx = EqOnlyContext;
+        let off = PartitionedConfig {
+            gibbs: GibbsConfig::default(),
+            exact_limit: 0,
+            chromatic: false,
+        };
+        let on = PartitionedConfig {
+            chromatic: true,
+            ..off
+        };
+        let (m_off, s_off) = infer_partitioned(&g, &w, &ctx, &off, 1);
+        let (m_on, s_on) = infer_partitioned(&g, &w, &ctx, &on, 2);
+        assert_eq!(m_on, m_off);
+        assert_eq!(s_on.colors, 1, "clique-free = single color");
+        assert_eq!(s_on.color_sweep_blocks, 0, "no plan ever arms");
+        assert_eq!(s_off.colors, 0, "coloring not built when off");
+    }
+
+    /// Fanned-out chains and the sequential rewound-sampler path stay
+    /// bit-compatible under chromatic sweeps too — the fan-out threshold
+    /// remains a pure schedule knob.
+    #[test]
+    fn chromatic_fanned_chains_match_sequential_chains() {
+        let mut g = FactorGraph::new();
+        let n = CHAIN_FANOUT_MIN_QUERY_VARS + 6;
+        let vars: Vec<VarId> = (0..n)
+            .map(|i| g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(i % 2))))
+            .collect();
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 0.6);
+        w.set(WeightId(1), 1.1);
+        g.add_feature(vars[0], 0, WeightId(0), 1.0);
+        for pair in vars.windows(2) {
+            g.add_clique(must_differ(pair[0], pair[1], WeightId(1)));
+        }
+        let ctx = EqOnlyContext;
+        // chains = 4 trips the fan-out on this component; chains = 1 with
+        // 4× the samples-per-chain budget uses the rewound sampler. The
+        // fan-out invariance is checked against the *same* config routed
+        // at different thread counts, plus a direct sampler cross-check.
+        let cfg = PartitionedConfig {
+            gibbs: GibbsConfig {
+                burn_in: 10,
+                samples: 80,
+                seed: 33,
+                chains: 4,
+            },
+            exact_limit: 0,
+            chromatic: true,
+        };
+        let (reference, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
+        assert_eq!(stats.gibbs_components, 1);
+        assert!(stats.color_sweep_blocks >= 2);
+        for threads in [2, 4] {
+            let (m, _) = infer_partitioned(&g, &w, &ctx, &cfg, threads);
+            assert_eq!(m, reference, "threads = {threads}");
+        }
+        // Direct cross-check: the rewound-sampler path (what a component
+        // below the fan-out threshold runs) produces the same counts as
+        // the fanned units did above.
+        let sequential = sample_component(
+            &g,
+            &w,
+            &ctx,
+            &cfg.gibbs,
+            component_seed(cfg.gibbs.seed, 0),
+            &vars,
+            Some(g.coloring()),
+            1,
+        );
+        assert_eq!(Marginals::assemble(&g, sequential), reference);
     }
 
     /// One mutation drawn from the moves a live graph makes after its

@@ -17,7 +17,28 @@
 //! and value context — and are scheduled over up to `threads` OS threads.
 //! Because each chain's counts depend only on its own seed and the merge is
 //! a sum in chain order, the result is identical for every thread count.
+//!
+//! ## Chromatic sweeps
+//!
+//! [`GibbsSampler::with_chromatic`] swaps the sequential sweep for a
+//! *chromatic* one driven by a proper [`Coloring`] of the
+//! variable-interaction graph: same-color variables never share a clique,
+//! so each of their conditionals is independent of the others' current
+//! values, and an entire color class can resample **in parallel against
+//! the immutable pre-class state snapshot** — the within-component
+//! parallelism one giant component otherwise forfeits. A chromatic sweep
+//! visits colors in fixed ascending order; within a color, the class is
+//! cut into fixed-size blocks (independent of the thread count), each
+//! block draws from its own RNG seeded by
+//! `color_block_seed(chain_seed, sweep · blocks_per_sweep + block)` — a
+//! third mixer tier below component and chain seeds — and the sampled
+//! values are written back only after the whole class finished. Blocks are
+//! scheduled over [`holo_parallel::parallel_jobs`], which merges in block
+//! order, so **any thread count is bit-for-bit `threads = 1`**. A query
+//! set spanning a single color (every clique-free component) keeps no
+//! plan and runs today's sequential sweep, RNG draw for RNG draw.
 
+use crate::coloring::Coloring;
 use crate::graph::{FactorGraph, ValueContext, VarId};
 use crate::marginals::Marginals;
 use crate::math::{sample_categorical, softmax_in_place};
@@ -71,6 +92,97 @@ pub(crate) fn chain_seed(seed: u64, chain: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Seed of one color-sweep block: the third tier of the seed hierarchy
+/// (component rank → chain → block), mixing the chain seed with the
+/// block's global index `sweep · blocks_per_sweep + block_rank`. Uses yet
+/// another distinct finalizer (degski64 constants) and — unlike the upper
+/// tiers — **no identity shortcut at index 0**: block 0 must not reuse the
+/// chain seed verbatim, or its draws would replay the stream the
+/// sequential path would have consumed (chromatic multi-color output is a
+/// deliberately different sampling schedule, not a reordering of the
+/// sequential one).
+pub(crate) fn color_block_seed(chain_seed: u64, block_index: u64) -> u64 {
+    let mut z = chain_seed ^ block_index.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 32)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 32)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z ^ (z >> 32)
+}
+
+/// Fixed block length a color class is cut into for parallel resampling.
+/// The cut depends only on the class size — never on the thread count —
+/// which is what makes chromatic sweeps thread-count invariant. 64 matches
+/// [`holo_parallel::MIN_PARALLEL_ITEMS`]: one block amortises a thread
+/// hop.
+const COLOR_BLOCK_SIZE: usize = 64;
+
+/// The precomputed schedule of a chromatic sweep over one sampler's query
+/// set: the query variables regrouped into color classes, each class cut
+/// into fixed blocks.
+struct ChromaticPlan {
+    /// Query variables reordered by `(color, id)` — one contiguous run per
+    /// color class, classes in ascending color order.
+    order: Vec<VarId>,
+    /// One entry per color class present in the query set.
+    runs: Vec<ColorRun>,
+    /// Total blocks per sweep, for per-sweep seed derivation.
+    blocks_per_sweep: u64,
+}
+
+/// One color class inside a [`ChromaticPlan`].
+struct ColorRun {
+    /// Start of the class in [`ChromaticPlan::order`].
+    start: usize,
+    /// Class length.
+    len: usize,
+    /// Global block index of the class's first block within a sweep.
+    block_base: u64,
+}
+
+/// Builds the chromatic schedule for `query` (sorted variable ids), or
+/// `None` when the set spans at most one color — in which case the
+/// sequential sweep is both correct and exactly reproduces the historical
+/// sampling stream.
+fn build_plan(coloring: &Coloring, query: &[VarId]) -> Option<ChromaticPlan> {
+    if query.len() < 2 {
+        return None;
+    }
+    let mut order: Vec<VarId> = query.to_vec();
+    order.sort_by_key(|&v| (coloring.color_of(v), v));
+    let mut runs: Vec<ColorRun> = Vec::new();
+    let mut blocks = 0u64;
+    let mut start = 0usize;
+    while start < order.len() {
+        let color = coloring.color_of(order[start]);
+        let mut end = start + 1;
+        while end < order.len() && coloring.color_of(order[end]) == color {
+            end += 1;
+        }
+        runs.push(ColorRun {
+            start,
+            len: end - start,
+            block_base: blocks,
+        });
+        blocks += ((end - start) as u64).div_ceil(COLOR_BLOCK_SIZE as u64);
+        start = end;
+    }
+    if runs.len() <= 1 {
+        return None;
+    }
+    Some(ChromaticPlan {
+        order,
+        runs,
+        blocks_per_sweep: blocks,
+    })
+}
+
+/// Per-sweep parallel block count a chromatic sampler over `query` would
+/// schedule — 0 when the set is single-color (sequential path). The
+/// routing stats of partitioned inference report the sum of this over its
+/// Gibbs components.
+pub(crate) fn chromatic_sweep_blocks(coloring: &Coloring, query: &[VarId]) -> u64 {
+    build_plan(coloring, query).map_or(0, |plan| plan.blocks_per_sweep)
 }
 
 /// Runs `config.chains` independent seeded chains over up to `threads` OS
@@ -135,6 +247,43 @@ fn normalize_counts(graph: &FactorGraph, counts: &mut [Vec<f64>]) {
     }
 }
 
+/// Conditional log-scores of every candidate of `v` given `state`, written
+/// into `scores`. Unary terms come straight from the design matrix (the
+/// variable's candidates are one contiguous CSR row range); clique terms
+/// are re-evaluated against `state`. A free function so the sequential
+/// sweep (sampler-owned scratch) and chromatic blocks (per-block scratch
+/// against a shared pre-class snapshot) share one body.
+fn conditional_scores_into<C: ValueContext>(
+    graph: &FactorGraph,
+    weights: &Weights,
+    ctx: &C,
+    state: &[usize],
+    v: VarId,
+    scores: &mut Vec<f64>,
+    clique_syms: &mut Vec<Sym>,
+) {
+    let arity = graph.var(v).arity();
+    graph.design().score_var_into(v, weights, scores);
+    // Clique contributions: evaluate each adjacent clique once per
+    // candidate of v, with all other clique members at their state.
+    for &ci in graph.cliques_of(v) {
+        let clique = &graph.cliques()[ci as usize];
+        let slot = clique
+            .vars
+            .iter()
+            .position(|&u| u == v)
+            .expect("adjacency list inconsistent");
+        clique_syms.clear();
+        for &u in &clique.vars {
+            clique_syms.push(graph.var(u).domain[state[u.index()]]);
+        }
+        for (k, score) in scores.iter_mut().enumerate().take(arity) {
+            clique_syms[slot] = graph.var(v).domain[k];
+            *score += clique.score(clique_syms, weights, ctx);
+        }
+    }
+}
+
 /// The sampler. Owns its state vector; borrowed graph/weights/context.
 pub struct GibbsSampler<'a, C: ValueContext> {
     graph: &'a FactorGraph,
@@ -144,13 +293,24 @@ pub struct GibbsSampler<'a, C: ValueContext> {
     state: Vec<usize>,
     query: Vec<VarId>,
     rng: StdRng,
-    /// Scratch buffer for conditional scores.
+    /// Scratch buffer for conditional scores (sequential sweeps; chromatic
+    /// blocks carry their own per-block scratch).
     scores: Vec<f64>,
     /// Scratch buffer for clique assignments.
     clique_syms: Vec<Sym>,
+    /// Chromatic sweep schedule; `None` runs the sequential sweep.
+    plan: Option<ChromaticPlan>,
+    /// Worker threads chromatic sweeps may spawn (a schedule knob only:
+    /// any value is bit-for-bit `1`).
+    threads: usize,
+    /// The chain seed, re-mixed per color block by [`color_block_seed`].
+    base_seed: u64,
+    /// Sweeps performed since the last (re)seed — the per-sweep component
+    /// of chromatic block seeds.
+    sweep_no: u64,
 }
 
-impl<'a, C: ValueContext> GibbsSampler<'a, C> {
+impl<'a, C: ValueContext + Sync> GibbsSampler<'a, C> {
     /// Initialises state: evidence at its observed candidate, query
     /// variables at their initial value (or candidate 0).
     pub fn new(graph: &'a FactorGraph, weights: &'a Weights, ctx: &'a C, seed: u64) -> Self {
@@ -187,7 +347,24 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
             rng: StdRng::seed_from_u64(seed),
             scores: Vec::new(),
             clique_syms: Vec::new(),
+            plan: None,
+            threads: 1,
+            base_seed: seed,
+            sweep_no: 0,
         }
+    }
+
+    /// Switches the sampler to chromatic sweeps under `coloring` (which
+    /// must be proper for this graph — use
+    /// [`FactorGraph::coloring`](crate::graph::FactorGraph::coloring)),
+    /// parallelising color classes over up to `threads` OS threads. When
+    /// the query set spans at most one color the sampler keeps the
+    /// sequential sweep — bit-for-bit the non-chromatic sampler — so
+    /// clique-free components are entirely unaffected by the switch.
+    pub fn with_chromatic(mut self, coloring: &Coloring, threads: usize) -> Self {
+        self.plan = build_plan(coloring, &self.query);
+        self.threads = threads.max(1);
+        self
     }
 
     /// Rewinds the sampler for a fresh chain: reseeds the RNG and resets
@@ -199,6 +376,8 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
     /// [`GibbsSampler::for_query`] with the same seed.
     pub(crate) fn reset_chain(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+        self.base_seed = seed;
+        self.sweep_no = 0;
         for &v in &self.query {
             let var = self.graph.var(v);
             self.state[v.index()] = var.evidence.or(var.init).unwrap_or(0);
@@ -211,38 +390,28 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
         self.graph.var(v).domain[self.state[v.index()]]
     }
 
-    /// Conditional log-scores of every candidate of `v` given the rest.
-    /// Unary terms come straight from the design matrix (the variable's
-    /// candidates are one contiguous CSR row range); clique terms are
-    /// re-evaluated against the current state.
+    /// Conditional log-scores of every candidate of `v` given the rest,
+    /// into the sampler's own scratch buffers.
     fn conditional_scores(&mut self, v: VarId) {
-        let arity = self.graph.var(v).arity();
-        self.graph
-            .design()
-            .score_var_into(v, self.weights, &mut self.scores);
-        // Clique contributions: evaluate each adjacent clique once per
-        // candidate of v, with all other clique members at their state.
-        for &ci in self.graph.cliques_of(v) {
-            let clique = &self.graph.cliques()[ci as usize];
-            let slot = clique
-                .vars
-                .iter()
-                .position(|&u| u == v)
-                .expect("adjacency list inconsistent");
-            self.clique_syms.clear();
-            for &u in &clique.vars {
-                self.clique_syms
-                    .push(self.graph.var(u).domain[self.state[u.index()]]);
-            }
-            for k in 0..arity {
-                self.clique_syms[slot] = self.graph.var(v).domain[k];
-                self.scores[k] += clique.score(&self.clique_syms, self.weights, self.ctx);
-            }
-        }
+        conditional_scores_into(
+            self.graph,
+            self.weights,
+            self.ctx,
+            &self.state,
+            v,
+            &mut self.scores,
+            &mut self.clique_syms,
+        );
     }
 
-    /// One full sweep over the query variables.
+    /// One full sweep over the query variables: sequential single-site
+    /// updates, or fixed-order color-class updates when a chromatic plan
+    /// is armed (see the module docs).
     pub fn sweep(&mut self) {
+        if self.plan.is_some() {
+            self.sweep_chromatic();
+            return;
+        }
         let query = std::mem::take(&mut self.query);
         for &v in &query {
             self.conditional_scores(v);
@@ -251,6 +420,59 @@ impl<'a, C: ValueContext> GibbsSampler<'a, C> {
             self.state[v.index()] = sample_categorical(&self.scores, u);
         }
         self.query = query;
+    }
+
+    /// One chromatic sweep: colors in ascending order; within a color,
+    /// fixed blocks resample in parallel against the pre-class state and
+    /// write back after the class completes. Deterministic at any thread
+    /// count — block boundaries and block seeds depend only on the plan
+    /// and the sweep number, and [`holo_parallel::parallel_jobs`] merges
+    /// in block order.
+    fn sweep_chromatic(&mut self) {
+        let graph = self.graph;
+        let weights = self.weights;
+        let ctx = self.ctx;
+        let base_seed = self.base_seed;
+        let threads = self.threads;
+        let plan = self.plan.as_ref().expect("chromatic sweep without a plan");
+        let sweep_base = self.sweep_no.wrapping_mul(plan.blocks_per_sweep);
+        for run in &plan.runs {
+            let class = &plan.order[run.start..run.start + run.len];
+            let blocks: Vec<&[VarId]> = class.chunks(COLOR_BLOCK_SIZE).collect();
+            let state = &self.state;
+            let updates: Vec<Vec<usize>> =
+                holo_parallel::parallel_jobs(threads, blocks.len(), |b| {
+                    let seed = color_block_seed(base_seed, sweep_base + run.block_base + b as u64);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    // Per-block scratch: allocated once per block, reused
+                    // across the block's variables.
+                    let mut scores: Vec<f64> = Vec::new();
+                    let mut clique_syms: Vec<Sym> = Vec::new();
+                    blocks[b]
+                        .iter()
+                        .map(|&v| {
+                            conditional_scores_into(
+                                graph,
+                                weights,
+                                ctx,
+                                state,
+                                v,
+                                &mut scores,
+                                &mut clique_syms,
+                            );
+                            softmax_in_place(&mut scores);
+                            let u: f64 = rng.gen();
+                            sample_categorical(&scores, u)
+                        })
+                        .collect()
+                });
+            for (block, vals) in blocks.iter().zip(updates) {
+                for (&v, val) in block.iter().zip(vals) {
+                    self.state[v.index()] = val;
+                }
+            }
+        }
+        self.sweep_no += 1;
     }
 
     /// Runs burn-in + sampling sweeps and returns raw per-candidate sample
@@ -587,5 +809,130 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn color_block_seeds_distinct_and_never_identity() {
+        // No identity shortcut at block 0 — it must not replay the chain
+        // stream — and no collisions across blocks or with chain seeds.
+        assert_ne!(color_block_seed(42, 0), 42);
+        let mut seeds: Vec<u64> = (0..64).map(|b| color_block_seed(42, b)).collect();
+        seeds.extend((0..8).map(|i| chain_seed(42, i)));
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n);
+    }
+
+    /// Three-variable chain with two soft must-differ cliques — two colors
+    /// ({a, c} at color 0, {b} at color 1), the smallest graph where
+    /// chromatic sweeps engage.
+    fn chain_graph() -> (FactorGraph, Weights) {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let b = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let c = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        let mut w = Weights::zeros(2);
+        w.set(WeightId(0), 0.9);
+        w.set(WeightId(1), 1.6);
+        g.add_feature(a, 0, WeightId(0), 1.0);
+        for pair in [[a, b], [b, c]] {
+            g.add_clique(CliqueFactor {
+                vars: pair.to_vec(),
+                weight: WeightId(1),
+                predicates: vec![FactorPredicate {
+                    lhs: FactorOperand::Var(0),
+                    op: CmpOp::Eq,
+                    rhs: FactorOperand::Var(1),
+                }],
+            });
+        }
+        (g, w)
+    }
+
+    #[test]
+    fn chromatic_sweep_blocks_counts_plan_blocks() {
+        let (g, _) = chain_graph();
+        let query = g.query_vars();
+        assert_eq!(chromatic_sweep_blocks(g.coloring(), &query), 2);
+        // A single-variable query never gets a plan.
+        assert_eq!(chromatic_sweep_blocks(g.coloring(), &query[..1]), 0);
+    }
+
+    #[test]
+    fn single_color_chromatic_is_bit_for_bit_sequential() {
+        // Clique-free graph: one color, so `with_chromatic` arms no plan
+        // and the sampler runs today's sequential sweep verbatim.
+        let mut g = FactorGraph::new();
+        let mut w = Weights::zeros(3);
+        for k in 0..3u32 {
+            let v = g.add_variable(Variable::query(vec![sym(1), sym(2), sym(3)], None));
+            w.set(WeightId(k), 0.3 * (k as f64 + 1.0));
+            g.add_feature(v, k as usize, WeightId(k), 1.0);
+        }
+        let ctx = EqOnlyContext;
+        let cfg = GibbsConfig {
+            burn_in: 20,
+            samples: 400,
+            seed: 11,
+            chains: 1,
+        };
+        assert_eq!(g.coloring().num_colors(), 1);
+        let sequential = GibbsSampler::new(&g, &w, &ctx, cfg.seed).run(&cfg);
+        let chromatic = GibbsSampler::new(&g, &w, &ctx, cfg.seed)
+            .with_chromatic(g.coloring(), 4)
+            .run(&cfg);
+        assert_eq!(sequential, chromatic);
+    }
+
+    #[test]
+    fn chromatic_deterministic_at_any_thread_count() {
+        let (g, w) = chain_graph();
+        let ctx = EqOnlyContext;
+        let cfg = GibbsConfig {
+            burn_in: 30,
+            samples: 1500,
+            seed: 23,
+            chains: 1,
+        };
+        let reference = GibbsSampler::new(&g, &w, &ctx, cfg.seed)
+            .with_chromatic(g.coloring(), 1)
+            .run(&cfg);
+        for threads in [2, 4, 8] {
+            let m = GibbsSampler::new(&g, &w, &ctx, cfg.seed)
+                .with_chromatic(g.coloring(), threads)
+                .run(&cfg);
+            assert_eq!(m, reference, "threads = {threads}");
+        }
+        // And stable across repeated runs.
+        let again = GibbsSampler::new(&g, &w, &ctx, cfg.seed)
+            .with_chromatic(g.coloring(), 4)
+            .run(&cfg);
+        assert_eq!(again, reference);
+    }
+
+    #[test]
+    fn chromatic_matches_exact_enumeration() {
+        let (g, w) = chain_graph();
+        let ctx = EqOnlyContext;
+        let exact = exact_marginals(&g, &w, &ctx);
+        let approx = GibbsSampler::new(&g, &w, &ctx, 31)
+            .with_chromatic(g.coloring(), 4)
+            .run(&GibbsConfig {
+                burn_in: 300,
+                samples: 30_000,
+                seed: 31,
+                chains: 1,
+            });
+        for v in [VarId(0), VarId(1), VarId(2)] {
+            for k in 0..2 {
+                assert!(
+                    (exact.prob(v, k) - approx.prob(v, k)).abs() < 0.02,
+                    "var {v:?} cand {k}: exact {} vs chromatic {}",
+                    exact.prob(v, k),
+                    approx.prob(v, k)
+                );
+            }
+        }
     }
 }

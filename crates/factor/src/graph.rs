@@ -7,8 +7,9 @@
 //! predicates over the candidate values of up to a handful of variables
 //! plus constants frozen from clean cells.
 
+use crate::coloring::{Coloring, ColoringStats};
 use crate::components::{ComponentIndex, ComponentStats};
-use crate::design::{DesignMatrix, DesignStats};
+use crate::design::{score_features, DesignMatrix, DesignStats};
 use crate::weights::{WeightId, Weights};
 use holo_dataset::{FxHashSet, Sym};
 use serde::{Deserialize, Serialize};
@@ -249,6 +250,18 @@ pub struct FactorGraph {
     comp_stats: ComponentStats,
     /// Number of full [`ComponentIndex::build`] passes.
     comp_full_builds: AtomicU64,
+    /// Greedy coloring of the variable-interaction graph, built on first
+    /// use by chromatic Gibbs and patched in place by mutators:
+    /// `add_variable` appends at color 0, a late `add_clique` raise-only
+    /// repairs its scope, and `pin_evidence` changes nothing. Unlike the
+    /// two caches above, a patched coloring need not equal a fresh build —
+    /// the maintained invariant is *properness* (see [`Coloring`]).
+    coloring: OnceLock<Coloring>,
+    /// Patch-path counters of the coloring (`full_builds` in the atomic
+    /// below, for the same `&self`-init reason as the matrix).
+    coloring_stats: ColoringStats,
+    /// Number of full [`Coloring::build`] passes.
+    coloring_full_builds: AtomicU64,
 }
 
 impl Clone for FactorGraph {
@@ -260,6 +273,10 @@ impl Clone for FactorGraph {
         let components = OnceLock::new();
         if let Some(c) = self.components.get() {
             let _ = components.set(c.clone());
+        }
+        let coloring = OnceLock::new();
+        if let Some(c) = self.coloring.get() {
+            let _ = coloring.set(c.clone());
         }
         FactorGraph {
             vars: self.vars.clone(),
@@ -273,6 +290,9 @@ impl Clone for FactorGraph {
             components,
             comp_stats: self.comp_stats,
             comp_full_builds: AtomicU64::new(self.comp_full_builds.load(Ordering::Relaxed)),
+            coloring,
+            coloring_stats: self.coloring_stats,
+            coloring_full_builds: AtomicU64::new(self.coloring_full_builds.load(Ordering::Relaxed)),
         }
     }
 }
@@ -301,6 +321,10 @@ impl FactorGraph {
         if let Some(ix) = self.components.get_mut() {
             ix.add_singleton(id);
             self.comp_stats.vars_appended += 1;
+        }
+        if let Some(col) = self.coloring.get_mut() {
+            col.push_var(id);
+            self.coloring_stats.vars_appended += 1;
         }
         id
     }
@@ -334,6 +358,10 @@ impl FactorGraph {
             ix.add_singleton(id);
             self.comp_stats.vars_appended += 1;
         }
+        if let Some(col) = self.coloring.get_mut() {
+            col.push_var(id);
+            self.coloring_stats.vars_appended += 1;
+        }
         id
     }
 
@@ -357,7 +385,8 @@ impl FactorGraph {
 
     /// Adds a clique factor, wiring the adjacency lists. With a built
     /// component index present, the components its scope spans merge in
-    /// place; otherwise the next index build sees the clique anyway.
+    /// place, and with a built coloring present, its scope is raise-only
+    /// repaired; otherwise the next build sees the clique anyway.
     pub fn add_clique(&mut self, clique: CliqueFactor) {
         assert!(!clique.vars.is_empty());
         assert!(clique.vars.len() <= u8::MAX as usize);
@@ -369,6 +398,12 @@ impl FactorGraph {
             self.comp_stats.merges += ix.merge_scope(&clique.vars);
         }
         self.cliques.push(clique);
+        if let Some(col) = self.coloring.get_mut() {
+            let scope = &self.cliques[idx as usize].vars;
+            self.coloring_stats.colors_raised +=
+                col.patch_clique(scope, &self.cliques, &self.var_cliques);
+            self.coloring_stats.cliques_patched += 1;
+        }
     }
 
     /// The variable `v`.
@@ -487,6 +522,55 @@ impl FactorGraph {
         }
     }
 
+    /// The greedy coloring of the variable-interaction graph — the sweep
+    /// schedule of chromatic Gibbs. Built on first access (one greedy pass
+    /// over the clique scopes) and cached; later mutations patch it in
+    /// place (see the field docs), so it is never *improper* and never
+    /// rebuilt unless [`FactorGraph::invalidate_coloring`] forced it. Note
+    /// the weaker patch contract: a patched coloring stays proper but may
+    /// use more colors than a fresh [`FactorGraph::compile_coloring`].
+    pub fn coloring(&self) -> &Coloring {
+        self.coloring.get_or_init(|| {
+            self.coloring_full_builds.fetch_add(1, Ordering::Relaxed);
+            Coloring::build(self.vars.len(), &self.cliques, &self.var_cliques)
+        })
+    }
+
+    /// A from-scratch [`Coloring::build`] of the current graph, bypassing
+    /// (and not counting toward) the cache. Unlike the design/component
+    /// oracles this is *not* an equality reference for the patched cache —
+    /// raise-only patches may use extra colors — but it is the fewest-color
+    /// baseline tests compare properness and color counts against.
+    pub fn compile_coloring(&self) -> Coloring {
+        Coloring::build(self.vars.len(), &self.cliques, &self.var_cliques)
+    }
+
+    /// Drops the cached coloring; the next access rebuilds it from
+    /// scratch. Escape hatch mirroring
+    /// [`FactorGraph::invalidate_design`] — also the way to re-pack colors
+    /// after many raise-only patches inflated the palette.
+    pub fn invalidate_coloring(&mut self) {
+        self.coloring.take();
+    }
+
+    /// Build/patch counters of the coloring cache. Snapshot at session
+    /// start and diff with [`ColoringStats::since`] for per-session
+    /// accounting.
+    pub fn coloring_stats(&self) -> ColoringStats {
+        ColoringStats {
+            full_builds: self.coloring_full_builds.load(Ordering::Relaxed),
+            ..self.coloring_stats
+        }
+    }
+
+    /// The raw clique-adjacency lists (`var_cliques[v]` = clique indices
+    /// touching `v`) — the build input of [`Coloring`], exposed for the
+    /// coloring tests.
+    #[cfg(test)]
+    pub(crate) fn var_cliques_raw(&self) -> &[Vec<u32>] {
+        &self.var_cliques
+    }
+
     /// Sparse features of candidate `k` of variable `v` (a CSR row of the
     /// design matrix, in insertion order).
     pub fn features(&self, v: VarId, k: usize) -> &[(WeightId, f64)] {
@@ -515,11 +599,13 @@ impl FactorGraph {
 
     /// Unary log-scores of all candidates of `v` computed over the nested
     /// adjacency `Vec`s — the pre-CSR reference path, kept as the oracle
-    /// for design-matrix equivalence tests.
+    /// for design-matrix equivalence tests. Each feature row goes through
+    /// the same blocked dot-product kernel as the CSR path so the two stay
+    /// bit-for-bit comparable at any row length.
     pub fn unary_scores_adjacency(&self, v: VarId, weights: &Weights) -> Vec<f64> {
         self.unary[v.index()]
             .iter()
-            .map(|features| features.iter().map(|&(w, x)| weights.get(w) * x).sum())
+            .map(|features| score_features(features, weights))
             .collect()
     }
 

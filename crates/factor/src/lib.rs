@@ -23,8 +23,12 @@
 //!   design-matrix rows; L2 regularised, deterministic under a seed at
 //!   every thread count (fixed gradient shards merged in shard order).
 //! * [`gibbs`] — the Gibbs sampler used for approximate inference over
-//!   models with clique factors; single-site sweeps over the query
-//!   variables.
+//!   models with clique factors: sequential single-site sweeps over the
+//!   query variables, or deterministic chromatic color-class sweeps when a
+//!   coloring is supplied.
+//! * [`coloring`] — greedy proper coloring of the variable-interaction
+//!   graph (patched in place by graph mutators, raise-only for late
+//!   cliques), the schedule substrate chromatic Gibbs parallelises over.
 //! * [`components`] — connected-component decomposition of the grounded
 //!   graph (union-find over clique scopes, patched in place by graph
 //!   mutators) and the partitioned hybrid inference driver that routes
@@ -39,6 +43,7 @@
 //! The probability model is Eq. 1 of the paper:
 //! `P(T) = Z⁻¹ exp(Σ_φ θ_φ · h_φ(φ))`.
 
+pub mod coloring;
 pub mod components;
 pub mod design;
 pub mod exact;
@@ -52,6 +57,7 @@ pub mod weights;
 #[cfg(test)]
 mod proptests;
 
+pub use coloring::{Coloring, ColoringStats};
 pub use components::{
     infer_partitioned, ComponentIndex, ComponentStats, PartitionStats, PartitionedConfig,
 };

@@ -11,17 +11,38 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
     max + sum.ln()
 }
 
-/// In-place softmax over unnormalised log-scores.
+/// In-place softmax over unnormalised log-scores, fused max-shifted form:
+/// one max pass, one exp-and-accumulate pass, one divide pass — a single
+/// `exp` per element, where the `log_sum_exp` formulation pays two (one
+/// inside the log-sum, one for the final `exp(x - lse)`). This is the
+/// normalisation step of every Gibbs conditional and every closed-form
+/// marginal, so the saved transcendental is hot-path work.
+///
+/// Degenerate inputs keep the old behaviour: a non-finite max (empty
+/// slice, all `-inf`, any `+inf`/`NaN` present) or a non-finite sum (a
+/// `NaN` slipping past `f64::max`) falls back to uniform so the output
+/// always stays a distribution.
 pub fn softmax_in_place(scores: &mut [f64]) {
-    let lse = log_sum_exp(scores);
-    if !lse.is_finite() {
-        // All -inf (or empty): fall back to uniform to stay a distribution.
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        let n = scores.len().max(1);
+        scores.iter_mut().for_each(|s| *s = 1.0 / n as f64);
+        return;
+    }
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    // With a finite max, some element hits exp(0) = 1, so sum ≥ 1 unless a
+    // NaN poisoned it.
+    if !sum.is_finite() {
         let n = scores.len().max(1);
         scores.iter_mut().for_each(|s| *s = 1.0 / n as f64);
         return;
     }
     for s in scores.iter_mut() {
-        *s = (*s - lse).exp();
+        *s /= sum;
     }
 }
 
@@ -98,6 +119,24 @@ mod tests {
         let p = softmax(&[f64::NEG_INFINITY, f64::NEG_INFINITY]);
         assert!((p[0] - 0.5).abs() < 1e-12);
         assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_with_nan_falls_back_to_uniform() {
+        // `f64::max` skips NaN, so the max is finite but the exp-sum is
+        // poisoned — the second guard must catch it.
+        let p = softmax(&[0.5, f64::NAN]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn softmax_matches_log_sum_exp_form() {
+        let xs = [1.0, -2.5, 0.75, 4.0];
+        let lse = log_sum_exp(&xs);
+        let p = softmax(&xs);
+        for (x, prob) in xs.iter().zip(&p) {
+            assert!(((x - lse).exp() - prob).abs() < 1e-12);
+        }
     }
 
     #[test]

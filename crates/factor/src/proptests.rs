@@ -151,4 +151,94 @@ proptest! {
             }
         }
     }
+
+    /// Chromatic sweeps converge to the same exact marginals the
+    /// sequential sampler does, on random cliquey graphs (loose tolerance
+    /// — finite sampling; a different but equally valid sampling stream).
+    #[test]
+    fn chromatic_gibbs_matches_exact_on_random_graphs(model in random_model()) {
+        let (graph, weights) = build(&model);
+        let ctx = EqOnlyContext;
+        let exact = exact_marginals(&graph, &weights, &ctx);
+        let approx = GibbsSampler::new(&graph, &weights, &ctx, 101)
+            .with_chromatic(graph.coloring(), 4)
+            .run(&GibbsConfig {
+                burn_in: 300,
+                samples: 12_000,
+                seed: 101,
+                chains: 1,
+            });
+        for v in graph.var_ids() {
+            for k in 0..graph.var(v).arity() {
+                let diff = (exact.prob(v, k) - approx.prob(v, k)).abs();
+                prop_assert!(diff < 0.06, "var {v:?} cand {k}: |{} - {}| = {diff}",
+                    exact.prob(v, k), approx.prob(v, k));
+            }
+        }
+    }
+
+    /// Chromatic sweeps are bit-identical across thread counts on random
+    /// graphs, and on single-color (clique-free) graphs bit-identical to
+    /// the sequential sweep.
+    #[test]
+    fn chromatic_gibbs_deterministic_across_threads(model in random_model()) {
+        let (graph, weights) = build(&model);
+        let ctx = EqOnlyContext;
+        let cfg = GibbsConfig { burn_in: 20, samples: 300, seed: 7, chains: 1 };
+        let reference = GibbsSampler::new(&graph, &weights, &ctx, cfg.seed)
+            .with_chromatic(graph.coloring(), 1)
+            .run(&cfg);
+        for threads in [2usize, 4] {
+            let m = GibbsSampler::new(&graph, &weights, &ctx, cfg.seed)
+                .with_chromatic(graph.coloring(), threads)
+                .run(&cfg);
+            prop_assert_eq!(&m, &reference, "threads = {}", threads);
+        }
+        if graph.coloring().num_colors() == 1 {
+            let sequential = GibbsSampler::new(&graph, &weights, &ctx, cfg.seed).run(&cfg);
+            prop_assert_eq!(&sequential, &reference, "single color keeps the sequential sweep");
+        }
+    }
+
+    /// The coloring invariants survive random late mutations: the patched
+    /// coloring stays proper, clique-free variables stay at color 0, and
+    /// the graph never rebuilds it.
+    #[test]
+    fn coloring_patches_stay_proper(model in random_model(),
+                                    extra in proptest::collection::vec(
+                                        (0usize..16, 0usize..16), 0..6)) {
+        let (mut graph, _) = build(&model);
+        let _ = graph.coloring(); // the one full build
+        for (a, b) in extra {
+            let n = graph.var_count();
+            let (a, b) = (crate::graph::VarId((a % n) as u32), crate::graph::VarId((b % n) as u32));
+            if a == b {
+                continue;
+            }
+            graph.add_clique(CliqueFactor {
+                vars: vec![a, b],
+                weight: WeightId(0),
+                predicates: vec![FactorPredicate {
+                    lhs: FactorOperand::Var(0),
+                    op: CmpOp::Eq,
+                    rhs: FactorOperand::Var(1),
+                }],
+            });
+            let coloring = graph.coloring();
+            for clique in graph.cliques() {
+                let mut colors: Vec<u32> =
+                    clique.vars.iter().map(|&v| coloring.color_of(v)).collect();
+                let total = colors.len();
+                colors.sort_unstable();
+                colors.dedup();
+                prop_assert_eq!(colors.len(), total, "improper after patch");
+            }
+            for v in graph.var_ids() {
+                if graph.cliques_of(v).is_empty() {
+                    prop_assert_eq!(coloring.color_of(v), 0, "clique-free var off color 0");
+                }
+            }
+        }
+        prop_assert_eq!(graph.coloring_stats().full_builds, 1, "patches only");
+    }
 }

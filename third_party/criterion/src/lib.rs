@@ -9,13 +9,31 @@
 //! [`black_box`]. No statistical analysis, no comparison against saved
 //! baselines — numbers print to stdout and the caller eyeballs them.
 //!
-//! When the binary is invoked by `cargo test --benches` (cargo passes
-//! `--test`), every benchmark runs exactly one iteration as a smoke test.
+//! Like real criterion, the harness infers its mode from how cargo ran
+//! it: `cargo bench` passes `--bench` (full timed samples), while `cargo
+//! test --benches` passes nothing and every benchmark runs exactly one
+//! iteration as a smoke test (`--test` forces that too).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark's summary statistics, recorded so callers can
+/// persist a machine-readable snapshot next to the stdout report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full label, `group/name` once inside a group.
+    pub label: String,
+    /// Mean wall-clock per sample, nanoseconds.
+    pub mean_ns: u64,
+    /// Median wall-clock per sample, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Number of timed samples.
+    pub samples: u64,
+}
 
 /// Top-level driver handed to each benchmark function.
 pub struct Criterion {
@@ -24,19 +42,26 @@ pub struct Criterion {
     test_mode: bool,
     /// Substring filter from the CLI, if any.
     filter: Option<String>,
+    /// Every benchmark run so far, in execution order.
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let mut test_mode = false;
+        let mut bench_mode = false;
         let mut filter = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--test" => test_mode = true,
+                // `cargo bench` passes `--bench`; `cargo test --benches`
+                // passes nothing — like real criterion, a run without
+                // `--bench` is a smoke test.
+                "--bench" => bench_mode = true,
                 // Flags cargo/criterion callers pass that we accept and
                 // ignore (value-taking ones consume their value).
-                "--bench" | "--nocapture" | "--quiet" | "-q" | "--verbose" => {}
+                "--nocapture" | "--quiet" | "-q" | "--verbose" => {}
                 "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
                 | "--sample-size" => {
                     let _ = args.next();
@@ -49,8 +74,9 @@ impl Default for Criterion {
         }
         Criterion {
             sample_size: 20,
-            test_mode,
+            test_mode: test_mode || !bench_mode,
             filter,
+            records: Vec::new(),
         }
     }
 }
@@ -77,7 +103,7 @@ impl Criterion {
         self
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, samples: usize, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
         if let Some(filter) = &self.filter {
             if !label.contains(filter.as_str()) {
                 return;
@@ -89,7 +115,20 @@ impl Criterion {
             durations: Vec::new(),
         };
         f(&mut b);
-        b.report(label);
+        if let Some(record) = b.report(label) {
+            self.records.push(record);
+        }
+    }
+
+    /// Whether the binary runs in one-iteration smoke mode (`--test`) —
+    /// snapshot writers should skip persisting those numbers.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// The summaries of every benchmark run so far, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
     }
 }
 
@@ -182,10 +221,10 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str) {
+    fn report(&self, label: &str) -> Option<BenchRecord> {
         if self.durations.is_empty() {
             println!("bench {label:<44} (no samples)");
-            return;
+            return None;
         }
         let mut sorted = self.durations.clone();
         sorted.sort_unstable();
@@ -199,16 +238,26 @@ impl Bencher {
             sorted[0],
             sorted.len()
         );
+        Some(BenchRecord {
+            label: label.to_string(),
+            mean_ns: mean.as_nanos() as u64,
+            median_ns: median.as_nanos() as u64,
+            min_ns: sorted[0].as_nanos() as u64,
+            samples: sorted.len() as u64,
+        })
     }
 }
 
-/// Declares a group-running function from benchmark functions.
+/// Declares a group-running function from benchmark functions. The
+/// function returns the driver so callers can inspect
+/// [`Criterion::records`] — e.g. to persist a `BENCH_*.json` snapshot.
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        fn $group() {
+        fn $group() -> $crate::Criterion {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
+            criterion
         }
     };
 }
@@ -218,7 +267,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $( $group(); )+
+            $( let _ = $group(); )+
         }
     };
 }
@@ -233,6 +282,7 @@ mod tests {
             sample_size: 3,
             test_mode: false,
             filter: None,
+            records: Vec::new(),
         };
         let mut calls = 0usize;
         let mut group = c.benchmark_group("g");
@@ -244,6 +294,11 @@ mod tests {
         group.finish();
         // 1 warm-up + 4 samples.
         assert_eq!(calls, 5);
+        // The run is also captured for snapshot writers.
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].label, "g/count");
+        assert_eq!(c.records()[0].samples, 4);
+        assert!(c.records()[0].min_ns <= c.records()[0].median_ns);
     }
 
     #[test]
@@ -252,6 +307,7 @@ mod tests {
             sample_size: 1,
             test_mode: true,
             filter: None,
+            records: Vec::new(),
         };
         let mut group = c.benchmark_group("g");
         group.bench_with_input(BenchmarkId::from_parameter(0.5), &0.5f64, |b, &x| {
@@ -266,6 +322,7 @@ mod tests {
             sample_size: 1,
             test_mode: false,
             filter: Some("zzz".into()),
+            records: Vec::new(),
         };
         let mut ran = false;
         c.bench_function("abc", |b| {
@@ -273,5 +330,6 @@ mod tests {
             b.iter(|| ())
         });
         assert!(!ran);
+        assert!(c.records().is_empty());
     }
 }
