@@ -366,6 +366,7 @@ fn bench_infer_partitioned(c: &mut Criterion) {
                     gibbs,
                     exact_limit: config.exact_component_limit,
                     chromatic: config.chromatic_gibbs,
+                    score_cache: config.score_cache,
                 },
                 0,
             );
@@ -383,6 +384,94 @@ fn bench_infer_partitioned(c: &mut Criterion) {
             ))
         })
     });
+    group.finish();
+}
+
+/// The frozen-weight score cache, priced two ways over the compiled
+/// DC-factor hospital model. The `sweeps_*` pair runs ten sequential
+/// Gibbs sweeps with conditionals served from the cache (a memcpy of the
+/// variable's row range, cache build included in the measured loop)
+/// against the matrix-walk baseline — the cached arm must win, and the
+/// committed `BENCH_*.json` snapshot records the margin. The `giant_*`
+/// quad prices the Scale-generated single-giant-component workload
+/// (`exact_limit = 0` forces every coupled component to sample) across
+/// chromatic on/off × cache on/off; all four arms produce bit-identical
+/// marginals — the spread is pure wall-clock.
+fn bench_gibbs_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_cache");
+    group.sample_size(10);
+    let mut gen = build(DatasetKind::Hospital, small_scale());
+    let cons = parse_constraints(&gen.constraints_text, &mut gen.dirty).unwrap();
+    let violations = find_violations(&gen.dirty, &cons);
+    let mut noisy: FxHashSet<_> = FxHashSet::default();
+    for v in &violations {
+        noisy.extend(v.cells.iter().copied());
+    }
+    let stats = CooccurStats::build(&gen.dirty);
+    let matches = Default::default();
+    let config = HoloConfig::default().with_variant(ModelVariant::DcFactorsPartitioned);
+    let model = compile(&CompileInput {
+        ds: &gen.dirty,
+        constraints: &cons,
+        noisy: &noisy,
+        violations: &violations,
+        stats: &stats,
+        matches: &matches,
+        config: &config,
+    })
+    .unwrap();
+    let weights = model.weights.clone();
+    let ctx = holoclean::context::DatasetContext::new(&gen.dirty);
+    group.bench_function("sweeps_uncached", |b| {
+        b.iter(|| {
+            let mut sampler = holo_factor::GibbsSampler::new(&model.graph, &weights, &ctx, 11);
+            for _ in 0..10 {
+                sampler.sweep();
+            }
+            black_box(sampler.state().len())
+        })
+    });
+    group.bench_function("sweeps_cached", |b| {
+        b.iter(|| {
+            let cache = holo_factor::ScoreCache::build(model.graph.design(), &weights, 0);
+            let mut sampler = holo_factor::GibbsSampler::new(&model.graph, &weights, &ctx, 11)
+                .with_score_cache(&cache);
+            for _ in 0..10 {
+                sampler.sweep();
+            }
+            black_box(sampler.state().len())
+        })
+    });
+    let gibbs = holo_factor::GibbsConfig {
+        burn_in: 5,
+        samples: 40,
+        ..Default::default()
+    };
+    let _ = model.graph.components(); // build the index outside the loop
+    for (label, chromatic, score_cache) in [
+        ("giant_seq_nocache", false, false),
+        ("giant_seq_cache", false, true),
+        ("giant_chromatic_nocache", true, false),
+        ("giant_chromatic_cache", true, true),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (m, s) = holo_factor::infer_partitioned(
+                    &model.graph,
+                    &weights,
+                    &ctx,
+                    &holo_factor::PartitionedConfig {
+                        gibbs,
+                        exact_limit: 0,
+                        chromatic,
+                        score_cache,
+                    },
+                    0,
+                );
+                black_box((m.len(), s.gibbs_vars))
+            })
+        });
+    }
     group.finish();
 }
 
@@ -566,6 +655,7 @@ criterion_group!(
     bench_gibbs,
     bench_gibbs_kernel,
     bench_infer_partitioned,
+    bench_gibbs_cache,
     bench_feedback_retrain,
     bench_stream_ingest,
     bench_end_to_end,

@@ -1,0 +1,115 @@
+//! Diffs the two newest committed `BENCH_*.json` perf snapshots (not a
+//! paper artifact — a trajectory tool like `diag`): per-label median
+//! deltas, with regressions past 10% flagged loudly. Run it after
+//! `cargo bench` refreshes the day's snapshot to see what the change
+//! under test did to every benchmark the repo tracks.
+//!
+//! Snapshots live in the workspace root (where `benches/pipeline.rs`
+//! writes them) and sort by filename — the `BENCH_<ISO-date>.json`
+//! naming makes lexicographic order chronological. Override the
+//! directory with `BENCH_DIR`. With fewer than two snapshots there is
+//! nothing to diff; the tool says so and exits cleanly so a fresh
+//! checkout's CI can run it unconditionally.
+
+use holo_bench::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Median-per-label table of one snapshot.
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let doc = JsonValue::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid snapshot JSON: {e}");
+        std::process::exit(2)
+    });
+    let mut medians = BTreeMap::new();
+    for row in doc
+        .get("benchmarks")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or(&[])
+    {
+        if let (Some(label), Some(median)) = (
+            row.get("label").and_then(JsonValue::as_str),
+            row.get("median_ns").and_then(JsonValue::as_f64),
+        ) {
+            medians.insert(label.to_string(), median);
+        }
+    }
+    medians
+}
+
+/// Nanoseconds with a human unit (the snapshots span ns to seconds).
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn main() {
+    let root = std::env::var("BENCH_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let mut snapshots: Vec<String> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot list {root}: {e}");
+            std::process::exit(2)
+        })
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    snapshots.sort();
+    if snapshots.len() < 2 {
+        println!(
+            "bench_diff: need two BENCH_*.json snapshots in {root}, found {} — nothing to diff",
+            snapshots.len()
+        );
+        return;
+    }
+    let (old_name, new_name) = (
+        &snapshots[snapshots.len() - 2],
+        &snapshots[snapshots.len() - 1],
+    );
+    let old = load(&format!("{root}/{old_name}"));
+    let new = load(&format!("{root}/{new_name}"));
+
+    println!("bench_diff: {old_name} -> {new_name}");
+    println!("{:<44} {:>10} {:>10} {:>9}", "label", "old", "new", "delta");
+    let mut regressions = 0usize;
+    for (label, &new_median) in &new {
+        let Some(&old_median) = old.get(label) else {
+            println!("{label:<44} {:>10} {:>10}", "-", human_ns(new_median));
+            continue;
+        };
+        let delta = if old_median > 0.0 {
+            (new_median - old_median) / old_median * 100.0
+        } else {
+            0.0
+        };
+        let flag = if delta > 10.0 { "  << REGRESSION" } else { "" };
+        if delta > 10.0 {
+            regressions += 1;
+        }
+        println!(
+            "{label:<44} {:>10} {:>10} {delta:>+8.1}%{flag}",
+            human_ns(old_median),
+            human_ns(new_median),
+        );
+    }
+    for label in old.keys().filter(|l| !new.contains_key(*l)) {
+        println!("{label:<44} (dropped from the newest snapshot)");
+    }
+    if regressions > 0 {
+        println!("{regressions} label(s) regressed by more than 10%");
+    } else {
+        println!("no label regressed by more than 10%");
+    }
+}

@@ -84,6 +84,8 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
     partition.field_u64("color_sweep_blocks", p.color_sweep_blocks);
     partition.field_u64("coloring_full_builds", p.coloring_full_builds);
     partition.field_u64("coloring_patches", p.coloring_patches);
+    partition.field_u64("score_cache_builds", p.score_cache.builds);
+    partition.field_u64("score_cache_rows", p.score_cache.rows);
     let mut component_index = JsonObj::new();
     component_index.field_u64("full_builds", ci.full_builds);
     component_index.field_u64("merges", ci.merges);
@@ -191,7 +193,8 @@ fn main() {
     );
     let config = HoloConfig::default()
         .with_threads(args.threads)
-        .with_chromatic_gibbs(args.chromatic);
+        .with_chromatic_gibbs(args.chromatic)
+        .with_score_cache(!args.no_score_cache);
     let (out, registry, weights, pool) = if args.stream > 0 {
         run_streamed(&gen, config, args.stream)
     } else {
@@ -249,6 +252,12 @@ fn main() {
         println!(
             "  chromatic: {} color(s), {} sweep block(s), coloring {} full build(s) / {} patch(es)",
             p.colors, p.color_sweep_blocks, p.coloring_full_builds, p.coloring_patches
+        );
+    }
+    if p.score_cache.builds > 0 {
+        println!(
+            "  score cache: {} build(s), {} row(s) scored once",
+            p.score_cache.builds, p.score_cache.rows
         );
     }
     let ci = out.timings.components;

@@ -13,6 +13,12 @@
 //! streaming engine's equivalence contract says the output is
 //! **byte-identical** either way — CI runs both and diffs them.
 //!
+//! With `--dc-factors`, the denial constraints ground as clique factors
+//! (the partitioned DC-factor variant) so the dump exercises the exact
+//! and Gibbs engines; with `--no-score-cache`, the frozen-weight score
+//! cache is disabled. The cache is a pure wall-clock knob, so CI diffs
+//! the dump with it on vs off — byte-identical output is the contract.
+//!
 //! Flags are parsed strictly (`holo_bench::Args`): a typo'd flag aborts
 //! with a usage line and exit code 2 instead of being silently dropped.
 
@@ -21,10 +27,14 @@ use holo_bench::{build, Args, Scale};
 use holo_datagen::DatasetKind;
 use holo_dataset::Dataset;
 use holoclean::stream::StreamSession;
-use holoclean::{evaluate, HoloConfig, RepairQuality, RepairReport};
+use holoclean::{evaluate, HoloConfig, ModelVariant, RepairQuality, RepairReport};
 
 fn main() {
     let args = Args::parse(std::env::args());
+    if args.dc_factors && args.stream > 0 {
+        eprintln!("error: --dc-factors is a one-shot variant; the streaming engine only supports the default model");
+        std::process::exit(2);
+    }
     let gen = build(
         DatasetKind::Hospital,
         Scale {
@@ -35,7 +45,11 @@ fn main() {
     );
     let mut config = HoloConfig::default()
         .with_threads(args.threads)
-        .with_chromatic_gibbs(args.chromatic);
+        .with_chromatic_gibbs(args.chromatic)
+        .with_score_cache(!args.no_score_cache);
+    if args.dc_factors {
+        config = config.with_variant(ModelVariant::DcFactorsPartitioned);
+    }
     let (report, quality, norm, value_of): (
         RepairReport,
         RepairQuality,

@@ -56,6 +56,15 @@ pub struct Args {
     /// clique-free models it is byte-identical to the sequential sweep —
     /// that is the equivalence CI diffs.
     pub chromatic: bool,
+    /// Disable the frozen-weight score cache (`diag`, `dump_repairs`).
+    /// The cache is a pure wall-clock knob — output is byte-identical on
+    /// or off — which is the equivalence CI diffs.
+    pub no_score_cache: bool,
+    /// Ground the denial constraints as clique factors instead of
+    /// violation features (`dump_repairs`): selects the partitioned
+    /// DC-factor model variant, exercising the exact/Gibbs engines the
+    /// default clique-free model never routes to.
+    pub dc_factors: bool,
 }
 
 impl Default for Args {
@@ -70,6 +79,8 @@ impl Default for Args {
             threads: 0,
             marginals: false,
             chromatic: false,
+            no_score_cache: false,
+            dc_factors: false,
         }
     }
 }
@@ -116,6 +127,8 @@ impl Args {
                 "--json" => args.json = true,
                 "--marginals" => args.marginals = true,
                 "--chromatic" => args.chromatic = true,
+                "--no-score-cache" => args.no_score_cache = true,
+                "--dc-factors" => args.dc_factors = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -131,6 +144,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale F] [--seed N] [--full] [--json] [--scare-budget SECS]\n\
          \x20            [--stream K] [--threads N] [--marginals] [--chromatic]\n\
+         \x20            [--no-score-cache] [--dc-factors]\n\
          \n\
          --scale F          row-count multiplier (default 1.0)\n\
          --seed N           generator seed (default 42)\n\
@@ -140,7 +154,9 @@ fn usage(msg: &str) -> ! {
          --stream K         ingest in K batches via StreamSession (diag, dump_repairs)\n\
          --threads N        worker-thread override, 0 = all cores (diag, dump_repairs)\n\
          --marginals        also dump per-cell posteriors (dump_repairs)\n\
-         --chromatic        chromatic Gibbs colour sweeps (diag, dump_repairs)"
+         --chromatic        chromatic Gibbs colour sweeps (diag, dump_repairs)\n\
+         --no-score-cache   disable the frozen-weight score cache (diag, dump_repairs)\n\
+         --dc-factors       partitioned DC-factor model variant (dump_repairs)"
     );
     std::process::exit(2)
 }
@@ -189,5 +205,14 @@ mod tests {
     fn parse_chromatic_flag() {
         let a = Args::parse(argv(&["--chromatic"]));
         assert!(a.chromatic);
+        assert!(!a.no_score_cache);
+        assert!(!a.dc_factors);
+    }
+
+    #[test]
+    fn parse_score_cache_and_variant_flags() {
+        let a = Args::parse(argv(&["--no-score-cache", "--dc-factors"]));
+        assert!(a.no_score_cache);
+        assert!(a.dc_factors);
     }
 }

@@ -49,6 +49,7 @@ fn chromatic_hospital_dc_factors_is_thread_invariant() {
         },
         exact_limit: 0, // route every coupled component to Gibbs
         chromatic: true,
+        score_cache: true,
     };
     let (reference, pstats) =
         holo_factor::infer_partitioned(&model.graph, &model.weights, &ctx, &partitioned, 1);

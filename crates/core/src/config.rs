@@ -207,6 +207,17 @@ pub struct HoloConfig {
     /// bit-for-bit unaffected and any thread count remains bit-for-bit
     /// `threads = 1`. Off by default.
     pub chromatic_gibbs: bool,
+    /// Frozen-weight score cache for partitioned inference: when set (the
+    /// default), [`holo_factor::infer_partitioned`] scores every design
+    /// row once up front through the blocked kernel and all three engines
+    /// — closed-form softmax, exact enumeration, and Gibbs conditionals —
+    /// read the cached rows instead of re-walking the design matrix.
+    /// Because the cache reproduces the kernel's exact addition order,
+    /// this is a pure *wall-clock* knob like [`HoloConfig::threads`]:
+    /// repairs and posteriors are byte-identical on or off, at every
+    /// thread count. The cache is built per inference pass and never
+    /// stored in the graph, so feedback retrains can't read stale scores.
+    pub score_cache: bool,
     /// Route [`crate::feedback::FeedbackSession::retrain`] through the
     /// streaming warm-start replay trainer instead of the canonical
     /// from-scratch retrain: replay passes start from the current weights
@@ -254,6 +265,7 @@ impl Default for HoloConfig {
             gibbs: GibbsConfig::default(),
             exact_component_limit: 4096,
             chromatic_gibbs: false,
+            score_cache: true,
             feedback_replay: false,
             stream: StreamConfig::default(),
             seed: 0x401c,
@@ -315,6 +327,13 @@ impl HoloConfig {
     /// style). See the field docs for the determinism contract.
     pub fn with_chromatic_gibbs(mut self, chromatic: bool) -> Self {
         self.chromatic_gibbs = chromatic;
+        self
+    }
+
+    /// Toggles the frozen-weight score cache for partitioned inference
+    /// (builder style). A wall-clock-only knob — see the field docs.
+    pub fn with_score_cache(mut self, score_cache: bool) -> Self {
+        self.score_cache = score_cache;
         self
     }
 
@@ -391,5 +410,12 @@ mod tests {
         assert_eq!(c.tau, 0.3);
         assert_eq!(c.variant, ModelVariant::DcFactors);
         assert_eq!(c.source.as_ref().unwrap().entity_attr, "Flight");
+    }
+
+    #[test]
+    fn score_cache_defaults_on_and_toggles() {
+        let c = HoloConfig::default();
+        assert!(c.score_cache);
+        assert!(!c.with_score_cache(false).score_cache);
     }
 }

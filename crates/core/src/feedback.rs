@@ -321,6 +321,7 @@ fn infer(
             gibbs: config.gibbs,
             exact_limit: config.exact_component_limit,
             chromatic: config.chromatic_gibbs,
+            score_cache: config.score_cache,
         },
         config.threads,
     )

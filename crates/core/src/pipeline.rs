@@ -76,6 +76,20 @@
 //! [`holo_factor::DesignStats`] counters in [`StageTimings::design`]
 //! (full builds vs rows patched) make the distinction observable.
 //!
+//! On top of the matrix sits the **frozen-weight score cache**
+//! ([`holo_factor::ScoreCache`], [`HoloConfig::score_cache`]): inference
+//! weights are frozen, so [`InferStage`] scores every design row once in
+//! parallel through the blocked kernel and all three partitioned engines
+//! read the cached rows — a Gibbs conditional starts from a memcpy
+//! instead of a matrix walk. **Freshness invariant:** the cache borrows
+//! the design matrix and lives only for the one `infer_partitioned` call
+//! that built it — it is never stored in the `FactorGraph`, so feedback
+//! retrains (which move the weights and patch the matrix) can never read
+//! a stale score. Because the cache reproduces the kernel's exact
+//! addition order, repairs and posteriors are byte-identical with the
+//! cache on or off; [`holo_factor::ScoreCacheStats`] rides
+//! [`StageTimings::partition`] for observability.
+//!
 //! ## Adding a stage
 //!
 //! Stages splice in relative to the standard four with
@@ -428,6 +442,7 @@ impl Stage for InferStage {
                 gibbs: cx.config.gibbs,
                 exact_limit: cx.config.exact_component_limit,
                 chromatic: cx.config.chromatic_gibbs,
+                score_cache: cx.config.score_cache,
             },
             cx.config.threads,
         );

@@ -740,6 +740,7 @@ impl StreamSession {
                     gibbs: self.config.gibbs,
                     exact_limit: self.config.exact_component_limit,
                     chromatic: self.config.chromatic_gibbs,
+                    score_cache: self.config.score_cache,
                 },
                 threads,
             );
@@ -780,6 +781,7 @@ impl StreamSession {
                 gibbs: self.config.gibbs,
                 exact_limit: self.config.exact_component_limit,
                 chromatic: self.config.chromatic_gibbs,
+                score_cache: self.config.score_cache,
             },
             self.config.threads,
         );

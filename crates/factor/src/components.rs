@@ -40,6 +40,7 @@
 //! and a patched index is always equal to a fresh
 //! [`ComponentIndex::build`] of the mutated graph (proptested).
 
+use crate::cache::{ScoreCache, ScoreCacheStats};
 use crate::coloring::Coloring;
 use crate::exact::{exact_marginals_for, MAX_EXACT_STATES};
 use crate::gibbs::{chain_seed, chromatic_sweep_blocks, GibbsConfig, GibbsSampler};
@@ -117,6 +118,9 @@ pub struct PartitionStats {
     /// In-place coloring patches (late cliques repaired raise-only plus
     /// appended variables) over the graph's lifetime.
     pub coloring_patches: u64,
+    /// What the frozen-weight score cache did this pass (all-zero when
+    /// [`PartitionedConfig::score_cache`] is off).
+    pub score_cache: ScoreCacheStats,
 }
 
 /// The connected components of a factor graph under the relation "appears
@@ -283,6 +287,12 @@ pub struct PartitionedConfig {
     /// (clique-free) components are bit-for-bit unaffected, and any thread
     /// count remains bit-for-bit `threads = 1`.
     pub chromatic: bool,
+    /// Frozen-weight score cache: one parallel pass scores every design
+    /// row up front and all three engines read the table instead of
+    /// re-running the kernel (see [`crate::cache`]). A pure wall-clock
+    /// knob — the cache reproduces the kernel's exact addition order, so
+    /// repairs and posteriors are byte-identical on or off.
+    pub score_cache: bool,
 }
 
 /// Gibbs components with at least this many query variables fan their
@@ -340,15 +350,34 @@ pub fn infer_partitioned<C: ValueContext + Sync>(
     // The coloring is only built (or even looked at) when chromatic sweeps
     // are requested — the flag off leaves the cache untouched.
     let coloring = config.chromatic.then(|| graph.coloring());
-    let mut stats = PartitionStats::default();
+    // The frozen-weight score cache: one parallel pass over every design
+    // row, then every engine below reads the table. Built per call — never
+    // stored in the graph — so it can never go stale across retrains.
+    let score_cache = config
+        .score_cache
+        .then(|| ScoreCache::build(graph.design(), weights, threads));
+    let cache = score_cache.as_ref();
+    let mut stats = PartitionStats {
+        score_cache: ScoreCacheStats {
+            builds: cache.is_some() as u64,
+            rows: cache.map_or(0, |c| c.rows() as u64),
+        },
+        ..PartitionStats::default()
+    };
     if let Some(col) = coloring {
         let cstats = graph.coloring_stats();
         stats.colors = col.num_colors() as u64;
         stats.coloring_full_builds = cstats.full_builds;
         stats.coloring_patches = cstats.cliques_patched + cstats.vars_appended;
     }
+    // Per-chain counted sweeps, for the per-unit cost estimates below.
+    let sweeps = (config.gibbs.burn_in + samples_per_chain(&config.gibbs)) as u64;
     let mut comps: Vec<Vec<VarId>> = Vec::new();
     let mut units: Vec<Unit> = Vec::new();
+    // Estimated cost of `units[i]`, in design-row visits — the dispatch
+    // weight for longest-first scheduling. An estimate only: it steers
+    // which worker runs a unit first, never what any unit computes.
+    let mut costs: Vec<u64> = Vec::new();
     for members in index.iter() {
         let query: Vec<VarId> = members
             .iter()
@@ -369,11 +398,16 @@ pub fn infer_partitioned<C: ValueContext + Sync>(
             _ => 3,
         }] += 1;
         let rank = comps.len();
+        let rows: u64 = query
+            .iter()
+            .map(|&v| graph.var(v).arity() as u64)
+            .sum::<u64>();
         let coupled = query.iter().any(|&v| !graph.cliques_of(v).is_empty());
         if !coupled {
             stats.closed_form_components += 1;
             stats.closed_form_vars += size;
             units.push(Unit::Closed(rank));
+            costs.push(rows);
         } else {
             let space = query.iter().fold(1u64, |acc, &v| {
                 acc.saturating_mul(graph.var(v).arity() as u64)
@@ -382,51 +416,80 @@ pub fn infer_partitioned<C: ValueContext + Sync>(
                 stats.exact_components += 1;
                 stats.exact_vars += size;
                 units.push(Unit::Exact(rank));
+                costs.push(space);
             } else {
                 stats.gibbs_components += 1;
                 stats.gibbs_vars += size;
                 if let Some(col) = coloring {
                     stats.color_sweep_blocks += chromatic_sweep_blocks(col, &query);
                 }
+                let chain_cost = rows.saturating_mul(sweeps);
                 if chains > 1 && query.len() >= CHAIN_FANOUT_MIN_QUERY_VARS {
                     units.extend((0..chains).map(|c| Unit::GibbsChain(rank, c)));
+                    costs.extend((0..chains).map(|_| chain_cost));
                 } else {
                     units.push(Unit::Gibbs(rank));
+                    costs.push(chain_cost.saturating_mul(chains as u64));
                 }
             }
         }
         comps.push(query);
     }
-    let outs = holo_parallel::parallel_jobs(threads, units.len(), |i| match units[i] {
-        Unit::Closed(rank) => UnitOut::Done(
-            comps[rank]
-                .iter()
-                .map(|&v| (v, softmax(&graph.unary_scores(v, weights))))
-                .collect(),
-        ),
-        Unit::Exact(rank) => UnitOut::Done(exact_marginals_for(graph, weights, ctx, &comps[rank])),
-        Unit::Gibbs(rank) => UnitOut::Done(sample_component(
-            graph,
-            weights,
-            ctx,
-            &config.gibbs,
-            component_seed(config.gibbs.seed, rank),
-            &comps[rank],
-            coloring,
-            threads,
-        )),
-        Unit::GibbsChain(rank, chain) => {
-            let seed = chain_seed(component_seed(config.gibbs.seed, rank), chain);
-            let mut sampler =
-                GibbsSampler::for_query(graph, weights, ctx, seed, comps[rank].to_vec());
-            if let Some(col) = coloring {
-                sampler = sampler.with_chromatic(col, threads);
+    // Longest-estimated-first dispatch: one giant Gibbs component starts
+    // immediately instead of serializing the tail behind a range of small
+    // units. Results still merge by unit index, so the output is exactly
+    // `parallel_jobs`' — the weights steer wall-clock only.
+    let outs = holo_parallel::parallel_jobs_weighted(
+        threads,
+        units.len(),
+        |i| costs[i],
+        |i| match units[i] {
+            Unit::Closed(rank) => UnitOut::Done(
+                comps[rank]
+                    .iter()
+                    .map(|&v| {
+                        let probs = match cache {
+                            Some(c) => softmax(c.var_scores(v)),
+                            None => softmax(&graph.unary_scores(v, weights)),
+                        };
+                        (v, probs)
+                    })
+                    .collect(),
+            ),
+            Unit::Exact(rank) => UnitOut::Done(exact_marginals_for(
+                graph,
+                weights,
+                ctx,
+                cache,
+                &comps[rank],
+            )),
+            Unit::Gibbs(rank) => UnitOut::Done(sample_component(
+                graph,
+                weights,
+                ctx,
+                &config.gibbs,
+                component_seed(config.gibbs.seed, rank),
+                &comps[rank],
+                coloring,
+                cache,
+                threads,
+            )),
+            Unit::GibbsChain(rank, chain) => {
+                let seed = chain_seed(component_seed(config.gibbs.seed, rank), chain);
+                let mut sampler =
+                    GibbsSampler::for_query(graph, weights, ctx, seed, comps[rank].to_vec());
+                if let Some(col) = coloring {
+                    sampler = sampler.with_chromatic(col, threads);
+                }
+                if let Some(c) = cache {
+                    sampler = sampler.with_score_cache(c);
+                }
+                let counts = sampler
+                    .collect_query_counts(config.gibbs.burn_in, samples_per_chain(&config.gibbs));
+                UnitOut::ChainCounts(rank, counts)
             }
-            let counts = sampler
-                .collect_query_counts(config.gibbs.burn_in, samples_per_chain(&config.gibbs));
-            UnitOut::ChainCounts(rank, counts)
-        }
-    });
+        },
+    );
     // Merge: finished units pass through; fanned chain counts accumulate
     // per component in unit order — which is chain order, the same f64
     // addition sequence the sequential sampler performs — then normalise.
@@ -501,6 +564,7 @@ fn sample_component<C: ValueContext + Sync>(
     comp_seed: u64,
     query: &[VarId],
     coloring: Option<&Coloring>,
+    cache: Option<&ScoreCache>,
     threads: usize,
 ) -> Vec<(VarId, Vec<f64>)> {
     let chains = cfg.chains.max(1);
@@ -520,6 +584,9 @@ fn sample_component<C: ValueContext + Sync>(
     );
     if let Some(col) = coloring {
         sampler = sampler.with_chromatic(col, threads);
+    }
+    if let Some(c) = cache {
+        sampler = sampler.with_score_cache(c);
     }
     for chain in 0..chains {
         if chain > 0 {
@@ -673,6 +740,7 @@ mod tests {
                 gibbs: GibbsConfig::default(),
                 exact_limit,
                 chromatic: false,
+                score_cache: true,
             };
             let (m, stats) = infer_partitioned(&g, &w, &EqOnlyContext, &cfg, 1);
             assert_eq!(m, reference, "exact_limit = {exact_limit}");
@@ -710,6 +778,7 @@ mod tests {
                 gibbs,
                 exact_limit: 0,
                 chromatic: false,
+                score_cache: true,
             };
             let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
             assert_eq!(m, reference, "chains = {chains}");
@@ -728,6 +797,7 @@ mod tests {
             gibbs: GibbsConfig::default(),
             exact_limit: 4096,
             chromatic: false,
+            score_cache: true,
         };
         let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
         assert_eq!(stats.components, 3);
@@ -767,6 +837,7 @@ mod tests {
             },
             exact_limit: 0, // force sampling of the coupled pairs
             chromatic: false,
+            score_cache: true,
         };
         let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
         assert_eq!(stats.gibbs_components, 2);
@@ -818,6 +889,7 @@ mod tests {
             gibbs,
             exact_limit: 0,
             chromatic: false,
+            score_cache: true,
         };
         for threads in [1, 2, 4] {
             let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, threads);
@@ -880,6 +952,7 @@ mod tests {
             },
             exact_limit: 0, // force sampling
             chromatic: true,
+            score_cache: true,
         };
         let (m, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
         assert_eq!(stats.gibbs_components, 1);
@@ -922,9 +995,11 @@ mod tests {
             gibbs: GibbsConfig::default(),
             exact_limit: 0,
             chromatic: false,
+            score_cache: true,
         };
         let on = PartitionedConfig {
             chromatic: true,
+            score_cache: true,
             ..off
         };
         let (m_off, s_off) = infer_partitioned(&g, &w, &ctx, &off, 1);
@@ -966,6 +1041,7 @@ mod tests {
             },
             exact_limit: 0,
             chromatic: true,
+            score_cache: true,
         };
         let (reference, stats) = infer_partitioned(&g, &w, &ctx, &cfg, 1);
         assert_eq!(stats.gibbs_components, 1);
@@ -985,6 +1061,7 @@ mod tests {
             component_seed(cfg.gibbs.seed, 0),
             &vars,
             Some(g.coloring()),
+            None,
             1,
         );
         assert_eq!(Marginals::assemble(&g, sequential), reference);

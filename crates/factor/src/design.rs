@@ -298,6 +298,20 @@ impl DesignMatrix {
             .map(|r| self.score_row(r, weights))
             .collect()
     }
+
+    /// [`DesignMatrix::score_all`] over up to `threads` worker threads —
+    /// the build pass of [`crate::cache::ScoreCache`]. Each row's score
+    /// depends only on its own entries (the blocked kernel's lane split is
+    /// fixed by the entry count), so chunking the row range across threads
+    /// is bit-for-bit the sequential pass at any thread count. Small
+    /// matrices stay inline.
+    pub fn score_all_with_threads(&self, weights: &Weights, threads: usize) -> Vec<f64> {
+        let rows = self.rows();
+        if rows < holo_parallel::MIN_PARALLEL_ITEMS {
+            return self.score_all(weights);
+        }
+        holo_parallel::parallel_jobs(threads, rows, |r| self.score_row(r, weights))
+    }
 }
 
 /// The blocked dot-product kernel shared by every unary-scoring path (CSR

@@ -1,6 +1,7 @@
 //! Brute-force inference for tiny graphs — the correctness oracle for the
 //! Gibbs sampler and for variant-equivalence tests.
 
+use crate::cache::ScoreCache;
 use crate::design::DesignMatrix;
 use crate::graph::{FactorGraph, ValueContext, VarId};
 use crate::marginals::Marginals;
@@ -144,6 +145,11 @@ fn joint_score(
 /// before exponentiating, so strongly-weighted constraints cannot
 /// underflow the partition sum to zero.
 ///
+/// With a [`ScoreCache`] the per-component unary precompute disappears:
+/// the enumeration reads each variable's cached row-range slice directly
+/// (the cache holds the exact bytes the private precompute produced, so
+/// the marginals are bit-identical either way).
+///
 /// # Panics
 /// Panics if the component's joint space exceeds [`MAX_EXACT_STATES`];
 /// the partitioned router checks the space before calling.
@@ -151,6 +157,7 @@ pub fn exact_marginals_for(
     graph: &FactorGraph,
     weights: &Weights,
     ctx: &impl ValueContext,
+    cache: Option<&ScoreCache>,
     query: &[VarId],
 ) -> Vec<(VarId, Vec<f64>)> {
     let arities: Vec<usize> = query.iter().map(|&v| graph.var(v).arity()).collect();
@@ -198,11 +205,20 @@ pub fn exact_marginals_for(
             (ci, slots)
         })
         .collect();
-    // Unary scores of the component's own rows only.
-    let unary: Vec<Vec<f64>> = query
-        .iter()
-        .map(|&v| graph.unary_scores(v, weights))
-        .collect();
+    // Unary scores of the component's own rows only: cached row-range
+    // slices when a score cache is supplied, a private precompute (the
+    // pre-cache path, kept for standalone callers) otherwise.
+    let owned: Vec<Vec<f64>>;
+    let unary: Vec<&[f64]> = match cache {
+        Some(c) => query.iter().map(|&v| c.var_scores(v)).collect(),
+        None => {
+            owned = query
+                .iter()
+                .map(|&v| graph.unary_scores(v, weights))
+                .collect();
+            owned.iter().map(Vec::as_slice).collect()
+        }
+    };
     let mut state: Vec<usize> = locals
         .iter()
         .map(|&v| graph.var(v).evidence.unwrap_or(0))

@@ -37,7 +37,24 @@
 //! order, so **any thread count is bit-for-bit `threads = 1`**. A query
 //! set spanning a single color (every clique-free component) keeps no
 //! plan and runs today's sequential sweep, RNG draw for RNG draw.
+//!
+//! ## The frozen-weight score cache
+//!
+//! Weights never move during sampling, so a sampler can be armed with a
+//! [`ScoreCache`] ([`GibbsSampler::with_score_cache`]): the conditional's
+//! unary term becomes a memcpy of the variable's cached row range instead
+//! of a kernel walk over the design matrix, while clique deltas are still
+//! re-evaluated against the live state. The cache holds exactly the bytes
+//! [`DesignMatrix::score_var_into`](crate::design::DesignMatrix::score_var_into)
+//! would produce, so sampling streams — and therefore marginals — are
+//! byte-identical with the cache on or off. **Freshness invariant:** a
+//! cache is built per
+//! [`infer_partitioned`](crate::components::infer_partitioned) call and
+//! borrows the design matrix it scored; it is never stored in
+//! [`FactorGraph`], so a feedback retrain (new weights, patched matrix)
+//! cannot leak stale scores into the next inference pass.
 
+use crate::cache::ScoreCache;
 use crate::coloring::Coloring;
 use crate::graph::{FactorGraph, ValueContext, VarId};
 use crate::marginals::Marginals;
@@ -248,26 +265,56 @@ fn normalize_counts(graph: &FactorGraph, counts: &mut [Vec<f64>]) {
 }
 
 /// Conditional log-scores of every candidate of `v` given `state`, written
-/// into `scores`. Unary terms come straight from the design matrix (the
-/// variable's candidates are one contiguous CSR row range); clique terms
-/// are re-evaluated against `state`. A free function so the sequential
-/// sweep (sampler-owned scratch) and chromatic blocks (per-block scratch
-/// against a shared pre-class snapshot) share one body.
-fn conditional_scores_into<C: ValueContext>(
+/// into `scores`. Unary terms are a memcpy of the cached row range when a
+/// [`ScoreCache`] is supplied, or a kernel walk over the design matrix
+/// otherwise — the two produce identical bytes; clique terms are
+/// re-evaluated against `state`. A free function so the sequential sweep
+/// (sampler-owned scratch) and chromatic blocks (per-block scratch against
+/// a shared pre-class snapshot) share one body.
+///
+/// Binary cliques — the entire output of pairwise denial constraints, i.e.
+/// nearly every clique in practice — take a fast path: the partner's
+/// symbol and the clique weight are resolved once per resample instead of
+/// once per candidate, and each candidate pays only the predicate check.
+/// The fast path adds the exact addends (`-θ` or `0.0`) of the general
+/// loop in the same order, so it is bit-for-bit equivalent.
+#[allow(clippy::too_many_arguments)] // the sweep hot path: scratch buffers and the cache ride as args
+pub(crate) fn conditional_scores_into<C: ValueContext>(
     graph: &FactorGraph,
     weights: &Weights,
     ctx: &C,
+    cache: Option<&ScoreCache>,
     state: &[usize],
     v: VarId,
     scores: &mut Vec<f64>,
     clique_syms: &mut Vec<Sym>,
 ) {
     let arity = graph.var(v).arity();
-    graph.design().score_var_into(v, weights, scores);
+    match cache {
+        Some(c) => c.copy_var_scores_into(v, scores),
+        None => graph.design().score_var_into(v, weights, scores),
+    }
     // Clique contributions: evaluate each adjacent clique once per
     // candidate of v, with all other clique members at their state.
     for &ci in graph.cliques_of(v) {
         let clique = &graph.cliques()[ci as usize];
+        if let [a, b] = clique.vars[..] {
+            let (slot, partner) = if a == v { (0, b) } else { (1, a) };
+            let partner_sym = graph.var(partner).domain[state[partner.index()]];
+            let penalty = -weights.get(clique.weight);
+            clique_syms.clear();
+            clique_syms.push(partner_sym);
+            clique_syms.push(partner_sym);
+            for (k, score) in scores.iter_mut().enumerate().take(arity) {
+                clique_syms[slot] = graph.var(v).domain[k];
+                *score += if clique.violated(clique_syms, ctx) {
+                    penalty
+                } else {
+                    0.0
+                };
+            }
+            continue;
+        }
         let slot = clique
             .vars
             .iter()
@@ -298,6 +345,13 @@ pub struct GibbsSampler<'a, C: ValueContext> {
     scores: Vec<f64>,
     /// Scratch buffer for clique assignments.
     clique_syms: Vec<Sym>,
+    /// Sampled candidate indices of the color class being resampled —
+    /// sampler-owned so chromatic sweeps reuse one allocation across
+    /// classes and sweeps instead of collecting fresh per-block `Vec`s.
+    class_vals: Vec<usize>,
+    /// Frozen-weight unary scores; armed per inference pass (see the
+    /// module docs), `None` walks the design matrix per resample.
+    cache: Option<&'a ScoreCache<'a>>,
     /// Chromatic sweep schedule; `None` runs the sequential sweep.
     plan: Option<ChromaticPlan>,
     /// Worker threads chromatic sweeps may spawn (a schedule knob only:
@@ -347,6 +401,8 @@ impl<'a, C: ValueContext + Sync> GibbsSampler<'a, C> {
             rng: StdRng::seed_from_u64(seed),
             scores: Vec::new(),
             clique_syms: Vec::new(),
+            class_vals: Vec::new(),
+            cache: None,
             plan: None,
             threads: 1,
             base_seed: seed,
@@ -364,6 +420,18 @@ impl<'a, C: ValueContext + Sync> GibbsSampler<'a, C> {
     pub fn with_chromatic(mut self, coloring: &Coloring, threads: usize) -> Self {
         self.plan = build_plan(coloring, &self.query);
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Arms the frozen-weight score cache: conditionals start from a
+    /// memcpy of `cache`'s row range instead of re-running the design
+    /// kernel. The cache must have been built against this sampler's
+    /// design matrix and weight vector (which
+    /// [`crate::components::infer_partitioned`] guarantees by building one
+    /// per call); the sampling stream is byte-identical with or without
+    /// it — the knob trades wall-clock only, never output.
+    pub fn with_score_cache(mut self, cache: &'a ScoreCache<'a>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -397,6 +465,7 @@ impl<'a, C: ValueContext + Sync> GibbsSampler<'a, C> {
             self.graph,
             self.weights,
             self.ctx,
+            self.cache,
             &self.state,
             v,
             &mut self.scores,
@@ -432,46 +501,57 @@ impl<'a, C: ValueContext + Sync> GibbsSampler<'a, C> {
         let graph = self.graph;
         let weights = self.weights;
         let ctx = self.ctx;
+        let cache = self.cache;
         let base_seed = self.base_seed;
         let threads = self.threads;
+        // Sampler-owned class output buffer, reused across classes and
+        // sweeps (taken out of `self` so the fill closure can read
+        // `self.state` while writing into it).
+        let mut class_vals = std::mem::take(&mut self.class_vals);
         let plan = self.plan.as_ref().expect("chromatic sweep without a plan");
         let sweep_base = self.sweep_no.wrapping_mul(plan.blocks_per_sweep);
         for run in &plan.runs {
             let class = &plan.order[run.start..run.start + run.len];
-            let blocks: Vec<&[VarId]> = class.chunks(COLOR_BLOCK_SIZE).collect();
+            class_vals.clear();
+            class_vals.resize(class.len(), 0);
             let state = &self.state;
-            let updates: Vec<Vec<usize>> =
-                holo_parallel::parallel_jobs(threads, blocks.len(), |b| {
+            // Fixed COLOR_BLOCK_SIZE output chunks, one seeded job each —
+            // the same block boundaries and seeds as the old collect-based
+            // schedule, now writing in place.
+            holo_parallel::parallel_chunks_mut(
+                threads,
+                &mut class_vals,
+                COLOR_BLOCK_SIZE,
+                |b, out| {
                     let seed = color_block_seed(base_seed, sweep_base + run.block_base + b as u64);
                     let mut rng = StdRng::seed_from_u64(seed);
                     // Per-block scratch: allocated once per block, reused
                     // across the block's variables.
                     let mut scores: Vec<f64> = Vec::new();
                     let mut clique_syms: Vec<Sym> = Vec::new();
-                    blocks[b]
-                        .iter()
-                        .map(|&v| {
-                            conditional_scores_into(
-                                graph,
-                                weights,
-                                ctx,
-                                state,
-                                v,
-                                &mut scores,
-                                &mut clique_syms,
-                            );
-                            softmax_in_place(&mut scores);
-                            let u: f64 = rng.gen();
-                            sample_categorical(&scores, u)
-                        })
-                        .collect()
-                });
-            for (block, vals) in blocks.iter().zip(updates) {
-                for (&v, val) in block.iter().zip(vals) {
-                    self.state[v.index()] = val;
-                }
+                    let block = &class[b * COLOR_BLOCK_SIZE..b * COLOR_BLOCK_SIZE + out.len()];
+                    for (&v, slot) in block.iter().zip(out) {
+                        conditional_scores_into(
+                            graph,
+                            weights,
+                            ctx,
+                            cache,
+                            state,
+                            v,
+                            &mut scores,
+                            &mut clique_syms,
+                        );
+                        softmax_in_place(&mut scores);
+                        let u: f64 = rng.gen();
+                        *slot = sample_categorical(&scores, u);
+                    }
+                },
+            );
+            for (&v, &val) in class.iter().zip(&class_vals) {
+                self.state[v.index()] = val;
             }
         }
+        self.class_vals = class_vals;
         self.sweep_no += 1;
     }
 

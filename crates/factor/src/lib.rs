@@ -16,6 +16,10 @@
 //!   Every unary-scoring consumer (learning, Gibbs conditionals, exact
 //!   enumeration, closed-form marginals) reads this flat substrate instead
 //!   of the graph's nested adjacency `Vec`s.
+//! * [`cache`] — the per-inference-pass frozen-weight [`ScoreCache`]: every
+//!   design row scored once in parallel through the blocked kernel, read by
+//!   all three inference engines so a Gibbs resample starts from a memcpy
+//!   instead of a matrix walk. Built per call, never stored in the graph.
 //! * [`weights`] — tied weights `θ`, learnable or fixed, plus a generic
 //!   feature registry for interning structured feature keys.
 //! * [`learn`] — empirical-risk minimisation over evidence variables with
@@ -43,6 +47,7 @@
 //! The probability model is Eq. 1 of the paper:
 //! `P(T) = Z⁻¹ exp(Σ_φ θ_φ · h_φ(φ))`.
 
+pub mod cache;
 pub mod coloring;
 pub mod components;
 pub mod design;
@@ -57,6 +62,7 @@ pub mod weights;
 #[cfg(test)]
 mod proptests;
 
+pub use cache::{ScoreCache, ScoreCacheStats};
 pub use coloring::{Coloring, ColoringStats};
 pub use components::{
     infer_partitioned, ComponentIndex, ComponentStats, PartitionStats, PartitionedConfig,

@@ -152,6 +152,37 @@ mod tests {
     }
 
     #[test]
+    fn categorical_sampling_u_at_one_clamps_to_last_index() {
+        // u = 1.0 is outside the sampler's [0, 1) contract but reachable
+        // through rounding; the prefix scan never satisfies `u < acc`
+        // (acc tops out at ~1.0), so the fallback must return the last
+        // index instead of panicking.
+        assert_eq!(sample_categorical(&[0.5, 0.5], 1.0), 1);
+        assert_eq!(sample_categorical(&[1.0], 1.0), 0);
+    }
+
+    #[test]
+    fn categorical_sampling_skips_zero_mass_prefix() {
+        // Leading zero-probability candidates must never be drawn: at
+        // u = 0.0 the scan passes them (0 < 0 is false) and lands on the
+        // first candidate with mass.
+        assert_eq!(sample_categorical(&[0.0, 0.0, 1.0], 0.0), 2);
+        assert_eq!(sample_categorical(&[0.0, 1.0], 0.0), 1);
+        // An all-zero vector (defensive; softmax never emits one) falls
+        // through to the last index rather than reading out of bounds.
+        assert_eq!(sample_categorical(&[0.0, 0.0, 0.0], 0.5), 2);
+    }
+
+    #[test]
+    fn categorical_sampling_single_candidate_rows() {
+        // Single-candidate domains are common after pruning; every draw
+        // must pick the only index.
+        for u in [0.0, 0.3, 0.999, 1.0] {
+            assert_eq!(sample_categorical(&[1.0], u), 0);
+        }
+    }
+
+    #[test]
     fn argmax_deterministic_ties() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
         assert_eq!(argmax(&[]), None);

@@ -4,8 +4,9 @@
 
 #![cfg(test)]
 
+use crate::cache::ScoreCache;
 use crate::exact::exact_marginals;
-use crate::gibbs::{GibbsConfig, GibbsSampler};
+use crate::gibbs::{conditional_scores_into, GibbsConfig, GibbsSampler};
 use crate::graph::{
     CliqueFactor, CmpOp, EqOnlyContext, FactorGraph, FactorOperand, FactorPredicate, Variable,
 };
@@ -198,6 +199,54 @@ proptest! {
             let sequential = GibbsSampler::new(&graph, &weights, &ctx, cfg.seed).run(&cfg);
             prop_assert_eq!(&sequential, &reference, "single color keeps the sequential sweep");
         }
+    }
+
+    /// The frozen-weight score cache serves the Gibbs conditional
+    /// bit-for-bit: on random graphs, weights and states, the cached
+    /// `conditional_scores_into` (memcpy of the cached row range + clique
+    /// deltas) produces exactly the bytes of the uncached matrix walk, at
+    /// every cache-build thread count. This is the invariant that lets
+    /// `PartitionedConfig::score_cache` be a pure wall-clock knob.
+    #[test]
+    fn cached_conditionals_bit_identical_to_uncached(model in random_model(),
+                                                     state_salt in 0usize..64) {
+        let (graph, weights) = build(&model);
+        let ctx = EqOnlyContext;
+        let state: Vec<usize> = graph
+            .var_ids()
+            .map(|v| (v.index() + state_salt) % graph.var(v).arity())
+            .collect();
+        for threads in [1usize, 4] {
+            let cache = ScoreCache::build(graph.design(), &weights, threads);
+            let (mut cached, mut uncached) = (Vec::new(), Vec::new());
+            let (mut syms_a, mut syms_b) = (Vec::new(), Vec::new());
+            for v in graph.var_ids() {
+                conditional_scores_into(
+                    &graph, &weights, &ctx, Some(&cache), &state, v, &mut cached, &mut syms_a,
+                );
+                conditional_scores_into(
+                    &graph, &weights, &ctx, None, &state, v, &mut uncached, &mut syms_b,
+                );
+                let cached_bits: Vec<u64> = cached.iter().map(|x| x.to_bits()).collect();
+                let uncached_bits: Vec<u64> = uncached.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(cached_bits, uncached_bits,
+                    "var {:?}, cache built with {} thread(s)", v, threads);
+            }
+        }
+    }
+
+    /// Cost-aware dispatch is a pure scheduling change: for any weight
+    /// vector and thread count, `parallel_jobs_weighted` returns exactly
+    /// what `parallel_jobs` returns for a pure job function — results in
+    /// index order, every index exactly once.
+    #[test]
+    fn weighted_jobs_match_plain_jobs(ws in proptest::collection::vec(0u64..1_000, 0..40),
+                                      threads in 1usize..6) {
+        let n = ws.len();
+        let f = |i: usize| i.wrapping_mul(0x9e37_79b9) ^ (ws[i] as usize);
+        let plain = holo_parallel::parallel_jobs(1, n, f);
+        let weighted = holo_parallel::parallel_jobs_weighted(threads, n, |i| ws[i], f);
+        prop_assert_eq!(weighted, plain);
     }
 
     /// The coloring invariants survive random late mutations: the patched

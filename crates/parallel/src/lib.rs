@@ -108,6 +108,108 @@ where
     })
 }
 
+/// Fills `out` in place by cutting it into **fixed-size** chunks of
+/// `chunk_len` (the last may be shorter) and running `f(chunk_index,
+/// chunk)` for each on up to `threads` worker threads — the in-place
+/// counterpart of [`parallel_chunks`] for hot loops that own a reusable
+/// output buffer and must not allocate per call. Chunk boundaries depend
+/// only on `chunk_len` and `out.len()`, never on the thread count, so a
+/// pure `f` writes bit-for-bit the same bytes at every thread count;
+/// `threads = 1` (or a single chunk) runs inline with no pool.
+pub fn parallel_chunks_mut<T: Send, F>(threads: usize, out: &mut [T], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunks: Vec<(usize, &mut [T])> = out.chunks_mut(chunk_len.max(1)).enumerate().collect();
+    let n = chunks.len();
+    let threads = effective_threads(threads).min(n).max(1);
+    if threads == 1 || n <= 1 {
+        for (b, chunk) in chunks {
+            f(b, chunk);
+        }
+        return;
+    }
+    // Deal the chunk list into contiguous per-thread runs (first
+    // `n % threads` runs one chunk longer), mirroring `spawn_ranges`.
+    let base = n / threads;
+    let remainder = n % threads;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        let mut rest = chunks;
+        for w in 0..threads {
+            let len = base + usize::from(w < remainder);
+            let tail = rest.split_off(len);
+            let mine = std::mem::replace(&mut rest, tail);
+            handles.push(scope.spawn(move || {
+                for (b, chunk) in mine {
+                    f(b, chunk);
+                }
+            }));
+        }
+        for h in handles {
+            join_propagating(h);
+        }
+    });
+}
+
+/// [`parallel_jobs`] with cost-aware dispatch: jobs are handed to workers
+/// **longest-estimated-first** (descending `weight(i)`, ties broken by
+/// ascending index) instead of being pre-split into contiguous index
+/// ranges, so one expensive job no longer pins a whole range's tail behind
+/// it. Results are still merged **by original index**, so for a pure `f`
+/// the output is identical to [`parallel_jobs`] — the weights steer
+/// wall-clock only, never the result. `weight` is evaluated once per job
+/// on the caller's thread before any worker starts.
+pub fn parallel_jobs_weighted<R: Send, F, W>(threads: usize, n: usize, weight: W, f: F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync,
+    W: Fn(usize) -> u64,
+{
+    let threads = effective_threads(threads).min(n).max(1);
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let weights: Vec<u64> = (0..n).map(weight).collect();
+    let order = weighted_order(&weights);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (f, order, cursor) = (&f, &order, &cursor);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&i) = order.get(k) else { break };
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in join_propagating(h) {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job index dispatched exactly once"))
+        .collect()
+}
+
+/// The dispatch order under [`parallel_jobs_weighted`]: job indices sorted
+/// by descending weight, ties by ascending index — deterministic for a
+/// given weight vector.
+fn weighted_order(weights: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    order
+}
+
 /// Splits `items` into **fixed-size** shards, folds each shard with
 /// `fold` on up to `threads` worker threads, and reduces the shard
 /// accumulators strictly in shard order with `merge`. Returns `None` for
@@ -263,6 +365,88 @@ mod tests {
             .enumerate()
             .any(|(i, &(s1, e1))| spans.iter().skip(i + 1).any(|&(s2, e2)| s1 < e2 && s2 < e1));
         assert!(overlapping, "no two jobs overlapped: {spans:?}");
+    }
+
+    #[test]
+    fn chunks_mut_fills_like_the_sequential_loop() {
+        let reference: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            for chunk_len in [1, 7, 64, 300] {
+                let mut out = vec![0usize; 257];
+                parallel_chunks_mut(threads, &mut out, chunk_len, |b, chunk| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (b * chunk_len + i) * 3 + 1;
+                    }
+                });
+                assert_eq!(out, reference, "threads = {threads}, chunk = {chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_empty_output_is_fine() {
+        let mut out: [u8; 0] = [];
+        parallel_chunks_mut(4, &mut out, 8, |_, _| panic!("no chunks to run"));
+    }
+
+    #[test]
+    fn weighted_jobs_match_plain_jobs_for_any_weights() {
+        let f = |i: usize| i * i + 7;
+        let reference = parallel_jobs(1, 23, f);
+        for threads in [1, 2, 3, 4, 8] {
+            for weight in [
+                |_: usize| 0u64,
+                |i: usize| i as u64,
+                |i: usize| (23 - i) as u64,
+                |i: usize| (i as u64).wrapping_mul(0x9E37_79B9) % 11,
+            ] {
+                let out = parallel_jobs_weighted(threads, 23, weight, f);
+                assert_eq!(out, reference, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_order_is_longest_first_with_index_ties() {
+        assert_eq!(weighted_order(&[5, 9, 9, 1, 7]), vec![1, 2, 4, 0, 3]);
+        assert_eq!(weighted_order(&[3, 3, 3]), vec![0, 1, 2]);
+        assert_eq!(weighted_order(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn weighted_jobs_actually_parallel_when_asked() {
+        let t0 = std::time::Instant::now();
+        let spans = parallel_jobs_weighted(
+            4,
+            4,
+            |i| i as u64,
+            |_| {
+                let begin = t0.elapsed();
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                (begin, t0.elapsed())
+            },
+        );
+        let overlapping = spans
+            .iter()
+            .enumerate()
+            .any(|(i, &(s1, e1))| spans.iter().skip(i + 1).any(|&(s2, e2)| s1 < e2 && s2 < e1));
+        assert!(overlapping, "no two jobs overlapped: {spans:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted worker message")]
+    fn weighted_worker_panics_keep_their_payload() {
+        parallel_jobs_weighted(
+            4,
+            16,
+            |_| 1,
+            |i| {
+                if i == 11 {
+                    panic!("weighted worker message");
+                }
+                i
+            },
+        );
     }
 
     /// Floating-point shard sums are merged in shard order, so the result
