@@ -644,6 +644,67 @@ fn bench_stream_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-CRUD streaming: per-feed cost when every batch is corrupted on
+/// entry (a mangled first row plus a decoy row) and healed with
+/// `push_updates`/`push_deletes` before the next batch, ending in one
+/// exact read. `scheduled` compacts every second mutation batch
+/// (`compact_every = 2`); `lazy` (`compact_every = 0`) defers every
+/// compaction to the final exact read. The spread prices what the
+/// schedule buys: smaller retired/pinned carry-over per tick versus one
+/// big deferred rebuild.
+fn bench_stream_crud(c: &mut Criterion) {
+    use holo_dataset::TupleId;
+    use holoclean::stream::StreamSession;
+    let mut group = c.benchmark_group("stream_crud");
+    group.sample_size(10);
+    let gen = build(DatasetKind::Hospital, small_scale());
+    let rows: Vec<Vec<String>> = gen
+        .dirty
+        .tuples()
+        .map(|t| {
+            gen.dirty
+                .schema()
+                .attrs()
+                .map(|a| gen.dirty.cell_str(t, a).to_string())
+                .collect()
+        })
+        .collect();
+    let arity = gen.dirty.schema().len();
+    let batches = 8usize;
+    let mut config = HoloConfig::default().with_threads(1);
+    config.tau = gen.kind.paper_tau();
+    config.stream.refine_each_batch = false; // isolate maintenance cost
+    for (label, compact_every) in [("lazy", 0usize), ("scheduled", 2usize)] {
+        let mut config = config.clone();
+        config.stream.compact_every = compact_every;
+        group.bench_function(BenchmarkId::new("per_feed", label), |b| {
+            b.iter(|| {
+                let mut session = StreamSession::new(
+                    gen.dirty.schema().clone(),
+                    &gen.constraints_text,
+                    config.clone(),
+                )
+                .unwrap();
+                for chunk in rows.chunks(rows.len().div_ceil(batches)) {
+                    let base = session.dataset().tuple_count() as u32;
+                    let mut staged = chunk.to_vec();
+                    staged[0][0].push_str("~typo");
+                    staged.push((0..arity).map(|a| format!("~decoy{a}")).collect());
+                    session.push_batch(&staged).unwrap();
+                    session
+                        .push_deletes(&[TupleId(base + chunk.len() as u32)])
+                        .unwrap();
+                    session
+                        .push_updates(&[(TupleId(base), chunk[0].clone())])
+                        .unwrap();
+                }
+                black_box(session.report().repairs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_violation_detection,
@@ -658,15 +719,20 @@ criterion_group!(
     bench_gibbs_cache,
     bench_feedback_retrain,
     bench_stream_ingest,
+    bench_stream_crud,
     bench_end_to_end,
     bench_end_to_end_parallelism
 );
 
-/// Runs the groups, then persists the run as a `BENCH_<date>.json`
-/// snapshot in the workspace root via the shared [`holo_bench::json`]
-/// writer — the committed perf trajectory the repo tracks across PRs.
-/// Smoke runs (`cargo test --benches`) and filtered runs that produced
-/// no samples write nothing.
+/// Runs the groups, then persists the run as a
+/// `BENCH_<date>_<unix-secs>.json` snapshot in the workspace root via
+/// the shared [`holo_bench::json`] writer — the committed perf
+/// trajectory the repo tracks across PRs. The unix-seconds suffix keeps
+/// two runs on the same day from silently overwriting each other
+/// (`bench_diff` orders on the parsed `(date, secs)` key, so suffixed
+/// and legacy date-only names interleave correctly). Smoke runs
+/// (`cargo test --benches`) and filtered runs that produced no samples
+/// write nothing.
 fn main() {
     let criterion = benches();
     if criterion.is_test_mode() || criterion.records().is_empty() {
@@ -705,7 +771,7 @@ fn write_snapshot(records: &[BenchRecord]) -> std::io::Result<String> {
     top.field_u64("unix_secs", secs);
     top.field_raw("benchmarks", &rows);
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_{y:04}-{m:02}-{d:02}.json");
+    let path = format!("{root}/BENCH_{y:04}-{m:02}-{d:02}_{secs}.json");
     std::fs::write(&path, top.finish() + "\n")?;
     Ok(path)
 }

@@ -5,8 +5,11 @@
 //! under test did to every benchmark the repo tracks.
 //!
 //! Snapshots live in the workspace root (where `benches/pipeline.rs`
-//! writes them) and sort by filename — the `BENCH_<ISO-date>.json`
-//! naming makes lexicographic order chronological. Override the
+//! writes them) and order chronologically on the parsed
+//! `BENCH_<ISO-date>[_<unix-secs>].json` key: the ISO date sorts
+//! lexicographically, and the unix-seconds suffix (which disambiguates
+//! several runs on the same day) compares *numerically*, so a legacy
+//! date-only snapshot counts as the start of its day. Override the
 //! directory with `BENCH_DIR`. With fewer than two snapshots there is
 //! nothing to diff; the tool says so and exits cleanly so a fresh
 //! checkout's CI can run it unconditionally.
@@ -40,6 +43,19 @@ fn load(path: &str) -> BTreeMap<String, f64> {
     medians
 }
 
+/// Chronological key of a snapshot filename: the ISO date plus the
+/// numeric unix-seconds suffix (`0` for legacy date-only names, which
+/// therefore sort as the start of their day). Lexicographic filename
+/// order would misorder same-day suffixes once their digit counts
+/// differ; parsing the number sidesteps that.
+fn sort_key(name: &str) -> (String, u64) {
+    let stem = name.trim_start_matches("BENCH_").trim_end_matches(".json");
+    match stem.split_once('_') {
+        Some((date, secs)) => (date.to_string(), secs.parse().unwrap_or(0)),
+        None => (stem.to_string(), 0),
+    }
+}
+
 /// Nanoseconds with a human unit (the snapshots span ns to seconds).
 fn human_ns(ns: f64) -> String {
     if ns >= 1e9 {
@@ -66,7 +82,7 @@ fn main() {
             (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
         })
         .collect();
-    snapshots.sort();
+    snapshots.sort_by_key(|name| sort_key(name));
     if snapshots.len() < 2 {
         println!(
             "bench_diff: need two BENCH_*.json snapshots in {root}, found {} — nothing to diff",
@@ -111,5 +127,31 @@ fn main() {
         println!("{regressions} label(s) regressed by more than 10%");
     } else {
         println!("no label regressed by more than 10%");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sort_key;
+
+    #[test]
+    fn same_day_suffixes_order_numerically() {
+        let mut names = vec![
+            "BENCH_2026-08-08_1754650000.json".to_string(),
+            "BENCH_2026-08-08.json".to_string(),
+            "BENCH_2026-08-08_999.json".to_string(),
+            "BENCH_2026-08-07_1754500000.json".to_string(),
+        ];
+        names.sort_by_key(|n| sort_key(n));
+        assert_eq!(
+            names,
+            vec![
+                "BENCH_2026-08-07_1754500000.json",
+                "BENCH_2026-08-08.json",
+                "BENCH_2026-08-08_999.json",
+                "BENCH_2026-08-08_1754650000.json",
+            ],
+            "date first, then numeric suffix; legacy names open the day"
+        );
     }
 }

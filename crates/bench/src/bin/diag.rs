@@ -90,6 +90,13 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
     component_index.field_u64("full_builds", ci.full_builds);
     component_index.field_u64("merges", ci.merges);
     component_index.field_u64("vars_appended", ci.vars_appended);
+    let r = t.retire;
+    let mut retire = JsonObj::new();
+    retire.field_u64("cliques_retired", r.cliques_retired);
+    retire.field_u64("vars_renumbered", r.vars_renumbered);
+    retire.field_u64("compactions", r.compactions);
+    retire.field_u64("live_rows", r.live_rows);
+    retire.field_u64("dead_rows", r.dead_rows);
 
     let mut root = JsonObj::new();
     root.field_str("dataset", dataset);
@@ -99,6 +106,7 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
     root.field_raw("learn", &learn);
     root.field_raw("partition", &partition.finish());
     root.field_raw("component_index", &component_index.finish());
+    root.field_raw("retire", &retire.finish());
     root.field_raw("ingest", &ingest);
     println!("{}", root.finish());
 }
@@ -109,6 +117,8 @@ fn ingest_json(i: &IngestStats) -> String {
     let mut o = JsonObj::new();
     o.field_u64("batches", i.batches);
     o.field_u64("tuples", i.tuples);
+    o.field_u64("rows_deleted", i.rows_deleted);
+    o.field_u64("rows_updated", i.rows_updated);
     o.field_u64("delta_violations", i.delta_violations);
     o.field_u64("affected_tuples", i.affected_tuples);
     o.field_u64("cells_recomputed", i.cells_recomputed);
@@ -122,9 +132,10 @@ fn ingest_json(i: &IngestStats) -> String {
 
 /// Runs the dataset through the incremental engine in `batches` batches,
 /// shaping the outcome like the one-shot runner's so the reporting is
-/// shared. The returned [`Dataset`] is the session's — report symbols
-/// are pool-local (the streaming loader interns in arrival order), so
-/// candidate values must resolve through it, not through `gen.dirty`.
+/// shared. The session's report speaks one-shot coordinates (live tuple
+/// ranks, dense first-appearance symbols) rather than the session's
+/// physical pool, so the returned [`Dataset`] is a freshly-interned copy
+/// of the live table — candidate values must resolve through it.
 fn run_streamed(
     gen: &GeneratedDataset,
     mut config: HoloConfig,
@@ -159,7 +170,20 @@ fn run_streamed(
         });
     }
     let report = session.report();
-    let quality = evaluate(&report, session.dataset(), &gen.clean);
+    let mut dense = Dataset::new(gen.dirty.schema().clone());
+    {
+        let src = session.dataset();
+        for t in src.tuples() {
+            let row: Vec<String> = gen
+                .dirty
+                .schema()
+                .attrs()
+                .map(|a| src.cell_str(t, a).to_string())
+                .collect();
+            dense.push_row(&row);
+        }
+    }
+    let quality = evaluate(&report, &dense, &gen.clean);
     let outcome = HoloOutcome {
         quality,
         timings: session.timings(),
@@ -171,8 +195,7 @@ fn run_streamed(
     };
     let registry = session.registry().clone();
     let weights = session.weights().clone();
-    let pool = session.dataset().clone();
-    (outcome, registry, weights, pool)
+    (outcome, registry, weights, dense)
 }
 
 fn main() {
@@ -280,6 +303,24 @@ fn main() {
             ingest.vars_retired,
             ingest.replay_minibatches,
             ingest.canonical_retrains
+        );
+        if ingest.rows_deleted > 0 || ingest.rows_updated > 0 {
+            println!(
+                "  mutations: {} row(s) deleted, {} row(s) updated",
+                ingest.rows_deleted, ingest.rows_updated
+            );
+        }
+    }
+    let retire = out.timings.retire;
+    if retire.compactions > 0 || retire.cliques_retired > 0 || retire.dead_rows > 0 {
+        println!(
+            "retirement: {} clique(s) retired, {} var(s) renumbered over {} compaction(s); \
+             {} live / {} tombstoned row(s)",
+            retire.cliques_retired,
+            retire.vars_renumbered,
+            retire.compactions,
+            retire.live_rows,
+            retire.dead_rows
         );
     }
     match &out.learn_stats {

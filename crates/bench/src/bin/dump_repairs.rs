@@ -11,13 +11,19 @@
 //! With `--stream K`, the dataset is ingested in K batches through the
 //! incremental `StreamSession` instead of the one-shot pipeline. The
 //! streaming engine's equivalence contract says the output is
-//! **byte-identical** either way — CI runs both and diffs them.
+//! **byte-identical** either way — CI runs both and diffs them. Adding
+//! `--crud` corrupts every batch on entry (a mangled first row plus a
+//! decoy row) and heals it with `push_updates`/`push_deletes`, so the
+//! live table — and therefore the dump — still matches one-shot byte
+//! for byte, now exercising tombstones, retraction and compaction.
 //!
 //! With `--dc-factors`, the denial constraints ground as clique factors
 //! (the partitioned DC-factor variant) so the dump exercises the exact
-//! and Gibbs engines; with `--no-score-cache`, the frozen-weight score
-//! cache is disabled. The cache is a pure wall-clock knob, so CI diffs
-//! the dump with it on vs off — byte-identical output is the contract.
+//! and Gibbs engines — streamed DC grounding rides clique retirement
+//! plus compaction, so `--dc-factors --stream` is a supported pair;
+//! with `--no-score-cache`, the frozen-weight score cache is disabled.
+//! The cache is a pure wall-clock knob, so CI diffs the dump with it on
+//! vs off — byte-identical output is the contract.
 //!
 //! Flags are parsed strictly (`holo_bench::Args`): a typo'd flag aborts
 //! with a usage line and exit code 2 instead of being silently dropped.
@@ -25,14 +31,14 @@
 use holo_bench::runner::run_holoclean_full;
 use holo_bench::{build, Args, Scale};
 use holo_datagen::DatasetKind;
-use holo_dataset::Dataset;
+use holo_dataset::{Dataset, TupleId};
 use holoclean::stream::StreamSession;
 use holoclean::{evaluate, HoloConfig, ModelVariant, RepairQuality, RepairReport};
 
 fn main() {
     let args = Args::parse(std::env::args());
-    if args.dc_factors && args.stream > 0 {
-        eprintln!("error: --dc-factors is a one-shot variant; the streaming engine only supports the default model");
+    if args.crud && args.stream == 0 {
+        eprintln!("error: --crud drives the streaming engine; pass --stream K too");
         std::process::exit(2);
     }
     let gen = build(
@@ -59,7 +65,7 @@ fn main() {
         config.tau = gen.kind.paper_tau();
         let mut session =
             StreamSession::new(gen.dirty.schema().clone(), &gen.constraints_text, config)
-                .expect("hospital streams the default variant");
+                .expect("hospital streams every supported variant");
         let rows: Vec<Vec<String>> = gen
             .dirty
             .tuples()
@@ -71,18 +77,49 @@ fn main() {
                     .collect()
             })
             .collect();
+        let arity = gen.dirty.schema().len();
         for chunk in rows.chunks(rows.len().div_ceil(args.stream)) {
-            session.push_batch(chunk).expect("batch ingest");
+            if args.crud {
+                // Corrupt the batch on entry — mangle its first row and
+                // append a decoy — then heal with a delete and an update,
+                // leaving the live table byte-identical to a plain ingest.
+                let base = session.dataset().tuple_count() as u32;
+                let mut staged = chunk.to_vec();
+                staged[0][0].push_str("~typo");
+                staged.push((0..arity).map(|a| format!("~decoy{a}")).collect());
+                session.push_batch(&staged).expect("batch ingest");
+                session
+                    .push_deletes(&[TupleId(base + chunk.len() as u32)])
+                    .expect("decoy delete");
+                session
+                    .push_updates(&[(TupleId(base), chunk[0].clone())])
+                    .expect("healing update");
+            } else {
+                session.push_batch(chunk).expect("batch ingest");
+            }
         }
         let report = session.report();
-        let quality = evaluate(&report, session.dataset(), &gen.clean);
+        // The report speaks one-shot coordinates (live tuple ranks, dense
+        // first-appearance symbols), not the session's physical ones —
+        // resolve and score it against a freshly-interned live table.
+        let mut dense = Dataset::new(gen.dirty.schema().clone());
+        let src = session.dataset();
+        for t in src.tuples() {
+            let row: Vec<String> = gen
+                .dirty
+                .schema()
+                .attrs()
+                .map(|a| src.cell_str(t, a).to_string())
+                .collect();
+            dense.push_row(&row);
+        }
+        let quality = evaluate(&report, &dense, &gen.clean);
         let norm = session.weights().learnable_norm();
-        let ds: Dataset = session.dataset().clone();
         (
             report,
             quality,
             norm,
-            Box::new(move |s| ds.value_str(s).to_string()),
+            Box::new(move |s| dense.value_str(s).to_string()),
         )
     } else {
         let (out, _model, weights) = run_holoclean_full(&gen, config, None, false);

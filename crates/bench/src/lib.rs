@@ -65,6 +65,12 @@ pub struct Args {
     /// DC-factor model variant, exercising the exact/Gibbs engines the
     /// default clique-free model never routes to.
     pub dc_factors: bool,
+    /// Full-CRUD streaming drive (`dump_repairs`, needs `--stream K`):
+    /// every ingest batch is corrupted on entry (a mangled first row plus
+    /// a decoy row) and then healed with `push_updates`/`push_deletes`,
+    /// so the live table ends byte-identical to a plain ingest. The dump
+    /// must equal the one-shot dump — that is the equivalence CI diffs.
+    pub crud: bool,
 }
 
 impl Default for Args {
@@ -81,6 +87,7 @@ impl Default for Args {
             chromatic: false,
             no_score_cache: false,
             dc_factors: false,
+            crud: false,
         }
     }
 }
@@ -129,6 +136,7 @@ impl Args {
                 "--chromatic" => args.chromatic = true,
                 "--no-score-cache" => args.no_score_cache = true,
                 "--dc-factors" => args.dc_factors = true,
+                "--crud" => args.crud = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -144,7 +152,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale F] [--seed N] [--full] [--json] [--scare-budget SECS]\n\
          \x20            [--stream K] [--threads N] [--marginals] [--chromatic]\n\
-         \x20            [--no-score-cache] [--dc-factors]\n\
+         \x20            [--no-score-cache] [--dc-factors] [--crud]\n\
          \n\
          --scale F          row-count multiplier (default 1.0)\n\
          --seed N           generator seed (default 42)\n\
@@ -156,7 +164,9 @@ fn usage(msg: &str) -> ! {
          --marginals        also dump per-cell posteriors (dump_repairs)\n\
          --chromatic        chromatic Gibbs colour sweeps (diag, dump_repairs)\n\
          --no-score-cache   disable the frozen-weight score cache (diag, dump_repairs)\n\
-         --dc-factors       partitioned DC-factor model variant (dump_repairs)"
+         --dc-factors       partitioned DC-factor model variant (dump_repairs)\n\
+         --crud             corrupt-and-heal every stream batch with updates and\n\
+         \x20                  deletes; needs --stream (dump_repairs)"
     );
     std::process::exit(2)
 }
@@ -214,5 +224,13 @@ mod tests {
         let a = Args::parse(argv(&["--no-score-cache", "--dc-factors"]));
         assert!(a.no_score_cache);
         assert!(a.dc_factors);
+        assert!(!a.crud);
+    }
+
+    #[test]
+    fn parse_crud_flag() {
+        let a = Args::parse(argv(&["--stream", "4", "--crud"]));
+        assert_eq!(a.stream, 4);
+        assert!(a.crud);
     }
 }

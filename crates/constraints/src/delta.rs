@@ -111,6 +111,214 @@ impl DeltaViolationIndex {
         self.indexed
     }
 
+    /// Removes the given rows' posting entries from every blocking index —
+    /// the retraction path of deletes and in-place updates. Keys are
+    /// recomputed from the rows' *current* cell values, so this must run
+    /// while those are still the indexed ones: before an update overwrites
+    /// the cells (tombstones keep values readable, so before/after a
+    /// delete both work). `indexed` is a physical high-water mark and does
+    /// not move — ids stay stable and ingest contiguity is untouched.
+    pub fn retract(&mut self, ds: &Dataset, rows: &[TupleId]) {
+        for index in &mut self.per_constraint {
+            let ConstraintIndex::Blocked {
+                eq_keys,
+                t2_blocks,
+                t1_blocks,
+                ..
+            } = index
+            else {
+                continue;
+            };
+            for (blocks, side) in [(&mut *t2_blocks, 1usize), (&mut *t1_blocks, 0usize)] {
+                'tuple: for &t in rows {
+                    let mut key = Vec::with_capacity(eq_keys.len());
+                    for &pair in eq_keys.iter() {
+                        let a = if side == 1 { pair.1 } else { pair.0 };
+                        let v = ds.cell(t, a);
+                        if v.is_null() {
+                            // Null-keyed rows were never inserted.
+                            continue 'tuple;
+                        }
+                        key.push(v);
+                    }
+                    let bucket = blocks
+                        .get_mut(key.as_slice())
+                        .expect("retracting a tuple whose key was never indexed");
+                    let pos = bucket
+                        .binary_search(&t)
+                        .expect("retracting a tuple absent from its bucket");
+                    bucket.remove(pos);
+                    if bucket.is_empty() {
+                        blocks.remove(key.as_slice());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-inserts the given already-ingested rows' posting entries,
+    /// computing keys from their *current* cell values — the re-absorption
+    /// half of an in-place update ([`DeltaViolationIndex::retract`] the
+    /// old keys, overwrite the cells, absorb the new ones). Buckets are
+    /// kept ascending via sorted insertion: an updated tuple's id can fall
+    /// below existing bucket members, and both the backward ingest probe
+    /// and retraction's binary search rely on the order.
+    pub fn absorb_rows(&mut self, ds: &Dataset, rows: &[TupleId]) {
+        for index in &mut self.per_constraint {
+            let ConstraintIndex::Blocked {
+                eq_keys,
+                t2_blocks,
+                t1_blocks,
+                ..
+            } = index
+            else {
+                continue;
+            };
+            for (blocks, side) in [(&mut *t2_blocks, 1usize), (&mut *t1_blocks, 0usize)] {
+                'tuple: for &t in rows {
+                    let mut key = Vec::with_capacity(eq_keys.len());
+                    for &pair in eq_keys.iter() {
+                        let a = if side == 1 { pair.1 } else { pair.0 };
+                        let v = ds.cell(t, a);
+                        if v.is_null() {
+                            continue 'tuple;
+                        }
+                        key.push(v);
+                    }
+                    let bucket = blocks.entry(key).or_default();
+                    let pos = bucket
+                        .binary_search(&t)
+                        .expect_err("absorbing a tuple already present in its bucket");
+                    bucket.insert(pos, t);
+                }
+            }
+        }
+    }
+
+    /// Returns every violation of the live table involving at least one of
+    /// `rows` — the re-probe of an in-place update, generalising the two
+    /// ingest probe directions from "the new suffix" to an arbitrary row
+    /// set `R`: *forward* runs each member of `R` as `t1` against the full
+    /// index; *backward* runs each member as `t2` against the `t1`-side
+    /// index restricted to partners **outside** `R` (replacing ingest's
+    /// `t1 >= from` cutoff with an `R`-membership check). Together the two
+    /// directions cover each violating pair with a member in `R` exactly
+    /// once, and symmetric constraints keep their canonical `t1 < t2`
+    /// orientation. Rows must be live and already absorbed into the index.
+    pub fn probe_rows(
+        &self,
+        ds: &Dataset,
+        constraints: &ConstraintSet,
+        rows: &[TupleId],
+        threads: usize,
+    ) -> Vec<Violation> {
+        let in_rows: holo_dataset::FxHashSet<TupleId> = rows.iter().copied().collect();
+        let in_rows = &in_rows;
+        let mut out = Vec::new();
+        for (id, c) in constraints.iter() {
+            match &self.per_constraint[id] {
+                ConstraintIndex::SingleTuple => {
+                    out.extend(holo_parallel::parallel_chunks(threads, rows, |_, chunk| {
+                        chunk
+                            .iter()
+                            .filter(|&&t| c.violated_by(ds, t, t))
+                            .map(|&t| Violation::new(ds, c, id, t, t))
+                            .collect()
+                    }));
+                }
+                ConstraintIndex::NoKey => {
+                    let symmetric = c.is_symmetric();
+                    let all: Vec<TupleId> = ds.tuples().collect();
+                    out.extend(holo_parallel::parallel_flat_map(threads, rows, |_, &t1| {
+                        let mut found = Vec::new();
+                        for &t2 in &all {
+                            if t1 == t2 || (symmetric && t1 > t2) {
+                                continue;
+                            }
+                            if c.violated_by(ds, t1, t2) {
+                                found.push(Violation::new(ds, c, id, t1, t2));
+                            }
+                        }
+                        found
+                    }));
+                    out.extend(holo_parallel::parallel_flat_map(threads, rows, |_, &t2| {
+                        let mut found = Vec::new();
+                        for &t1 in &all {
+                            if in_rows.contains(&t1) || t1 == t2 || (symmetric && t1 > t2) {
+                                continue;
+                            }
+                            if c.violated_by(ds, t1, t2) {
+                                found.push(Violation::new(ds, c, id, t1, t2));
+                            }
+                        }
+                        found
+                    }));
+                }
+                ConstraintIndex::Blocked {
+                    eq_keys,
+                    symmetric,
+                    t2_blocks,
+                    t1_blocks,
+                } => {
+                    let symmetric = *symmetric;
+                    out.extend(holo_parallel::parallel_chunks(threads, rows, |_, chunk| {
+                        let mut found = Vec::new();
+                        let mut probe_key = Vec::with_capacity(eq_keys.len());
+                        'probe: for &t1 in chunk {
+                            probe_key.clear();
+                            for &(a1, _) in eq_keys.iter() {
+                                let v = ds.cell(t1, a1);
+                                if v.is_null() {
+                                    continue 'probe;
+                                }
+                                probe_key.push(v);
+                            }
+                            let Some(bucket) = t2_blocks.get(probe_key.as_slice()) else {
+                                continue;
+                            };
+                            for &t2 in bucket {
+                                if t1 == t2 || (symmetric && t1 > t2) {
+                                    continue;
+                                }
+                                if c.violated_by(ds, t1, t2) {
+                                    found.push(Violation::new(ds, c, id, t1, t2));
+                                }
+                            }
+                        }
+                        found
+                    }));
+                    out.extend(holo_parallel::parallel_chunks(threads, rows, |_, chunk| {
+                        let mut found = Vec::new();
+                        let mut probe_key = Vec::with_capacity(eq_keys.len());
+                        'probe: for &t2 in chunk {
+                            probe_key.clear();
+                            for &(_, a2) in eq_keys.iter() {
+                                let v = ds.cell(t2, a2);
+                                if v.is_null() {
+                                    continue 'probe;
+                                }
+                                probe_key.push(v);
+                            }
+                            let Some(bucket) = t1_blocks.get(probe_key.as_slice()) else {
+                                continue;
+                            };
+                            for &t1 in bucket {
+                                if in_rows.contains(&t1) || t1 == t2 || (symmetric && t1 > t2) {
+                                    continue;
+                                }
+                                if c.violated_by(ds, t1, t2) {
+                                    found.push(Violation::new(ds, c, id, t1, t2));
+                                }
+                            }
+                        }
+                        found
+                    }));
+                }
+            }
+        }
+        out
+    }
+
     /// Extends the index with the tuples `from..` of `ds` and returns all
     /// violations involving at least one of them, sharding the probe scans
     /// over up to `threads` worker threads (`0` = all cores; the result is
@@ -425,6 +633,86 @@ mod tests {
         assert!(result.is_err(), "non-contiguous ingest must panic");
     }
 
+    /// Drives the index exactly as a CRUD streaming session would —
+    /// retract + tombstone for deletes; retract + overwrite + absorb +
+    /// re-probe for updates — and checks after every operation that the
+    /// maintained live violation set equals a one-shot scan of the live
+    /// table.
+    fn crud_roundtrip(rows: &[Vec<String>], ops: &[(u8, usize)], batches: usize, threads: usize) {
+        let mut ds = Dataset::new(Schema::new(vec!["Zip", "City", "Rank"]));
+        let cons = parse_constraints(
+            "FD: Zip -> City\nt1&t2&EQ(t1.City,t2.City)&LT(t1.Rank,t2.Rank)",
+            &mut ds,
+        )
+        .unwrap();
+        let mut index = DeltaViolationIndex::new(&cons);
+        let mut live: Vec<Violation> = Vec::new();
+        let check = |ds: &Dataset, live: &Vec<Violation>, what: &str| {
+            let full = find_violations(ds, &cons);
+            assert_eq!(sorted(live.clone()), sorted(full), "after {what}");
+        };
+        for batch in rows.chunks(rows.len().div_ceil(batches.max(1)).max(1)) {
+            let from = ds.append_rows(batch);
+            live.extend(index.ingest(&ds, &cons, from, threads));
+            check(&ds, &live, "ingest");
+        }
+        for &(kind, pick) in ops {
+            let alive: Vec<TupleId> = ds.tuples().collect();
+            if alive.len() <= 1 {
+                break;
+            }
+            let t = alive[pick % alive.len()];
+            if kind % 2 == 0 {
+                // Delete: retract postings and stats, drop the tuple's
+                // violations, tombstone.
+                index.retract(&ds, &[t]);
+                live.retain(|v| v.t1 != t && v.t2 != t);
+                ds.delete_rows(&[t]);
+                check(&ds, &live, "delete");
+            } else {
+                // Update: retract old keys + violations, overwrite in
+                // place, absorb new keys, re-probe.
+                index.retract(&ds, &[t]);
+                live.retain(|v| v.t1 != t && v.t2 != t);
+                let i = t.index();
+                ds.update_rows(&[(
+                    t,
+                    vec![
+                        format!("z{}", (i + 1) % 3),
+                        format!("c{}", (i + 2) % 4),
+                        format!("{}", i % 5),
+                    ],
+                )]);
+                index.absorb_rows(&ds, &[t]);
+                live.extend(index.probe_rows(&ds, &cons, &[t], threads));
+                check(&ds, &live, "update");
+            }
+        }
+        // And the stream keeps going after retractions: append once more.
+        let from = ds.append_rows(&[vec!["z0".to_string(), "c1".to_string(), "2".to_string()]]);
+        live.extend(index.ingest(&ds, &cons, from, threads));
+        check(&ds, &live, "post-retraction ingest");
+    }
+
+    #[test]
+    fn crud_union_equals_one_shot_scan() {
+        let rows: Vec<Vec<String>> = (0..30)
+            .map(|i| {
+                vec![
+                    format!("z{}", i % 3),
+                    format!("c{}", i % 4),
+                    format!("{}", i % 5),
+                ]
+            })
+            .collect();
+        let ops: Vec<(u8, usize)> = (0..20).map(|i| ((i % 3) as u8, i * 7 + 3)).collect();
+        for batches in [1, 4] {
+            for threads in [1, 2] {
+                crud_roundtrip(&rows, &ops, batches, threads);
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -450,6 +738,23 @@ mod tests {
             );
             let full = find_violations(&ds, &cons);
             prop_assert_eq!(sorted(streamed), sorted(full));
+        }
+
+        /// Arbitrary insert/update/delete interleavings keep the
+        /// maintained violation set union-equal to a one-shot scan of the
+        /// live table at every step.
+        #[test]
+        fn prop_crud_union_equals_full(
+            rows in proptest::collection::vec((0u8..4, 0u8..4, 0u8..3), 2..30),
+            ops in proptest::collection::vec((0u8..2, 0usize..1000), 0..25),
+            batches in 1usize..5,
+            threads in 1usize..3,
+        ) {
+            let rows: Vec<Vec<String>> = rows
+                .iter()
+                .map(|(z, c, s)| vec![format!("z{z}"), format!("c{c}"), format!("{s}")])
+                .collect();
+            crud_roundtrip(&rows, &ops, batches, threads);
         }
     }
 }

@@ -436,7 +436,7 @@ const GROUND_BLOCK_PAIRS: usize = 4096;
 /// pair list in fixed blocks (cliques append in pair order) — so the
 /// grounded graph is identical at every thread count.
 #[allow(clippy::too_many_arguments)]
-fn ground_dc_factors(
+pub(crate) fn ground_dc_factors(
     graph: &mut FactorGraph,
     registry: &mut FeatureRegistry<FeatureKey>,
     ds: &Dataset,

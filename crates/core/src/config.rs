@@ -108,6 +108,15 @@ pub struct StreamConfig {
     /// equivalence contract); the `stream_ingest` bench uses it to price
     /// the patch path against the rebuild it replaces.
     pub force_full_rebuild: bool,
+    /// Scheduled compaction period, measured in ingested mutation batches
+    /// (`push_batch` / `push_updates` / `push_deletes` each count one).
+    /// Every `compact_every` batches the session runs
+    /// [`crate::stream::StreamSession::compact`]: tombstoned rows and
+    /// retired/pinned variables are renumbered away and all three cached
+    /// structures (design matrix, component index, coloring) pay their one
+    /// amortised full rebuild. `0` disables the schedule — compaction then
+    /// only happens lazily when an exact read requires it.
+    pub compact_every: usize,
 }
 
 impl Default for StreamConfig {
@@ -117,6 +126,7 @@ impl Default for StreamConfig {
             replay_window: 256,
             replay_epochs: 2,
             force_full_rebuild: false,
+            compact_every: 0,
         }
     }
 }

@@ -188,6 +188,10 @@ pub struct StageTimings {
     /// filled by [`crate::stream::StreamSession`], which bills its delta
     /// stages to the four slots above and its batch bookkeeping here).
     pub ingest: crate::stream::IngestStats,
+    /// Retirement/compaction counters (zero for one-shot runs): cliques
+    /// retired in place, variables renumbered by compaction, compaction
+    /// ticks, and the live-vs-tombstoned row split of the backing table.
+    pub retire: holo_factor::RetireStats,
 }
 
 impl StageTimings {

@@ -69,20 +69,60 @@
 //! excluded from the canonical example and query lists, so they are
 //! invisible to learning, inference, and reports.
 //!
+//! ## Retraction: updates, deletes, and compaction
+//!
+//! Growth is not the only mutation: [`StreamSession::push_updates`]
+//! rewrites live rows in place and [`StreamSession::push_deletes`]
+//! tombstones them (`TupleId`s are stable — deletion never renumbers).
+//! Every incrementally-maintained layer folds the retraction *out*:
+//! co-occurrence statistics via
+//! [`holo_dataset::CooccurStats::retract_with_threads`], the blocking
+//! index via [`holo_constraints::DeltaViolationIndex::retract`] (so
+//! delta detection stays union-equal to a one-shot scan of the live
+//! table), and the factor graph via **clique retirement**
+//! ([`holo_factor::FactorGraph::retire_clique`]) and evidence pinning —
+//! all in-place patches, so between compaction ticks every
+//! `full_builds` counter stays frozen.
+//!
+//! What patching cannot do is *renumber*: tombstoned rows, pinned
+//! variables and retired cliques keep their slots. The amortised cure is
+//! [`StreamSession::compact`] — scheduled every
+//! [`crate::config::StreamConfig::compact_every`] mutation batches, or
+//! run lazily before an exact read that needs it — which rebuilds the
+//! graph, the feature registry and all three cached structures from the
+//! live table only, carrying the cumulative counters across the swap.
+//! Any retraction (and, under a clique-grounding variant, any push at
+//! all) marks the session dirty, so the next batch-equivalent read
+//! compacts first: exactness comes from the canonical rebuild,
+//! incrementality from how rarely it runs. Insert-only streams of the
+//! relaxed model never compact — their patch-path pin
+//! (`full_builds == 1` for the life of the stream) still holds.
+//!
+//! Reports are issued in **live coordinates**: repairs and posteriors
+//! remap each physical `TupleId` to its rank among live tuples, so the
+//! output is byte-identical to a one-shot run over the final live table
+//! (the remap is the identity for insert-only streams).
+//!
 //! ## Scope
 //!
-//! The streaming engine serves the **relaxed §5.2 model**
-//! ([`crate::ModelVariant::DcFeats`], the default and the paper's own
-//! recommendation at scale): denial constraints enter as learned
-//! per-constraint violation features, inference is closed-form per
-//! component. Variants that ground DC clique factors couple variables
-//! across tuples in ways in-place patching cannot yet retire
-//! ([`StreamSession::new`] rejects them), as do source-reliability
-//! features and external dictionaries.
+//! The streaming engine serves every model variant. The **relaxed §5.2
+//! model** ([`crate::ModelVariant::DcFeats`], the default and the
+//! paper's own recommendation at scale) streams on the pure patch path.
+//! The DC-clique variants stream through retirement plus compaction:
+//! between ticks, stale cliques are retired in place (components never
+//! re-split, colors never lower) and newly-implied cliques wait for the
+//! next compaction, which re-grounds Algorithm 1 over the live table —
+//! so interim reports are best-effort while exact reads stay
+//! byte-equivalent. Source-reliability features and external
+//! dictionaries remain out of scope ([`StreamSession::new`] rejects
+//! them).
 
-use crate::compile::{collect_cell_features, select_evidence_cells, CompileStats};
+use crate::compile::{
+    build_components, collect_cell_features, ground_dc_factors, select_evidence_cells, CompileStats,
+};
 use crate::config::HoloConfig;
 use crate::context::DatasetContext;
+use crate::domain::CellDomains;
 use crate::error::HoloError;
 use crate::features::{DcFeaturizer, FeatureBuffer, FeatureKey, MatchLookup};
 use crate::pipeline::{StageKind, StageTimings};
@@ -124,6 +164,10 @@ pub struct IngestStats {
     pub replay_minibatches: u64,
     /// Canonical from-priors retrains executed for batch-equivalent reads.
     pub canonical_retrains: u64,
+    /// Rows tombstoned by [`StreamSession::push_deletes`].
+    pub rows_deleted: u64,
+    /// Rows rewritten in place by [`StreamSession::push_updates`].
+    pub rows_updated: u64,
 }
 
 /// What one [`StreamSession::push_batch`] call did.
@@ -131,6 +175,10 @@ pub struct IngestStats {
 pub struct BatchReport {
     /// Rows appended.
     pub appended: usize,
+    /// Rows tombstoned.
+    pub deleted: usize,
+    /// Rows rewritten in place.
+    pub updated: usize,
     /// Violations the batch introduced.
     pub new_violations: usize,
     /// Old tuples whose cells needed recompilation.
@@ -200,8 +248,17 @@ pub struct StreamSession {
     /// features couple every tuple to every tuple, so every batch
     /// invalidates everything.
     global_coupling: bool,
-    violations: usize,
+    /// Violations alive over the live table — retraction `retain`s them
+    /// out, so the set stays union-equal to a one-shot scan.
+    live_violations: Vec<Violation>,
     noisy: FxHashSet<CellRef>,
+    /// An exact read can only be served after a compaction: set by any
+    /// retraction (stale registry keys would skew the weight vector) and
+    /// by every push under a clique-grounding variant.
+    needs_compact: bool,
+    /// Mutation batches since the last compaction, driving the
+    /// [`crate::config::StreamConfig::compact_every`] schedule.
+    batches_since_compact: usize,
     graph: FactorGraph,
     registry: FeatureRegistry<FeatureKey>,
     cell_states: FxHashMap<CellRef, CellState>,
@@ -252,13 +309,6 @@ impl StreamSession {
                 "streaming sessions start from an empty dataset; feed rows via push_batch".into(),
             ));
         }
-        if config.variant.uses_dc_factors() || config.variant.uses_partitioning() {
-            return Err(HoloError::Stream(format!(
-                "streaming serves the relaxed §5.2 model (DcFeats); variant {:?} grounds DC \
-                 clique factors, which in-place patching cannot retire",
-                config.variant
-            )));
-        }
         if config.source.is_some() {
             return Err(HoloError::Stream(
                 "source-reliability features are not supported by the streaming engine".into(),
@@ -302,8 +352,10 @@ impl StreamSession {
             cand_postings: FxHashMap::default(),
             eq_pairs,
             global_coupling,
-            violations: 0,
+            live_violations: Vec::new(),
             noisy: FxHashSet::default(),
+            needs_compact: false,
+            batches_since_compact: 0,
             graph: FactorGraph::new(),
             registry: FeatureRegistry::new(),
             cell_states: FxHashMap::default(),
@@ -352,7 +404,6 @@ impl StreamSession {
         for v in &new_violations {
             self.noisy.extend(v.cells.iter().copied());
         }
-        self.violations += new_violations.len();
         report.new_violations = new_violations.len();
         self.timings.record(StageKind::Detect, t_detect.elapsed());
 
@@ -375,10 +426,235 @@ impl StreamSession {
                 }
             }
         }
-        self.recompile(&affected, from, &mut report)?;
+        self.live_violations.extend(new_violations);
+        self.recompile(&affected, from, &mut report, false)?;
         self.timings.record(StageKind::Compile, t_compile.elapsed());
 
-        // ---- Warm-start replay (interim-freshness only) ----
+        self.invalidate_and_replay();
+
+        let ingest = &mut self.timings.ingest;
+        ingest.batches += 1;
+        ingest.tuples += rows.len() as u64;
+        ingest.delta_violations += report.new_violations as u64;
+        self.accumulate(&report);
+        self.finish_mutation()?;
+        Ok(report)
+    }
+
+    /// Tombstones live rows. Statistics, the blocking index, the live
+    /// violation store and the value postings all fold the rows *out*;
+    /// query variables of the dead cells are pinned in place and their
+    /// clique factors retired; cells the rows conditioned are recompiled.
+    /// `TupleId`s are stable — nothing is renumbered until
+    /// [`StreamSession::compact`] — and the session is marked dirty, so
+    /// the next exact read compacts first.
+    pub fn push_deletes(&mut self, rows: &[TupleId]) -> Result<BatchReport, HoloError> {
+        self.validate_live(rows)?;
+        let threads = self.config.threads;
+        let mut report = BatchReport {
+            deleted: rows.len(),
+            ..BatchReport::default()
+        };
+
+        // ---- Retract statistics, index postings, and violations ----
+        let t_detect = Instant::now();
+        self.stats.retract_with_threads(&self.ds, rows, threads);
+        self.delta_index.retract(&self.ds, rows);
+        let old_values = self.row_values(rows);
+        self.remove_postings(rows);
+        let dead: FxHashSet<TupleId> = rows.iter().copied().collect();
+        let dropped_cells = self.retain_violations(&dead);
+        self.rebuild_noisy();
+        self.ds.delete_rows(rows);
+        self.timings.record(StageKind::Detect, t_detect.elapsed());
+
+        // ---- Patch the model: retire, pin, recompile the blast radius ----
+        let t_compile = Instant::now();
+        if self.config.stream.force_full_rebuild {
+            self.graph.invalidate_design();
+            self.graph.invalidate_components();
+        }
+        self.retire_cliques_touching(rows);
+        // Pin the dead cells' query variables to their observed value:
+        // the design matrix stays valid in place, inference skips them,
+        // and compaction renumbers them away.
+        for &t in rows {
+            for attr in self.ds.schema().attrs() {
+                let cell = CellRef { tuple: t, attr };
+                if let Some(st) = self.cell_states.get(&cell) {
+                    if let (Some(v), true) = (st.var, st.query) {
+                        let var = self.graph.var(v);
+                        let value = var.domain[var.init.unwrap_or(0)];
+                        self.graph.pin_evidence(v, value);
+                    }
+                }
+            }
+        }
+        let mut affected = self.affected_for_mutation(&old_values, &dropped_cells, &dead);
+        for t in &dead {
+            affected.remove(t);
+        }
+        report.affected_tuples = affected.len();
+        let from = TupleId(self.ds.tuple_count() as u32);
+        self.recompile(&affected, from, &mut report, false)?;
+        self.timings.record(StageKind::Compile, t_compile.elapsed());
+
+        self.invalidate_and_replay();
+        self.needs_compact = true;
+
+        let ingest = &mut self.timings.ingest;
+        ingest.batches += 1;
+        ingest.rows_deleted += rows.len() as u64;
+        self.accumulate(&report);
+        self.finish_mutation()?;
+        Ok(report)
+    }
+
+    /// Rewrites live rows in place (same `TupleId`, new values):
+    /// retraction of the old values and absorption of the new ones flow
+    /// through the same incremental layers as
+    /// [`StreamSession::push_deletes`] / [`StreamSession::push_batch`],
+    /// and the blocking index is re-probed with the rewritten rows in
+    /// both join directions so the live violation set stays union-equal
+    /// to a one-shot scan. Marks the session dirty for the next exact
+    /// read.
+    pub fn push_updates<S: AsRef<str>>(
+        &mut self,
+        updates: &[(TupleId, Vec<S>)],
+    ) -> Result<BatchReport, HoloError> {
+        let rows: Vec<TupleId> = updates.iter().map(|(t, _)| *t).collect();
+        self.validate_live(&rows)?;
+        let arity = self.ds.schema().len();
+        for (t, vals) in updates {
+            if vals.len() != arity {
+                return Err(HoloError::Stream(format!(
+                    "update of tuple {} has {} values; the schema has {arity} attributes",
+                    t.index(),
+                    vals.len()
+                )));
+            }
+        }
+        let threads = self.config.threads;
+        let mut report = BatchReport {
+            updated: rows.len(),
+            ..BatchReport::default()
+        };
+
+        // ---- Retract the old values, absorb the new, re-probe ----
+        let t_detect = Instant::now();
+        self.stats.retract_with_threads(&self.ds, &rows, threads);
+        self.delta_index.retract(&self.ds, &rows);
+        let mut values = self.row_values(&rows);
+        self.remove_postings(&rows);
+        let touched: FxHashSet<TupleId> = rows.iter().copied().collect();
+        let dropped_cells = self.retain_violations(&touched);
+        self.ds.update_rows(updates);
+        self.stats
+            .absorb_rows_with_threads(&self.ds, &rows, threads);
+        self.delta_index.absorb_rows(&self.ds, &rows);
+        let new_violations =
+            self.delta_index
+                .probe_rows(&self.ds, &self.constraints, &rows, threads);
+        report.new_violations = new_violations.len();
+        values.extend(self.row_values(&rows));
+        self.add_postings(&rows);
+        self.timings.record(StageKind::Detect, t_detect.elapsed());
+
+        // ---- Patch the model ----
+        let t_compile = Instant::now();
+        if self.config.stream.force_full_rebuild {
+            self.graph.invalidate_design();
+            self.graph.invalidate_components();
+        }
+        self.retire_cliques_touching(&rows);
+        let mut affected =
+            self.affected_for_mutation(&values, &dropped_cells, &FxHashSet::default());
+        for v in &new_violations {
+            for cell in &v.cells {
+                affected.insert(cell.tuple);
+            }
+        }
+        affected.extend(rows.iter().copied());
+        self.live_violations.extend(new_violations);
+        self.rebuild_noisy();
+        report.affected_tuples = affected.len();
+        let from = TupleId(self.ds.tuple_count() as u32);
+        self.recompile(&affected, from, &mut report, false)?;
+        self.timings.record(StageKind::Compile, t_compile.elapsed());
+
+        self.invalidate_and_replay();
+        self.needs_compact = true;
+
+        let ingest = &mut self.timings.ingest;
+        ingest.batches += 1;
+        ingest.rows_updated += rows.len() as u64;
+        ingest.delta_violations += report.new_violations as u64;
+        self.accumulate(&report);
+        self.finish_mutation()?;
+        Ok(report)
+    }
+
+    /// The one amortised full rebuild: swaps in a fresh graph and
+    /// registry (carrying the cumulative counters across the swap) and
+    /// recompiles every live cell in the one-shot compiler's canonical
+    /// order, so tombstoned rows, pinned variables and retired cliques
+    /// are renumbered away and — under a clique-grounding variant —
+    /// Algorithm 1 is re-grounded over the live table. Runs on the
+    /// [`crate::config::StreamConfig::compact_every`] schedule and lazily
+    /// before exact reads that need it; calling it by hand is harmless.
+    pub fn compact(&mut self) -> Result<(), HoloError> {
+        let t_compile = Instant::now();
+        let old_graph = std::mem::replace(&mut self.graph, FactorGraph::new());
+        self.graph.carry_counters_from(&old_graph);
+        drop(old_graph);
+        self.registry = FeatureRegistry::new();
+        self.cell_states.clear();
+        self.cand_postings.clear();
+        let mut report = BatchReport::default();
+        self.recompile(&FxHashSet::default(), TupleId(0), &mut report, true)?;
+        self.graph.note_compaction(report.vars_added as u64);
+        // Warm weights are keyed by the retired registry; start the new
+        // model from its priors (the next exact read retrains anyway).
+        self.weights = self.registry.build_weights();
+        self.weights_exact = false;
+        self.marginals = None;
+        self.partition_stats = None;
+        self.needs_compact = false;
+        self.batches_since_compact = 0;
+        self.timings.record(StageKind::Compile, t_compile.elapsed());
+        Ok(())
+    }
+
+    /// Post-mutation bookkeeping shared by the three push paths: variants
+    /// that ground DC cliques can only be served exactly from a canonical
+    /// rebuild (Algorithm 1 re-grounding), and the scheduled compaction
+    /// ticks over every kind of mutation batch.
+    fn finish_mutation(&mut self) -> Result<(), HoloError> {
+        if self.config.variant.uses_dc_factors() {
+            self.needs_compact = true;
+        }
+        self.batches_since_compact += 1;
+        let every = self.config.stream.compact_every;
+        if every > 0 && self.batches_since_compact >= every {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Folds one batch's costs into the cumulative ingest counters.
+    fn accumulate(&mut self, report: &BatchReport) {
+        let ingest = &mut self.timings.ingest;
+        ingest.affected_tuples += report.affected_tuples as u64;
+        ingest.cells_recomputed += report.cells_recomputed as u64;
+        ingest.cells_reused += report.cells_reused as u64;
+        ingest.vars_added += report.vars_added as u64;
+        ingest.vars_retired += report.vars_retired as u64;
+    }
+
+    /// Invalidates exact-read state after a mutation and, when
+    /// [`crate::config::StreamConfig::refine_each_batch`] is on, runs the
+    /// warm-start replay pass that keeps interim posteriors fresh.
+    fn invalidate_and_replay(&mut self) {
         self.marginals = None;
         self.partition_stats = None;
         self.weights_exact = false;
@@ -393,7 +669,7 @@ impl StreamSession {
                 &self.graph,
                 &mut w,
                 &self.config.learn,
-                threads,
+                self.config.threads,
                 &self.replay_order,
                 recent,
                 self.config.stream.replay_epochs,
@@ -402,17 +678,161 @@ impl StreamSession {
             self.weights = w;
             self.timings.record(StageKind::Learn, t_learn.elapsed());
         }
+    }
 
-        let ingest = &mut self.timings.ingest;
-        ingest.batches += 1;
-        ingest.tuples += rows.len() as u64;
-        ingest.delta_violations += report.new_violations as u64;
-        ingest.affected_tuples += report.affected_tuples as u64;
-        ingest.cells_recomputed += report.cells_recomputed as u64;
-        ingest.cells_reused += report.cells_reused as u64;
-        ingest.vars_added += report.vars_added as u64;
-        ingest.vars_retired += report.vars_retired as u64;
-        Ok(report)
+    /// Rejects mutation batches naming rows that are out of range, dead,
+    /// or repeated within the batch.
+    fn validate_live(&self, rows: &[TupleId]) -> Result<(), HoloError> {
+        let mut seen: FxHashSet<TupleId> = FxHashSet::default();
+        for &t in rows {
+            if t.index() >= self.ds.tuple_count() || !self.ds.is_live(t) {
+                return Err(HoloError::Stream(format!(
+                    "tuple {} is not a live row of this session",
+                    t.index()
+                )));
+            }
+            if !seen.insert(t) {
+                return Err(HoloError::Stream(format!(
+                    "tuple {} appears more than once in one mutation batch",
+                    t.index()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The `(attr, value)` pairs currently stored in `rows`.
+    fn row_values(&self, rows: &[TupleId]) -> Vec<(AttrId, Sym)> {
+        let mut vals = Vec::with_capacity(rows.len() * self.ds.schema().len());
+        for &t in rows {
+            for attr in self.ds.schema().attrs() {
+                vals.push((attr, self.ds.cell(t, attr)));
+            }
+        }
+        vals
+    }
+
+    /// Removes `rows` from the value postings of their current values.
+    fn remove_postings(&mut self, rows: &[TupleId]) {
+        for &t in rows {
+            for attr in self.ds.schema().attrs() {
+                let v = self.ds.cell(t, attr);
+                if v.is_null() {
+                    continue;
+                }
+                if let Some(bucket) = self.postings.get_mut(&(attr, v)) {
+                    if let Some(pos) = bucket.iter().position(|&x| x == t) {
+                        bucket.swap_remove(pos);
+                    }
+                    if bucket.is_empty() {
+                        self.postings.remove(&(attr, v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds `rows` to the value postings of their current values.
+    fn add_postings(&mut self, rows: &[TupleId]) {
+        for &t in rows {
+            for attr in self.ds.schema().attrs() {
+                let v = self.ds.cell(t, attr);
+                if !v.is_null() {
+                    self.postings.entry((attr, v)).or_default().push(t);
+                }
+            }
+        }
+    }
+
+    /// Drops violations with an endpoint in `rows`, returning the cells
+    /// of the dropped violations (their roles may flip back to clean).
+    fn retain_violations(&mut self, rows: &FxHashSet<TupleId>) -> Vec<CellRef> {
+        let mut dropped: Vec<CellRef> = Vec::new();
+        self.live_violations.retain(|v| {
+            let keep = !rows.contains(&v.t1) && !rows.contains(&v.t2);
+            if !keep {
+                dropped.extend(v.cells.iter().copied());
+            }
+            keep
+        });
+        dropped
+    }
+
+    /// Recomputes the noisy-cell set from the live violation store.
+    fn rebuild_noisy(&mut self) {
+        self.noisy.clear();
+        for v in &self.live_violations {
+            self.noisy.extend(v.cells.iter().copied());
+        }
+    }
+
+    /// Retires every clique factor adjacent to a variable of `rows` —
+    /// the in-place disable whose zeroed score keeps the design matrix,
+    /// component index and coloring valid until compaction renumbers.
+    fn retire_cliques_touching(&mut self, rows: &[TupleId]) {
+        if !self.graph.has_cliques() {
+            return;
+        }
+        let mut to_retire: Vec<u32> = Vec::new();
+        for &t in rows {
+            for attr in self.ds.schema().attrs() {
+                let cell = CellRef { tuple: t, attr };
+                if let Some(st) = self.cell_states.get(&cell) {
+                    if let Some(v) = st.var {
+                        to_retire.extend(self.graph.cliques_of(v).iter().copied());
+                    }
+                }
+            }
+        }
+        to_retire.sort_unstable();
+        to_retire.dedup();
+        for idx in to_retire {
+            self.graph.retire_clique(idx);
+        }
+    }
+
+    /// Live tuples a fresh compile could score differently after a
+    /// retraction whose rows held `values` (old values, plus — for
+    /// updates — the new ones): the same posting/candidate-bucket hits as
+    /// the insert path's [`StreamSession::affected_tuples`], plus the
+    /// partner cells of violations the mutation removed.
+    fn affected_for_mutation(
+        &self,
+        values: &[(AttrId, Sym)],
+        dropped_cells: &[CellRef],
+        exclude: &FxHashSet<TupleId>,
+    ) -> FxHashSet<TupleId> {
+        let mut affected: FxHashSet<TupleId> = FxHashSet::default();
+        if self.config.stream.force_full_rebuild || self.global_coupling {
+            affected.extend(self.ds.tuples().filter(|t| !exclude.contains(t)));
+            return affected;
+        }
+        for cell in dropped_cells {
+            affected.insert(cell.tuple);
+        }
+        let hit = |key: (AttrId, Sym), affected: &mut FxHashSet<TupleId>| {
+            if let Some(ts) = self.postings.get(&key) {
+                affected.extend(ts.iter().copied());
+            }
+            if let Some(ts) = self.cand_postings.get(&key) {
+                affected.extend(ts.iter().copied());
+            }
+        };
+        for &(attr, v) in values {
+            if v.is_null() {
+                continue;
+            }
+            hit((attr, v), &mut affected);
+            for &(a1, a2) in &self.eq_pairs {
+                if a2 == attr {
+                    hit((a1, v), &mut affected);
+                }
+                if a1 == attr {
+                    hit((a2, v), &mut affected);
+                }
+            }
+        }
+        affected
     }
 
     /// Old tuples whose cells a fresh compile could score differently
@@ -473,6 +893,7 @@ impl StreamSession {
         affected: &FxHashSet<TupleId>,
         from: TupleId,
         report: &mut BatchReport,
+        ground_cliques: bool,
     ) -> Result<(), HoloError> {
         let threads = self.config.threads;
         let config = &self.config;
@@ -613,6 +1034,41 @@ impl StreamSession {
             .filter(|st| st.var.is_some())
             .map(|st| st.features.len())
             .sum();
+
+        // A compaction pass grounds DC clique factors over the rebuilt
+        // variables through the one-shot compiler's own Algorithm 1 entry
+        // point, fed the same domains in the same order — the compacted
+        // graph *is* the one-shot graph.
+        if ground_cliques && self.config.variant.uses_dc_factors() {
+            let mut domains = CellDomains::default();
+            let mut cell_vars: FxHashMap<CellRef, VarId> = FxHashMap::default();
+            for &cell in &noisy_cells {
+                let st = &self.cell_states[&cell];
+                domains.insert(cell, st.domain.clone());
+                if let (Some(v), true) = (st.var, st.query) {
+                    cell_vars.insert(cell, v);
+                }
+            }
+            let components = self.config.variant.uses_partitioning().then(|| {
+                build_components(
+                    &self.constraints,
+                    &self.live_violations,
+                    self.ds.tuple_count(),
+                )
+            });
+            ground_dc_factors(
+                &mut self.graph,
+                &mut self.registry,
+                &self.ds,
+                &self.constraints,
+                &domains,
+                &cell_vars,
+                &self.config,
+                components.as_deref(),
+                &mut cstats,
+            );
+            cstats.factors = self.graph.factor_count();
+        }
         self.compile_stats = cstats;
 
         // The first batch's forced builds — later batches find the caches
@@ -711,6 +1167,14 @@ impl StreamSession {
     /// model is never recompiled), then partitioned inference over the
     /// dirty components.
     fn ensure_exact(&mut self) {
+        if self.needs_compact {
+            // A retraction or clique-grounding push happened since the
+            // last compaction: only the canonical rebuild restores the
+            // exact-read contract. Cannot fail — it recompiles live
+            // cells, whose observed values the pruner keeps.
+            self.compact()
+                .expect("compaction recompiles live cells only");
+        }
         let threads = self.config.threads;
         if !self.weights_exact {
             let t_learn = Instant::now();
@@ -756,13 +1220,58 @@ impl StreamSession {
     /// at any batch split and any thread count.
     pub fn report(&mut self) -> RepairReport {
         self.ensure_exact();
-        RepairReport::from_marginals(
+        let mut report = RepairReport::from_marginals(
             &self.ds,
             &self.query_cells,
             &self.query_vars,
             &self.graph,
             self.marginals.as_ref().expect("ensure_exact filled it"),
-        )
+        );
+        self.remap_to_live(&mut report);
+        report
+    }
+
+    /// Rewrites report coordinates from physical (stable) ids to the
+    /// dense ids a one-shot run over the live table would use: tuple ids
+    /// become live ranks (monotone; the identity while nothing was ever
+    /// deleted), and symbols are renumbered to row-major first-appearance
+    /// order over the live table — the order a fresh interner assigns.
+    /// The session pool drifts from that order whenever an update interns
+    /// a transient value or a constraint constant interned before data,
+    /// so the report always speaks one-shot coordinates, not the
+    /// session's physical ones.
+    fn remap_to_live(&self, report: &mut RepairReport) {
+        let mut rank = 0u32;
+        let ranks: Vec<u32> = (0..self.ds.tuple_count())
+            .map(|t| {
+                let r = rank;
+                if self.ds.is_live(TupleId(t as u32)) {
+                    rank += 1;
+                }
+                r
+            })
+            .collect();
+        let mut dense: FxHashMap<Sym, Sym> = FxHashMap::default();
+        dense.insert(Sym::NULL, Sym::NULL);
+        for t in self.ds.tuples() {
+            for a in 0..self.ds.schema().len() {
+                let s = self.ds.cell(t, AttrId(a as u16));
+                let next = Sym(dense.len() as u32);
+                dense.entry(s).or_insert(next);
+            }
+        }
+        let remap = |s: Sym| *dense.get(&s).expect("report symbol not in the live table");
+        for r in &mut report.repairs {
+            r.cell.tuple = TupleId(ranks[r.cell.tuple.index()]);
+            r.old = remap(r.old);
+            r.new = remap(r.new);
+        }
+        for p in &mut report.posteriors {
+            p.cell.tuple = TupleId(ranks[p.cell.tuple.index()]);
+            for (s, _) in &mut p.candidates {
+                *s = remap(*s);
+            }
+        }
     }
 
     /// Interim repairs under the current (warm-started) weights — cheap,
@@ -785,13 +1294,15 @@ impl StreamSession {
             },
             self.config.threads,
         );
-        RepairReport::from_marginals(
+        let mut report = RepairReport::from_marginals(
             &self.ds,
             &self.query_cells,
             &self.query_vars,
             &self.graph,
             &marginals,
-        )
+        );
+        self.remap_to_live(&mut report);
+        report
     }
 
     /// The dataset as ingested so far.
@@ -811,9 +1322,19 @@ impl StreamSession {
         &self.registry
     }
 
-    /// Total violations detected so far (== the one-shot count).
+    /// Violations alive over the live table (== the one-shot count).
     pub fn violations(&self) -> usize {
-        self.violations
+        self.live_violations.len()
+    }
+
+    /// Cumulative retirement/compaction counters (cliques retired in
+    /// place, variables renumbered away, compaction ticks) plus the
+    /// live-vs-tombstoned row split of the backing table.
+    pub fn retire_stats(&self) -> holo_factor::RetireStats {
+        let mut r = self.graph.retire_stats();
+        r.live_rows = self.ds.live_count() as u64;
+        r.dead_rows = self.ds.dead_count() as u64;
+        r
     }
 
     /// Noisy cells detected so far.
@@ -843,6 +1364,7 @@ impl StreamSession {
         let mut t = self.timings;
         t.design = self.graph.design_stats();
         t.components = self.graph.component_stats();
+        t.retire = self.retire_stats();
         t
     }
 
@@ -994,17 +1516,17 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_variants_and_bad_batches_are_typed_errors() {
+    fn unsupported_configs_and_bad_batches_are_typed_errors() {
         let schema = Schema::new(vec!["Zip", "City"]);
+        // DC-factor variants are no longer rejected — retirement plus
+        // compaction made them streamable.
         for variant in [ModelVariant::DcFactors, ModelVariant::DcFeatsDcFactors] {
-            let err = StreamSession::new(
+            StreamSession::new(
                 schema.clone(),
                 "FD: Zip -> City",
                 HoloConfig::default().with_variant(variant),
             )
-            .map(|_| ())
-            .expect_err("DC-factor variants are rejected");
-            assert!(matches!(err, HoloError::Stream(_)), "{err}");
+            .expect("DC-factor variants stream via compaction");
         }
         let err = StreamSession::new(
             schema.clone(),
@@ -1022,6 +1544,296 @@ mod tests {
             .expect_err("arity mismatch is rejected");
         assert!(matches!(err, HoloError::Stream(_)), "{err}");
         assert_eq!(session.dataset().tuple_count(), 0, "nothing was appended");
+    }
+
+    #[test]
+    fn bad_mutation_batches_are_typed_errors() {
+        let mut session = StreamSession::new(
+            Schema::new(vec!["Zip", "City"]),
+            "FD: Zip -> City",
+            HoloConfig::default(),
+        )
+        .unwrap();
+        session
+            .push_batch(&[vec!["60608".to_string(), "Chicago".to_string()]])
+            .unwrap();
+
+        let err = session
+            .push_deletes(&[TupleId(7)])
+            .expect_err("out-of-range delete is rejected");
+        assert!(matches!(err, HoloError::Stream(_)), "{err}");
+        let err = session
+            .push_deletes(&[TupleId(0), TupleId(0)])
+            .expect_err("repeated row in one batch is rejected");
+        assert!(matches!(err, HoloError::Stream(_)), "{err}");
+        let err = session
+            .push_updates(&[(TupleId(0), vec!["only-one".to_string()])])
+            .expect_err("update arity mismatch is rejected");
+        assert!(matches!(err, HoloError::Stream(_)), "{err}");
+
+        session.push_deletes(&[TupleId(0)]).unwrap();
+        let err = session
+            .push_updates(&[(TupleId(0), vec!["a".to_string(), "b".to_string()])])
+            .expect_err("update of a tombstoned row is rejected");
+        assert!(matches!(err, HoloError::Stream(_)), "{err}");
+        let err = session
+            .push_deletes(&[TupleId(0)])
+            .expect_err("double delete is rejected");
+        assert!(matches!(err, HoloError::Stream(_)), "{err}");
+    }
+
+    /// Drives one session through an interleaved insert/update/delete
+    /// feed while maintaining the live table in a plain mirror, then
+    /// checks the session's exact read against a one-shot run over the
+    /// mirror. Returns the session for further inspection.
+    fn crud_feed(config: HoloConfig) -> (StreamSession, Vec<Vec<String>>) {
+        let mut session = StreamSession::new(
+            Schema::new(vec!["Zip", "City", "State"]),
+            "FD: Zip -> City",
+            config,
+        )
+        .unwrap();
+        let rows = zip_city_rows();
+        let mut mirror: Vec<Option<Vec<String>>> = Vec::new();
+        let push = |session: &mut StreamSession,
+                    mirror: &mut Vec<Option<Vec<String>>>,
+                    batch: &[Vec<String>]| {
+            session.push_batch(batch).unwrap();
+            mirror.extend(batch.iter().cloned().map(Some));
+        };
+
+        // Rows 0..6 plus two decoys destined for deletion.
+        let decoy = vec!["99999".to_string(), "Nowhere".to_string(), "ZZ".to_string()];
+        let mut first: Vec<Vec<String>> = rows[..6].to_vec();
+        first.push(decoy.clone());
+        first.push(decoy.clone());
+        push(&mut session, &mut mirror, &first);
+        session.push_deletes(&[TupleId(6), TupleId(7)]).unwrap();
+        mirror[6] = None;
+        mirror[7] = None;
+
+        // The rest of the feed, with the "Cicago" row initially mangled
+        // further ("Cicagoo") and repaired to its intended form by an
+        // update.
+        let mut second: Vec<Vec<String>> = rows[6..].to_vec();
+        assert_eq!(second[2][1], "Cicago");
+        second[2][1] = "Cicagoo".to_string();
+        push(&mut session, &mut mirror, &second);
+        let mangled = TupleId(10);
+        let fixed = vec!["60608".to_string(), "Cicago".to_string(), "IL".to_string()];
+        session.push_updates(&[(mangled, fixed.clone())]).unwrap();
+        mirror[10] = Some(fixed);
+
+        // Delete an early clean row too, so live ranks shift under the
+        // report remap.
+        session.push_deletes(&[TupleId(2)]).unwrap();
+        mirror[2] = None;
+
+        let live: Vec<Vec<String>> = mirror.into_iter().flatten().collect();
+        (session, live)
+    }
+
+    #[test]
+    fn interleaved_crud_matches_one_shot_over_live_table_bitwise() {
+        let reference = {
+            let (mut session, live) = crud_feed(HoloConfig::default().with_threads(1));
+            let report = session.report();
+            let one = one_shot(&live, 1);
+            assert_eq!(report, one);
+            assert!(!report.repairs.is_empty(), "the feed must need repairs");
+            report
+        };
+        for threads in [2, 4] {
+            let (mut session, live) = crud_feed(HoloConfig::default().with_threads(threads));
+            assert_eq!(session.report(), reference, "threads = {threads}");
+            assert_eq!(one_shot(&live, threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn retraction_compacts_lazily_on_the_exact_read() {
+        let (mut session, _) = crud_feed(HoloConfig::default().with_threads(1));
+        // Mutations patched in place: still exactly one full build each.
+        assert_eq!(session.design_stats().full_builds, 1);
+        assert_eq!(session.component_stats().full_builds, 1);
+        let retire = session.retire_stats();
+        assert_eq!(retire.compactions, 0);
+        assert_eq!(retire.dead_rows, 3);
+        let _ = session.report();
+        // The dirty exact read paid the one amortised rebuild.
+        assert_eq!(session.design_stats().full_builds, 2);
+        assert_eq!(session.component_stats().full_builds, 2);
+        let retire = session.retire_stats();
+        assert_eq!(retire.compactions, 1);
+        assert!(retire.vars_renumbered > 0);
+        // A second read is served from cache.
+        let _ = session.report();
+        assert_eq!(session.retire_stats().compactions, 1);
+        assert_eq!(session.design_stats().full_builds, 2);
+    }
+
+    #[test]
+    fn scheduled_compaction_ticks_are_the_only_full_rebuilds() {
+        let rows = zip_city_rows();
+        let mut config = HoloConfig::default().with_threads(1);
+        config.stream.compact_every = 2;
+        let mut session = StreamSession::new(
+            Schema::new(vec!["Zip", "City", "State"]),
+            "FD: Zip -> City",
+            config,
+        )
+        .unwrap();
+        session.push_batch(&rows[..6]).unwrap(); // batch 1
+        assert_eq!(session.design_stats().full_builds, 1);
+        assert_eq!(session.retire_stats().compactions, 0);
+        session.push_batch(&rows[6..]).unwrap(); // batch 2 → tick
+        assert_eq!(session.design_stats().full_builds, 2);
+        assert_eq!(session.retire_stats().compactions, 1);
+        session.push_deletes(&[TupleId(0)]).unwrap(); // batch 3: frozen
+        assert_eq!(session.design_stats().full_builds, 2);
+        session.push_batch(&rows[..1]).unwrap(); // batch 4 → tick
+        assert_eq!(session.design_stats().full_builds, 3);
+        assert_eq!(session.component_stats().full_builds, 3);
+        assert_eq!(session.retire_stats().compactions, 2);
+        // The tick cleared the delete's dirty flag: the exact read needs
+        // no further rebuild, and it matches the one-shot run.
+        let report = session.report();
+        assert_eq!(session.design_stats().full_builds, 3);
+        let mut live: Vec<Vec<String>> = rows[1..].to_vec();
+        live.push(rows[0].clone());
+        assert_eq!(report, one_shot(&live, 1));
+    }
+
+    #[test]
+    fn sustained_crud_holds_steady_state_graph_size() {
+        let rows = zip_city_rows();
+        let mut config = HoloConfig::default().with_threads(1);
+        config.stream.compact_every = 2;
+        let mut session = StreamSession::new(
+            Schema::new(vec!["Zip", "City", "State"]),
+            "FD: Zip -> City",
+            config,
+        )
+        .unwrap();
+        session.push_batch(&rows).unwrap();
+        // Baseline = the compacted live model (delta compile may pin a
+        // few extra retired vars that only compaction renumbers away).
+        session.compact().unwrap();
+        let baseline_vars = session.graph.var_count();
+        let baseline_factors = session.graph.factor_count();
+        // Sustained churn: every round inserts a noisy row, heals it, and
+        // deletes it again, so the live table keeps returning to `rows`.
+        for _ in 0..6 {
+            let id = session.ds.tuple_count() as u32;
+            session
+                .push_batch(&[vec![
+                    "60609".to_string(),
+                    "Evanstn".to_string(),
+                    "IL".to_string(),
+                ]])
+                .unwrap();
+            session
+                .push_updates(&[(
+                    TupleId(id),
+                    vec![
+                        "60609".to_string(),
+                        "Evanston".to_string(),
+                        "IL".to_string(),
+                    ],
+                )])
+                .unwrap();
+            session.push_deletes(&[TupleId(id)]).unwrap();
+        }
+        let report = session.report();
+        // After the churn (and its compaction ticks) the graph holds
+        // exactly the live model again — no monotone growth.
+        assert_eq!(session.graph.var_count(), baseline_vars);
+        assert_eq!(session.graph.factor_count(), baseline_factors);
+        assert_eq!(session.graph.retired_clique_count(), 0);
+        let retire = session.retire_stats();
+        assert!(retire.compactions >= 1, "the schedule must have ticked");
+        assert!(retire.vars_renumbered > 0);
+        assert_eq!(report, one_shot(&rows, 1));
+    }
+
+    #[test]
+    fn dc_factor_variants_stream_via_retirement_and_compaction() {
+        let rows = zip_city_rows();
+        for variant in [
+            ModelVariant::DcFactors,
+            ModelVariant::DcFeatsDcFactorsPartitioned,
+        ] {
+            let config = HoloConfig::default().with_threads(1).with_variant(variant);
+            let mut session = StreamSession::new(
+                Schema::new(vec!["Zip", "City", "State"]),
+                "FD: Zip -> City",
+                config.clone(),
+            )
+            .unwrap();
+            for chunk in rows.chunks(5) {
+                session.push_batch(chunk).unwrap();
+            }
+            // Exact read == one-shot under the clique-grounding variant.
+            let report = session.report();
+            let mut ds = Dataset::new(Schema::new(vec!["Zip", "City", "State"]));
+            for row in &rows {
+                ds.push_row(row);
+            }
+            let reference = HoloClean::new(ds)
+                .with_constraint_text("FD: Zip -> City")
+                .unwrap()
+                .with_config(config.clone())
+                .run()
+                .unwrap()
+                .report;
+            assert_eq!(report, reference, "variant {variant:?}");
+            assert!(session.compile_stats().cliques > 0, "cliques grounded");
+
+            // Deleting a violation endpoint retires its cliques in place.
+            let cicago = TupleId(8);
+            session.push_deletes(&[cicago]).unwrap();
+            assert!(
+                session.retire_stats().cliques_retired > 0,
+                "variant {variant:?} retires cliques"
+            );
+            // And the next exact read recompacts to the one-shot answer.
+            let report = session.report();
+            let mut live: Vec<Vec<String>> = rows.clone();
+            live.remove(8);
+            let mut ds = Dataset::new(Schema::new(vec!["Zip", "City", "State"]));
+            for row in &live {
+                ds.push_row(row);
+            }
+            let reference = HoloClean::new(ds)
+                .with_constraint_text("FD: Zip -> City")
+                .unwrap()
+                .with_config(config)
+                .run()
+                .unwrap()
+                .report;
+            assert_eq!(report, reference, "variant {variant:?} after delete");
+        }
+    }
+
+    #[test]
+    fn updates_can_introduce_and_remove_violations() {
+        let rows = zip_city_rows();
+        let mut session = streamed(&rows, 3, 1);
+        // Rewrite a clean Evanston row into a fresh 60608 conflict.
+        session
+            .push_updates(&[(
+                TupleId(9),
+                vec!["60608".to_string(), "Evanstn".to_string(), "IL".to_string()],
+            )])
+            .unwrap();
+        let mut live = rows.clone();
+        live[9] = vec!["60608".into(), "Evanstn".into(), "IL".into()];
+        assert_eq!(session.report(), one_shot(&live, 1));
+        // Rewrite it back: the violation retracts.
+        session
+            .push_updates(&[(TupleId(9), rows[9].clone())])
+            .unwrap();
+        assert_eq!(session.report(), one_shot(&rows, 1));
     }
 
     #[test]
@@ -1060,5 +1872,99 @@ mod tests {
         // posterior mass: same posterior count, approximate weights.
         assert_eq!(interim.posteriors.len(), exact.posteriors.len());
         assert!(session.ingest_stats().replay_minibatches > 0);
+    }
+
+    use proptest::prelude::*;
+
+    fn crud_row(z: u8, c: u8) -> Vec<String> {
+        let zips = ["60608", "60609"];
+        let cities = ["Chicago", "Cicago", "Evanston"];
+        vec![
+            zips[z as usize % zips.len()].to_string(),
+            cities[c as usize % cities.len()].to_string(),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Arbitrary insert/update/delete/compact interleavings serve
+        /// exact reads bit-for-bit equal to a from-scratch build over the
+        /// live table, and every `full_builds` tick is a compaction tick.
+        /// Each op is `(kind, sel, n, z, c)`: kind 0 inserts `n` rows
+        /// derived from `(z, c)`, kind 1 updates the live row selected by
+        /// `sel`, kind 2 deletes it.
+        #[test]
+        fn prop_interleaved_crud_matches_a_fresh_build(
+            ops in proptest::collection::vec((0u8..3, 0u8..16, 1u8..4, 0u8..2, 0u8..3), 1..8),
+            compact_every in 0usize..3,
+        ) {
+            let mut config = HoloConfig::default().with_threads(1);
+            config.stream.compact_every = compact_every;
+            let mut session = StreamSession::new(
+                Schema::new(vec!["Zip", "City"]),
+                "FD: Zip -> City",
+                config,
+            ).unwrap();
+            let mut live_ids: Vec<TupleId> = Vec::new();
+            let mut mirror: Vec<Vec<String>> = Vec::new();
+            let mut pushed = false;
+            for (kind, sel, n, z, c) in ops {
+                match kind {
+                    0 => {
+                        let batch: Vec<Vec<String>> = (0..n)
+                            .map(|i| crud_row(z.wrapping_add(i), c.wrapping_add(i)))
+                            .collect();
+                        let before = session.dataset().tuple_count();
+                        session.push_batch(&batch).unwrap();
+                        for (i, row) in batch.into_iter().enumerate() {
+                            live_ids.push(TupleId((before + i) as u32));
+                            mirror.push(row);
+                        }
+                        pushed = true;
+                    }
+                    1 => {
+                        if live_ids.is_empty() {
+                            continue;
+                        }
+                        let idx = sel as usize % live_ids.len();
+                        let row = crud_row(z, c);
+                        session.push_updates(&[(live_ids[idx], row.clone())]).unwrap();
+                        mirror[idx] = row;
+                    }
+                    _ => {
+                        if live_ids.is_empty() {
+                            continue;
+                        }
+                        let idx = sel as usize % live_ids.len();
+                        session.push_deletes(&[live_ids[idx]]).unwrap();
+                        live_ids.remove(idx);
+                        mirror.remove(idx);
+                    }
+                }
+                if pushed {
+                    // Every full build after the first is a compaction.
+                    let compactions = session.retire_stats().compactions;
+                    prop_assert_eq!(session.design_stats().full_builds, 1 + compactions);
+                    prop_assert_eq!(session.component_stats().full_builds, 1 + compactions);
+                }
+            }
+            let streamed = session.report();
+            let mut ds = Dataset::new(Schema::new(vec!["Zip", "City"]));
+            for row in &mirror {
+                ds.push_row(row);
+            }
+            let fresh = HoloClean::new(ds)
+                .with_constraint_text("FD: Zip -> City")
+                .unwrap()
+                .run()
+                .unwrap()
+                .report;
+            prop_assert_eq!(streamed, fresh);
+            if pushed {
+                let compactions = session.retire_stats().compactions;
+                prop_assert_eq!(session.design_stats().full_builds, 1 + compactions);
+            }
+        }
     }
 }

@@ -27,18 +27,20 @@ pub struct FrequencyStats {
 }
 
 impl FrequencyStats {
-    /// Scans the dataset once and tabulates per-attribute counts.
+    /// Scans the live rows of the dataset once and tabulates per-attribute
+    /// counts. Tombstoned rows contribute nothing.
     pub fn build(ds: &Dataset) -> Self {
         let mut counts: Vec<FxHashMap<Sym, u32>> = vec![FxHashMap::default(); ds.schema().len()];
         for a in ds.schema().attrs() {
+            let col = ds.column(a);
             let table = &mut counts[a.index()];
-            for &sym in ds.column(a) {
-                *table.entry(sym).or_insert(0) += 1;
+            for t in ds.tuples() {
+                *table.entry(col[t.index()]).or_insert(0) += 1;
             }
         }
         FrequencyStats {
             counts,
-            tuples: ds.tuple_count(),
+            tuples: ds.live_count(),
         }
     }
 
@@ -52,13 +54,57 @@ impl FrequencyStats {
     /// accumulators, so the result is exactly [`FrequencyStats::build`]
     /// over the whole dataset, however the rows arrived.
     pub fn extend(&mut self, ds: &Dataset, from: crate::table::TupleId) {
+        let live_new: Vec<crate::table::TupleId> = (from.index()..ds.tuple_count())
+            .map(crate::table::TupleId::from)
+            .filter(|&t| ds.is_live(t))
+            .collect();
         for a in ds.schema().attrs() {
+            let col = ds.column(a);
             let table = &mut self.counts[a.index()];
-            for &sym in &ds.column(a)[from.index()..] {
-                *table.entry(sym).or_insert(0) += 1;
+            for &t in &live_new {
+                *table.entry(col[t.index()]).or_insert(0) += 1;
             }
         }
-        self.tuples = ds.tuple_count();
+        self.tuples += live_new.len();
+    }
+
+    /// Folds the given live rows' current values into the tables — the
+    /// re-absorption half of an in-place update (retract the old values,
+    /// overwrite the cells, absorb the new ones).
+    pub fn absorb_rows(&mut self, ds: &Dataset, rows: &[crate::table::TupleId]) {
+        for a in ds.schema().attrs() {
+            let col = ds.column(a);
+            let table = &mut self.counts[a.index()];
+            for &t in rows {
+                *table.entry(col[t.index()]).or_insert(0) += 1;
+            }
+        }
+        self.tuples += rows.len();
+    }
+
+    /// Folds the given rows' current values *out* of the tables — the
+    /// retraction path of deletes and updates. Must run while the rows'
+    /// values are still the folded-in ones (before an update overwrites
+    /// them; tombstones keep values readable, so before/after a delete
+    /// both work). Zeroed entries are removed so the retracted tables are
+    /// indistinguishable from a fresh [`FrequencyStats::build`] over the
+    /// surviving rows.
+    pub fn retract_rows(&mut self, ds: &Dataset, rows: &[crate::table::TupleId]) {
+        for a in ds.schema().attrs() {
+            let col = ds.column(a);
+            let table = &mut self.counts[a.index()];
+            for &t in rows {
+                let sym = col[t.index()];
+                let c = table
+                    .get_mut(&sym)
+                    .expect("retracting a value that was never counted");
+                *c -= 1;
+                if *c == 0 {
+                    table.remove(&sym);
+                }
+            }
+        }
+        self.tuples -= rows.len();
     }
 
     /// How often `v` occurs in attribute `a`.
@@ -151,7 +197,8 @@ impl CooccurStats {
             let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
             let cond_col = ds.column(cond);
             let target_col = ds.column(target);
-            for (&v_cond, &v_target) in cond_col.iter().zip(target_col) {
+            for t in ds.tuples() {
+                let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
                 if v_cond.is_null() || v_target.is_null() {
                     continue;
                 }
@@ -201,9 +248,13 @@ impl CooccurStats {
         let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
             let (cond, target) = pairs[i];
             let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
-            let cond_col = &ds.column(cond)[from.index()..];
-            let target_col = &ds.column(target)[from.index()..];
-            for (&v_cond, &v_target) in cond_col.iter().zip(target_col) {
+            let cond_col = ds.column(cond);
+            let target_col = ds.column(target);
+            for t in (from.index()..ds.tuple_count()).map(crate::table::TupleId::from) {
+                if !ds.is_live(t) {
+                    continue;
+                }
+                let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
                 if v_cond.is_null() || v_target.is_null() {
                     continue;
                 }
@@ -220,6 +271,106 @@ impl CooccurStats {
                 let slot = self.table.entry(k).or_default();
                 for (sym, count) in counts {
                     *slot.entry(sym).or_insert(0) += count;
+                }
+            }
+        }
+    }
+
+    /// Folds the given live rows' current values into the tables (and the
+    /// frequency tables alongside) — the re-absorption half of an in-place
+    /// update, mirroring [`FrequencyStats::absorb_rows`].
+    pub fn absorb_rows_with_threads(
+        &mut self,
+        ds: &Dataset,
+        rows: &[crate::table::TupleId],
+        threads: usize,
+    ) {
+        self.freq.absorb_rows(ds, rows);
+        self.fold_rows(ds, rows, threads, false);
+    }
+
+    /// Folds the given rows' current values *out* of the co-occurrence and
+    /// frequency tables — the retraction path of deletes and updates,
+    /// mirroring [`CooccurStats::extend_with_threads`] with the sign
+    /// flipped. Must run while the rows' values are still the folded-in
+    /// ones (before an update overwrites them). Zeroed counts and emptied
+    /// groups are removed, so the retracted statistics answer *every*
+    /// query — including [`CooccurStats::group_count`] — exactly as a
+    /// fresh [`CooccurStats::build`] over the surviving rows would.
+    pub fn retract_with_threads(
+        &mut self,
+        ds: &Dataset,
+        rows: &[crate::table::TupleId],
+        threads: usize,
+    ) {
+        self.freq.retract_rows(ds, rows);
+        self.fold_rows(ds, rows, threads, true);
+    }
+
+    /// Shared fold kernel of absorb/retract: accumulates the rows'
+    /// contributions per ordered attribute pair in parallel (disjoint key
+    /// spaces, as in the build), then applies them with the requested
+    /// sign. Integer counts commute, so the result is independent of row
+    /// order and thread count.
+    fn fold_rows(
+        &mut self,
+        ds: &Dataset,
+        rows: &[crate::table::TupleId],
+        threads: usize,
+        retract: bool,
+    ) {
+        let attrs: Vec<AttrId> = ds.schema().attrs().collect();
+        let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(attrs.len() * attrs.len());
+        for &cond in &attrs {
+            for &target in &attrs {
+                if cond != target {
+                    pairs.push((cond, target));
+                }
+            }
+        }
+        let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
+            let (cond, target) = pairs[i];
+            let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
+            let cond_col = ds.column(cond);
+            let target_col = ds.column(target);
+            for &t in rows {
+                let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
+                if v_cond.is_null() || v_target.is_null() {
+                    continue;
+                }
+                *local
+                    .entry(key(cond, target, v_cond))
+                    .or_default()
+                    .entry(v_target)
+                    .or_insert(0) += 1;
+            }
+            local
+        });
+        for local in per_pair {
+            for (k, counts) in local {
+                if retract {
+                    let slot = self
+                        .table
+                        .get_mut(&k)
+                        .expect("retracting a co-occurrence group that was never counted");
+                    for (sym, count) in counts {
+                        let c = slot
+                            .get_mut(&sym)
+                            .expect("retracting a co-occurrence that was never counted");
+                        assert!(*c >= count, "co-occurrence count underflow");
+                        *c -= count;
+                        if *c == 0 {
+                            slot.remove(&sym);
+                        }
+                    }
+                    if slot.is_empty() {
+                        self.table.remove(&k);
+                    }
+                } else {
+                    let slot = self.table.entry(k).or_default();
+                    for (sym, count) in counts {
+                        *slot.entry(sym).or_insert(0) += count;
+                    }
                 }
             }
         }
@@ -449,6 +600,86 @@ mod tests {
                                 "split = {split}"
                             );
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retracting rows (deletes and in-place updates) answers every query
+    /// exactly as a full rebuild over the surviving live table — the
+    /// fold-*out* mirror of `extend_matches_full_rebuild`, and the
+    /// invariant CRUD streaming's delta compile rests on.
+    #[test]
+    fn retract_matches_full_rebuild() {
+        use crate::table::TupleId;
+        let mut ds = Dataset::new(Schema::new(vec!["a", "b", "c"]));
+        for i in 0..90 {
+            ds.push_row(&[
+                format!("a{}", i % 9),
+                if i % 11 == 0 {
+                    String::new()
+                } else {
+                    format!("b{}", i % 5)
+                },
+                format!("c{}", i % 3),
+            ]);
+        }
+        let mut stats = CooccurStats::build_with_threads(&ds, 2);
+        // Update a third of the rows in place: retract, overwrite, absorb.
+        let updated: Vec<TupleId> = (0..90).step_by(3).map(TupleId::from).collect();
+        stats.retract_with_threads(&ds, &updated, 2);
+        let new_rows: Vec<(TupleId, Vec<String>)> = updated
+            .iter()
+            .map(|&t| {
+                let i = t.index();
+                (
+                    t,
+                    vec![
+                        format!("a{}", (i + 1) % 4),
+                        format!("b{}", i % 6),
+                        if i % 7 == 0 {
+                            String::new()
+                        } else {
+                            format!("c{}", i % 2)
+                        },
+                    ],
+                )
+            })
+            .collect();
+        ds.update_rows(&new_rows);
+        stats.absorb_rows_with_threads(&ds, &updated, 2);
+        // Then delete a handful, folding their (updated) values out.
+        let deleted: Vec<TupleId> = (0..90).step_by(7).map(TupleId::from).collect();
+        stats.retract_with_threads(&ds, &deleted, 2);
+        ds.delete_rows(&deleted);
+
+        let full = CooccurStats::build(&ds);
+        assert_eq!(stats.freq().tuple_count(), full.freq().tuple_count());
+        assert_eq!(stats.freq().tuple_count(), ds.live_count());
+        assert_eq!(
+            stats.group_count(),
+            full.group_count(),
+            "zeroed groups must vanish, not linger at count 0"
+        );
+        for a in ds.schema().attrs() {
+            assert_eq!(stats.freq().distinct(a), full.freq().distinct(a));
+        }
+        for cond in ds.schema().attrs() {
+            for target in ds.schema().attrs() {
+                if cond == target {
+                    continue;
+                }
+                for v_cond in ds.active_domain(cond) {
+                    assert_eq!(
+                        stats.freq().count(cond, v_cond),
+                        full.freq().count(cond, v_cond)
+                    );
+                    for v in ds.active_domain(target) {
+                        assert_eq!(
+                            stats.cooccur_count(cond, v_cond, target, v),
+                            full.cooccur_count(cond, v_cond, target, v)
+                        );
                     }
                 }
             }

@@ -63,11 +63,29 @@ impl fmt::Display for CellRef {
 
 /// A structured dataset `D`: a schema, an interner, and one column per
 /// attribute.
+///
+/// # Tombstones
+///
+/// Rows are never physically removed: [`Dataset::delete_rows`] marks them
+/// dead in a liveness mask, which keeps every [`TupleId`] stable forever —
+/// the property the streaming engine's long-lived handles (violation
+/// indexes, postings, factor-graph cell maps) rest on. Dead rows keep
+/// their column values readable (retraction passes need the old values),
+/// but every *scan* entry point — [`Dataset::tuples`], [`Dataset::cells`],
+/// [`Dataset::active_domain`] — iterates live rows only, so statistics,
+/// violation detection and featurization over a tombstoned dataset see
+/// exactly the live table. [`Dataset::tuple_count`] stays *physical* (it
+/// is the id-allocation high-water mark); use [`Dataset::live_count`] for
+/// the logical size.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
     pool: ValuePool,
     columns: Vec<Vec<Sym>>,
+    /// Liveness mask, one entry per row; `false` = tombstoned.
+    live: Vec<bool>,
+    /// Number of `false` entries in `live`.
+    dead: usize,
 }
 
 impl Dataset {
@@ -78,6 +96,8 @@ impl Dataset {
             schema,
             pool: ValuePool::new(),
             columns,
+            live: Vec::new(),
+            dead: 0,
         }
     }
 
@@ -97,12 +117,30 @@ impl Dataset {
         self.pool.intern(value)
     }
 
-    /// Number of tuples.
+    /// Number of tuples ever appended — the *physical* row count and the
+    /// id-allocation high-water mark. Tombstoned rows are included; use
+    /// [`Dataset::live_count`] for the logical table size.
     pub fn tuple_count(&self) -> usize {
         self.columns.first().map_or(0, Vec::len)
     }
 
-    /// Number of cells (`tuples × attributes`).
+    /// Number of live (non-tombstoned) tuples.
+    pub fn live_count(&self) -> usize {
+        self.tuple_count() - self.dead
+    }
+
+    /// Number of tombstoned tuples.
+    pub fn dead_count(&self) -> usize {
+        self.dead
+    }
+
+    /// Whether tuple `t` is live (appended and not tombstoned).
+    #[inline]
+    pub fn is_live(&self, t: TupleId) -> bool {
+        self.live.get(t.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of cells (`tuples × attributes`), physical rows included.
     pub fn cell_count(&self) -> usize {
         self.tuple_count() * self.schema.len()
     }
@@ -128,6 +166,7 @@ impl Dataset {
             };
             col.push(sym);
         }
+        self.live.push(true);
         id
     }
 
@@ -139,6 +178,7 @@ impl Dataset {
             debug_assert!(sym.index() < self.pool.len(), "foreign symbol");
             col.push(sym);
         }
+        self.live.push(true);
         id
     }
 
@@ -160,6 +200,55 @@ impl Dataset {
             self.push_row(row);
         }
         first
+    }
+
+    /// Tombstones the given rows. Ids stay stable (nothing is renumbered)
+    /// and the dead rows' values stay readable — retraction passes fold
+    /// the old values *out* of derived statistics before or after the
+    /// tombstone lands, their choice — but every scan entry point stops
+    /// yielding the rows immediately.
+    ///
+    /// # Panics
+    /// Panics if any row is out of range or already tombstoned (a
+    /// double-delete is a caller bug the mask cannot repair).
+    pub fn delete_rows(&mut self, rows: &[TupleId]) {
+        for &t in rows {
+            assert!(
+                t.index() < self.tuple_count(),
+                "delete of unknown tuple {t}"
+            );
+            assert!(self.live[t.index()], "double delete of tuple {t}");
+            self.live[t.index()] = false;
+            self.dead += 1;
+        }
+    }
+
+    /// Overwrites entire live rows in place, interning the new values.
+    /// Ids stay stable; callers that maintain derived statistics must
+    /// retract the old values *before* this call (they are gone after).
+    ///
+    /// # Panics
+    /// Panics if a row is out of range or tombstoned, or on arity
+    /// mismatch (same contract as [`Dataset::push_row`]).
+    pub fn update_rows<S: AsRef<str>>(&mut self, updates: &[(TupleId, Vec<S>)]) {
+        for (t, row) in updates {
+            assert!(
+                t.index() < self.tuple_count(),
+                "update of unknown tuple {t}"
+            );
+            assert!(self.live[t.index()], "update of tombstoned tuple {t}");
+            assert_eq!(
+                row.len(),
+                self.schema.len(),
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.schema.len()
+            );
+            for (a, value) in row.iter().enumerate() {
+                let sym = self.pool.intern(value.as_ref());
+                self.columns[a][t.index()] = sym;
+            }
+        }
     }
 
     /// The symbol stored at cell `t[a]`.
@@ -202,12 +291,14 @@ impl Dataset {
         self.columns.iter().map(|c| c[t.index()]).collect()
     }
 
-    /// Iterates over all tuple ids.
-    pub fn tuples(&self) -> impl Iterator<Item = TupleId> {
-        (0..self.tuple_count() as u32).map(TupleId)
+    /// Iterates over all *live* tuple ids, ascending.
+    pub fn tuples(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.tuple_count() as u32)
+            .map(TupleId)
+            .filter(move |&t| self.live[t.index()])
     }
 
-    /// Iterates over every cell reference.
+    /// Iterates over every cell reference of every live tuple.
     pub fn cells(&self) -> impl Iterator<Item = CellRef> + '_ {
         let attrs = self.schema.len() as u16;
         self.tuples().flat_map(move |t| {
@@ -219,11 +310,14 @@ impl Dataset {
     }
 
     /// The *active domain* of attribute `a`: every distinct symbol that
-    /// occurs in its column, null excluded, in first-occurrence order.
+    /// occurs in its column among live tuples, null excluded, in
+    /// first-occurrence order.
     pub fn active_domain(&self, a: AttrId) -> Vec<Sym> {
         let mut seen = crate::fxhash::FxHashSet::default();
         let mut out = Vec::new();
-        for &sym in self.column(a) {
+        let col = self.column(a);
+        for t in self.tuples() {
+            let sym = col[t.index()];
             if !sym.is_null() && seen.insert(sym) {
                 out.push(sym);
             }
@@ -350,5 +444,62 @@ mod tests {
         let ds = small();
         assert!(ds.require_attr("City").is_ok());
         assert!(ds.require_attr("Nope").is_err());
+    }
+
+    #[test]
+    fn delete_rows_tombstones_without_renumbering() {
+        let mut ds = small();
+        ds.delete_rows(&[TupleId(1)]);
+        assert_eq!(ds.tuple_count(), 3, "physical count keeps the id space");
+        assert_eq!(ds.live_count(), 2);
+        assert_eq!(ds.dead_count(), 1);
+        assert!(ds.is_live(TupleId(0)));
+        assert!(!ds.is_live(TupleId(1)));
+        // Scans skip the tombstone; values stay readable underneath.
+        let live: Vec<TupleId> = ds.tuples().collect();
+        assert_eq!(live, vec![TupleId(0), TupleId(2)]);
+        assert_eq!(ds.cells().count(), 6);
+        assert_eq!(ds.cell_str(TupleId(1), AttrId(0)), "Cicago");
+        // "Cicago" only occurred in the dead row — gone from the domain.
+        let dom: Vec<&str> = ds
+            .active_domain(AttrId(0))
+            .iter()
+            .map(|&s| ds.value_str(s))
+            .collect();
+        assert_eq!(dom, vec!["Chicago"]);
+        // Appending after a delete still allocates fresh ids at the top.
+        let t = ds.push_row(&["Evanston", "IL", "60201"]);
+        assert_eq!(t, TupleId(3));
+        assert!(ds.is_live(t));
+    }
+
+    #[test]
+    #[should_panic(expected = "double delete")]
+    fn double_delete_panics() {
+        let mut ds = small();
+        ds.delete_rows(&[TupleId(0)]);
+        ds.delete_rows(&[TupleId(0)]);
+    }
+
+    #[test]
+    fn update_rows_overwrites_in_place() {
+        let mut ds = small();
+        ds.update_rows(&[(TupleId(1), vec!["Chicago", "IL", "60608"])]);
+        assert_eq!(ds.cell_str(TupleId(1), AttrId(0)), "Chicago");
+        assert_eq!(
+            ds.cell(TupleId(1), AttrId(0)),
+            ds.cell(TupleId(0), AttrId(0)),
+            "updated values intern into the shared pool"
+        );
+        assert_eq!(ds.tuple_count(), 3);
+        assert_eq!(ds.live_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tombstoned tuple")]
+    fn update_of_dead_row_panics() {
+        let mut ds = small();
+        ds.delete_rows(&[TupleId(2)]);
+        ds.update_rows(&[(TupleId(2), vec!["X", "Y", "Z"])]);
     }
 }
