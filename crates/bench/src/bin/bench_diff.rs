@@ -9,10 +9,12 @@
 //! `BENCH_<ISO-date>[_<unix-secs>].json` key: the ISO date sorts
 //! lexicographically, and the unix-seconds suffix (which disambiguates
 //! several runs on the same day) compares *numerically*, so a legacy
-//! date-only snapshot counts as the start of its day. Override the
-//! directory with `BENCH_DIR`. With fewer than two snapshots there is
-//! nothing to diff; the tool says so and exits cleanly so a fresh
-//! checkout's CI can run it unconditionally.
+//! date-only snapshot counts as the start of its day. A legacy
+//! date-only snapshot with a suffixed same-day twin is skipped outright
+//! — it duplicates the twin, and diffing a run against itself reports
+//! nothing. Override the directory with `BENCH_DIR`. With fewer than
+//! two snapshots there is nothing to diff; the tool says so and exits
+//! cleanly so a fresh checkout's CI can run it unconditionally.
 
 use holo_bench::json::JsonValue;
 use std::collections::BTreeMap;
@@ -56,6 +58,24 @@ fn sort_key(name: &str) -> (String, u64) {
     }
 }
 
+/// Drops legacy date-only snapshots that have a suffixed same-day twin.
+/// A `BENCH_<date>.json` left over from the pre-suffix naming scheme is
+/// a duplicate of that day's earliest suffixed run, and diffing a
+/// snapshot against its own twin reports a meaningless all-zero delta —
+/// prefer the suffixed name, which carries the exact run time.
+fn retain_preferred(snapshots: &mut Vec<String>) {
+    let suffixed_days: std::collections::BTreeSet<String> = snapshots
+        .iter()
+        .map(|n| sort_key(n))
+        .filter(|(_, secs)| *secs > 0)
+        .map(|(date, _)| date)
+        .collect();
+    snapshots.retain(|n| {
+        let (date, secs) = sort_key(n);
+        secs > 0 || !suffixed_days.contains(&date)
+    });
+}
+
 /// Nanoseconds with a human unit (the snapshots span ns to seconds).
 fn human_ns(ns: f64) -> String {
     if ns >= 1e9 {
@@ -82,6 +102,7 @@ fn main() {
             (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
         })
         .collect();
+    retain_preferred(&mut snapshots);
     snapshots.sort_by_key(|name| sort_key(name));
     if snapshots.len() < 2 {
         println!(
@@ -132,7 +153,22 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::sort_key;
+    use super::{retain_preferred, sort_key};
+
+    #[test]
+    fn legacy_twin_is_dropped_when_a_suffixed_sibling_exists() {
+        let mut names = vec![
+            "BENCH_2026-08-07.json".to_string(),
+            "BENCH_2026-08-08.json".to_string(),
+            "BENCH_2026-08-08_1754650000.json".to_string(),
+        ];
+        retain_preferred(&mut names);
+        assert_eq!(
+            names,
+            vec!["BENCH_2026-08-07.json", "BENCH_2026-08-08_1754650000.json"],
+            "a legacy name survives only on days with no suffixed run"
+        );
+    }
 
     #[test]
     fn same_day_suffixes_order_numerically() {

@@ -8,6 +8,12 @@
 //! counters; `--json` emits the machine-readable form either way (via the
 //! shared `holo_bench::json` writer). Unknown flags abort with a usage
 //! line (exit 2).
+//!
+//! The `--json` learn object carries `examples`, `epochs`, `minibatches`,
+//! `final_log_likelihood`, `grad_norm` (final minibatch), `grad_norm_mean`
+//! (mean over the final epoch — the stable number to watch), and the
+//! packed-arena kernel counters `packed_examples`, `packed_entries`,
+//! `packed_bytes`, `packed_epochs` (all zero under `--naive-learn`).
 
 use holo_bench::json::{num_exact, JsonObj};
 use holo_bench::runner::{run_holoclean_full, HoloOutcome};
@@ -37,6 +43,11 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
             o.field_u64("minibatches", ls.minibatches as u64);
             o.field_num("final_log_likelihood", ls.final_log_likelihood);
             o.field_num("grad_norm", ls.grad_norm);
+            o.field_num("grad_norm_mean", ls.grad_norm_mean);
+            o.field_u64("packed_examples", ls.packed_examples as u64);
+            o.field_u64("packed_entries", ls.packed_entries as u64);
+            o.field_u64("packed_bytes", ls.packed_bytes as u64);
+            o.field_u64("packed_epochs", ls.packed_epochs as u64);
             o.finish()
         }
         None => "null".to_string(),
@@ -217,7 +228,8 @@ fn main() {
     let config = HoloConfig::default()
         .with_threads(args.threads)
         .with_chromatic_gibbs(args.chromatic)
-        .with_score_cache(!args.no_score_cache);
+        .with_score_cache(!args.no_score_cache)
+        .with_packed_learn(!args.naive_learn);
     let (out, registry, weights, pool) = if args.stream > 0 {
         run_streamed(&gen, config, args.stream)
     } else {
@@ -324,10 +336,24 @@ fn main() {
         );
     }
     match &out.learn_stats {
-        Some(ls) => println!(
-            "learning: {} examples, {} epochs, {} minibatches, final LL {:.4}, final grad L2 {:.6}",
-            ls.examples, ls.epochs, ls.minibatches, ls.final_log_likelihood, ls.grad_norm
-        ),
+        Some(ls) => {
+            println!(
+                "learning: {} examples, {} epochs, {} minibatches, final LL {:.4}, \
+                 final grad L2 {:.6} (epoch mean {:.6})",
+                ls.examples,
+                ls.epochs,
+                ls.minibatches,
+                ls.final_log_likelihood,
+                ls.grad_norm,
+                ls.grad_norm_mean
+            );
+            if ls.packed_epochs > 0 {
+                println!(
+                    "  packed arena: {} example(s), {} entr(ies), {} byte(s), {} epoch(s) served",
+                    ls.packed_examples, ls.packed_entries, ls.packed_bytes, ls.packed_epochs
+                );
+            }
+        }
         None => println!("learning: skipped (no evidence)"),
     }
     println!("\nlearned DC-violation weights:");

@@ -23,7 +23,10 @@
 //! plus compaction, so `--dc-factors --stream` is a supported pair;
 //! with `--no-score-cache`, the frozen-weight score cache is disabled.
 //! The cache is a pure wall-clock knob, so CI diffs the dump with it on
-//! vs off — byte-identical output is the contract.
+//! vs off — byte-identical output is the contract. `--naive-learn`
+//! routes SGD through the hash-map oracle instead of the packed
+//! example-major arena; the packed kernel is the same kind of pure
+//! wall-clock knob, diffed the same way.
 //!
 //! Flags are parsed strictly (`holo_bench::Args`): a typo'd flag aborts
 //! with a usage line and exit code 2 instead of being silently dropped.
@@ -52,7 +55,8 @@ fn main() {
     let mut config = HoloConfig::default()
         .with_threads(args.threads)
         .with_chromatic_gibbs(args.chromatic)
-        .with_score_cache(!args.no_score_cache);
+        .with_score_cache(!args.no_score_cache)
+        .with_packed_learn(!args.naive_learn);
     if args.dc_factors {
         config = config.with_variant(ModelVariant::DcFactorsPartitioned);
     }

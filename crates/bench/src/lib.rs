@@ -65,6 +65,12 @@ pub struct Args {
     /// DC-factor model variant, exercising the exact/Gibbs engines the
     /// default clique-free model never routes to.
     pub dc_factors: bool,
+    /// Disable the packed example-major learning arena (`diag`,
+    /// `dump_repairs`), routing SGD through the naive hash-map oracle.
+    /// The packed kernel is a pure wall-clock knob — weights, repairs
+    /// and posteriors are byte-identical on or off — which is the
+    /// equivalence CI diffs.
+    pub naive_learn: bool,
     /// Full-CRUD streaming drive (`dump_repairs`, needs `--stream K`):
     /// every ingest batch is corrupted on entry (a mangled first row plus
     /// a decoy row) and then healed with `push_updates`/`push_deletes`,
@@ -87,6 +93,7 @@ impl Default for Args {
             chromatic: false,
             no_score_cache: false,
             dc_factors: false,
+            naive_learn: false,
             crud: false,
         }
     }
@@ -136,6 +143,7 @@ impl Args {
                 "--chromatic" => args.chromatic = true,
                 "--no-score-cache" => args.no_score_cache = true,
                 "--dc-factors" => args.dc_factors = true,
+                "--naive-learn" => args.naive_learn = true,
                 "--crud" => args.crud = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
@@ -152,7 +160,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale F] [--seed N] [--full] [--json] [--scare-budget SECS]\n\
          \x20            [--stream K] [--threads N] [--marginals] [--chromatic]\n\
-         \x20            [--no-score-cache] [--dc-factors] [--crud]\n\
+         \x20            [--no-score-cache] [--dc-factors] [--naive-learn] [--crud]\n\
          \n\
          --scale F          row-count multiplier (default 1.0)\n\
          --seed N           generator seed (default 42)\n\
@@ -165,6 +173,7 @@ fn usage(msg: &str) -> ! {
          --chromatic        chromatic Gibbs colour sweeps (diag, dump_repairs)\n\
          --no-score-cache   disable the frozen-weight score cache (diag, dump_repairs)\n\
          --dc-factors       partitioned DC-factor model variant (dump_repairs)\n\
+         --naive-learn      disable the packed learning arena (diag, dump_repairs)\n\
          --crud             corrupt-and-heal every stream batch with updates and\n\
          \x20                  deletes; needs --stream (dump_repairs)"
     );
@@ -224,7 +233,15 @@ mod tests {
         let a = Args::parse(argv(&["--no-score-cache", "--dc-factors"]));
         assert!(a.no_score_cache);
         assert!(a.dc_factors);
+        assert!(!a.naive_learn);
         assert!(!a.crud);
+    }
+
+    #[test]
+    fn parse_naive_learn_flag() {
+        let a = Args::parse(argv(&["--naive-learn"]));
+        assert!(a.naive_learn);
+        assert!(!a.no_score_cache);
     }
 
     #[test]

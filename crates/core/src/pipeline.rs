@@ -399,6 +399,8 @@ impl Stage for LearnStage {
     fn run(&self, cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError> {
         let model = data.require_model("Learn")?;
         let mut weights = model.weights.clone();
+        // `config.learn.packed` (HoloConfig::with_packed_learn) selects
+        // the packed-arena kernel here and at every other learn site.
         data.learn_stats = if model.stats.evidence_vars > 0 {
             Some(learn::train_with_threads(
                 &model.graph,

@@ -30,9 +30,27 @@
 //! `threads = 1`. The gradient is summed (not averaged) over the
 //! minibatch, so one epoch applies the same total step mass as classic
 //! per-example SGD at the same learning rate.
+//!
+//! ## The packed kernel and the naive oracle
+//!
+//! With [`LearnConfig::packed`] set (the default), every training entry
+//! point first gathers its eligible examples into a
+//! [`crate::packed::PackedArena`] — an example-major copy
+//! of the design rows with per-example local weight dictionaries — and
+//! the epochs then stream packed memory linearly with dense-slot
+//! gradient accumulation instead of hash maps (see [`crate::packed`]
+//! for the layout and the addition-order invariants). The arena lives
+//! for exactly one training call, like the inference-side `ScoreCache`,
+//! so patched design matrices can never serve a stale pack. With the
+//! knob off, the pre-arena path below runs unchanged; it is kept as the
+//! bit-for-bit **oracle** (`minibatch_gradient_naive`) that the packed
+//! kernel is property-tested against and the `learn_kernel` criterion
+//! group prices it against. Both paths produce identical weights,
+//! stats, and RNG consumption — the knob trades wall-clock only.
 
 use crate::graph::{FactorGraph, VarId};
 use crate::math::softmax_in_place;
+use crate::packed::{self, EpochOutcome, PackedArena};
 use crate::weights::{WeightId, Weights};
 use holo_dataset::FxHashMap;
 use rand::rngs::StdRng;
@@ -43,14 +61,15 @@ use serde::{Deserialize, Serialize};
 /// Examples per gradient shard — the fixed parallel work unit inside a
 /// minibatch. Independent of the thread count by design (that is what
 /// makes the merge order, and hence the result, thread-count invariant);
-/// small enough that the default minibatch spans 16 shards.
-const GRAD_SHARD_EXAMPLES: usize = 8;
+/// small enough that the default minibatch spans 16 shards. Shared with
+/// the packed kernel so both paths cut identical shard boundaries.
+pub(crate) const GRAD_SHARD_EXAMPLES: usize = 8;
 
 /// Below this many examples a minibatch's gradient folds inline: spawning
 /// scoped threads costs ~10µs each, which would rival the gradient work
 /// of a handful of examples. Purely a wall-clock guard — the shard
 /// boundaries (and hence the result) are identical either way.
-const MIN_PARALLEL_EXAMPLES: usize = 64;
+pub(crate) const MIN_PARALLEL_EXAMPLES: usize = 64;
 
 /// SGD hyper-parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -69,6 +88,12 @@ pub struct LearnConfig {
     /// frozen at minibatch start and applied once per minibatch. `0` is
     /// treated as `1` (classic per-example SGD, fully sequential).
     pub minibatch: usize,
+    /// Route epochs through the packed example-major arena
+    /// ([`crate::packed`]) instead of the hash-map gradient path. On by
+    /// default; a pure wall-clock knob — weights, stats, and RNG
+    /// consumption are bit-for-bit identical either way (the naive path
+    /// is kept as the equivalence oracle and bench baseline).
+    pub packed: bool,
 }
 
 impl Default for LearnConfig {
@@ -80,6 +105,7 @@ impl Default for LearnConfig {
             l2: 1e-4,
             seed: 0x1ea2,
             minibatch: 128,
+            packed: true,
         }
     }
 }
@@ -95,9 +121,54 @@ pub struct LearnStats {
     pub epochs: usize,
     /// Total minibatches executed across all epochs.
     pub minibatches: usize,
-    /// L2 norm of the last minibatch's accumulated gradient (a convergence
-    /// signal: near zero when the model has stopped moving).
+    /// L2 norm of the **last** minibatch's accumulated gradient. A noisy
+    /// convergence signal (one minibatch's draw); see
+    /// [`LearnStats::grad_norm_mean`] for the stable one.
     pub grad_norm: f64,
+    /// Mean minibatch gradient L2 norm over the **final epoch** — the
+    /// stable convergence signal `diag` reports (near zero when the
+    /// model has stopped moving).
+    pub grad_norm_mean: f64,
+    /// Examples gathered into the packed arena (0 on the naive path).
+    pub packed_examples: usize,
+    /// Feature entries gathered into the packed arena (0 on the naive
+    /// path).
+    pub packed_entries: usize,
+    /// Resident bytes of the packed arena (0 on the naive path).
+    pub packed_bytes: usize,
+    /// Epochs served from the packed arena (0 on the naive path).
+    pub packed_epochs: usize,
+}
+
+impl LearnStats {
+    /// A zeroed stats record for `examples` examples and `epochs`
+    /// epochs — the starting point every trainer fills in.
+    fn empty(examples: usize, epochs: usize) -> LearnStats {
+        LearnStats {
+            final_log_likelihood: 0.0,
+            examples,
+            epochs,
+            minibatches: 0,
+            grad_norm: 0.0,
+            grad_norm_mean: 0.0,
+            packed_examples: 0,
+            packed_entries: 0,
+            packed_bytes: 0,
+            packed_epochs: 0,
+        }
+    }
+
+    /// Folds an epoch-loop outcome into the record.
+    fn absorb(&mut self, out: EpochOutcome) {
+        self.final_log_likelihood = if self.examples == 0 {
+            0.0
+        } else {
+            out.ll_sum / self.examples as f64
+        };
+        self.minibatches = out.minibatches;
+        self.grad_norm = out.grad_norm;
+        self.grad_norm_mean = out.grad_norm_mean;
+    }
 }
 
 /// [`train_with_threads`] on a single thread.
@@ -153,28 +224,99 @@ pub fn train_examples(
     let mut examples: Vec<VarId> = examples
         .iter()
         .copied()
-        .filter(|&v| graph.var(v).arity() > 1)
+        .filter(|&v| eligible_example(graph, v))
         .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    run_epochs(
+        graph,
+        weights,
+        config,
+        threads,
+        &mut examples,
+        &mut rng,
+        config.epochs,
+    )
+}
+
+/// An example carries gradient signal only if it is evidence (it has an
+/// observed target) with more than one candidate. Non-evidence ids in a
+/// caller's window are dropped here — the gradient loops downstream
+/// assert the invariant instead of panicking on it.
+fn eligible_example(graph: &FactorGraph, v: VarId) -> bool {
+    let var = graph.var(v);
+    var.evidence.is_some() && var.arity() > 1
+}
+
+/// The shared epoch driver: dispatches the (already filtered) example
+/// list to the packed kernel or the naive oracle on
+/// [`LearnConfig::packed`]. Both paths consume identical RNG draws (one
+/// length-`examples` shuffle per epoch) and produce bit-for-bit
+/// identical weights and stats; the packed path additionally fills the
+/// arena counters.
+fn run_epochs(
+    graph: &FactorGraph,
+    weights: &mut Weights,
+    config: &LearnConfig,
+    threads: usize,
+    examples: &mut [VarId],
+    rng: &mut StdRng,
+    epochs: usize,
+) -> LearnStats {
+    let mut stats = LearnStats::empty(examples.len(), epochs);
+    if config.packed {
+        let arena = PackedArena::pack(graph, graph.design(), weights, examples);
+        stats.packed_examples = arena.examples();
+        stats.packed_entries = arena.packed_entries();
+        stats.packed_bytes = arena.bytes();
+        stats.packed_epochs = epochs;
+        stats.absorb(packed::run_epochs(
+            &arena, weights, config, threads, rng, epochs,
+        ));
+    } else {
+        stats.absorb(run_epochs_naive(
+            graph, weights, config, threads, examples, rng, epochs,
+        ));
+    }
+    stats
+}
+
+/// The pre-arena epoch loop — the `_naive` oracle the packed kernel is
+/// verified against (and the `learn_kernel` bench baseline). Walks the
+/// CSR design matrix per example and accumulates gradients in hash
+/// maps; production calls route through the packed kernel instead.
+fn run_epochs_naive(
+    graph: &FactorGraph,
+    weights: &mut Weights,
+    config: &LearnConfig,
+    threads: usize,
+    examples: &mut [VarId],
+    rng: &mut StdRng,
+    epochs: usize,
+) -> EpochOutcome {
     let design = graph.design();
     let batch = config.minibatch.max(1);
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut lr = config.learning_rate;
-    let mut final_ll = 0.0;
-    let mut minibatches = 0usize;
-    let mut grad_norm = 0.0;
     let mut keys: Vec<WeightId> = Vec::new();
-
-    for _epoch in 0..config.epochs {
-        examples.shuffle(&mut rng);
+    let mut out = EpochOutcome {
+        ll_sum: 0.0,
+        minibatches: 0,
+        grad_norm: 0.0,
+        grad_norm_mean: 0.0,
+    };
+    for _epoch in 0..epochs {
+        examples.shuffle(rng);
         let mut ll_sum = 0.0;
+        let mut norm_sum = 0.0;
+        let mut epoch_minibatches = 0usize;
         for minibatch in examples.chunks(batch) {
             let Some((grad, ll)) =
-                minibatch_gradient(graph, design, weights, config, threads, minibatch)
+                minibatch_gradient_naive(graph, design, weights, config, threads, minibatch)
             else {
                 continue;
             };
             ll_sum += ll;
-            minibatches += 1;
+            out.minibatches += 1;
+            epoch_minibatches += 1;
             // Apply once per minibatch, in weight-id order. The order is
             // cosmetic for determinism (each weight is touched exactly
             // once) but makes the update sequence easy to reason about.
@@ -187,23 +329,18 @@ pub fn train_examples(
                 norm_sq += g * g;
                 weights.update(w, lr * g);
             }
-            grad_norm = norm_sq.sqrt();
+            out.grad_norm = norm_sq.sqrt();
+            norm_sum += out.grad_norm;
         }
-        final_ll = if examples.is_empty() {
+        out.ll_sum = ll_sum;
+        out.grad_norm_mean = if epoch_minibatches == 0 {
             0.0
         } else {
-            ll_sum / examples.len() as f64
+            norm_sum / epoch_minibatches as f64
         };
         lr *= config.decay;
     }
-
-    LearnStats {
-        final_log_likelihood: final_ll,
-        examples: examples.len(),
-        epochs: config.epochs,
-        minibatches,
-        grad_norm,
-    }
+    out
 }
 
 /// Warm-start replay training — the incremental-learning path of the
@@ -236,7 +373,7 @@ pub fn train_replay(
     let eligible: Vec<VarId> = examples
         .iter()
         .copied()
-        .filter(|&v| graph.var(v).arity() > 1)
+        .filter(|&v| eligible_example(graph, v))
         .collect();
     let recent_n = recent.min(eligible.len());
     let (older, fresh) = eligible.split_at(eligible.len() - recent_n);
@@ -253,65 +390,27 @@ pub fn train_replay(
     let mut window: Vec<VarId> = fresh.to_vec();
     window.extend(sampled);
     if window.is_empty() {
-        return LearnStats {
-            final_log_likelihood: 0.0,
-            examples: 0,
-            epochs,
-            minibatches: 0,
-            grad_norm: 0.0,
-        };
+        return LearnStats::empty(0, epochs);
     }
-
-    let design = graph.design();
-    let batch = config.minibatch.max(1);
-    let mut lr = config.learning_rate;
-    let mut final_ll = 0.0;
-    let mut minibatches = 0usize;
-    let mut grad_norm = 0.0;
-    let mut keys: Vec<WeightId> = Vec::new();
-    for _epoch in 0..epochs {
-        window.shuffle(&mut rng);
-        let mut ll_sum = 0.0;
-        for minibatch in window.chunks(batch) {
-            let Some((grad, ll)) =
-                minibatch_gradient(graph, design, weights, config, threads, minibatch)
-            else {
-                continue;
-            };
-            ll_sum += ll;
-            minibatches += 1;
-            keys.clear();
-            keys.extend(grad.keys().copied());
-            keys.sort_unstable();
-            let mut norm_sq = 0.0;
-            for &w in &keys {
-                let g = grad[&w];
-                norm_sq += g * g;
-                weights.update(w, lr * g);
-            }
-            grad_norm = norm_sq.sqrt();
-        }
-        final_ll = if window.is_empty() {
-            0.0
-        } else {
-            ll_sum / window.len() as f64
-        };
-        lr *= config.decay;
-    }
-    LearnStats {
-        final_log_likelihood: final_ll,
-        examples: window.len(),
+    // The epoch loop continues on the sampling RNG — the replay
+    // trajectory is one deterministic stream per (seed, window size).
+    run_epochs(
+        graph,
+        weights,
+        config,
+        threads,
+        &mut window,
+        &mut rng,
         epochs,
-        minibatches,
-        grad_norm,
-    }
+    )
 }
 
 /// Sparse summed gradient of one minibatch (plus its log-likelihood sum),
-/// computed against the frozen `weights`. Examples fold in fixed-size
-/// shards merged in shard order, so the accumulation order — and the
-/// floating-point result — is independent of the thread count.
-fn minibatch_gradient(
+/// computed against the frozen `weights` — the hash-map oracle path.
+/// Examples fold in fixed-size shards merged in shard order, so the
+/// accumulation order — and the floating-point result — is independent
+/// of the thread count.
+fn minibatch_gradient_naive(
     graph: &FactorGraph,
     design: &crate::design::DesignMatrix,
     weights: &Weights,
@@ -333,7 +432,16 @@ fn minibatch_gradient(
             let mut ll = 0.0;
             let mut scores: Vec<f64> = Vec::new();
             for &v in shard {
-                let target = graph.var(v).evidence.expect("evidence variable");
+                let Some(target) = graph.var(v).evidence else {
+                    // `eligible_example` filters these out of every
+                    // window before the epoch loop; assert the invariant
+                    // instead of panicking in release builds.
+                    debug_assert!(
+                        false,
+                        "non-evidence variable {v:?} reached the gradient loop"
+                    );
+                    continue;
+                };
                 design.score_var_into(v, weights, &mut scores);
                 softmax_in_place(&mut scores);
                 ll += scores[target].max(1e-300).ln();
@@ -434,6 +542,7 @@ mod tests {
                 l2: 0.0,
                 seed: 1,
                 minibatch: 32,
+                ..LearnConfig::default()
             },
         );
         let logit = w.get(f);
@@ -488,24 +597,151 @@ mod tests {
             }
         }
         for minibatch in [1, 7, 32, 64, 150, 400] {
-            let cfg = LearnConfig {
-                minibatch,
-                ..LearnConfig::default()
-            };
-            let mut reference = reg.build_weights();
-            let ref_stats = train_with_threads(&g, &mut reference, &cfg, 1);
-            for threads in [2, 4] {
-                let mut w = reg.build_weights();
-                let stats = train_with_threads(&g, &mut w, &cfg, threads);
-                assert_eq!(w, reference, "minibatch = {minibatch}, threads = {threads}");
-                assert_eq!(stats.minibatches, ref_stats.minibatches);
-                assert_eq!(stats.grad_norm.to_bits(), ref_stats.grad_norm.to_bits());
-                assert_eq!(
-                    stats.final_log_likelihood.to_bits(),
-                    ref_stats.final_log_likelihood.to_bits()
-                );
+            for packed in [true, false] {
+                let cfg = LearnConfig {
+                    minibatch,
+                    packed,
+                    ..LearnConfig::default()
+                };
+                let mut reference = reg.build_weights();
+                let ref_stats = train_with_threads(&g, &mut reference, &cfg, 1);
+                for threads in [2, 4] {
+                    let mut w = reg.build_weights();
+                    let stats = train_with_threads(&g, &mut w, &cfg, threads);
+                    assert_eq!(
+                        w, reference,
+                        "minibatch = {minibatch}, threads = {threads}, packed = {packed}"
+                    );
+                    assert_eq!(stats.minibatches, ref_stats.minibatches);
+                    assert_eq!(stats.grad_norm.to_bits(), ref_stats.grad_norm.to_bits());
+                    assert_eq!(
+                        stats.grad_norm_mean.to_bits(),
+                        ref_stats.grad_norm_mean.to_bits()
+                    );
+                    assert_eq!(
+                        stats.final_log_likelihood.to_bits(),
+                        ref_stats.final_log_likelihood.to_bits()
+                    );
+                }
             }
         }
+    }
+
+    /// The headline equivalence of the packed kernel: for every
+    /// minibatch size, the packed trainer's weights and stats are
+    /// bit-for-bit the naive oracle's, and only the packed path reports
+    /// arena counters.
+    #[test]
+    fn packed_trainer_is_bitwise_the_naive_oracle() {
+        let mut reg: FeatureRegistry<(u8, usize)> = FeatureRegistry::new();
+        let prior = reg.fixed((b'p', 0), 1.25);
+        let mut g = FactorGraph::new();
+        for i in 0..90usize {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2), sym(3)], i % 3));
+            for k in 0..3usize {
+                let w = reg.learnable((b'a', (i * 3 + k) % 17));
+                g.add_feature(v, k, w, 0.2 + ((i + k) % 4) as f64 * 0.4);
+            }
+            g.add_feature(v, i % 3, prior, 1.0);
+        }
+        for minibatch in [1, 8, 33, 128] {
+            let naive_cfg = LearnConfig {
+                minibatch,
+                packed: false,
+                ..LearnConfig::default()
+            };
+            let packed_cfg = LearnConfig {
+                packed: true,
+                ..naive_cfg
+            };
+            let mut w_naive = reg.build_weights();
+            let mut w_packed = reg.build_weights();
+            let s_naive = train_with_threads(&g, &mut w_naive, &naive_cfg, 2);
+            let s_packed = train_with_threads(&g, &mut w_packed, &packed_cfg, 2);
+            assert_eq!(w_packed, w_naive, "minibatch = {minibatch}");
+            assert_eq!(s_packed.minibatches, s_naive.minibatches);
+            assert_eq!(s_packed.grad_norm.to_bits(), s_naive.grad_norm.to_bits());
+            assert_eq!(
+                s_packed.grad_norm_mean.to_bits(),
+                s_naive.grad_norm_mean.to_bits()
+            );
+            assert_eq!(
+                s_packed.final_log_likelihood.to_bits(),
+                s_naive.final_log_likelihood.to_bits()
+            );
+            assert_eq!(s_packed.packed_examples, 90);
+            assert!(s_packed.packed_entries > 0);
+            assert!(s_packed.packed_bytes > 0);
+            assert_eq!(s_packed.packed_epochs, packed_cfg.epochs);
+            assert_eq!(s_naive.packed_examples, 0);
+            assert_eq!(s_naive.packed_bytes, 0);
+            assert_eq!(s_naive.packed_epochs, 0);
+        }
+    }
+
+    /// Regression: a non-evidence `VarId` slipping into an explicit
+    /// example window is filtered out (it carries no target), not a
+    /// release-mode panic as `expect("evidence variable")` used to be.
+    #[test]
+    fn non_evidence_examples_are_filtered_not_a_panic() {
+        let mut reg: FeatureRegistry<usize> = FeatureRegistry::new();
+        let mut g = FactorGraph::new();
+        let mut window = Vec::new();
+        for i in 0..12usize {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2)], i % 2));
+            g.add_feature(v, 0, reg.learnable(i % 3), 1.0);
+            window.push(v);
+        }
+        let q = g.add_variable(Variable::query(vec![sym(1), sym(2)], Some(0)));
+        g.add_feature(q, 0, reg.learnable(0), 1.0);
+        window.insert(4, q);
+        for packed in [true, false] {
+            let cfg = LearnConfig {
+                packed,
+                ..LearnConfig::default()
+            };
+            let mut w = reg.build_weights();
+            let stats = train_examples(&g, &mut w, &cfg, 1, &window);
+            assert_eq!(stats.examples, 12, "query var dropped, packed = {packed}");
+            let mut w_clean = reg.build_weights();
+            let clean: Vec<VarId> = window.iter().copied().filter(|&v| v != q).collect();
+            let stats_clean = train_examples(&g, &mut w_clean, &cfg, 1, &clean);
+            assert_eq!(w, w_clean, "filtered window trains identically");
+            assert_eq!(stats.minibatches, stats_clean.minibatches);
+            // Replay windows get the same treatment.
+            let mut w_replay = w.clone();
+            let s = train_replay(&g, &mut w_replay, &cfg, 1, &window, 4, 1);
+            assert_eq!(s.examples, 8, "4 fresh + 4 replayed, query excluded");
+        }
+    }
+
+    /// `grad_norm_mean` averages the final epoch's minibatch norms: with
+    /// one minibatch per epoch it equals `grad_norm`, and it is stable
+    /// across thread counts (covered bitwise above).
+    #[test]
+    fn grad_norm_mean_reports_the_final_epoch_mean() {
+        let mut g = FactorGraph::new();
+        let f = WeightId(0);
+        for i in 0..10 {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2)], i % 2));
+            g.add_feature(v, 0, f, 1.0);
+        }
+        let one_batch = LearnConfig {
+            minibatch: 16,
+            ..LearnConfig::default()
+        };
+        let mut w = Weights::zeros(1);
+        let stats = train(&g, &mut w, &one_batch);
+        assert_eq!(stats.grad_norm_mean.to_bits(), stats.grad_norm.to_bits());
+        // Several minibatches per epoch: the mean is a different (and
+        // positive) statistic than the last draw.
+        let many = LearnConfig {
+            minibatch: 2,
+            ..LearnConfig::default()
+        };
+        let mut w2 = Weights::zeros(1);
+        let stats2 = train(&g, &mut w2, &many);
+        assert!(stats2.grad_norm_mean > 0.0);
     }
 
     /// `minibatch = 1` applies every example's gradient immediately —

@@ -26,6 +26,12 @@
 //!   minibatch SGD (§2.2), i.e. multinomial logistic regression over the
 //!   design-matrix rows; L2 regularised, deterministic under a seed at
 //!   every thread count (fixed gradient shards merged in shard order).
+//! * [`packed`] — the example-major [`PackedArena`] the trainer gathers
+//!   per training call: contiguous per-example rows with local weight
+//!   dictionaries, scored by a packed clone of the blocked kernel with
+//!   dense-slot (hash-free) gradient accumulation. Bit-for-bit the
+//!   naive trainer at every thread count; rebuilt per call like
+//!   [`ScoreCache`].
 //! * [`gibbs`] — the Gibbs sampler used for approximate inference over
 //!   models with clique factors: sequential single-site sweeps over the
 //!   query variables, or deterministic chromatic color-class sweeps when a
@@ -57,6 +63,7 @@ pub mod graph;
 pub mod learn;
 pub mod marginals;
 pub mod math;
+pub mod packed;
 pub mod weights;
 
 #[cfg(test)]
@@ -75,4 +82,5 @@ pub use graph::{
 };
 pub use learn::{LearnConfig, LearnStats};
 pub use marginals::Marginals;
+pub use packed::PackedArena;
 pub use weights::{FeatureRegistry, WeightId, Weights};

@@ -1,0 +1,559 @@
+//! The packed example-major training arena — the hash-free SGD substrate.
+//!
+//! [`crate::learn`]'s gradient loop is the tax every streaming read pays
+//! (`StreamSession::report` and `FeedbackSession::retrain` both re-run a
+//! canonical retrain), and on the CSR [`DesignMatrix`] it walks two
+//! levels of offset indirection per row and pays a hash-map `entry` per
+//! feature occurrence, per candidate, per example, per epoch — then
+//! rehashes whole maps again at every shard merge. [`PackedArena`] moves
+//! that work out of the epochs: **one gather pass per training call**
+//! copies each example's candidate rows into contiguous example-major
+//! buffers, and every epoch after that streams packed memory linearly
+//! with no hashing anywhere.
+//!
+//! ## Layout
+//!
+//! Per example, in example order:
+//!
+//! * a header — the evidence target plus prefix offsets into the row and
+//!   slot arrays (`ex_rows`, `ex_slots`);
+//! * flat `(local_slot, x)` feature entries (`entries`, one run per
+//!   candidate row, rows delimited by the `row_entries` prefix), in
+//!   exactly the design matrix's entry order;
+//! * a **local weight dictionary** (`slot_weights`, `slot_fixed`): the
+//!   example's distinct [`WeightId`]s mapped to small dense slots,
+//!   assigned in **entry encounter order**.
+//!
+//! Epochs score through a packed clone of the blocked 4-accumulator
+//! kernel (gathering each example's few weight values into a dense
+//! `wvals` buffer first), feed the fused
+//! [`crate::math::softmax_in_place`], and accumulate
+//! gradients into a small dense per-shard slot array addressed through a
+//! generation-stamped shard dictionary — no `FxHashMap` on any epoch
+//! path. Shard results leave as **sorted `(WeightId, f64)` runs** merged
+//! two-pointer in shard order.
+//!
+//! ## Invariants
+//!
+//! * **Addition order** — bit-for-bit the naive oracle
+//!   ([`crate::learn`] with `packed = false`) at every thread count: the
+//!   packed kernel reproduces the blocked kernel's fixed lane split per
+//!   row, the shard accumulator adds gradient increments per weight in
+//!   the exact entry-visit order the hash accumulator does, and the
+//!   sorted-run merge adds shard subtotals per weight in the exact shard
+//!   order the hash merge does. (A per-shard subtotal can never be
+//!   `-0.0` — it starts at `+0.0` and round-to-nearest never produces
+//!   `-0.0` from a `+0.0` start — so the hash path's `0.0 + g` insert is
+//!   bitwise `g` and the run merge may copy it.)
+//! * **Arena lifetime** — the arena is rebuilt per training call and
+//!   never stored in the graph (the [`crate::cache::ScoreCache`]
+//!   discipline), so a design matrix patched between calls can never
+//!   serve a stale pack. It also snapshots `weights.is_fixed` per slot,
+//!   which is safe for the same reason: fixedness never changes inside a
+//!   training call.
+
+use crate::design::DesignMatrix;
+use crate::graph::{FactorGraph, VarId};
+use crate::learn::{LearnConfig, GRAD_SHARD_EXAMPLES, MIN_PARALLEL_EXAMPLES};
+use crate::math::softmax_in_place;
+use crate::weights::{WeightId, Weights};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::ops::Range;
+
+/// The example-major gather of a training call's eligible examples (see
+/// the module docs for layout and invariants). Build with
+/// [`PackedArena::pack`]; rebuilt per training call.
+pub struct PackedArena {
+    /// Width of the weight store — sizes the per-worker stamp arrays.
+    weight_count: usize,
+    /// Evidence target (candidate index) per example.
+    ex_target: Vec<u32>,
+    /// Prefix offsets into the row index: example `i`'s candidate rows
+    /// are `ex_rows[i] .. ex_rows[i + 1]`. Length `examples + 1`.
+    ex_rows: Vec<u32>,
+    /// Prefix offsets into `entries` per packed row. Length `rows + 1`.
+    row_entries: Vec<u32>,
+    /// `(local_slot, x)` feature entries of all packed rows, in design
+    /// entry order.
+    entries: Vec<(u32, f64)>,
+    /// Prefix offsets into the slot arrays: example `i`'s dictionary is
+    /// `ex_slots[i] .. ex_slots[i + 1]`. Length `examples + 1`.
+    ex_slots: Vec<u32>,
+    /// Concatenated local dictionaries: global id per (example, slot).
+    slot_weights: Vec<WeightId>,
+    /// Fixedness snapshot per (example, slot) — lets the gradient loop
+    /// skip fixed weights without touching the weight store.
+    slot_fixed: Vec<bool>,
+    /// Largest per-example dictionary (sizes the gather buffer).
+    max_slots: usize,
+    /// Largest per-example candidate count (sizes the score buffer).
+    max_arity: usize,
+}
+
+impl PackedArena {
+    /// Gathers `examples` (already filtered to evidence variables with
+    /// more than one candidate) out of `design` into the packed layout.
+    /// One linear pass; the local dictionaries are built with a
+    /// generation-stamped scratch, so packing itself is hash-free too.
+    pub fn pack(
+        graph: &FactorGraph,
+        design: &DesignMatrix,
+        weights: &Weights,
+        examples: &[VarId],
+    ) -> PackedArena {
+        let mut rows = 0usize;
+        let mut nnz = 0usize;
+        for &v in examples {
+            let range = design.var_range(v);
+            rows += range.len();
+            for r in range {
+                nnz += design.row(r).len();
+            }
+        }
+        assert!(rows < u32::MAX as usize, "packed arena row overflow");
+        assert!(nnz <= u32::MAX as usize, "packed arena entry overflow");
+
+        let weight_count = weights.len();
+        let mut arena = PackedArena {
+            weight_count,
+            ex_target: Vec::with_capacity(examples.len()),
+            ex_rows: Vec::with_capacity(examples.len() + 1),
+            row_entries: Vec::with_capacity(rows + 1),
+            entries: Vec::with_capacity(nnz),
+            ex_slots: Vec::with_capacity(examples.len() + 1),
+            slot_weights: Vec::new(),
+            slot_fixed: Vec::new(),
+            max_slots: 0,
+            max_arity: 0,
+        };
+        arena.ex_rows.push(0);
+        arena.row_entries.push(0);
+        arena.ex_slots.push(0);
+        let mut stamp = vec![0u64; weight_count];
+        let mut slot_of = vec![0u32; weight_count];
+        let mut tick = 0u64;
+        for &v in examples {
+            let Some(target) = graph.var(v).evidence else {
+                // The eligibility filter in `learn` guarantees this is
+                // unreachable; keep the pack total-order consistent with
+                // the naive oracle (which also skips) if it ever isn't.
+                debug_assert!(
+                    false,
+                    "non-evidence variable {v:?} reached the packed arena"
+                );
+                continue;
+            };
+            tick += 1;
+            let slot_base = arena.slot_weights.len();
+            for r in design.var_range(v) {
+                for &(w, x) in design.row(r) {
+                    let wi = w.index();
+                    let slot = if stamp[wi] == tick {
+                        slot_of[wi]
+                    } else {
+                        stamp[wi] = tick;
+                        let s = (arena.slot_weights.len() - slot_base) as u32;
+                        slot_of[wi] = s;
+                        arena.slot_weights.push(w);
+                        arena.slot_fixed.push(weights.is_fixed(w));
+                        s
+                    };
+                    arena.entries.push((slot, x));
+                }
+                arena.row_entries.push(arena.entries.len() as u32);
+            }
+            arena.ex_rows.push((arena.row_entries.len() - 1) as u32);
+            arena.ex_slots.push(arena.slot_weights.len() as u32);
+            arena.ex_target.push(target as u32);
+            arena.max_slots = arena.max_slots.max(arena.slot_weights.len() - slot_base);
+            arena.max_arity = arena.max_arity.max(
+                arena.ex_rows[arena.ex_rows.len() - 1] as usize
+                    - arena.ex_rows[arena.ex_rows.len() - 2] as usize,
+            );
+        }
+        arena
+    }
+
+    /// Number of packed examples.
+    pub fn examples(&self) -> usize {
+        self.ex_target.len()
+    }
+
+    /// Total packed feature entries across all examples.
+    pub fn packed_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resident bytes of the packed buffers (the `LearnStats` counter).
+    pub fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.ex_target.len() * size_of::<u32>()
+            + self.ex_rows.len() * size_of::<u32>()
+            + self.row_entries.len() * size_of::<u32>()
+            + self.entries.len() * size_of::<(u32, f64)>()
+            + self.ex_slots.len() * size_of::<u32>()
+            + self.slot_weights.len() * size_of::<WeightId>()
+            + self.slot_fixed.len() * size_of::<bool>()
+    }
+
+    /// Packed-row range of example `i`.
+    #[inline]
+    fn row_range(&self, i: usize) -> Range<usize> {
+        self.ex_rows[i] as usize..self.ex_rows[i + 1] as usize
+    }
+
+    /// Dictionary-slot range of example `i`.
+    #[inline]
+    fn slot_range(&self, i: usize) -> Range<usize> {
+        self.ex_slots[i] as usize..self.ex_slots[i + 1] as usize
+    }
+
+    /// The `(local_slot, x)` entries of packed row `r`.
+    #[inline]
+    fn row(&self, r: usize) -> &[(u32, f64)] {
+        &self.entries[self.row_entries[r] as usize..self.row_entries[r + 1] as usize]
+    }
+}
+
+/// What one packed (or naive) epoch loop reports back to `learn`'s
+/// stats assembly.
+pub(crate) struct EpochOutcome {
+    /// `Σ log P(target)` of the final epoch, divided by the example
+    /// count by the caller.
+    pub ll_sum: f64,
+    pub minibatches: usize,
+    pub grad_norm: f64,
+    pub grad_norm_mean: f64,
+}
+
+/// Per-worker reusable scratch of the packed gradient fold. Reset
+/// per shard via the generation stamp (`tick`), so a shard's result
+/// never depends on which worker's scratch folds it — the contract
+/// [`holo_parallel::sharded_fold_scratch`] requires.
+struct GradScratch {
+    /// Gathered weight values of the current example's dictionary.
+    wvals: Vec<f64>,
+    /// Candidate scores of the current example.
+    scores: Vec<f64>,
+    /// Generation stamp per global weight id (shard dictionary).
+    stamp: Vec<u64>,
+    /// Shard-local dense slot per stamped weight id.
+    slot_of: Vec<u32>,
+    /// Accumulated gradient per shard slot.
+    grad: Vec<f64>,
+    /// Global id per shard slot, in first-touch order.
+    touched: Vec<WeightId>,
+    /// Current shard generation.
+    tick: u64,
+}
+
+impl GradScratch {
+    fn new(arena: &PackedArena) -> Self {
+        GradScratch {
+            wvals: Vec::with_capacity(arena.max_slots),
+            scores: Vec::with_capacity(arena.max_arity),
+            stamp: vec![0u64; arena.weight_count],
+            slot_of: vec![0u32; arena.weight_count],
+            grad: Vec::new(),
+            touched: Vec::new(),
+            tick: 0,
+        }
+    }
+}
+
+/// The packed clone of [`crate::design::score_features`]: identical
+/// fixed lane split (exact chunks of four into four accumulators,
+/// sequential tail, pairwise reduction), indexing the gathered `wvals`
+/// instead of the weight store — so a packed row scores bit-for-bit the
+/// design row it was gathered from.
+#[inline]
+fn score_packed(entries: &[(u32, f64)], wvals: &[f64]) -> f64 {
+    let mut chunks = entries.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for c in &mut chunks {
+        a0 += wvals[c[0].0 as usize] * c[0].1;
+        a1 += wvals[c[1].0 as usize] * c[1].1;
+        a2 += wvals[c[2].0 as usize] * c[2].1;
+        a3 += wvals[c[3].0 as usize] * c[3].1;
+    }
+    let mut tail = 0.0f64;
+    for &(slot, x) in chunks.remainder() {
+        tail += wvals[slot as usize] * x;
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+/// One shard's gradient: a sorted `(WeightId, f64)` run plus the
+/// shard's log-likelihood sum. Increments accumulate per weight in
+/// entry-visit order across the whole shard — the hash accumulator's
+/// exact addition sequence.
+fn shard_gradient(
+    arena: &PackedArena,
+    weights: &Weights,
+    l2: f64,
+    scratch: &mut GradScratch,
+    shard: &[u32],
+) -> (Vec<(WeightId, f64)>, f64) {
+    scratch.tick += 1;
+    scratch.grad.clear();
+    scratch.touched.clear();
+    let mut ll = 0.0;
+    for &ei in shard {
+        let ei = ei as usize;
+        let slots = arena.slot_range(ei);
+        scratch.wvals.clear();
+        for &w in &arena.slot_weights[slots.clone()] {
+            scratch.wvals.push(weights.get(w));
+        }
+        let rows = arena.row_range(ei);
+        scratch.scores.clear();
+        for r in rows.clone() {
+            let s = score_packed(arena.row(r), &scratch.wvals);
+            scratch.scores.push(s);
+        }
+        softmax_in_place(&mut scratch.scores);
+        let target = arena.ex_target[ei] as usize;
+        ll += scratch.scores[target].max(1e-300).ln();
+        for (k, r) in rows.enumerate() {
+            let p_k = scratch.scores[k];
+            let residual = f64::from(u8::from(k == target)) - p_k;
+            if residual == 0.0 {
+                continue;
+            }
+            for &(slot, x) in arena.row(r) {
+                let gslot = slots.start + slot as usize;
+                if arena.slot_fixed[gslot] {
+                    continue;
+                }
+                let w = arena.slot_weights[gslot];
+                let wi = w.index();
+                if scratch.stamp[wi] != scratch.tick {
+                    scratch.stamp[wi] = scratch.tick;
+                    scratch.slot_of[wi] = scratch.grad.len() as u32;
+                    scratch.touched.push(w);
+                    scratch.grad.push(0.0);
+                }
+                let g = scratch.slot_of[wi] as usize;
+                scratch.grad[g] += x * residual - l2 * scratch.wvals[slot as usize];
+            }
+        }
+    }
+    let mut run: Vec<(WeightId, f64)> = scratch
+        .touched
+        .iter()
+        .copied()
+        .zip(scratch.grad.iter().copied())
+        .collect();
+    run.sort_unstable_by_key(|&(w, _)| w);
+    (run, ll)
+}
+
+/// Two-pointer merge of sorted gradient runs, applied strictly in shard
+/// order — per weight, this adds shard subtotals in the exact sequence
+/// the hash merge does (see the module docs for the `-0.0` argument
+/// that makes copying a one-sided subtotal exact).
+#[allow(clippy::type_complexity)]
+fn merge_runs(
+    (a, a_ll): (Vec<(WeightId, f64)>, f64),
+    (b, b_ll): (Vec<(WeightId, f64)>, f64),
+) -> (Vec<(WeightId, f64)>, f64) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    (out, a_ll + b_ll)
+}
+
+/// The packed epoch loop: seed-fixed shuffles over arena indices (same
+/// RNG draws as the naive loop's `VarId` shuffle — the stub's
+/// `shuffle` depends only on slice length), minibatch chunks folded in
+/// fixed shards through per-worker scratch, sorted-run merge, and the
+/// same sorted-order weight application as the oracle.
+pub(crate) fn run_epochs(
+    arena: &PackedArena,
+    weights: &mut Weights,
+    config: &LearnConfig,
+    threads: usize,
+    rng: &mut StdRng,
+    epochs: usize,
+) -> EpochOutcome {
+    let batch = config.minibatch.max(1);
+    let mut order: Vec<u32> = (0..arena.examples() as u32).collect();
+    let worker_budget = holo_parallel::effective_threads(threads).max(1);
+    let mut scratches: Vec<GradScratch> = (0..worker_budget)
+        .map(|_| GradScratch::new(arena))
+        .collect();
+    let mut lr = config.learning_rate;
+    let mut out = EpochOutcome {
+        ll_sum: 0.0,
+        minibatches: 0,
+        grad_norm: 0.0,
+        grad_norm_mean: 0.0,
+    };
+    for _epoch in 0..epochs {
+        order.shuffle(rng);
+        let mut ll_sum = 0.0;
+        let mut norm_sum = 0.0;
+        let mut epoch_minibatches = 0usize;
+        for minibatch in order.chunks(batch) {
+            let threads = if minibatch.len() < MIN_PARALLEL_EXAMPLES {
+                1
+            } else {
+                threads
+            };
+            let frozen: &Weights = weights;
+            let Some((run, ll)) = holo_parallel::sharded_fold_scratch(
+                threads,
+                minibatch,
+                GRAD_SHARD_EXAMPLES,
+                &mut scratches,
+                |scratch, shard| shard_gradient(arena, frozen, config.l2, scratch, shard),
+                merge_runs,
+            ) else {
+                continue;
+            };
+            ll_sum += ll;
+            out.minibatches += 1;
+            epoch_minibatches += 1;
+            let mut norm_sq = 0.0;
+            for &(w, g) in &run {
+                norm_sq += g * g;
+                weights.update(w, lr * g);
+            }
+            out.grad_norm = norm_sq.sqrt();
+            norm_sum += out.grad_norm;
+        }
+        out.ll_sum = ll_sum;
+        out.grad_norm_mean = if epoch_minibatches == 0 {
+            0.0
+        } else {
+            norm_sum / epoch_minibatches as f64
+        };
+        lr *= config.decay;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::score_features;
+    use crate::graph::Variable;
+    use crate::weights::FeatureRegistry;
+    use holo_dataset::Sym;
+
+    fn sym(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    /// A small graph with tied weights across examples, one fixed prior,
+    /// and irregular per-row entry counts (to exercise the kernel tail).
+    fn tied_model() -> (FactorGraph, Weights, Vec<VarId>) {
+        let mut reg: FeatureRegistry<usize> = FeatureRegistry::new();
+        let prior = reg.fixed(999, 1.5);
+        let mut g = FactorGraph::new();
+        let mut vars = Vec::new();
+        for i in 0..9usize {
+            let v = g.add_variable(Variable::evidence(vec![sym(1), sym(2), sym(3)], i % 3));
+            for k in 0..3usize {
+                for f in 0..(1 + (i + k) % 5) {
+                    let w = reg.learnable((i + k + f) % 6);
+                    g.add_feature(v, k, w, 0.25 + f as f64 * 0.5);
+                }
+            }
+            g.add_feature(v, i % 3, prior, 1.0);
+            vars.push(v);
+        }
+        let w = reg.build_weights();
+        (g, w, vars)
+    }
+
+    #[test]
+    fn pack_mirrors_the_design_rows() {
+        let (g, w, vars) = tied_model();
+        let design = g.design();
+        let arena = PackedArena::pack(&g, design, &w, &vars);
+        assert_eq!(arena.examples(), vars.len());
+        assert_eq!(arena.packed_entries(), design.nnz());
+        assert!(arena.bytes() > 0);
+        let mut wvals = Vec::new();
+        for (i, &v) in vars.iter().enumerate() {
+            // Local dictionary holds distinct ids in encounter order and
+            // gathers back to the design rows entry for entry.
+            let slots = arena.slot_range(i);
+            let dict = &arena.slot_weights[slots.clone()];
+            let mut seen = dict.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), dict.len(), "dictionary ids are distinct");
+            wvals.clear();
+            wvals.extend(dict.iter().map(|&id| w.get(id)));
+            for (pr, dr) in arena.row_range(i).zip(design.var_range(v)) {
+                let packed_row = arena.row(pr);
+                let design_row = design.row(dr);
+                assert_eq!(packed_row.len(), design_row.len());
+                for (&(slot, x), &(id, dx)) in packed_row.iter().zip(design_row) {
+                    assert_eq!(dict[slot as usize], id, "slot resolves to the design id");
+                    assert_eq!(x, dx);
+                    assert_eq!(
+                        arena.slot_fixed[slots.start + slot as usize],
+                        w.is_fixed(id)
+                    );
+                }
+                // The packed kernel scores the gathered row bit-for-bit
+                // like the blocked kernel scores the design row.
+                assert_eq!(
+                    score_packed(packed_row, &wvals).to_bits(),
+                    score_features(design_row, &w).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_run_merge_matches_hash_merge() {
+        let a = vec![(WeightId(0), 1.5), (WeightId(3), -0.25), (WeightId(7), 2.0)];
+        let b = vec![
+            (WeightId(1), 0.5),
+            (WeightId(3), 0.125),
+            (WeightId(9), -1.0),
+        ];
+        let (merged, ll) = merge_runs((a.clone(), 1.0), (b.clone(), 2.0));
+        assert_eq!(ll, 3.0);
+        let mut expected: Vec<(WeightId, f64)> = Vec::new();
+        for &(w, g) in a.iter().chain(&b) {
+            match expected.iter_mut().find(|(ew, _)| *ew == w) {
+                Some((_, eg)) => *eg += g,
+                None => expected.push((w, g)),
+            }
+        }
+        expected.sort_unstable_by_key(|&(w, _)| w);
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn empty_example_list_packs_empty() {
+        let (g, w, _) = tied_model();
+        let arena = PackedArena::pack(&g, g.design(), &w, &[]);
+        assert_eq!(arena.examples(), 0);
+        assert_eq!(arena.packed_entries(), 0);
+    }
+}

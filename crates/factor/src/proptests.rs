@@ -10,8 +10,9 @@ use crate::gibbs::{conditional_scores_into, GibbsConfig, GibbsSampler};
 use crate::graph::{
     CliqueFactor, CmpOp, EqOnlyContext, FactorGraph, FactorOperand, FactorPredicate, Variable,
 };
+use crate::learn::{self, LearnConfig};
 use crate::marginals::Marginals;
-use crate::weights::{WeightId, Weights};
+use crate::weights::{FeatureRegistry, WeightId, Weights};
 use holo_dataset::Sym;
 use proptest::prelude::*;
 
@@ -289,5 +290,111 @@ proptest! {
             }
         }
         prop_assert_eq!(graph.coloring_stats().full_builds, 1, "patches only");
+    }
+}
+
+/// One evidence variable of a random training model: `(arity, target,
+/// per-candidate sparse features)`. Feature keys < 8 intern as tied
+/// learnable weights, keys ≥ 8 as fixed weights — so the packed arena's
+/// fixedness snapshot and the tied-slot dictionary both get exercised.
+/// Arity-1 variables exercise the eligibility filter.
+type EvidenceVar = (usize, usize, Vec<Vec<(usize, f64)>>);
+
+fn evidence_model() -> impl Strategy<Value = Vec<EvidenceVar>> {
+    proptest::collection::vec(
+        (1usize..=3).prop_flat_map(|arity| {
+            (
+                Just(arity),
+                0..arity,
+                proptest::collection::vec(
+                    proptest::collection::vec((0usize..10, -1.5f64..1.5), 0..4),
+                    arity,
+                ),
+            )
+        }),
+        1..12,
+    )
+}
+
+fn build_evidence(model: &[EvidenceVar]) -> (FactorGraph, Weights, Vec<crate::graph::VarId>) {
+    let mut reg: FeatureRegistry<usize> = FeatureRegistry::new();
+    let mut graph = FactorGraph::new();
+    let mut order = Vec::new();
+    for &(arity, target, ref per_candidate) in model {
+        let domain: Vec<Sym> = (1..=arity as u32).map(Sym).collect();
+        let v = graph.add_variable(Variable::evidence(domain, target));
+        for (k, features) in per_candidate.iter().enumerate() {
+            for &(key, x) in features {
+                let wid = if key >= 8 {
+                    reg.fixed(key, 0.75)
+                } else {
+                    reg.learnable(key)
+                };
+                graph.add_feature(v, k, wid, x);
+            }
+        }
+        order.push(v);
+    }
+    (graph, reg.build_weights(), order)
+}
+
+fn weight_bits(w: &Weights) -> Vec<u64> {
+    (0..w.len())
+        .map(|i| w.get(WeightId(i as u32)).to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The packed trainer is bit-for-bit the naive hash-map oracle —
+    /// weights and `LearnStats.minibatches` — across random evidence
+    /// graphs, minibatch sizes, full training and replay windows, and
+    /// threads {1, 4}.
+    #[test]
+    fn packed_trainer_bitwise_equals_naive(model in evidence_model(),
+                                           minibatch in 1usize..40,
+                                           recent in 0usize..12,
+                                           replay_epochs in 1usize..3) {
+        let (graph, weights, order) = build_evidence(&model);
+        let naive_cfg = LearnConfig {
+            epochs: 3,
+            minibatch,
+            packed: false,
+            ..LearnConfig::default()
+        };
+        let packed_cfg = LearnConfig { packed: true, ..naive_cfg };
+        for threads in [1usize, 4] {
+            let mut w_naive = weights.clone();
+            let mut w_packed = weights.clone();
+            let s_naive = learn::train_examples(&graph, &mut w_naive, &naive_cfg, threads, &order);
+            let s_packed =
+                learn::train_examples(&graph, &mut w_packed, &packed_cfg, threads, &order);
+            prop_assert_eq!(
+                weight_bits(&w_packed),
+                weight_bits(&w_naive),
+                "train_examples, threads = {}",
+                threads
+            );
+            prop_assert_eq!(s_packed.minibatches, s_naive.minibatches);
+            prop_assert_eq!(s_packed.examples, s_naive.examples);
+
+            let mut r_naive = w_naive.clone();
+            let mut r_packed = w_naive.clone();
+            let s2_naive = learn::train_replay(
+                &graph, &mut r_naive, &naive_cfg, threads, &order, recent, replay_epochs,
+            );
+            let s2_packed = learn::train_replay(
+                &graph, &mut r_packed, &packed_cfg, threads, &order, recent, replay_epochs,
+            );
+            prop_assert_eq!(
+                weight_bits(&r_packed),
+                weight_bits(&r_naive),
+                "train_replay, threads = {}, recent = {}",
+                threads,
+                recent
+            );
+            prop_assert_eq!(s2_packed.minibatches, s2_naive.minibatches);
+        }
     }
 }
