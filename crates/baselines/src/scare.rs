@@ -123,12 +123,12 @@ impl Scare {
             if ov.is_null() {
                 continue;
             }
-            if let Some(co) = stats.cooccurring(other, ov, a) {
-                for &v in co.keys() {
+            if let Some(co) = stats.group(other, ov, a) {
+                co.for_each(|v, _| {
                     if scored.iter().all(|&(s, _)| s != v) {
                         scored.push((v, Self::log_likelihood(ds, stats, t, a, v, &[])));
                     }
-                }
+                });
             }
         }
         scored.sort_by(|(s1, l1), (s2, l2)| {

@@ -42,9 +42,19 @@ fn bench_violation_detection(c: &mut Criterion) {
 
 fn bench_statistics(c: &mut Criterion) {
     let gen = build(DatasetKind::Food, small_scale());
+    // The headline number tracked across snapshots: the default (dense)
+    // engine's full build.
     c.bench_function("cooccur_stats_build", |b| {
         b.iter(|| black_box(CooccurStats::build(&gen.dirty)))
     });
+    let mut group = c.benchmark_group("cooccur_stats");
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(CooccurStats::build_with_opts(&gen.dirty, 1, false)))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(CooccurStats::build_with_opts(&gen.dirty, 1, true)))
+    });
+    group.finish();
 }
 
 fn bench_pruning(c: &mut Criterion) {
@@ -84,6 +94,40 @@ fn bench_pruning(c: &mut Criterion) {
                 0.5,
                 50,
                 0,
+            ))
+        })
+    });
+    // The same scan against the retained naive hash-map oracle — the
+    // dense-vs-naive read-path comparison.
+    let naive_stats = CooccurStats::build_with_opts(&gen.dirty, 1, true);
+    group.bench_function("tau_0.5_naive_stats", |b| {
+        b.iter(|| {
+            black_box(prune_domains_with_threads(
+                &gen.dirty,
+                &noisy_cells,
+                &naive_stats,
+                0.5,
+                50,
+                1,
+            ))
+        })
+    });
+    // Correlation-gated Algorithm 2 (BClean's cor_strength knob): partner
+    // attributes below the threshold are skipped entirely.
+    let gate = holoclean::PruneGate {
+        corr: stats.correlations(),
+        min_corr: 0.3,
+    };
+    group.bench_function("tau_0.5_gated_0.3", |b| {
+        b.iter(|| {
+            black_box(holoclean::prune_domains_gated(
+                &gen.dirty,
+                &noisy_cells,
+                &stats,
+                0.5,
+                50,
+                1,
+                Some(gate),
             ))
         })
     });

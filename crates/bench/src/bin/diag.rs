@@ -14,6 +14,15 @@
 //! (mean over the final epoch — the stable number to watch), and the
 //! packed-arena kernel counters `packed_examples`, `packed_entries`,
 //! `packed_bytes`, `packed_epochs` (all zero under `--naive-learn`).
+//!
+//! The `stats` object carries the co-occurrence engine's `StatsStats`
+//! (dense/CSR pair split, cell and byte footprint, build/extend/retract
+//! and correlation-recompute counters; the storage gauges are zero under
+//! `--naive-stats`). With `--cor-strength F`, diag additionally prunes
+//! every cell of the dirty table twice — ungated and correlation-gated —
+//! and reports the two domain-size histograms (buckets 1 / 2-3 / 4-15 /
+//! 16+, mirroring the partition `size_hist`) so the gate's pruning power
+//! is visible at a glance.
 
 use holo_bench::json::{num_exact, JsonObj};
 use holo_bench::runner::{run_holoclean_full, HoloOutcome};
@@ -30,7 +39,7 @@ use holoclean::{evaluate, HoloConfig};
 /// runs) the `IngestStats`. Hand-rolled over `holo_bench::json` — the
 /// offline `serde` stub derives are no-ops, and the shape here is small
 /// and stable.
-fn print_json(dataset: &str, out: &HoloOutcome) {
+fn print_json(dataset: &str, out: &HoloOutcome, gate_hists: Option<&([u64; 4], [u64; 4])>) {
     let t = &out.timings;
     let d = t.design;
     let p = t.partition;
@@ -101,6 +110,21 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
     component_index.field_u64("full_builds", ci.full_builds);
     component_index.field_u64("merges", ci.merges);
     component_index.field_u64("vars_appended", ci.vars_appended);
+    let s = t.stats;
+    let mut stats = JsonObj::new();
+    stats.field_u64("dense_pairs", s.dense_pairs);
+    stats.field_u64("csr_pairs", s.csr_pairs);
+    stats.field_u64("dense_cells", s.dense_cells);
+    stats.field_u64("bytes", s.bytes);
+    stats.field_u64("builds", s.builds);
+    stats.field_u64("extends", s.extends);
+    stats.field_u64("retracts", s.retracts);
+    stats.field_u64("corr_recomputes", s.corr_recomputes);
+    if let Some((before, after)) = gate_hists {
+        let hist = |h: &[u64; 4]| format!("[{},{},{},{}]", h[0], h[1], h[2], h[3]);
+        stats.field_raw("domain_hist_ungated", &hist(before));
+        stats.field_raw("domain_hist_gated", &hist(after));
+    }
     let r = t.retire;
     let mut retire = JsonObj::new();
     retire.field_u64("cliques_retired", r.cliques_retired);
@@ -117,6 +141,7 @@ fn print_json(dataset: &str, out: &HoloOutcome) {
     root.field_raw("learn", &learn);
     root.field_raw("partition", &partition.finish());
     root.field_raw("component_index", &component_index.finish());
+    root.field_raw("stats", &stats.finish());
     root.field_raw("retire", &retire.finish());
     root.field_raw("ingest", &ingest);
     println!("{}", root.finish());
@@ -229,15 +254,72 @@ fn main() {
         .with_threads(args.threads)
         .with_chromatic_gibbs(args.chromatic)
         .with_score_cache(!args.no_score_cache)
-        .with_packed_learn(!args.naive_learn);
+        .with_packed_learn(!args.naive_learn)
+        .with_naive_stats(args.naive_stats)
+        .with_cor_strength(args.cor_strength);
+    let max_domain = config.max_domain;
     let (out, registry, weights, pool) = if args.stream > 0 {
         run_streamed(&gen, config, args.stream)
     } else {
         let (out, model, weights) = run_holoclean_full(&gen, config, None, false);
         (out, model.registry, weights, gen.dirty.clone())
     };
+    // With a gate requested, measure its pruning power directly: prune
+    // every cell of the dirty table ungated and gated and histogram the
+    // domain sizes (buckets 1 / 2-3 / 4-15 / 16+, like the partition
+    // size histogram).
+    let gate_hists = args.cor_strength.map(|min_corr| {
+        let stats =
+            holo_dataset::CooccurStats::build_with_opts(&gen.dirty, args.threads, args.naive_stats);
+        let cells: Vec<holo_dataset::CellRef> = gen
+            .dirty
+            .tuples()
+            .flat_map(|t| {
+                gen.dirty
+                    .schema()
+                    .attrs()
+                    .map(move |attr| holo_dataset::CellRef { tuple: t, attr })
+            })
+            .collect();
+        let tau = gen.kind.paper_tau();
+        let hist = |doms: &holoclean::CellDomains| {
+            let mut h = [0u64; 4];
+            for (_, d) in doms.iter() {
+                let b = match d.len() {
+                    1 => 0,
+                    2..=3 => 1,
+                    4..=15 => 2,
+                    _ => 3,
+                };
+                h[b] += 1;
+            }
+            h
+        };
+        let ungated = holoclean::prune_domains_with_threads(
+            &gen.dirty,
+            &cells,
+            &stats,
+            tau,
+            max_domain,
+            args.threads,
+        );
+        let gate = holoclean::PruneGate {
+            corr: stats.correlations(),
+            min_corr,
+        };
+        let gated = holoclean::prune_domains_gated(
+            &gen.dirty,
+            &cells,
+            &stats,
+            tau,
+            max_domain,
+            args.threads,
+            Some(gate),
+        );
+        (hist(&ungated), hist(&gated))
+    });
     if args.json {
-        print_json(kind.name(), &out);
+        print_json(kind.name(), &out, gate_hists.as_ref());
         return;
     }
     println!(
@@ -300,6 +382,25 @@ fn main() {
         "component index: {} full build(s), {} merge(s), {} singleton(s) appended",
         ci.full_builds, ci.merges, ci.vars_appended
     );
+    let s = out.timings.stats;
+    println!(
+        "cooccur stats: {} dense / {} CSR pair(s), {} dense cell(s), ~{} byte(s); \
+         {} build(s), {} extend(s), {} retract(s), {} corr recompute(s)",
+        s.dense_pairs,
+        s.csr_pairs,
+        s.dense_cells,
+        s.bytes,
+        s.builds,
+        s.extends,
+        s.retracts,
+        s.corr_recomputes
+    );
+    if let Some((before, after)) = &gate_hists {
+        println!(
+            "  domain sizes 1/2-3/4-15/16+: ungated {:?} -> gated {:?}",
+            before, after
+        );
+    }
     let ingest = out.timings.ingest;
     if ingest.batches > 0 {
         println!(

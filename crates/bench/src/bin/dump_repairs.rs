@@ -26,7 +26,14 @@
 //! vs off — byte-identical output is the contract. `--naive-learn`
 //! routes SGD through the hash-map oracle instead of the packed
 //! example-major arena; the packed kernel is the same kind of pure
-//! wall-clock knob, diffed the same way.
+//! wall-clock knob, diffed the same way. `--naive-stats` routes
+//! co-occurrence statistics through the hash-map oracle instead of the
+//! dense count blocks — also pure wall-clock, diffed the same way.
+//!
+//! `--cor-strength F` enables the BClean-style correlation gate on
+//! Algorithm 2. Unlike the knobs above it is a *model* change: gated runs
+//! legitimately shrink domains, so CI smoke-tests the gated dump instead
+//! of byte-pinning it.
 //!
 //! Flags are parsed strictly (`holo_bench::Args`): a typo'd flag aborts
 //! with a usage line and exit code 2 instead of being silently dropped.
@@ -56,7 +63,9 @@ fn main() {
         .with_threads(args.threads)
         .with_chromatic_gibbs(args.chromatic)
         .with_score_cache(!args.no_score_cache)
-        .with_packed_learn(!args.naive_learn);
+        .with_packed_learn(!args.naive_learn)
+        .with_naive_stats(args.naive_stats)
+        .with_cor_strength(args.cor_strength);
     if args.dc_factors {
         config = config.with_variant(ModelVariant::DcFactorsPartitioned);
     }

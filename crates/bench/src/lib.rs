@@ -71,6 +71,17 @@ pub struct Args {
     /// and posteriors are byte-identical on or off — which is the
     /// equivalence CI diffs.
     pub naive_learn: bool,
+    /// Route co-occurrence statistics through the naive hash-map oracle
+    /// (`diag`, `dump_repairs`) instead of the dense count blocks. A pure
+    /// wall-clock knob — domains, repairs and posteriors are byte-identical
+    /// on or off — which is the equivalence CI diffs.
+    pub naive_stats: bool,
+    /// BClean-style correlation gate for Algorithm 2 (`diag`,
+    /// `dump_repairs`): skip conditioning attributes whose uncertainty
+    /// coefficient toward the repaired attribute is below this threshold.
+    /// A *model* knob — gated runs legitimately produce different (usually
+    /// smaller) domains, so CI smoke-tests it rather than byte-pinning.
+    pub cor_strength: Option<f64>,
     /// Full-CRUD streaming drive (`dump_repairs`, needs `--stream K`):
     /// every ingest batch is corrupted on entry (a mangled first row plus
     /// a decoy row) and then healed with `push_updates`/`push_deletes`,
@@ -94,6 +105,8 @@ impl Default for Args {
             no_score_cache: false,
             dc_factors: false,
             naive_learn: false,
+            naive_stats: false,
+            cor_strength: None,
             crud: false,
         }
     }
@@ -144,6 +157,14 @@ impl Args {
                 "--no-score-cache" => args.no_score_cache = true,
                 "--dc-factors" => args.dc_factors = true,
                 "--naive-learn" => args.naive_learn = true,
+                "--naive-stats" => args.naive_stats = true,
+                "--cor-strength" => {
+                    args.cor_strength = Some(
+                        argv.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--cor-strength needs a number")),
+                    );
+                }
                 "--crud" => args.crud = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
@@ -160,7 +181,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale F] [--seed N] [--full] [--json] [--scare-budget SECS]\n\
          \x20            [--stream K] [--threads N] [--marginals] [--chromatic]\n\
-         \x20            [--no-score-cache] [--dc-factors] [--naive-learn] [--crud]\n\
+         \x20            [--no-score-cache] [--dc-factors] [--naive-learn]\n\
+         \x20            [--naive-stats] [--cor-strength F] [--crud]\n\
          \n\
          --scale F          row-count multiplier (default 1.0)\n\
          --seed N           generator seed (default 42)\n\
@@ -174,6 +196,10 @@ fn usage(msg: &str) -> ! {
          --no-score-cache   disable the frozen-weight score cache (diag, dump_repairs)\n\
          --dc-factors       partitioned DC-factor model variant (dump_repairs)\n\
          --naive-learn      disable the packed learning arena (diag, dump_repairs)\n\
+         --naive-stats      use the naive hash-map co-occurrence oracle instead of\n\
+         \x20                  the dense count blocks (diag, dump_repairs)\n\
+         --cor-strength F   gate Algorithm 2 to partner attributes with\n\
+         \x20                  correlation >= F (diag, dump_repairs)\n\
          --crud             corrupt-and-heal every stream batch with updates and\n\
          \x20                  deletes; needs --stream (dump_repairs)"
     );
@@ -242,6 +268,16 @@ mod tests {
         let a = Args::parse(argv(&["--naive-learn"]));
         assert!(a.naive_learn);
         assert!(!a.no_score_cache);
+    }
+
+    #[test]
+    fn parse_stats_flags() {
+        let a = Args::parse(argv(&["--naive-stats", "--cor-strength", "0.3"]));
+        assert!(a.naive_stats);
+        assert_eq!(a.cor_strength, Some(0.3));
+        let a = Args::parse(argv(&[]));
+        assert!(!a.naive_stats);
+        assert_eq!(a.cor_strength, None);
     }
 
     #[test]

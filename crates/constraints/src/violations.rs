@@ -116,6 +116,9 @@ pub fn find_constraint_violations_with_threads(
 ) {
     if !c.two_tuple {
         let tuples: Vec<TupleId> = ds.tuples().collect();
+        // Per-tuple work here is one predicate evaluation — far below the
+        // spawn-overhead break-even — so small inputs run sequentially.
+        let threads = holo_parallel::sized_threads(threads, tuples.len());
         out.extend(holo_parallel::parallel_chunks(
             threads,
             &tuples,
@@ -161,6 +164,11 @@ pub fn find_constraint_violations_with_threads(
     // bucket's tuple list comes out in ascending tuple order exactly as
     // the sequential scan produced it.
     let tuples: Vec<TupleId> = ds.tuples().collect();
+    // Build and probe both do O(key width) work per tuple: on inputs of a
+    // few thousand rows spawn overhead dominates (the bench snapshot had
+    // `blocked_threads_all` *slower* than sequential `blocked` on the
+    // hospital table), so small inputs take the inline path.
+    let threads = holo_parallel::sized_threads(threads, tuples.len());
     let chunk_maps = holo_parallel::parallel_chunks(threads, &tuples, |_, chunk| {
         let mut local: FxHashMap<Vec<Sym>, Vec<TupleId>> = FxHashMap::default();
         'tuple: for &t in chunk {

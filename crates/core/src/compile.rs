@@ -19,7 +19,7 @@
 //!    Infer read.
 
 use crate::config::HoloConfig;
-use crate::domain::{prune_cell_with_support, CellDomains};
+use crate::domain::CellDomains;
 use crate::error::HoloError;
 use crate::features::{
     collect_cooccur_features, collect_distribution_feature, collect_external_features,
@@ -119,17 +119,27 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
     }
     let mut noisy_cells: Vec<CellRef> = noisy.iter().copied().collect();
     noisy_cells.sort_unstable();
+    // Optional BClean-style correlation gate: computed once from the
+    // maintained counts (cached inside the statistics until the next
+    // mutation) and applied to both the noisy and evidence prunes.
+    let gate = config
+        .cor_strength
+        .map(|min_corr| crate::domain::PruneGate {
+            corr: stats.correlations(),
+            min_corr,
+        });
     // Per-cell pruning reads only the dataset and the statistics, so the
     // noisy cells shard across worker threads; merging in sorted-cell
     // order keeps the result independent of the thread count.
     let pruned = holo_parallel::parallel_map(threads, &noisy_cells, |_, &cell| {
-        prune_cell_with_support(
+        crate::domain::prune_cell_gated(
             ds,
             cell,
             stats,
             config.tau,
             config.max_domain,
             config.min_cond_support,
+            gate,
         )
     });
     let mut domains = CellDomains::default();
@@ -170,13 +180,14 @@ pub fn compile(input: &CompileInput<'_>) -> Result<CompiledModel, HoloError> {
     let selected = select_evidence_cells(ds, noisy, config);
     let evidence_tau = config.tau.min(config.evidence_tau_cap);
     let evidence_domains = holo_parallel::parallel_map(threads, &selected, |_, &cell| {
-        prune_cell_with_support(
+        crate::domain::prune_cell_gated(
             ds,
             cell,
             stats,
             evidence_tau,
             config.max_domain,
             config.min_cond_support,
+            gate,
         )
     });
     let mut evidence: Vec<(CellRef, Vec<Sym>, usize)> = Vec::new();

@@ -240,6 +240,26 @@ pub struct HoloConfig {
     /// [`crate::stream::StreamSession`]; the one-shot pipeline ignores
     /// them).
     pub stream: StreamConfig,
+    /// Statistics-engine oracle switch: when set, `CooccurStats` stores
+    /// its counts in the original nested hash-map tables instead of the
+    /// dense per-attribute-pair count blocks. Both backends answer every
+    /// query identically (proptested in `holo_dataset::stats`), so like
+    /// [`HoloConfig::score_cache`] this is a pure *wall-clock* knob:
+    /// repairs and posteriors are byte-identical on or off, at every
+    /// thread count. Off by default — the dense engine is the fast path;
+    /// `--naive-stats` on the bench binaries flips this on for the CI
+    /// equivalence diffs.
+    pub naive_stats: bool,
+    /// BClean-style correlation gate for Algorithm 2 domain pruning (the
+    /// `cor_strength` knob of the Python HoloClean API): when set,
+    /// conditioning attributes whose uncertainty coefficient toward the
+    /// repaired attribute falls below this threshold are skipped entirely
+    /// during the partner scan, shrinking candidate domains and everything
+    /// downstream (design matrix, learning, inference). Unlike
+    /// [`HoloConfig::naive_stats`] this is a *model* knob — gating changes
+    /// which candidates exist — so it is opt-in: `None` (the default)
+    /// scans all partners, preserving every byte-identical contract.
+    pub cor_strength: Option<f64>,
     /// Master seed (evidence sampling).
     pub seed: u64,
     /// Worker threads for the data-parallel stages (violation detection
@@ -278,6 +298,8 @@ impl Default for HoloConfig {
             score_cache: true,
             feedback_replay: false,
             stream: StreamConfig::default(),
+            naive_stats: false,
+            cor_strength: None,
             seed: 0x401c,
             threads: 0,
         }
@@ -363,6 +385,21 @@ impl HoloConfig {
     /// (builder style). A wall-clock-only knob — see the field docs.
     pub fn with_score_cache(mut self, score_cache: bool) -> Self {
         self.score_cache = score_cache;
+        self
+    }
+
+    /// Toggles the naive hash-map statistics oracle (builder style; the
+    /// dense engine is the default). A wall-clock-only knob — see the
+    /// field docs.
+    pub fn with_naive_stats(mut self, naive: bool) -> Self {
+        self.naive_stats = naive;
+        self
+    }
+
+    /// Sets the Algorithm 2 correlation gate (builder style); `None`
+    /// scans all partner attributes. A *model* knob — see the field docs.
+    pub fn with_cor_strength(mut self, cor_strength: Option<f64>) -> Self {
+        self.cor_strength = cor_strength;
         self
     }
 
@@ -453,5 +490,19 @@ mod tests {
         let c = HoloConfig::default();
         assert!(c.packed_learn());
         assert!(!c.with_packed_learn(false).packed_learn());
+    }
+
+    #[test]
+    fn naive_stats_defaults_off_and_toggles() {
+        let c = HoloConfig::default();
+        assert!(!c.naive_stats);
+        assert!(c.with_naive_stats(true).naive_stats);
+    }
+
+    #[test]
+    fn cor_strength_defaults_off_and_toggles() {
+        let c = HoloConfig::default();
+        assert!(c.cor_strength.is_none());
+        assert_eq!(c.with_cor_strength(Some(0.3)).cor_strength, Some(0.3));
     }
 }

@@ -270,6 +270,18 @@ pub fn collect_distribution_feature(
 ) {
     let mut sums = vec![0.0f64; candidates.len()];
     let mut cond_attrs = 0usize;
+    // Dense backend: resolve each candidate's value code once per cell,
+    // then probe count rows by code instead of re-hashing `(key, Sym)`
+    // per (partner, candidate) pair. Unseen candidates get the sentinel
+    // `u32::MAX`, which every block answers with count 0 — the same 0.0
+    // probability the hash path yields, added in the same order, so the
+    // sums are bit-identical.
+    let cand_codes: Option<Vec<u32>> = stats.codes().map(|codes| {
+        candidates
+            .iter()
+            .map(|&d| codes.code(cell.attr, d).unwrap_or(u32::MAX))
+            .collect()
+    });
     for cond_attr in ds.schema().attrs() {
         if cond_attr == cell.attr {
             continue;
@@ -283,8 +295,17 @@ pub fn collect_distribution_feature(
             continue;
         }
         cond_attrs += 1;
-        for (k, &d) in candidates.iter().enumerate() {
-            sums[k] += stats.conditional_prob(cond_attr, v_cond, cell.attr, d);
+        if let Some(cc) = &cand_codes {
+            let view = stats.group(cond_attr, v_cond, cell.attr);
+            let df = f64::from(denom);
+            for (k, &code) in cc.iter().enumerate() {
+                let count = view.map_or(0, |g| g.count_by_code(code));
+                sums[k] += f64::from(count) / df;
+            }
+        } else {
+            for (k, &d) in candidates.iter().enumerate() {
+                sums[k] += stats.conditional_prob(cond_attr, v_cond, cell.attr, d);
+            }
         }
     }
     if cond_attrs == 0 {

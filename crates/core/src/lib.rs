@@ -65,7 +65,9 @@ pub mod session;
 pub mod stream;
 
 pub use config::{HoloConfig, ModelVariant, StreamConfig};
-pub use domain::{prune_domains, prune_domains_with_threads, CellDomains};
+pub use domain::{
+    prune_domains, prune_domains_gated, prune_domains_with_threads, CellDomains, PruneGate,
+};
 pub use error::HoloError;
 pub use feedback::{FeedbackRequest, FeedbackSession, Label};
 pub use metrics::{evaluate, RepairQuality};

@@ -192,6 +192,11 @@ pub struct StageTimings {
     /// retired in place, variables renumbered by compaction, compaction
     /// ticks, and the live-vs-tombstoned row split of the backing table.
     pub retire: holo_factor::RetireStats,
+    /// Statistics-engine gauges and counters: dense vs CSR pair blocks,
+    /// dense cells and approximate bytes, plus build/extend/retract and
+    /// correlation-recompute counts (all-zero storage gauges under
+    /// `--naive-stats`).
+    pub stats: holo_dataset::StatsStats,
 }
 
 impl StageTimings {
@@ -300,6 +305,9 @@ pub struct StageData {
     pub marginals: Option<Marginals>,
     /// How inference partitioned and routed the graph (Infer).
     pub partition_stats: Option<PartitionStats>,
+    /// Statistics-engine gauges captured when Compile built the
+    /// co-occurrence statistics (Compile).
+    pub stats_stats: Option<holo_dataset::StatsStats>,
 }
 
 impl StageData {
@@ -368,7 +376,7 @@ impl Stage for CompileStage {
     }
 
     fn run(&self, cx: &PipelineContext, data: &mut StageData) -> Result<(), HoloError> {
-        let stats = CooccurStats::build_with_threads(&cx.ds, cx.config.threads);
+        let stats = CooccurStats::build_with_opts(&cx.ds, cx.config.threads, cx.config.naive_stats);
         let model = compile(&CompileInput {
             ds: &cx.ds,
             constraints: &cx.constraints,
@@ -378,6 +386,9 @@ impl Stage for CompileStage {
             matches: &cx.matches,
             config: &cx.config,
         })?;
+        // Snapshot after compile so the correlation-recompute counter
+        // reflects whether the gate ran.
+        data.stats_stats = Some(stats.stats_stats());
         data.model = Some(model);
         Ok(())
     }
@@ -531,6 +542,9 @@ impl Pipeline {
         }
         if let Some(partition) = data.partition_stats {
             timings.partition = partition;
+        }
+        if let Some(stats) = data.stats_stats {
+            timings.stats = stats;
         }
         Ok((data, timings))
     }

@@ -341,7 +341,7 @@ impl StreamSession {
             global_coupling |= !found;
         }
         let delta_index = DeltaViolationIndex::new(&constraints);
-        let stats = CooccurStats::build(&ds);
+        let stats = CooccurStats::build_with_opts(&ds, 1, config.naive_stats);
         Ok(StreamSession {
             ds,
             constraints,
@@ -941,16 +941,25 @@ impl StreamSession {
         // the shared featurizer sees an empty lookup (grounds nothing),
         // exactly what the one-shot compiler produces without them.
         let no_matches = MatchLookup::default();
+        // Correlation gate, recomputed lazily at this batch boundary (the
+        // mutation that scheduled this recompile reset the cached view).
+        let gate = config
+            .cor_strength
+            .map(|min_corr| crate::domain::PruneGate {
+                corr: stats.correlations(),
+                min_corr,
+            });
         let computed: Vec<(Vec<Sym>, FeatureBuffer)> =
             holo_parallel::parallel_map(threads, &work, |_, &(cell, query)| {
                 let tau = if query { config.tau } else { evidence_tau };
-                let domain = crate::domain::prune_cell_with_support(
+                let domain = crate::domain::prune_cell_gated(
                     ds,
                     cell,
                     stats,
                     tau,
                     config.max_domain,
                     config.min_cond_support,
+                    gate,
                 );
                 let mut buf = FeatureBuffer::default();
                 if domain.len() >= 2 {
@@ -1368,6 +1377,7 @@ impl StreamSession {
         t.design = self.graph.design_stats();
         t.components = self.graph.component_stats();
         t.retire = self.retire_stats();
+        t.stats = self.stats.stats_stats();
         t
     }
 

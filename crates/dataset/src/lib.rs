@@ -45,6 +45,6 @@ pub mod value;
 pub use error::DatasetError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use schema::{AttrId, Schema};
-pub use stats::{CooccurStats, FrequencyStats};
+pub use stats::{CooccurStats, CorrelationView, FrequencyStats, GroupView, StatsStats, ValueCodes};
 pub use table::{CellRef, Dataset, TupleId};
 pub use value::{Sym, ValuePool};

@@ -11,12 +11,58 @@
 //!   the Algorithm 2 domain-pruning rule and of the co-occurrence features
 //!   (`HasFeature(t, a, f)` with `f = "A'=v'"`).
 //!
+//! # Dense engine and the retained oracle
+//!
+//! [`CooccurStats`] stores its counts in one of two interchangeable
+//! backends:
+//!
+//! * **Dense** (the default): every non-null value of every attribute gets
+//!   a compact per-attribute *code* (a [`ValueCodes`] registry maintained
+//!   next to the frequency tables), and each ordered attribute pair owns a
+//!   count block — a dense `|V_cond| × |V_target|` row-major matrix when
+//!   the block fits under a size threshold, CSR-style sorted postings per
+//!   conditioning value above it. Queries index contiguous rows instead of
+//!   probing two hash levels, and the build kernel is hash-free: one
+//!   sequential pass interns codes and transposes the batch into coded
+//!   columns, then per-pair jobs either scatter into the matrix or
+//!   sort-and-run-length-encode packed `(code, code)` words.
+//! * **Naive** (the oracle): the original nested
+//!   `FxHashMap<u64, FxHashMap<Sym, u32>>` keyed by packed
+//!   `(cond, target, v_cond)` triples, selected by
+//!   `CooccurStats::build_with_opts(.., naive = true)` (surfaced as
+//!   `--naive-stats` on the bench binaries).
+//!
+//! Counts are integer accumulators, so the two backends answer **every**
+//! query identically — `count`, `prob`, `conditional_prob`, [`GroupView`]
+//! contents, `group_count` — across builds, incremental extends, in-place
+//! update absorb/retract cycles, and deletes, at any thread count. That
+//! equivalence is proptested below (`dense_matches_naive_oracle`) and CI
+//! byte-diffs full pipeline dumps between the backends.
+//!
+//! Both backends are maintained incrementally by `extend_with_threads` /
+//! `absorb_rows_with_threads` / `retract_with_threads`, sharded per
+//! ordered attribute pair (each pair owns a disjoint slice of the key
+//! space or block table, so per-pair results merge without collisions).
+//!
+//! On top of the maintained counts, [`CooccurStats::correlations`] lazily
+//! computes an attribute dependency view — the uncertainty coefficient
+//! `U(target | cond) = 1 − H(target|cond) / H(target)` per ordered pair —
+//! cached until the next mutation. Algorithm 2 uses it (opt-in, via
+//! `HoloConfig::cor_strength`) to skip uncorrelated partner attributes
+//! entirely. Entropy terms are summed in canonical symbol order, so the
+//! view is bit-identical across backends and thread counts.
+//!
 //! Null cells never contribute to co-occurrence statistics: a missing value
 //! is evidence of nothing.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
 use crate::fxhash::FxHashMap;
 use crate::schema::AttrId;
-use crate::table::Dataset;
+use crate::table::{Dataset, TupleId};
 use crate::value::Sym;
 
 /// Per-attribute value frequency tables.
@@ -28,19 +74,22 @@ pub struct FrequencyStats {
 
 impl FrequencyStats {
     /// Scans the live rows of the dataset once and tabulates per-attribute
-    /// counts. Tombstoned rows contribute nothing.
+    /// counts. Tombstoned rows contribute nothing: the liveness filter runs
+    /// once up front and every attribute then counts column-major over the
+    /// same live-row list.
     pub fn build(ds: &Dataset) -> Self {
+        let live: Vec<TupleId> = ds.tuples().collect();
         let mut counts: Vec<FxHashMap<Sym, u32>> = vec![FxHashMap::default(); ds.schema().len()];
         for a in ds.schema().attrs() {
             let col = ds.column(a);
             let table = &mut counts[a.index()];
-            for t in ds.tuples() {
+            for t in &live {
                 *table.entry(col[t.index()]).or_insert(0) += 1;
             }
         }
         FrequencyStats {
             counts,
-            tuples: ds.live_count(),
+            tuples: live.len(),
         }
     }
 
@@ -53,9 +102,9 @@ impl FrequencyStats {
     /// maintenance path of streaming ingestion. Counts are integer
     /// accumulators, so the result is exactly [`FrequencyStats::build`]
     /// over the whole dataset, however the rows arrived.
-    pub fn extend(&mut self, ds: &Dataset, from: crate::table::TupleId) {
-        let live_new: Vec<crate::table::TupleId> = (from.index()..ds.tuple_count())
-            .map(crate::table::TupleId::from)
+    pub fn extend(&mut self, ds: &Dataset, from: TupleId) {
+        let live_new: Vec<TupleId> = (from.index()..ds.tuple_count())
+            .map(TupleId::from)
             .filter(|&t| ds.is_live(t))
             .collect();
         for a in ds.schema().attrs() {
@@ -71,7 +120,7 @@ impl FrequencyStats {
     /// Folds the given live rows' current values into the tables — the
     /// re-absorption half of an in-place update (retract the old values,
     /// overwrite the cells, absorb the new ones).
-    pub fn absorb_rows(&mut self, ds: &Dataset, rows: &[crate::table::TupleId]) {
+    pub fn absorb_rows(&mut self, ds: &Dataset, rows: &[TupleId]) {
         for a in ds.schema().attrs() {
             let col = ds.column(a);
             let table = &mut self.counts[a.index()];
@@ -89,7 +138,7 @@ impl FrequencyStats {
     /// both work). Zeroed entries are removed so the retracted tables are
     /// indistinguishable from a fresh [`FrequencyStats::build`] over the
     /// surviving rows.
-    pub fn retract_rows(&mut self, ds: &Dataset, rows: &[crate::table::TupleId]) {
+    pub fn retract_rows(&mut self, ds: &Dataset, rows: &[TupleId]) {
         for a in ds.schema().attrs() {
             let col = ds.column(a);
             let table = &mut self.counts[a.index()];
@@ -143,78 +192,693 @@ impl FrequencyStats {
     }
 }
 
-/// Packs a `(cond_attr, target_attr, cond_sym)` triple into a `u64` map key.
+/// Packs a `(cond_attr, target_attr, cond_sym)` triple into a `u64` map key
+/// (naive backend only).
 #[inline]
 fn key(cond_attr: AttrId, target_attr: AttrId, cond_sym: Sym) -> u64 {
     ((cond_attr.0 as u64) << 48) | ((target_attr.0 as u64) << 32) | cond_sym.0 as u64
+}
+
+/// Above this many cells a pair block stores CSR postings instead of a
+/// dense matrix (64Ki cells = 256KiB of `u32` counts per pair).
+const DENSE_MAX_CELLS: usize = 1 << 16;
+
+/// Code of a null cell in a transient coded column — never stored.
+const NULL_CODE: u32 = u32::MAX;
+
+/// Compact per-attribute `Sym → code` registry. Codes are dense
+/// (`0..len(attr)`), assigned in first-appearance order over the scanned
+/// rows, and append-only: retraction never retires a code (a code whose
+/// counts all reach zero simply answers every query with 0, exactly as an
+/// absent hash-map entry would).
+#[derive(Debug, Clone)]
+pub struct ValueCodes {
+    code: Vec<FxHashMap<Sym, u32>>,
+    syms: Vec<Vec<Sym>>,
+}
+
+impl ValueCodes {
+    fn new(n_attrs: usize) -> Self {
+        ValueCodes {
+            code: vec![FxHashMap::default(); n_attrs],
+            syms: vec![Vec::new(); n_attrs],
+        }
+    }
+
+    fn intern(&mut self, a: AttrId, v: Sym) -> u32 {
+        let table = &mut self.code[a.index()];
+        if let Some(&c) = table.get(&v) {
+            return c;
+        }
+        let c = self.syms[a.index()].len() as u32;
+        table.insert(v, c);
+        self.syms[a.index()].push(v);
+        c
+    }
+
+    /// The code of `v` in attribute `a`, if the value has ever been seen.
+    #[inline]
+    pub fn code(&self, a: AttrId, v: Sym) -> Option<u32> {
+        self.code[a.index()].get(&v).copied()
+    }
+
+    /// Number of codes assigned in attribute `a`.
+    pub fn len(&self, a: AttrId) -> usize {
+        self.syms[a.index()].len()
+    }
+
+    /// The symbols of attribute `a`, indexed by code.
+    pub fn syms(&self, a: AttrId) -> &[Sym] {
+        &self.syms[a.index()]
+    }
+}
+
+/// Count storage for one ordered attribute pair in the dense backend.
+#[derive(Debug, Clone)]
+enum PairBlock {
+    /// Row-major `rows × stride` matrix; `nonzero[c]` tracks how many
+    /// cells of row `c` are non-zero so emptied groups stay observable.
+    /// Invariant between mutations: `stride == codes.len(target)` and
+    /// `nonzero.len() == codes.len(cond)`.
+    Dense {
+        stride: usize,
+        counts: Vec<u32>,
+        nonzero: Vec<u32>,
+    },
+    /// One posting list per conditioning code, sorted by target code.
+    Csr { rows: Vec<Vec<(u32, u32)>> },
+}
+
+impl PairBlock {
+    fn empty() -> Self {
+        PairBlock::Csr { rows: Vec::new() }
+    }
+
+    /// Number of non-empty groups (conditioning values with at least one
+    /// non-zero co-occurrence) in this block.
+    fn group_rows(&self) -> usize {
+        match self {
+            PairBlock::Dense { nonzero, .. } => nonzero.iter().filter(|&&n| n > 0).count(),
+            PairBlock::Csr { rows } => rows.iter().filter(|r| !r.is_empty()).count(),
+        }
+    }
+}
+
+/// The dense backend: a code registry plus one [`PairBlock`] per ordered
+/// attribute pair (row-major `n_attrs × n_attrs`, diagonal unused).
+#[derive(Debug, Clone)]
+struct DenseTables {
+    codes: ValueCodes,
+    blocks: Vec<PairBlock>,
+    n_attrs: usize,
+    groups: usize,
+}
+
+/// All ordered attribute pairs `(cond, target)`, `cond != target`.
+fn ordered_pairs(ds: &Dataset) -> Vec<(AttrId, AttrId)> {
+    let attrs: Vec<AttrId> = ds.schema().attrs().collect();
+    let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(attrs.len() * attrs.len());
+    for &cond in &attrs {
+        for &target in &attrs {
+            if cond != target {
+                pairs.push((cond, target));
+            }
+        }
+    }
+    pairs
+}
+
+/// Transposes the given rows into per-attribute coded columns, interning
+/// any new values. Interning scans rows column-major in the given row
+/// order, so code assignment is deterministic and thread-independent.
+fn code_rows(ds: &Dataset, codes: &mut ValueCodes, rows: &[TupleId]) -> Vec<Vec<u32>> {
+    let mut cols: Vec<Vec<u32>> = Vec::with_capacity(ds.schema().len());
+    for a in ds.schema().attrs() {
+        let col = ds.column(a);
+        let mut coded = Vec::with_capacity(rows.len());
+        for &t in rows {
+            let v = col[t.index()];
+            coded.push(if v.is_null() {
+                NULL_CODE
+            } else {
+                codes.intern(a, v)
+            });
+        }
+        cols.push(coded);
+    }
+    cols
+}
+
+/// Hash-free full-build kernel for one pair: scatter into a dense matrix
+/// when it fits, otherwise sort-and-RLE packed code words into postings.
+fn build_block(cond_col: &[u32], target_col: &[u32], vc: usize, vt: usize) -> PairBlock {
+    if vc * vt <= DENSE_MAX_CELLS {
+        let mut counts = vec![0u32; vc * vt];
+        for (&c, &t) in cond_col.iter().zip(target_col) {
+            if c == NULL_CODE || t == NULL_CODE {
+                continue;
+            }
+            counts[c as usize * vt + t as usize] += 1;
+        }
+        let mut nonzero = vec![0u32; vc];
+        for (c, nz) in nonzero.iter_mut().enumerate() {
+            *nz = counts[c * vt..(c + 1) * vt]
+                .iter()
+                .filter(|&&x| x != 0)
+                .count() as u32;
+        }
+        PairBlock::Dense {
+            stride: vt,
+            counts,
+            nonzero,
+        }
+    } else {
+        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); vc];
+        for (c, t, n) in pair_delta(cond_col, target_col) {
+            rows[c as usize].push((t, n));
+        }
+        PairBlock::Csr { rows }
+    }
+}
+
+/// Incremental kernel for one pair: the batch's contributions as sorted
+/// `(cond_code, target_code, count)` runs — packed into `u64` words,
+/// sorted, run-length encoded. Output order is canonical (ascending code
+/// pairs), so application order never depends on thread count.
+fn pair_delta(cond_col: &[u32], target_col: &[u32]) -> Vec<(u32, u32, u32)> {
+    let mut packed: Vec<u64> = Vec::with_capacity(cond_col.len());
+    for (&c, &t) in cond_col.iter().zip(target_col) {
+        if c == NULL_CODE || t == NULL_CODE {
+            continue;
+        }
+        packed.push(((c as u64) << 32) | t as u64);
+    }
+    packed.sort_unstable();
+    let mut runs: Vec<(u32, u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < packed.len() {
+        let word = packed[i];
+        let mut j = i + 1;
+        while j < packed.len() && packed[j] == word {
+            j += 1;
+        }
+        runs.push(((word >> 32) as u32, word as u32, (j - i) as u32));
+        i = j;
+    }
+    runs
+}
+
+/// Applies a sorted delta to one block with the requested sign, returning
+/// the net change in non-empty group count.
+fn apply_block(block: &mut PairBlock, delta: &[(u32, u32, u32)], retract: bool) -> isize {
+    let mut groups_delta: isize = 0;
+    match block {
+        PairBlock::Dense {
+            stride,
+            counts,
+            nonzero,
+        } => {
+            for &(c, t, d) in delta {
+                let cell = &mut counts[c as usize * *stride + t as usize];
+                if retract {
+                    assert!(*cell >= d, "co-occurrence count underflow");
+                    *cell -= d;
+                    if *cell == 0 {
+                        nonzero[c as usize] -= 1;
+                        if nonzero[c as usize] == 0 {
+                            groups_delta -= 1;
+                        }
+                    }
+                } else {
+                    if *cell == 0 {
+                        if nonzero[c as usize] == 0 {
+                            groups_delta += 1;
+                        }
+                        nonzero[c as usize] += 1;
+                    }
+                    *cell += d;
+                }
+            }
+        }
+        PairBlock::Csr { rows } => {
+            for &(c, t, d) in delta {
+                let row = &mut rows[c as usize];
+                match row.binary_search_by_key(&t, |&(tc, _)| tc) {
+                    Ok(i) => {
+                        if retract {
+                            assert!(row[i].1 >= d, "co-occurrence count underflow");
+                            row[i].1 -= d;
+                            if row[i].1 == 0 {
+                                row.remove(i);
+                                if row.is_empty() {
+                                    groups_delta -= 1;
+                                }
+                            }
+                        } else {
+                            row[i].1 += d;
+                        }
+                    }
+                    Err(i) => {
+                        assert!(
+                            !retract,
+                            "retracting a co-occurrence that was never counted"
+                        );
+                        if row.is_empty() {
+                            groups_delta += 1;
+                        }
+                        row.insert(i, (t, d));
+                    }
+                }
+            }
+        }
+    }
+    groups_delta
+}
+
+impl DenseTables {
+    fn build(ds: &Dataset, threads: usize) -> Self {
+        let n = ds.schema().len();
+        let mut codes = ValueCodes::new(n);
+        let live: Vec<TupleId> = ds.tuples().collect();
+        let coded = code_rows(ds, &mut codes, &live);
+        let pairs = ordered_pairs(ds);
+        let threads = holo_parallel::sized_threads(threads, pairs.len() * live.len());
+        // parallel_jobs, not parallel_map: each "item" is a full column
+        // scan, so even the 12 pairs of a 4-attribute schema are worth
+        // spreading across cores once the row count is large enough
+        // (sized_threads supplies the small-input sequential fallback).
+        let built = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
+            let (cond, target) = pairs[i];
+            build_block(
+                &coded[cond.index()],
+                &coded[target.index()],
+                codes.len(cond),
+                codes.len(target),
+            )
+        });
+        let mut blocks = vec![PairBlock::empty(); n * n];
+        let mut groups = 0;
+        for (&(cond, target), block) in pairs.iter().zip(built) {
+            groups += block.group_rows();
+            blocks[cond.index() * n + target.index()] = block;
+        }
+        DenseTables {
+            codes,
+            blocks,
+            n_attrs: n,
+            groups,
+        }
+    }
+
+    #[inline]
+    fn block(&self, cond: AttrId, target: AttrId) -> &PairBlock {
+        &self.blocks[cond.index() * self.n_attrs + target.index()]
+    }
+
+    /// Brings every off-diagonal block up to the current registry sizes
+    /// after a batch interned new codes: dense matrices re-stride (and
+    /// spill to CSR once they outgrow the cell threshold), CSR tables gain
+    /// empty rows. Run before applying a batch's deltas.
+    fn grow(&mut self) {
+        let n = self.n_attrs;
+        for cond in 0..n {
+            for target in 0..n {
+                if cond == target {
+                    continue;
+                }
+                let vc = self.codes.syms[cond].len();
+                let vt = self.codes.syms[target].len();
+                let idx = cond * n + target;
+                if let PairBlock::Dense {
+                    stride,
+                    counts,
+                    nonzero,
+                } = &self.blocks[idx]
+                {
+                    if vc * vt > DENSE_MAX_CELLS {
+                        // Outgrew the matrix budget: spill to CSR postings.
+                        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); vc];
+                        for (c, row) in rows.iter_mut().enumerate().take(nonzero.len()) {
+                            *row = counts[c * stride..(c + 1) * stride]
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &x)| x != 0)
+                                .map(|(t, &x)| (t as u32, x))
+                                .collect();
+                        }
+                        self.blocks[idx] = PairBlock::Csr { rows };
+                        continue;
+                    }
+                }
+                match &mut self.blocks[idx] {
+                    PairBlock::Dense {
+                        stride,
+                        counts,
+                        nonzero,
+                    } => {
+                        if vt != *stride {
+                            let old = std::mem::take(counts);
+                            let old_rows = nonzero.len();
+                            let mut grown = vec![0u32; vc * vt];
+                            for c in 0..old_rows {
+                                grown[c * vt..c * vt + *stride]
+                                    .copy_from_slice(&old[c * *stride..(c + 1) * *stride]);
+                            }
+                            *counts = grown;
+                            *stride = vt;
+                            nonzero.resize(vc, 0);
+                        } else if vc > nonzero.len() {
+                            counts.resize(vc * vt, 0);
+                            nonzero.resize(vc, 0);
+                        }
+                    }
+                    PairBlock::Csr { rows } => {
+                        if rows.len() < vc {
+                            rows.resize(vc, Vec::new());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shared incremental kernel: intern the batch's values, grow the
+    /// blocks, compute per-pair sorted deltas in parallel (disjoint
+    /// blocks), and apply them sequentially with the requested sign.
+    fn fold(&mut self, ds: &Dataset, rows: &[TupleId], threads: usize, retract: bool) {
+        if rows.is_empty() {
+            return;
+        }
+        let coded = code_rows(ds, &mut self.codes, rows);
+        self.grow();
+        let pairs = ordered_pairs(ds);
+        let threads = holo_parallel::sized_threads(threads, pairs.len() * rows.len());
+        let deltas = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
+            let (cond, target) = pairs[i];
+            pair_delta(&coded[cond.index()], &coded[target.index()])
+        });
+        let n = self.n_attrs;
+        let mut groups_delta: isize = 0;
+        for (&(cond, target), delta) in pairs.iter().zip(&deltas) {
+            groups_delta += apply_block(
+                &mut self.blocks[cond.index() * n + target.index()],
+                delta,
+                retract,
+            );
+        }
+        self.groups = self
+            .groups
+            .checked_add_signed(groups_delta)
+            .expect("group count underflow");
+    }
+}
+
+/// One co-occurrence group: every value of `target` co-occurring with a
+/// fixed `v_cond@cond`, with counts. Iteration order is
+/// backend-dependent (hash order vs code order) — consumers must not
+/// depend on it; every caller either re-sorts or folds order-insensitively.
+#[derive(Debug, Clone, Copy)]
+pub enum GroupView<'a> {
+    /// Naive backend: the group's hash table.
+    Map(&'a FxHashMap<Sym, u32>),
+    /// Dense backend, matrix block: one contiguous count row, indexed by
+    /// target code (`syms[code]` recovers the symbol). `nonzero` is the
+    /// row's maintained nonzero-entry count, letting iteration stop as
+    /// soon as every live entry has been visited.
+    Dense {
+        syms: &'a [Sym],
+        counts: &'a [u32],
+        nonzero: u32,
+    },
+    /// Dense backend, CSR block: sorted `(target_code, count)` postings.
+    Csr {
+        syms: &'a [Sym],
+        postings: &'a [(u32, u32)],
+    },
+}
+
+impl GroupView<'_> {
+    /// Calls `f(v, count)` for every non-zero co-occurrence in the group.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(Sym, u32)) {
+        match *self {
+            GroupView::Map(m) => {
+                for (&s, &c) in m {
+                    f(s, c);
+                }
+            }
+            GroupView::Dense {
+                syms,
+                counts,
+                nonzero,
+            } => {
+                // Dense rows are usually sparse (an FD-correlated pair has
+                // one nonzero per row), so a plain scan wastes most of its
+                // iterations on zeros. Test 16-lane chunks for all-zero
+                // first — the compare vectorizes — and stop once the row's
+                // maintained nonzero count is exhausted. Nonzero entries
+                // are still visited strictly in code order.
+                const LANES: usize = 16;
+                let mut left = nonzero;
+                let mut base = 0usize;
+                while left > 0 && base < counts.len() {
+                    let end = (base + LANES).min(counts.len());
+                    let chunk = &counts[base..end];
+                    if chunk.iter().any(|&c| c != 0) {
+                        for (i, &c) in chunk.iter().enumerate() {
+                            if c != 0 {
+                                f(syms[base + i], c);
+                                left -= 1;
+                            }
+                        }
+                    }
+                    base = end;
+                }
+            }
+            GroupView::Csr { syms, postings } => {
+                for &(t, c) in postings {
+                    f(syms[t as usize], c);
+                }
+            }
+        }
+    }
+
+    /// Count for the target value with code `t` — the dense-backend fast
+    /// path (callers pre-resolve candidate codes once via
+    /// [`CooccurStats::codes`]). Returns 0 on the naive backend, which has
+    /// no codes; probe `Map` groups by symbol instead.
+    #[inline]
+    pub fn count_by_code(&self, t: u32) -> u32 {
+        match *self {
+            GroupView::Map(_) => 0,
+            GroupView::Dense { counts, .. } => counts.get(t as usize).copied().unwrap_or(0),
+            GroupView::Csr { postings, .. } => postings
+                .binary_search_by_key(&t, |&(tc, _)| tc)
+                .map(|i| postings[i].1)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Sum of all counts in the group.
+    pub fn total(&self) -> u64 {
+        let mut total = 0u64;
+        self.for_each(|_, c| total += u64::from(c));
+        total
+    }
+}
+
+/// Attribute dependency view: the uncertainty coefficient
+/// `U(target | cond) = 1 − H(target | cond) / H(target)` for every ordered
+/// attribute pair, computed over the pairwise non-null co-occurrence
+/// counts. `1.0` means `cond` determines `target` (or `target` is
+/// constant); `0.0` means independence (or no co-occurring rows).
+#[derive(Debug, Clone)]
+pub struct CorrelationView {
+    n_attrs: usize,
+    corr: Vec<f64>,
+}
+
+impl CorrelationView {
+    /// How strongly `cond` predicts `target`, in `[0, 1]`.
+    #[inline]
+    pub fn correlation(&self, cond: AttrId, target: AttrId) -> f64 {
+        self.corr[cond.index() * self.n_attrs + target.index()]
+    }
+}
+
+/// One pair's groups in symbol space: `(v_cond, [(v_target, count)])`.
+type PairRows = Vec<(Sym, Vec<(Sym, u32)>)>;
+
+/// Uncertainty coefficient of one pair from its canonicalized groups.
+/// Sorts rows by conditioning symbol and entries by target symbol before
+/// summing, so the floating-point result is bit-identical regardless of
+/// which backend (or thread count) produced the groups.
+fn uncertainty_coefficient(rows: &mut [(Sym, Vec<(Sym, u32)>)]) -> f64 {
+    rows.sort_unstable_by_key(|&(s, _)| s);
+    let mut marginal: FxHashMap<Sym, u64> = FxHashMap::default();
+    let mut total = 0u64;
+    for (_, entries) in rows.iter_mut() {
+        entries.sort_unstable_by_key(|&(s, _)| s);
+        for &(t, c) in entries.iter() {
+            *marginal.entry(t).or_insert(0) += u64::from(c);
+            total += u64::from(c);
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    let mut marginal: Vec<(Sym, u64)> = marginal.into_iter().collect();
+    marginal.sort_unstable_by_key(|&(s, _)| s);
+    let mut h_target = 0.0;
+    for &(_, c) in &marginal {
+        let p = c as f64 / n;
+        h_target -= p * p.ln();
+    }
+    if h_target <= 0.0 {
+        // A constant target is perfectly predicted by anything.
+        return 1.0;
+    }
+    let mut h_cond = 0.0;
+    for (_, entries) in rows.iter() {
+        let nc: u64 = entries.iter().map(|&(_, c)| u64::from(c)).sum();
+        if nc == 0 {
+            continue;
+        }
+        let ncf = nc as f64;
+        let mut h_row = 0.0;
+        for &(_, c) in entries {
+            let p = f64::from(c) / ncf;
+            h_row -= p * p.ln();
+        }
+        h_cond += (ncf / n) * h_row;
+    }
+    (1.0 - h_cond / h_target).clamp(0.0, 1.0)
+}
+
+/// Counters and size gauges of the statistics engine, surfaced through
+/// `StageTimings` into `diag` / `diag --json`. Size gauges (`dense_pairs`,
+/// `csr_pairs`, `dense_cells`, `bytes`) describe the dense backend's
+/// current storage (all zero under the naive oracle); `bytes` is the
+/// count-payload plus code-registry estimate, not allocator-exact.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StatsStats {
+    /// Ordered attribute pairs stored as dense matrices.
+    pub dense_pairs: u64,
+    /// Ordered attribute pairs stored as CSR postings.
+    pub csr_pairs: u64,
+    /// Total cells across all dense matrices (zeros included).
+    pub dense_cells: u64,
+    /// Approximate bytes of count storage + code registry.
+    pub bytes: u64,
+    /// Full builds performed.
+    pub builds: u64,
+    /// Incremental extends + absorbs applied.
+    pub extends: u64,
+    /// Incremental retractions applied.
+    pub retracts: u64,
+    /// Lazy correlation-view recomputations.
+    pub corr_recomputes: u64,
+}
+
+/// Count storage, either backend.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// The retained oracle: `(A', A, v') → {v: count}`.
+    Naive {
+        table: FxHashMap<u64, FxHashMap<Sym, u32>>,
+    },
+    Dense(DenseTables),
 }
 
 /// Pairwise co-occurrence statistics.
 ///
 /// For every ordered attribute pair `(A', A)` and every non-null value `v'`
 /// of `A'`, stores the multiset of values of `A` that co-occur with `v'` in
-/// the same tuple. Construction is a single `O(|D| · |A|²)` pass.
-#[derive(Debug, Clone)]
+/// the same tuple. Construction is a single `O(|D| · |A|²)` pass. See the
+/// module docs for the dense/naive backend split.
+#[derive(Debug)]
 pub struct CooccurStats {
-    /// `(A', A, v') → {v: count}`.
-    table: FxHashMap<u64, FxHashMap<Sym, u32>>,
+    backend: Backend,
     freq: FrequencyStats,
+    /// Lazily computed attribute dependency view; reset by every mutation
+    /// so it is recomputed at most once per batch boundary.
+    corr: OnceLock<CorrelationView>,
+    builds: u64,
+    extends: u64,
+    retracts: u64,
+    corr_recomputes: AtomicU64,
+}
+
+impl Clone for CooccurStats {
+    fn clone(&self) -> Self {
+        CooccurStats {
+            backend: self.backend.clone(),
+            freq: self.freq.clone(),
+            corr: self.corr.clone(),
+            builds: self.builds,
+            extends: self.extends,
+            retracts: self.retracts,
+            corr_recomputes: AtomicU64::new(self.corr_recomputes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl CooccurStats {
-    /// Builds co-occurrence statistics sequentially.
+    /// Builds co-occurrence statistics sequentially (dense backend).
     pub fn build(ds: &Dataset) -> Self {
-        Self::build_with_threads(ds, 1)
+        Self::build_with_opts(ds, 1, false)
     }
 
     /// Builds co-occurrence statistics with the ordered attribute pairs
-    /// sharded over up to `threads` worker threads (`0` = all cores).
+    /// sharded over up to `threads` worker threads (`0` = all cores),
+    /// dense backend.
     ///
-    /// Each `(cond, target)` pair owns a disjoint slice of the key space
-    /// (the pair ids are part of the packed key), so per-pair tables merge
-    /// without collisions; within a pair, counts accumulate in tuple order
-    /// exactly as the sequential pass does. Lookups are keyed (the outer
-    /// table is never iterated), so any residual hash-map ordering
-    /// difference is unobservable — results are identical for every thread
-    /// count.
+    /// Each `(cond, target)` pair owns a disjoint block (dense) or slice
+    /// of the key space (naive), so per-pair results merge without
+    /// collisions; within a pair, counts accumulate in tuple order exactly
+    /// as the sequential pass does. Lookups are keyed (no consumer
+    /// observes storage iteration order), so results are identical for
+    /// every thread count.
     pub fn build_with_threads(ds: &Dataset, threads: usize) -> Self {
+        Self::build_with_opts(ds, threads, false)
+    }
+
+    /// Builds with an explicit backend choice: `naive = true` selects the
+    /// retained hash-map oracle, `false` the dense engine.
+    pub fn build_with_opts(ds: &Dataset, threads: usize, naive: bool) -> Self {
         let freq = FrequencyStats::build(ds);
-        let attrs: Vec<AttrId> = ds.schema().attrs().collect();
-        let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(attrs.len() * attrs.len());
-        for &cond in &attrs {
-            for &target in &attrs {
-                if cond != target {
-                    pairs.push((cond, target));
-                }
+        let backend = if naive {
+            Backend::Naive {
+                table: build_naive_table(ds, threads),
             }
+        } else {
+            Backend::Dense(DenseTables::build(ds, threads))
+        };
+        CooccurStats {
+            backend,
+            freq,
+            corr: OnceLock::new(),
+            builds: 1,
+            extends: 0,
+            retracts: 0,
+            corr_recomputes: AtomicU64::new(0),
         }
-        // parallel_jobs, not parallel_map: each "item" is a full column
-        // scan, so even the 12 pairs of a 4-attribute schema are worth
-        // spreading across cores (parallel_map's small-input cutoff would
-        // force narrow schemas sequential regardless of row count).
-        let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
-            let (cond, target) = pairs[i];
-            let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
-            let cond_col = ds.column(cond);
-            let target_col = ds.column(target);
-            for t in ds.tuples() {
-                let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
-                if v_cond.is_null() || v_target.is_null() {
-                    continue;
-                }
-                *local
-                    .entry(key(cond, target, v_cond))
-                    .or_default()
-                    .entry(v_target)
-                    .or_insert(0) += 1;
-            }
-            local
-        });
-        let mut table: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
-        for local in per_pair {
-            table.extend(local);
+    }
+
+    /// Whether the dense backend is active (false = naive oracle).
+    pub fn is_dense(&self) -> bool {
+        matches!(self.backend, Backend::Dense(_))
+    }
+
+    /// The dense backend's value-code registry, `None` under the naive
+    /// oracle. Hot readers use it to pre-resolve candidate codes once and
+    /// then probe [`GroupView::count_by_code`].
+    pub fn codes(&self) -> Option<&ValueCodes> {
+        match &self.backend {
+            Backend::Dense(dt) => Some(&dt.codes),
+            Backend::Naive { .. } => None,
         }
-        CooccurStats { table, freq }
     }
 
     /// Folds the rows `from..` of `ds` into the co-occurrence tables (and
@@ -224,54 +888,19 @@ impl CooccurStats {
     ///
     /// All counts are integer accumulators, so the extended statistics
     /// answer every query exactly as [`CooccurStats::build`] over the
-    /// whole dataset would (hash-map *internal* order may differ, but no
-    /// consumer observes iteration order — lookups are keyed, and the one
-    /// iterating consumer, Algorithm 2 pruning, re-sorts its candidates).
-    pub fn extend_with_threads(
-        &mut self,
-        ds: &Dataset,
-        from: crate::table::TupleId,
-        threads: usize,
-    ) {
+    /// whole dataset would.
+    pub fn extend_with_threads(&mut self, ds: &Dataset, from: TupleId, threads: usize) {
         self.freq.extend(ds, from);
-        let attrs: Vec<AttrId> = ds.schema().attrs().collect();
-        let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(attrs.len() * attrs.len());
-        for &cond in &attrs {
-            for &target in &attrs {
-                if cond != target {
-                    pairs.push((cond, target));
-                }
-            }
-        }
-        // Same sharding scheme as the full build: each ordered attribute
-        // pair owns a disjoint slice of the packed key space.
-        let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
-            let (cond, target) = pairs[i];
-            let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
-            let cond_col = ds.column(cond);
-            let target_col = ds.column(target);
-            for t in (from.index()..ds.tuple_count()).map(crate::table::TupleId::from) {
-                if !ds.is_live(t) {
-                    continue;
-                }
-                let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
-                if v_cond.is_null() || v_target.is_null() {
-                    continue;
-                }
-                *local
-                    .entry(key(cond, target, v_cond))
-                    .or_default()
-                    .entry(v_target)
-                    .or_insert(0) += 1;
-            }
-            local
-        });
-        for local in per_pair {
-            for (k, counts) in local {
-                let slot = self.table.entry(k).or_default();
-                for (sym, count) in counts {
-                    *slot.entry(sym).or_insert(0) += count;
-                }
+        self.extends += 1;
+        self.corr = OnceLock::new();
+        match &mut self.backend {
+            Backend::Naive { table } => extend_naive(table, ds, from, threads),
+            Backend::Dense(dt) => {
+                let rows: Vec<TupleId> = (from.index()..ds.tuple_count())
+                    .map(TupleId::from)
+                    .filter(|&t| ds.is_live(t))
+                    .collect();
+                dt.fold(ds, &rows, threads, false);
             }
         }
     }
@@ -279,14 +908,14 @@ impl CooccurStats {
     /// Folds the given live rows' current values into the tables (and the
     /// frequency tables alongside) — the re-absorption half of an in-place
     /// update, mirroring [`FrequencyStats::absorb_rows`].
-    pub fn absorb_rows_with_threads(
-        &mut self,
-        ds: &Dataset,
-        rows: &[crate::table::TupleId],
-        threads: usize,
-    ) {
+    pub fn absorb_rows_with_threads(&mut self, ds: &Dataset, rows: &[TupleId], threads: usize) {
         self.freq.absorb_rows(ds, rows);
-        self.fold_rows(ds, rows, threads, false);
+        self.extends += 1;
+        self.corr = OnceLock::new();
+        match &mut self.backend {
+            Backend::Naive { table } => fold_naive(table, ds, rows, threads, false),
+            Backend::Dense(dt) => dt.fold(ds, rows, threads, false),
+        }
     }
 
     /// Folds the given rows' current values *out* of the co-occurrence and
@@ -294,85 +923,16 @@ impl CooccurStats {
     /// mirroring [`CooccurStats::extend_with_threads`] with the sign
     /// flipped. Must run while the rows' values are still the folded-in
     /// ones (before an update overwrites them). Zeroed counts and emptied
-    /// groups are removed, so the retracted statistics answer *every*
-    /// query — including [`CooccurStats::group_count`] — exactly as a
-    /// fresh [`CooccurStats::build`] over the surviving rows would.
-    pub fn retract_with_threads(
-        &mut self,
-        ds: &Dataset,
-        rows: &[crate::table::TupleId],
-        threads: usize,
-    ) {
+    /// groups stop being observable, so the retracted statistics answer
+    /// *every* query — including [`CooccurStats::group_count`] — exactly
+    /// as a fresh [`CooccurStats::build`] over the surviving rows would.
+    pub fn retract_with_threads(&mut self, ds: &Dataset, rows: &[TupleId], threads: usize) {
         self.freq.retract_rows(ds, rows);
-        self.fold_rows(ds, rows, threads, true);
-    }
-
-    /// Shared fold kernel of absorb/retract: accumulates the rows'
-    /// contributions per ordered attribute pair in parallel (disjoint key
-    /// spaces, as in the build), then applies them with the requested
-    /// sign. Integer counts commute, so the result is independent of row
-    /// order and thread count.
-    fn fold_rows(
-        &mut self,
-        ds: &Dataset,
-        rows: &[crate::table::TupleId],
-        threads: usize,
-        retract: bool,
-    ) {
-        let attrs: Vec<AttrId> = ds.schema().attrs().collect();
-        let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(attrs.len() * attrs.len());
-        for &cond in &attrs {
-            for &target in &attrs {
-                if cond != target {
-                    pairs.push((cond, target));
-                }
-            }
-        }
-        let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
-            let (cond, target) = pairs[i];
-            let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
-            let cond_col = ds.column(cond);
-            let target_col = ds.column(target);
-            for &t in rows {
-                let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
-                if v_cond.is_null() || v_target.is_null() {
-                    continue;
-                }
-                *local
-                    .entry(key(cond, target, v_cond))
-                    .or_default()
-                    .entry(v_target)
-                    .or_insert(0) += 1;
-            }
-            local
-        });
-        for local in per_pair {
-            for (k, counts) in local {
-                if retract {
-                    let slot = self
-                        .table
-                        .get_mut(&k)
-                        .expect("retracting a co-occurrence group that was never counted");
-                    for (sym, count) in counts {
-                        let c = slot
-                            .get_mut(&sym)
-                            .expect("retracting a co-occurrence that was never counted");
-                        assert!(*c >= count, "co-occurrence count underflow");
-                        *c -= count;
-                        if *c == 0 {
-                            slot.remove(&sym);
-                        }
-                    }
-                    if slot.is_empty() {
-                        self.table.remove(&k);
-                    }
-                } else {
-                    let slot = self.table.entry(k).or_default();
-                    for (sym, count) in counts {
-                        *slot.entry(sym).or_insert(0) += count;
-                    }
-                }
-            }
+        self.retracts += 1;
+        self.corr = OnceLock::new();
+        match &mut self.backend {
+            Backend::Naive { table } => fold_naive(table, ds, rows, threads, true),
+            Backend::Dense(dt) => dt.fold(ds, rows, threads, true),
         }
     }
 
@@ -383,11 +943,33 @@ impl CooccurStats {
 
     /// `#(v@target, v'@cond)` — tuples where both values appear together.
     pub fn cooccur_count(&self, cond: AttrId, v_cond: Sym, target: AttrId, v: Sym) -> u32 {
-        self.table
-            .get(&key(cond, target, v_cond))
-            .and_then(|m| m.get(&v))
-            .copied()
-            .unwrap_or(0)
+        match &self.backend {
+            Backend::Naive { table } => table
+                .get(&key(cond, target, v_cond))
+                .and_then(|m| m.get(&v))
+                .copied()
+                .unwrap_or(0),
+            Backend::Dense(dt) => {
+                let (Some(c), Some(t)) = (dt.codes.code(cond, v_cond), dt.codes.code(target, v))
+                else {
+                    return 0;
+                };
+                match dt.block(cond, target) {
+                    PairBlock::Dense { stride, counts, .. } => counts
+                        .get(c as usize * *stride + t as usize)
+                        .copied()
+                        .unwrap_or(0),
+                    PairBlock::Csr { rows } => rows
+                        .get(c as usize)
+                        .and_then(|row| {
+                            row.binary_search_by_key(&t, |&(tc, _)| tc)
+                                .ok()
+                                .map(|i| row[i].1)
+                        })
+                        .unwrap_or(0),
+                }
+            }
+        }
     }
 
     /// The Algorithm 2 conditional probability
@@ -400,21 +982,300 @@ impl CooccurStats {
         f64::from(self.cooccur_count(cond, v_cond, target, v)) / f64::from(denom)
     }
 
-    /// All values of `target` co-occurring with `v_cond@cond`, with counts.
-    /// Returns `None` when `v_cond` never co-occurs with a non-null `target`
-    /// value.
-    pub fn cooccurring(
-        &self,
-        cond: AttrId,
-        v_cond: Sym,
-        target: AttrId,
-    ) -> Option<&FxHashMap<Sym, u32>> {
-        self.table.get(&key(cond, target, v_cond))
+    /// All values of `target` co-occurring with `v_cond@cond`, with
+    /// counts. Returns `None` when `v_cond` never co-occurs with a
+    /// non-null `target` value.
+    pub fn group(&self, cond: AttrId, v_cond: Sym, target: AttrId) -> Option<GroupView<'_>> {
+        match &self.backend {
+            Backend::Naive { table } => table.get(&key(cond, target, v_cond)).map(GroupView::Map),
+            Backend::Dense(dt) => {
+                let c = dt.codes.code(cond, v_cond)? as usize;
+                let syms = dt.codes.syms(target);
+                match dt.block(cond, target) {
+                    PairBlock::Dense {
+                        stride,
+                        counts,
+                        nonzero,
+                    } => {
+                        if c >= nonzero.len() || nonzero[c] == 0 {
+                            return None;
+                        }
+                        Some(GroupView::Dense {
+                            syms,
+                            counts: &counts[c * stride..(c + 1) * stride],
+                            nonzero: nonzero[c],
+                        })
+                    }
+                    PairBlock::Csr { rows } => {
+                        let postings = rows.get(c)?;
+                        if postings.is_empty() {
+                            return None;
+                        }
+                        Some(GroupView::Csr { syms, postings })
+                    }
+                }
+            }
+        }
     }
 
     /// Number of distinct `(cond, target, v_cond)` groups stored.
     pub fn group_count(&self) -> usize {
-        self.table.len()
+        match &self.backend {
+            Backend::Naive { table } => table.len(),
+            Backend::Dense(dt) => dt.groups,
+        }
+    }
+
+    /// The attribute dependency view over the current counts, computed on
+    /// first use after a mutation and cached until the next one (batch
+    /// boundaries, in streaming terms). Bit-identical across backends and
+    /// thread counts.
+    pub fn correlations(&self) -> &CorrelationView {
+        self.corr.get_or_init(|| {
+            self.corr_recomputes.fetch_add(1, Ordering::Relaxed);
+            self.compute_correlations()
+        })
+    }
+
+    fn compute_correlations(&self) -> CorrelationView {
+        let n = self.freq.counts.len();
+        let mut per_pair: Vec<PairRows> = vec![Vec::new(); n * n];
+        match &self.backend {
+            Backend::Naive { table } => {
+                for (&k, m) in table {
+                    let cond = ((k >> 48) & 0xffff) as usize;
+                    let target = ((k >> 32) & 0xffff) as usize;
+                    let v_cond = Sym((k & 0xffff_ffff) as u32);
+                    let entries: Vec<(Sym, u32)> = m.iter().map(|(&s, &c)| (s, c)).collect();
+                    per_pair[cond * n + target].push((v_cond, entries));
+                }
+            }
+            Backend::Dense(dt) => {
+                for cond in 0..n {
+                    for target in 0..n {
+                        if cond == target {
+                            continue;
+                        }
+                        let out = &mut per_pair[cond * n + target];
+                        let csyms = &dt.codes.syms[cond];
+                        let tsyms = &dt.codes.syms[target];
+                        match &dt.blocks[cond * n + target] {
+                            PairBlock::Dense {
+                                stride,
+                                counts,
+                                nonzero,
+                            } => {
+                                for (c, &nz) in nonzero.iter().enumerate() {
+                                    if nz == 0 {
+                                        continue;
+                                    }
+                                    let entries: Vec<(Sym, u32)> = counts
+                                        [c * stride..(c + 1) * stride]
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|&(_, &x)| x != 0)
+                                        .map(|(t, &x)| (tsyms[t], x))
+                                        .collect();
+                                    out.push((csyms[c], entries));
+                                }
+                            }
+                            PairBlock::Csr { rows } => {
+                                for (c, posting) in rows.iter().enumerate() {
+                                    if posting.is_empty() {
+                                        continue;
+                                    }
+                                    let entries: Vec<(Sym, u32)> = posting
+                                        .iter()
+                                        .map(|&(t, x)| (tsyms[t as usize], x))
+                                        .collect();
+                                    out.push((csyms[c], entries));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut corr = vec![0.0; n * n];
+        for cond in 0..n {
+            for target in 0..n {
+                corr[cond * n + target] = if cond == target {
+                    1.0
+                } else {
+                    uncertainty_coefficient(&mut per_pair[cond * n + target])
+                };
+            }
+        }
+        CorrelationView { n_attrs: n, corr }
+    }
+
+    /// Snapshot of the engine's counters and size gauges.
+    pub fn stats_stats(&self) -> StatsStats {
+        let mut s = StatsStats {
+            builds: self.builds,
+            extends: self.extends,
+            retracts: self.retracts,
+            corr_recomputes: self.corr_recomputes.load(Ordering::Relaxed),
+            ..StatsStats::default()
+        };
+        if let Backend::Dense(dt) = &self.backend {
+            let n = dt.n_attrs;
+            for cond in 0..n {
+                for target in 0..n {
+                    if cond == target {
+                        continue;
+                    }
+                    match &dt.blocks[cond * n + target] {
+                        PairBlock::Dense {
+                            counts, nonzero, ..
+                        } => {
+                            s.dense_pairs += 1;
+                            s.dense_cells += counts.len() as u64;
+                            s.bytes += 4 * (counts.len() + nonzero.len()) as u64;
+                        }
+                        PairBlock::Csr { rows } => {
+                            s.csr_pairs += 1;
+                            s.bytes += rows.iter().map(|r| 8 * r.len() as u64).sum::<u64>();
+                        }
+                    }
+                }
+            }
+            for a in 0..n {
+                s.bytes += 4 * dt.codes.syms[a].len() as u64 + 12 * dt.codes.code[a].len() as u64;
+            }
+        }
+        s
+    }
+}
+
+/// Full build of the naive oracle table, sharded per ordered pair.
+fn build_naive_table(ds: &Dataset, threads: usize) -> FxHashMap<u64, FxHashMap<Sym, u32>> {
+    let pairs = ordered_pairs(ds);
+    let threads = holo_parallel::sized_threads(threads, pairs.len() * ds.live_count());
+    let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
+        let (cond, target) = pairs[i];
+        let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
+        let cond_col = ds.column(cond);
+        let target_col = ds.column(target);
+        for t in ds.tuples() {
+            let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
+            if v_cond.is_null() || v_target.is_null() {
+                continue;
+            }
+            *local
+                .entry(key(cond, target, v_cond))
+                .or_default()
+                .entry(v_target)
+                .or_insert(0) += 1;
+        }
+        local
+    });
+    let mut table: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
+    for local in per_pair {
+        table.extend(local);
+    }
+    table
+}
+
+/// Naive-oracle incremental extend: folds the rows `from..` in.
+fn extend_naive(
+    table: &mut FxHashMap<u64, FxHashMap<Sym, u32>>,
+    ds: &Dataset,
+    from: TupleId,
+    threads: usize,
+) {
+    let pairs = ordered_pairs(ds);
+    let batch = ds.tuple_count() - from.index();
+    let threads = holo_parallel::sized_threads(threads, pairs.len() * batch);
+    let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
+        let (cond, target) = pairs[i];
+        let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
+        let cond_col = ds.column(cond);
+        let target_col = ds.column(target);
+        for t in (from.index()..ds.tuple_count()).map(TupleId::from) {
+            if !ds.is_live(t) {
+                continue;
+            }
+            let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
+            if v_cond.is_null() || v_target.is_null() {
+                continue;
+            }
+            *local
+                .entry(key(cond, target, v_cond))
+                .or_default()
+                .entry(v_target)
+                .or_insert(0) += 1;
+        }
+        local
+    });
+    for local in per_pair {
+        for (k, counts) in local {
+            let slot = table.entry(k).or_default();
+            for (sym, count) in counts {
+                *slot.entry(sym).or_insert(0) += count;
+            }
+        }
+    }
+}
+
+/// Naive-oracle fold kernel of absorb/retract: accumulates the rows'
+/// contributions per ordered attribute pair in parallel (disjoint key
+/// spaces, as in the build), then applies them with the requested sign.
+/// Integer counts commute, so the result is independent of row order and
+/// thread count.
+fn fold_naive(
+    table: &mut FxHashMap<u64, FxHashMap<Sym, u32>>,
+    ds: &Dataset,
+    rows: &[TupleId],
+    threads: usize,
+    retract: bool,
+) {
+    let pairs = ordered_pairs(ds);
+    let threads = holo_parallel::sized_threads(threads, pairs.len() * rows.len());
+    let per_pair = holo_parallel::parallel_jobs(threads, pairs.len(), |i| {
+        let (cond, target) = pairs[i];
+        let mut local: FxHashMap<u64, FxHashMap<Sym, u32>> = FxHashMap::default();
+        let cond_col = ds.column(cond);
+        let target_col = ds.column(target);
+        for &t in rows {
+            let (v_cond, v_target) = (cond_col[t.index()], target_col[t.index()]);
+            if v_cond.is_null() || v_target.is_null() {
+                continue;
+            }
+            *local
+                .entry(key(cond, target, v_cond))
+                .or_default()
+                .entry(v_target)
+                .or_insert(0) += 1;
+        }
+        local
+    });
+    for local in per_pair {
+        for (k, counts) in local {
+            if retract {
+                let slot = table
+                    .get_mut(&k)
+                    .expect("retracting a co-occurrence group that was never counted");
+                for (sym, count) in counts {
+                    let c = slot
+                        .get_mut(&sym)
+                        .expect("retracting a co-occurrence that was never counted");
+                    assert!(*c >= count, "co-occurrence count underflow");
+                    *c -= count;
+                    if *c == 0 {
+                        slot.remove(&sym);
+                    }
+                }
+                if slot.is_empty() {
+                    table.remove(&k);
+                }
+            } else {
+                let slot = table.entry(k).or_default();
+                for (sym, count) in counts {
+                    *slot.entry(sym).or_insert(0) += count;
+                }
+            }
+        }
     }
 }
 
@@ -461,49 +1322,56 @@ mod tests {
     #[test]
     fn cooccurrence_counts() {
         let ds = chicago();
-        let s = CooccurStats::build(&ds);
-        let city = ds.schema().attr_id("City").unwrap();
-        let zip = ds.schema().attr_id("Zip").unwrap();
-        let chicago = ds.pool().get("Chicago").unwrap();
-        let z08 = ds.pool().get("60608").unwrap();
-        let z09 = ds.pool().get("60609").unwrap();
-        // "Chicago" co-occurs with 60608 twice and 60609 once.
-        assert_eq!(s.cooccur_count(city, chicago, zip, z08), 2);
-        assert_eq!(s.cooccur_count(city, chicago, zip, z09), 1);
-        // Conditioning the other way: of 4 tuples with zip 60608, 2 say Chicago.
-        assert_eq!(s.cooccur_count(zip, z08, city, chicago), 2);
-        assert!((s.conditional_prob(zip, z08, city, chicago) - 0.5).abs() < 1e-12);
+        for naive in [false, true] {
+            let s = CooccurStats::build_with_opts(&ds, 1, naive);
+            let city = ds.schema().attr_id("City").unwrap();
+            let zip = ds.schema().attr_id("Zip").unwrap();
+            let chicago = ds.pool().get("Chicago").unwrap();
+            let z08 = ds.pool().get("60608").unwrap();
+            let z09 = ds.pool().get("60609").unwrap();
+            // "Chicago" co-occurs with 60608 twice and 60609 once.
+            assert_eq!(s.cooccur_count(city, chicago, zip, z08), 2);
+            assert_eq!(s.cooccur_count(city, chicago, zip, z09), 1);
+            // Conditioning the other way: of 4 tuples with zip 60608, 2 say Chicago.
+            assert_eq!(s.cooccur_count(zip, z08, city, chicago), 2);
+            assert!((s.conditional_prob(zip, z08, city, chicago) - 0.5).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn nulls_do_not_cooccur() {
         let ds = chicago();
-        let s = CooccurStats::build(&ds);
-        let city = ds.schema().attr_id("City").unwrap();
-        let zip = ds.schema().attr_id("Zip").unwrap();
-        let z08 = ds.pool().get("60608").unwrap();
-        // The null city of t4 must not appear among zip→city co-occurrences.
-        let m = s.cooccurring(zip, z08, city).unwrap();
-        assert!(!m.contains_key(&Sym::NULL));
-        // Sum over city values for 60608 = 3 non-null cities (2 Chicago + 1 Cicago).
-        let total: u32 = m.values().sum();
-        assert_eq!(total, 3);
+        for naive in [false, true] {
+            let s = CooccurStats::build_with_opts(&ds, 1, naive);
+            let city = ds.schema().attr_id("City").unwrap();
+            let zip = ds.schema().attr_id("Zip").unwrap();
+            let z08 = ds.pool().get("60608").unwrap();
+            // The null city of t4 must not appear among zip→city co-occurrences.
+            let g = s.group(zip, z08, city).unwrap();
+            let mut saw_null = false;
+            g.for_each(|v, _| saw_null |= v.is_null());
+            assert!(!saw_null);
+            // Sum over city values for 60608 = 3 non-null cities (2 Chicago + 1 Cicago).
+            assert_eq!(g.total(), 3);
+        }
     }
 
     #[test]
     fn conditional_prob_of_unseen_is_zero() {
         let ds = chicago();
-        let s = CooccurStats::build(&ds);
-        let city = ds.schema().attr_id("City").unwrap();
-        let state = ds.schema().attr_id("State").unwrap();
-        let cicago = ds.pool().get("Cicago").unwrap();
-        let z09 = ds.pool().get("60609").unwrap();
-        // Cicago never co-occurs with 60609.
-        let zip = ds.schema().attr_id("Zip").unwrap();
-        assert_eq!(s.conditional_prob(city, cicago, zip, z09), 0.0);
-        // And an unseen conditioning value yields 0, not a panic.
-        let ghost = Sym(9999);
-        assert_eq!(s.conditional_prob(state, ghost, city, cicago), 0.0);
+        for naive in [false, true] {
+            let s = CooccurStats::build_with_opts(&ds, 1, naive);
+            let city = ds.schema().attr_id("City").unwrap();
+            let state = ds.schema().attr_id("State").unwrap();
+            let cicago = ds.pool().get("Cicago").unwrap();
+            let z09 = ds.pool().get("60609").unwrap();
+            // Cicago never co-occurs with 60609.
+            let zip = ds.schema().attr_id("Zip").unwrap();
+            assert_eq!(s.conditional_prob(city, cicago, zip, z09), 0.0);
+            // And an unseen conditioning value yields 0, not a panic.
+            let ghost = Sym(9999);
+            assert_eq!(s.conditional_prob(state, ghost, city, cicago), 0.0);
+        }
     }
 
     #[test]
@@ -512,12 +1380,15 @@ mod tests {
         let f = FrequencyStats::build(&ds);
         assert_eq!(f.tuple_count(), 0);
         assert_eq!(f.prob(AttrId(0), Sym(1)), 0.0);
-        let s = CooccurStats::build(&ds);
-        assert_eq!(s.group_count(), 0);
+        for naive in [false, true] {
+            let s = CooccurStats::build_with_opts(&ds, 1, naive);
+            assert_eq!(s.group_count(), 0);
+            assert_eq!(s.correlations().correlation(AttrId(0), AttrId(1)), 0.0);
+        }
     }
 
     /// The pair-sharded parallel build answers every query identically to
-    /// the sequential pass, at several thread counts.
+    /// the sequential pass, at several thread counts, on both backends.
     #[test]
     fn threaded_build_matches_sequential() {
         let mut ds = Dataset::new(Schema::new(vec!["a", "b", "c", "d"]));
@@ -533,22 +1404,24 @@ mod tests {
                 format!("d{}", i % 3),
             ]);
         }
-        let sequential = CooccurStats::build(&ds);
-        for threads in [2, 4, 8] {
-            let parallel = CooccurStats::build_with_threads(&ds, threads);
-            assert_eq!(parallel.group_count(), sequential.group_count());
-            for cond in ds.schema().attrs() {
-                for target in ds.schema().attrs() {
-                    if cond == target {
-                        continue;
-                    }
-                    for v_cond in ds.active_domain(cond) {
-                        for v in ds.active_domain(target) {
-                            assert_eq!(
-                                parallel.cooccur_count(cond, v_cond, target, v),
-                                sequential.cooccur_count(cond, v_cond, target, v),
-                                "threads = {threads}"
-                            );
+        for naive in [false, true] {
+            let sequential = CooccurStats::build_with_opts(&ds, 1, naive);
+            for threads in [2, 4, 8] {
+                let parallel = CooccurStats::build_with_opts(&ds, threads, naive);
+                assert_eq!(parallel.group_count(), sequential.group_count());
+                for cond in ds.schema().attrs() {
+                    for target in ds.schema().attrs() {
+                        if cond == target {
+                            continue;
+                        }
+                        for v_cond in ds.active_domain(cond) {
+                            for v in ds.active_domain(target) {
+                                assert_eq!(
+                                    parallel.cooccur_count(cond, v_cond, target, v),
+                                    sequential.cooccur_count(cond, v_cond, target, v),
+                                    "threads = {threads}, naive = {naive}"
+                                );
+                            }
                         }
                     }
                 }
@@ -573,32 +1446,34 @@ mod tests {
                 format!("c{}", i % 3),
             ]);
         }
-        for split in [1, 4, 7] {
-            let mut ds = Dataset::new(Schema::new(vec!["a", "b", "c"]));
-            let mut stats = CooccurStats::build(&ds);
-            for batch in rows.chunks(rows.len().div_ceil(split)) {
-                let from = ds.append_rows(batch);
-                stats.extend_with_threads(&ds, from, 2);
-            }
-            let full = CooccurStats::build(&ds);
-            assert_eq!(stats.freq().tuple_count(), full.freq().tuple_count());
-            assert_eq!(stats.group_count(), full.group_count());
-            for cond in ds.schema().attrs() {
-                for target in ds.schema().attrs() {
-                    if cond == target {
-                        continue;
-                    }
-                    for v_cond in ds.active_domain(cond) {
-                        assert_eq!(
-                            stats.freq().count(cond, v_cond),
-                            full.freq().count(cond, v_cond)
-                        );
-                        for v in ds.active_domain(target) {
+        for naive in [false, true] {
+            for split in [1, 4, 7] {
+                let mut ds = Dataset::new(Schema::new(vec!["a", "b", "c"]));
+                let mut stats = CooccurStats::build_with_opts(&ds, 1, naive);
+                for batch in rows.chunks(rows.len().div_ceil(split)) {
+                    let from = ds.append_rows(batch);
+                    stats.extend_with_threads(&ds, from, 2);
+                }
+                let full = CooccurStats::build_with_opts(&ds, 1, naive);
+                assert_eq!(stats.freq().tuple_count(), full.freq().tuple_count());
+                assert_eq!(stats.group_count(), full.group_count());
+                for cond in ds.schema().attrs() {
+                    for target in ds.schema().attrs() {
+                        if cond == target {
+                            continue;
+                        }
+                        for v_cond in ds.active_domain(cond) {
                             assert_eq!(
-                                stats.cooccur_count(cond, v_cond, target, v),
-                                full.cooccur_count(cond, v_cond, target, v),
-                                "split = {split}"
+                                stats.freq().count(cond, v_cond),
+                                full.freq().count(cond, v_cond)
                             );
+                            for v in ds.active_domain(target) {
+                                assert_eq!(
+                                    stats.cooccur_count(cond, v_cond, target, v),
+                                    full.cooccur_count(cond, v_cond, target, v),
+                                    "split = {split}, naive = {naive}"
+                                );
+                            }
                         }
                     }
                 }
@@ -612,73 +1487,189 @@ mod tests {
     /// invariant CRUD streaming's delta compile rests on.
     #[test]
     fn retract_matches_full_rebuild() {
-        use crate::table::TupleId;
-        let mut ds = Dataset::new(Schema::new(vec!["a", "b", "c"]));
-        for i in 0..90 {
+        for naive in [false, true] {
+            let mut ds = Dataset::new(Schema::new(vec!["a", "b", "c"]));
+            for i in 0..90 {
+                ds.push_row(&[
+                    format!("a{}", i % 9),
+                    if i % 11 == 0 {
+                        String::new()
+                    } else {
+                        format!("b{}", i % 5)
+                    },
+                    format!("c{}", i % 3),
+                ]);
+            }
+            let mut stats = CooccurStats::build_with_opts(&ds, 2, naive);
+            // Update a third of the rows in place: retract, overwrite, absorb.
+            let updated: Vec<TupleId> = (0..90).step_by(3).map(TupleId::from).collect();
+            stats.retract_with_threads(&ds, &updated, 2);
+            let new_rows: Vec<(TupleId, Vec<String>)> = updated
+                .iter()
+                .map(|&t| {
+                    let i = t.index();
+                    (
+                        t,
+                        vec![
+                            format!("a{}", (i + 1) % 4),
+                            format!("b{}", i % 6),
+                            if i % 7 == 0 {
+                                String::new()
+                            } else {
+                                format!("c{}", i % 2)
+                            },
+                        ],
+                    )
+                })
+                .collect();
+            ds.update_rows(&new_rows);
+            stats.absorb_rows_with_threads(&ds, &updated, 2);
+            // Then delete a handful, folding their (updated) values out.
+            let deleted: Vec<TupleId> = (0..90).step_by(7).map(TupleId::from).collect();
+            stats.retract_with_threads(&ds, &deleted, 2);
+            ds.delete_rows(&deleted);
+
+            let full = CooccurStats::build_with_opts(&ds, 1, naive);
+            assert_eq!(stats.freq().tuple_count(), full.freq().tuple_count());
+            assert_eq!(stats.freq().tuple_count(), ds.live_count());
+            assert_eq!(
+                stats.group_count(),
+                full.group_count(),
+                "zeroed groups must vanish, not linger at count 0 (naive = {naive})"
+            );
+            for a in ds.schema().attrs() {
+                assert_eq!(stats.freq().distinct(a), full.freq().distinct(a));
+            }
+            for cond in ds.schema().attrs() {
+                for target in ds.schema().attrs() {
+                    if cond == target {
+                        continue;
+                    }
+                    for v_cond in ds.active_domain(cond) {
+                        assert_eq!(
+                            stats.freq().count(cond, v_cond),
+                            full.freq().count(cond, v_cond)
+                        );
+                        for v in ds.active_domain(target) {
+                            assert_eq!(
+                                stats.cooccur_count(cond, v_cond, target, v),
+                                full.cooccur_count(cond, v_cond, target, v)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Correlations: a determined pair scores 1, independence scores ~0,
+    /// and the view is bit-identical between backends.
+    #[test]
+    fn correlation_view_basics() {
+        let mut ds = Dataset::new(Schema::new(vec!["city", "zip", "coin"]));
+        // zip determines city; coin flips once per block of 4, so each coin
+        // value sees the full uniform city/zip cycle — independence.
+        for i in 0..40 {
+            let zip = i % 4;
             ds.push_row(&[
-                format!("a{}", i % 9),
-                if i % 11 == 0 {
-                    String::new()
-                } else {
-                    format!("b{}", i % 5)
-                },
-                format!("c{}", i % 3),
+                format!("city{}", zip),
+                format!("zip{}", zip),
+                format!("coin{}", (i / 4) % 2),
             ]);
         }
-        let mut stats = CooccurStats::build_with_threads(&ds, 2);
-        // Update a third of the rows in place: retract, overwrite, absorb.
-        let updated: Vec<TupleId> = (0..90).step_by(3).map(TupleId::from).collect();
-        stats.retract_with_threads(&ds, &updated, 2);
-        let new_rows: Vec<(TupleId, Vec<String>)> = updated
-            .iter()
-            .map(|&t| {
-                let i = t.index();
-                (
-                    t,
-                    vec![
-                        format!("a{}", (i + 1) % 4),
-                        format!("b{}", i % 6),
-                        if i % 7 == 0 {
-                            String::new()
-                        } else {
-                            format!("c{}", i % 2)
-                        },
-                    ],
-                )
-            })
-            .collect();
-        ds.update_rows(&new_rows);
-        stats.absorb_rows_with_threads(&ds, &updated, 2);
-        // Then delete a handful, folding their (updated) values out.
-        let deleted: Vec<TupleId> = (0..90).step_by(7).map(TupleId::from).collect();
-        stats.retract_with_threads(&ds, &deleted, 2);
-        ds.delete_rows(&deleted);
-
-        let full = CooccurStats::build(&ds);
-        assert_eq!(stats.freq().tuple_count(), full.freq().tuple_count());
-        assert_eq!(stats.freq().tuple_count(), ds.live_count());
-        assert_eq!(
-            stats.group_count(),
-            full.group_count(),
-            "zeroed groups must vanish, not linger at count 0"
-        );
+        let dense = CooccurStats::build(&ds);
+        let naive = CooccurStats::build_with_opts(&ds, 1, true);
+        let (city, zip, coin) = (AttrId(0), AttrId(1), AttrId(2));
+        let cv = dense.correlations();
+        assert_eq!(cv.correlation(zip, city), 1.0);
+        assert_eq!(cv.correlation(city, zip), 1.0);
+        assert!(cv.correlation(coin, city) < 1e-9);
+        assert!(cv.correlation(zip, coin) < 1e-9);
+        let nv = naive.correlations();
         for a in ds.schema().attrs() {
-            assert_eq!(stats.freq().distinct(a), full.freq().distinct(a));
+            for b in ds.schema().attrs() {
+                assert_eq!(
+                    cv.correlation(a, b).to_bits(),
+                    nv.correlation(a, b).to_bits(),
+                    "correlation({a:?}, {b:?}) differs between backends"
+                );
+            }
         }
+        assert_eq!(dense.stats_stats().corr_recomputes, 1);
+    }
+
+    /// Constant target: anything predicts it perfectly.
+    #[test]
+    fn correlation_of_constant_target_is_one() {
+        let mut ds = Dataset::new(Schema::new(vec!["x", "k"]));
+        for i in 0..10 {
+            ds.push_row(&[format!("x{}", i % 3), "const".to_string()]);
+        }
+        let s = CooccurStats::build(&ds);
+        assert_eq!(s.correlations().correlation(AttrId(0), AttrId(1)), 1.0);
+    }
+
+    /// Engine gauges: the dense backend reports its blocks, the oracle
+    /// reports zero storage but the same operation counters.
+    #[test]
+    fn stats_stats_gauges() {
+        let ds = chicago();
+        let dense = CooccurStats::build(&ds);
+        let s = dense.stats_stats();
+        assert_eq!(s.builds, 1);
+        assert_eq!(s.dense_pairs + s.csr_pairs, 6); // 3 attrs → 6 ordered pairs
+        assert!(s.dense_cells > 0);
+        assert!(s.bytes > 0);
+        let naive = CooccurStats::build_with_opts(&ds, 1, true);
+        let s = naive.stats_stats();
+        assert_eq!(s.builds, 1);
+        assert_eq!(s.dense_pairs + s.csr_pairs, 0);
+        assert_eq!(s.bytes, 0);
+    }
+
+    /// Asserts the two engines answer every query identically on the
+    /// current dataset.
+    fn assert_backends_agree(ds: &Dataset, dense: &CooccurStats, naive: &CooccurStats) {
+        assert!(dense.is_dense() && !naive.is_dense());
+        assert_eq!(dense.freq().tuple_count(), naive.freq().tuple_count());
+        assert_eq!(dense.group_count(), naive.group_count());
         for cond in ds.schema().attrs() {
             for target in ds.schema().attrs() {
                 if cond == target {
                     continue;
                 }
+                let cv = dense.correlations().correlation(cond, target);
+                let nv = naive.correlations().correlation(cond, target);
+                assert_eq!(cv.to_bits(), nv.to_bits(), "correlation differs");
                 for v_cond in ds.active_domain(cond) {
                     assert_eq!(
-                        stats.freq().count(cond, v_cond),
-                        full.freq().count(cond, v_cond)
+                        dense.freq().count(cond, v_cond),
+                        naive.freq().count(cond, v_cond)
                     );
+                    assert_eq!(
+                        dense.freq().prob(cond, v_cond).to_bits(),
+                        naive.freq().prob(cond, v_cond).to_bits()
+                    );
+                    let dg = dense.group(cond, v_cond, target);
+                    let ng = naive.group(cond, v_cond, target);
+                    assert_eq!(dg.is_some(), ng.is_some(), "group presence differs");
+                    if let (Some(dg), Some(ng)) = (dg, ng) {
+                        let mut dv: Vec<(Sym, u32)> = Vec::new();
+                        let mut nv: Vec<(Sym, u32)> = Vec::new();
+                        dg.for_each(|s, c| dv.push((s, c)));
+                        ng.for_each(|s, c| nv.push((s, c)));
+                        dv.sort_unstable();
+                        nv.sort_unstable();
+                        assert_eq!(dv, nv, "group contents differ");
+                    }
                     for v in ds.active_domain(target) {
                         assert_eq!(
-                            stats.cooccur_count(cond, v_cond, target, v),
-                            full.cooccur_count(cond, v_cond, target, v)
+                            dense.cooccur_count(cond, v_cond, target, v),
+                            naive.cooccur_count(cond, v_cond, target, v)
+                        );
+                        assert_eq!(
+                            dense.conditional_prob(cond, v_cond, target, v).to_bits(),
+                            naive.conditional_prob(cond, v_cond, target, v).to_bits()
                         );
                     }
                 }
@@ -686,7 +1677,80 @@ mod tests {
         }
     }
 
+    fn cell_str(kind: u8, v: u8) -> String {
+        if v == 0 {
+            String::new() // nulls in play at every stage
+        } else {
+            format!("{kind}-{v}")
+        }
+    }
+
     proptest! {
+        /// Dense engine ≡ hash-map oracle: identical `count` / `prob` /
+        /// `cond_prob` / group / `group_count` / correlation answers
+        /// across random datasets × CRUD interleavings (build / extend /
+        /// absorb / retract) × threads {1, 4}.
+        #[test]
+        fn dense_matches_naive_oracle(
+            rows in proptest::collection::vec((0u8..6, 0u8..4, 0u8..5), 5..40),
+            extra in proptest::collection::vec((0u8..6, 0u8..4, 0u8..5), 0..15),
+            update_step in 2usize..5,
+            delete_step in 3usize..6,
+        ) {
+            for threads in [1usize, 4] {
+                let mut ds = Dataset::new(Schema::new(vec!["a", "b", "c"]));
+                for &(a, b, c) in &rows {
+                    ds.push_row(&[cell_str(0, a), cell_str(1, b), cell_str(2, c)]);
+                }
+                let mut dense = CooccurStats::build_with_opts(&ds, threads, false);
+                let mut naive = CooccurStats::build_with_opts(&ds, threads, true);
+                assert_backends_agree(&ds, &dense, &naive);
+
+                // Extend with a fresh batch.
+                let batch: Vec<Vec<String>> = extra
+                    .iter()
+                    .map(|&(a, b, c)| vec![cell_str(0, a), cell_str(1, b), cell_str(2, c)])
+                    .collect();
+                if !batch.is_empty() {
+                    let from = ds.append_rows(&batch);
+                    dense.extend_with_threads(&ds, from, threads);
+                    naive.extend_with_threads(&ds, from, threads);
+                    assert_backends_agree(&ds, &dense, &naive);
+                }
+
+                // In-place update: retract, overwrite, absorb.
+                let updated: Vec<TupleId> = (0..ds.tuple_count())
+                    .step_by(update_step)
+                    .map(TupleId::from)
+                    .filter(|&t| ds.is_live(t))
+                    .collect();
+                dense.retract_with_threads(&ds, &updated, threads);
+                naive.retract_with_threads(&ds, &updated, threads);
+                let new_rows: Vec<(TupleId, Vec<String>)> = updated
+                    .iter()
+                    .map(|&t| {
+                        let i = t.index() as u8;
+                        (t, vec![cell_str(0, i % 7), cell_str(1, i % 3), cell_str(2, i % 6)])
+                    })
+                    .collect();
+                ds.update_rows(&new_rows);
+                dense.absorb_rows_with_threads(&ds, &updated, threads);
+                naive.absorb_rows_with_threads(&ds, &updated, threads);
+                assert_backends_agree(&ds, &dense, &naive);
+
+                // Delete a stride of rows.
+                let deleted: Vec<TupleId> = (0..ds.tuple_count())
+                    .step_by(delete_step)
+                    .map(TupleId::from)
+                    .filter(|&t| ds.is_live(t))
+                    .collect();
+                dense.retract_with_threads(&ds, &deleted, threads);
+                ds.delete_rows(&deleted);
+                naive.retract_with_threads(&ds, &deleted, threads);
+                assert_backends_agree(&ds, &dense, &naive);
+            }
+        }
+
         /// Conditional probabilities over a fixed conditioning value sum to
         /// ≤ 1 for each target attribute (== 1 when no nulls involved).
         #[test]

@@ -22,6 +22,26 @@ use std::num::NonZeroUsize;
 /// would dominate.
 pub const MIN_PARALLEL_ITEMS: usize = 64;
 
+/// Below this much total work (an arbitrary caller-estimated unit, e.g.
+/// `rows × pairs` for a statistics build or probe count for a blocking
+/// join) a job-style dispatch should run sequentially. [`parallel_jobs`]
+/// has no per-item cutoff of its own — jobs are assumed coarse — so
+/// callers with data-dependent job sizes clamp their thread count with
+/// [`sized_threads`] instead.
+pub const MIN_PARALLEL_WORK: usize = 4096;
+
+/// Clamps a configured thread count to `1` when the estimated total
+/// `work` is below [`MIN_PARALLEL_WORK`], so tiny inputs never pay thread
+/// spawn overhead. Pure sizing — results are identical either way under
+/// this crate's determinism contract.
+pub fn sized_threads(threads: usize, work: usize) -> usize {
+    if work < MIN_PARALLEL_WORK {
+        1
+    } else {
+        effective_threads(threads)
+    }
+}
+
 /// Resolves a configured thread-count knob: `0` means "all cores"
 /// (`std::thread::available_parallelism`), anything else is taken as-is.
 pub fn effective_threads(configured: usize) -> usize {
@@ -363,6 +383,15 @@ mod tests {
     fn effective_threads_zero_means_all_cores() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn sized_threads_clamps_small_work_to_sequential() {
+        assert_eq!(sized_threads(8, 0), 1);
+        assert_eq!(sized_threads(8, MIN_PARALLEL_WORK - 1), 1);
+        assert_eq!(sized_threads(8, MIN_PARALLEL_WORK), 8);
+        // `0` still means "all cores" once the work is large enough.
+        assert!(sized_threads(0, MIN_PARALLEL_WORK) >= 1);
     }
 
     #[test]
